@@ -1,0 +1,181 @@
+//! Ablations beyond the paper's figures — the design choices DESIGN.md
+//! calls out, plus the paper's Table 2 (steering mechanisms) and
+//! footnote 3 (LRO), exercised explicitly.
+
+use hns_bench::header;
+use hns_core::{Experiment, ScenarioKind};
+use hns_stack::config::RcvBufPolicy;
+
+fn single() -> Experiment {
+    Experiment::new(ScenarioKind::Single)
+}
+
+fn main() {
+    // ------------------------------------------------------------------
+    header(
+        "Ablation A / paper Table 2: receive steering mechanisms",
+        "aRFS (hardware, app-core steering) wins; RFS matches placement \
+         but pays software cycles; RSS/RPS land on a remote node and lose \
+         DCA + pay lock contention",
+    );
+    use hns_nic::steering::SteeringMode;
+    println!(
+        "{:<8} {:>10} {:>8} {:>10} {:>10}",
+        "mode", "thpt/core", "miss", "snd_cores", "rcv_cores"
+    );
+    for (name, mode) in [
+        ("rss", SteeringMode::Rss),
+        ("rps", SteeringMode::Rps),
+        ("rfs", SteeringMode::Rfs),
+        ("arfs", SteeringMode::Arfs),
+    ] {
+        let r = single()
+            .configure(|c| c.stack.steering = mode)
+            .labeled(format!("steering/{name}"))
+            .run();
+        println!(
+            "{:<8} {:>10.2} {:>7.1}% {:>10.2} {:>10.2}",
+            name,
+            r.thpt_per_core_gbps,
+            r.receiver.cache.miss_rate() * 100.0,
+            r.sender.cores_used,
+            r.receiver.cores_used
+        );
+    }
+
+    // ------------------------------------------------------------------
+    header(
+        "Ablation B / paper footnote 3: LRO instead of GRO",
+        "hardware aggregation removes the per-frame GRO cycles; the paper \
+         measured up to ~55Gbps with LRO (but notes LRO is often disabled \
+         in practice because it can discard header data)",
+    );
+    for (name, lro) in [("gro", false), ("lro", true)] {
+        let r = single()
+            .configure(|c| {
+                c.stack.lro = lro;
+                c.stack.gro = !lro;
+            })
+            .labeled(format!("aggregation/{name}"))
+            .run();
+        println!(
+            "{:<8} thpt/core={:>7.2} rx netdevice fraction={:.3}",
+            name,
+            r.thpt_per_core_gbps,
+            r.receiver
+                .breakdown
+                .fraction(hns_core::Category::NetDevice)
+        );
+    }
+
+    // ------------------------------------------------------------------
+    header(
+        "Ablation C: MTU sweep (the jumbo-frames lever, finer grain)",
+        "larger frames amortize per-frame costs. The ring is scaled to a \
+         constant ~4.6MB byte footprint: at a fixed 512-descriptor ring, \
+         1500B frames cannot even cover the BDP (512 x 1500B = 768KB < \
+         ~3MB in flight) and the flow collapses through ring overruns — \
+         one more reason jumbo frames matter at 100Gbps",
+    );
+    for mtu in [1500u32, 3000, 6000, 9000] {
+        let r = single()
+            .configure(|c| {
+                c.stack.mtu = mtu;
+                // Constant byte footprint ≈ 512 × 9000B.
+                c.stack.rx_descriptors = 512 * 9000 / mtu;
+            })
+            .labeled(format!("mtu/{mtu}"))
+            .run();
+        println!(
+            "mtu={mtu:<6} thpt/core={:>7.2} miss={:>5.1}% ring_drops={}",
+            r.thpt_per_core_gbps,
+            r.receiver.cache.miss_rate() * 100.0,
+            r.ring_drops
+        );
+    }
+    // The collapse case, shown explicitly:
+    let r = single()
+        .configure(|c| c.stack.mtu = 1500)
+        .labeled("mtu/1500-small-ring")
+        .run();
+    println!(
+        "mtu=1500 @ 512 descriptors: thpt/core={:.2}, ring_drops={} (collapse)",
+        r.thpt_per_core_gbps, r.ring_drops
+    );
+
+    // ------------------------------------------------------------------
+    header(
+        "Ablation D: NAPI budget",
+        "smaller budgets flush GRO more often (smaller aggregates, more \
+         IRQs); the Linux default of 300 is comfortably past the knee for \
+         a single flow",
+    );
+    for budget in [16u32, 64, 300, 1024] {
+        let r = Experiment::new(ScenarioKind::Incast { flows: 16 })
+            .configure(|c| c.napi_budget = budget)
+            .labeled(format!("budget/{budget}"))
+            .run();
+        println!(
+            "budget={budget:<5} thpt/core={:>7.2} avg_skb={:>7.0}B",
+            r.thpt_per_core_gbps, r.avg_skb_bytes
+        );
+    }
+
+    // ------------------------------------------------------------------
+    header(
+        "Ablation E: DCA slice capacity (the §4 'extensions to DCA' knob)",
+        "growing the DDIO slice delays the BDP crossover: the miss rate at \
+         the default auto-tuned buffer falls as the slice approaches the \
+         copy lag (~3MB)",
+    );
+    for mb in [2u64, 3, 6, 12] {
+        let r = single()
+            .configure(|c| c.dca_capacity = mb << 20)
+            .labeled(format!("dca/{mb}MB"))
+            .run();
+        println!(
+            "dca={mb:>2}MB thpt/core={:>7.2} miss={:>5.1}%",
+            r.thpt_per_core_gbps,
+            r.receiver.cache.miss_rate() * 100.0
+        );
+    }
+
+    // ------------------------------------------------------------------
+    header(
+        "Ablation G: interrupt moderation (ethtool -C rx-usecs)",
+        "delaying the IRQ batches arrivals into fewer interrupts but adds          latency; with NAPI masking already coalescing under load, extra          moderation buys little throughput on a saturated flow",
+    );
+    for usecs in [0u64, 10, 50, 200] {
+        let r = single()
+            .configure(|c| c.irq_coalesce = hns_sim::Duration::from_micros(usecs))
+            .labeled(format!("coalesce/{usecs}us"))
+            .run();
+        println!(
+            "rx-usecs={usecs:<4} thpt/core={:>7.2} napi→copy avg={:>7.1}us",
+            r.thpt_per_core_gbps, r.napi_to_copy.avg_us
+        );
+    }
+
+    // ------------------------------------------------------------------
+    header(
+        "Ablation F: window-size tuning with L3 awareness (the §4 proposal)",
+        "pinning the receive buffer near the DCA slice recovers the \
+         tuned ~55Gbps the auto-tuner leaves on the table",
+    );
+    for (name, policy) in [
+        ("auto (DRS)", RcvBufPolicy::Auto),
+        ("1600KB", RcvBufPolicy::Fixed(1600 * 1024)),
+        ("3200KB", RcvBufPolicy::Fixed(3200 * 1024)),
+    ] {
+        let r = single()
+            .configure(|c| c.stack.rcvbuf = policy)
+            .labeled(format!("rcvbuf/{name}"))
+            .run();
+        println!(
+            "{:<12} thpt/core={:>7.2} miss={:>5.1}%",
+            name,
+            r.thpt_per_core_gbps,
+            r.receiver.cache.miss_rate() * 100.0
+        );
+    }
+}

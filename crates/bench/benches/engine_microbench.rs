@@ -1,0 +1,103 @@
+//! Criterion microbenchmarks of the simulator engine itself: how fast the
+//! substrate processes events, GRO merges, DCA probes, and a full
+//! single-flow millisecond. Guards against performance regressions that
+//! would make the figure harnesses painful to run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hns_sim::{Duration, EventQueue, SimRng, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = SimRng::new(7);
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_nanos(rng.next_below(1_000_000)), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_dca_probe(c: &mut Criterion) {
+    use hns_mem::{DcaCache, FrameArena};
+    c.bench_function("dca_insert_probe_release_10k", |b| {
+        b.iter(|| {
+            let mut arena = FrameArena::new();
+            let mut cache = DcaCache::with_defaults(true, 3);
+            let mut queue = std::collections::VecDeque::new();
+            let mut hits = 0u64;
+            for _ in 0..10_000 {
+                let f = arena.insert(9000, 0);
+                cache.insert(&mut arena, f);
+                queue.push_back(f);
+                if queue.len() > 300 {
+                    let victim = queue.pop_front().unwrap();
+                    if cache.probe_copy(&arena, victim) {
+                        hits += 1;
+                    }
+                    arena.release(victim);
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_gro(c: &mut Criterion) {
+    use hns_mem::FrameArena;
+    use hns_stack::gro::GroEngine;
+    use hns_stack::skb::RxSkb;
+    c.bench_function("gro_merge_10k_frames", |b| {
+        b.iter(|| {
+            let mut arena = FrameArena::new();
+            let mut gro = GroEngine::new();
+            let mut out = 0usize;
+            let mut seq = [0u64; 4];
+            for i in 0..10_000u64 {
+                let flow = i % 4;
+                let f = arena.insert(9000, 0);
+                let skb = RxSkb::from_frame(
+                    flow,
+                    seq[flow as usize],
+                    9000,
+                    f,
+                    SimTime::ZERO,
+                    false,
+                    false,
+                );
+                seq[flow as usize] += 9000;
+                out += gro.offer(skb, 65536).len();
+            }
+            out += gro.flush_all().len();
+            black_box(out)
+        })
+    });
+}
+
+fn bench_full_single_flow_ms(c: &mut Criterion) {
+    use hns_stack::{AppSpec, FlowSpec, SimConfig, World};
+    c.bench_function("world_single_flow_2ms", |b| {
+        b.iter(|| {
+            let mut w = World::new(SimConfig::default());
+            let f = w.add_flow(FlowSpec::forward(0, 0));
+            w.add_app(0, 0, AppSpec::LongSender { flow: f });
+            w.add_app(1, 0, AppSpec::LongReceiver { flow: f });
+            let r = w.run(Duration::from_millis(1), Duration::from_millis(1));
+            black_box(r.delivered_bytes)
+        })
+    });
+}
+
+criterion_group!(
+    name = engine;
+    config = Criterion::default().sample_size(20);
+    targets = bench_event_queue, bench_dca_probe, bench_gro, bench_full_single_flow_ms
+);
+criterion_main!(engine);

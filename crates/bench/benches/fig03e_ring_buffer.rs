@@ -1,0 +1,25 @@
+//! Fig. 3e: cache miss rate and throughput vs NIC ring size and TCP Rx
+//! buffer size.
+
+use hns_bench::header;
+
+fn main() {
+    header(
+        "Figure 3(e): NIC Rx descriptors × TCP Rx buffer size",
+        "increasing either raises L3 miss rate and lowers throughput; \
+         3200KB buffer with ≤512 descriptors is the sweet spot (~55Gbps)",
+    );
+    println!(
+        "{:<8} {:<10} {:>12} {:>10}",
+        "ring", "rcvbuf", "thpt/core", "miss"
+    );
+    for (ring, buf, r) in hns_core::figures::fig03e_ring_buffer() {
+        println!(
+            "{:<8} {:<10} {:>12.2} {:>9.1}%",
+            ring,
+            buf,
+            r.thpt_per_core_gbps,
+            r.receiver.cache.miss_rate() * 100.0
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Fig. 3f: latency from NAPI processing to start of data copy vs TCP Rx
+//! buffer size.
+
+use hns_bench::header;
+
+fn main() {
+    header(
+        "Figure 3(f): NAPI→data-copy latency vs TCP Rx buffer size",
+        "average and p99 delay rise rapidly beyond ~1600KB as in-flight \
+         data outgrows the DCA slice",
+    );
+    println!(
+        "{:<10} {:>10} {:>10} {:>12} {:>8}",
+        "rcvbuf", "avg(us)", "p99(us)", "thpt/core", "miss"
+    );
+    for (kb, r) in hns_core::figures::fig03f_latency() {
+        println!(
+            "{:>7}KB {:>10.1} {:>10.1} {:>12.2} {:>7.1}%",
+            kb,
+            r.napi_to_copy.avg_us,
+            r.napi_to_copy.p99_us,
+            r.thpt_per_core_gbps,
+            r.receiver.cache.miss_rate() * 100.0
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Fig. 4: single flow on a NIC-remote NUMA node.
+
+use hns_bench::{header, print_series};
+
+fn main() {
+    header(
+        "Figure 4: NIC-local vs NIC-remote NUMA placement (single flow)",
+        "running the application on a NIC-remote node defeats DCA: miss \
+         rate jumps and throughput-per-core drops ~20%",
+    );
+    let reports = hns_core::figures::fig04_numa();
+    print_series(&reports);
+    let drop = 1.0 - reports[1].thpt_per_core_gbps / reports[0].thpt_per_core_gbps;
+    println!("\nthpt/core drop from NUMA-remote placement: {:.1}%", drop * 100.0);
+}

@@ -1,0 +1,34 @@
+//! Fig. 5: one-to-one traffic pattern, 1..24 flows.
+
+use hns_bench::{header, print_breakdowns};
+use hns_core::OptLevel;
+
+fn main() {
+    header(
+        "Figure 5: one-to-one, flows = 1, 8, 16, 24",
+        "the link saturates at 8 flows; thpt/core keeps dropping (42→~15) \
+         as optimizations lose effectiveness; scheduling overhead grows \
+         and memory overhead shrinks once the network saturates",
+    );
+    let rows = hns_core::figures::fig05_one_to_one();
+    println!(
+        "{:<7} {:<10} {:>10} {:>10} {:>10} {:>8}",
+        "flows", "level", "thpt/core", "total", "rcv_cores", "miss"
+    );
+    let mut arfs = Vec::new();
+    for (flows, level, r) in rows {
+        println!(
+            "{:<7} {:<10} {:>10.2} {:>10.2} {:>10.2} {:>7.1}%",
+            flows,
+            level.label(),
+            r.thpt_per_core_gbps,
+            r.total_gbps,
+            r.receiver.cores_used,
+            r.receiver.cache.miss_rate() * 100.0
+        );
+        if level == OptLevel::Arfs {
+            arfs.push(r);
+        }
+    }
+    print_breakdowns(&arfs);
+}

@@ -1,0 +1,35 @@
+//! Fig. 7: outcast traffic pattern — one sender core, 1..24 receiver cores.
+
+use hns_bench::{header, print_breakdowns};
+use hns_core::OptLevel;
+
+fn main() {
+    header(
+        "Figure 7: outcast, flows = 1, 8, 16, 24",
+        "sender-side pipeline is ~2x more CPU-efficient than the \
+         receiver's (up to ~89Gbps per sender core in the paper); sender \
+         L3 miss rate stays low (~11% at 24 flows); copy stays dominant",
+    );
+    let rows = hns_core::figures::fig07_outcast();
+    println!(
+        "{:<7} {:<10} {:>14} {:>10} {:>10} {:>9}",
+        "flows", "level", "thpt/snd-core", "total", "snd_cores", "snd_miss"
+    );
+    let mut arfs = Vec::new();
+    for (flows, level, r) in rows {
+        let per_sender = r.total_gbps / r.sender.cores_used.max(1e-9);
+        println!(
+            "{:<7} {:<10} {:>14.2} {:>10.2} {:>10.2} {:>8.1}%",
+            flows,
+            level.label(),
+            per_sender,
+            r.total_gbps,
+            r.sender.cores_used,
+            r.sender.cache.miss_rate() * 100.0
+        );
+        if level == OptLevel::Arfs {
+            arfs.push(r);
+        }
+    }
+    print_breakdowns(&arfs);
+}

@@ -1,0 +1,39 @@
+//! Fig. 8: all-to-all traffic pattern, x*x flows.
+
+use hns_bench::{header, print_breakdowns, print_skb_distribution};
+use hns_core::OptLevel;
+
+fn main() {
+    header(
+        "Figure 8: all-to-all, x = 1, 8, 16, 24 (x*x flows)",
+        "thpt/core falls ~67% at 24x24 as per-flow windows shrink and GRO \
+         loses aggregation opportunities; post-GRO skb sizes collapse \
+         toward single frames (Fig. 8c)",
+    );
+    let rows = hns_core::figures::fig08_all_to_all();
+    println!(
+        "{:<7} {:<10} {:>10} {:>10} {:>10} {:>10}",
+        "x", "level", "thpt/core", "total", "rcv_cores", "avg_skb"
+    );
+    let mut arfs = Vec::new();
+    for (x, level, r) in rows {
+        println!(
+            "{:<7} {:<10} {:>10.2} {:>10.2} {:>10.2} {:>9.0}B",
+            x,
+            level.label(),
+            r.thpt_per_core_gbps,
+            r.total_gbps,
+            r.receiver.cores_used,
+            r.avg_skb_bytes
+        );
+        if level == OptLevel::Arfs {
+            arfs.push(r);
+        }
+    }
+    println!("\nFig 8(c): post-GRO skb size distributions (all opts):");
+    for r in &arfs {
+        println!("{}:", r.label);
+        print_skb_distribution(r);
+    }
+    print_breakdowns(&arfs);
+}

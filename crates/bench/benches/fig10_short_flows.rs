@@ -1,0 +1,33 @@
+//! Fig. 10: short-flow (RPC) workloads, 16:1 incast.
+
+use hns_bench::{header, print_breakdowns, print_series};
+
+fn main() {
+    header(
+        "Figure 10: 16:1 ping-pong RPC, sizes 4KB..64KB",
+        "thpt/core grows with RPC size; at 4KB data copy is NOT the \
+         dominant consumer (TCP/IP + scheduling are); by 64KB the profile \
+         looks like a long flow; NUMA-remote placement barely matters at \
+         4KB (DCA benefits don't apply to tiny flows)",
+    );
+    let rows = hns_core::figures::fig10_short_flows();
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10}",
+        "size", "thpt/core", "total", "rpcs/s", "rx_copy%"
+    );
+    let mut reports = Vec::new();
+    for (kb, r) in rows {
+        println!(
+            "{:>5}KB {:>10.2} {:>10.2} {:>10.0} {:>9.1}%",
+            kb,
+            r.thpt_per_core_gbps,
+            r.total_gbps,
+            r.rpcs_completed as f64 / 2.0 / r.window_secs,
+            r.receiver.breakdown.fraction(hns_core::Category::DataCopy) * 100.0
+        );
+        reports.push(r);
+    }
+    print_breakdowns(&reports);
+    println!("\nFig 10(c): 4KB RPC server on NIC-local vs NIC-remote node:");
+    print_series(&hns_core::figures::fig10c_rpc_numa());
+}

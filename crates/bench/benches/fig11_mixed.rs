@@ -1,0 +1,32 @@
+//! Fig. 11: mixing one long flow with short RPC flows on a single core.
+
+use hns_bench::{header, print_breakdowns};
+
+fn main() {
+    header(
+        "Figure 11: 1 long flow + n short (4KB) flows on one core pair",
+        "mixing is harmful: the long flow loses ~half its throughput at 16 \
+         shorts (paper 42→20Gbps) and the shorts also degrade vs isolation \
+         (6.15→2.6Gbps); TCP/IP and scheduling cycles grow",
+    );
+    let rows = hns_core::figures::fig11_mixed();
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>10}",
+        "shorts", "thpt/core", "long(Gbps)", "short(Gbps)", "rpcs/s"
+    );
+    let mut reports = Vec::new();
+    for (shorts, r) in rows {
+        let long = r.flow_gbps(hns_workload::MIXED_LONG_FLOW);
+        let short_gbps = (r.total_gbps - long).max(0.0);
+        println!(
+            "{:<8} {:>10.2} {:>12.2} {:>12.2} {:>10.0}",
+            shorts,
+            r.thpt_per_core_gbps,
+            long,
+            short_gbps,
+            r.rpcs_completed as f64 / 2.0 / r.window_secs
+        );
+        reports.push(r);
+    }
+    print_breakdowns(&reports);
+}

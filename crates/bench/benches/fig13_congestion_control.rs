@@ -1,0 +1,30 @@
+//! Fig. 13: congestion-control algorithm comparison.
+
+use hns_bench::{header, print_breakdowns};
+use hns_core::Category;
+
+fn main() {
+    header(
+        "Figure 13: CUBIC vs BBR vs DCTCP (single flow)",
+        "choice of congestion control has minimal impact on thpt/core — \
+         all are sender-driven and the receiver is the bottleneck; BBR's \
+         pacing timers raise sender-side scheduling overhead",
+    );
+    let rows = hns_core::figures::fig13_congestion_control();
+    println!(
+        "{:<8} {:>10} {:>10} {:>14}",
+        "cc", "thpt/core", "total", "snd_sched_frac"
+    );
+    let mut reports = Vec::new();
+    for (name, r) in rows {
+        println!(
+            "{:<8} {:>10.2} {:>10.2} {:>14.3}",
+            name,
+            r.thpt_per_core_gbps,
+            r.total_gbps,
+            r.sender.breakdown.fraction(Category::Sched)
+        );
+        reports.push(r);
+    }
+    print_breakdowns(&reports);
+}

@@ -1,0 +1,91 @@
+//! # hns-bench — figure-regeneration harnesses
+//!
+//! Each `benches/figNN_*.rs` target is a `harness = false` executable that
+//! runs the corresponding experiments from [`hns_core::figures`] and prints
+//! the rows/series the paper's figure reports. Run them all with
+//! `cargo bench --workspace`, or one with e.g.
+//! `cargo bench -p hns-bench --bench fig06_incast`.
+//!
+//! `engine_microbench` is a conventional Criterion benchmark of the
+//! simulator engine itself (event queue, DCA model, GRO) so performance
+//! regressions in the substrate are visible too.
+//!
+//! This library crate holds the shared report-printing helpers.
+
+use hns_metrics::{format_breakdown_table, Report};
+
+/// Print the standard figure header.
+pub fn header(figure: &str, paper_summary: &str) {
+    println!("================================================================");
+    println!("{figure}");
+    println!("paper: {paper_summary}");
+    println!("================================================================");
+}
+
+/// Print a series of reports as the standard throughput table.
+pub fn print_series(reports: &[Report]) {
+    print!("{}", hns_metrics::format_series_table(reports));
+}
+
+/// Print sender+receiver CPU breakdowns for a set of reports.
+pub fn print_breakdowns(reports: &[Report]) {
+    let rx: Vec<_> = reports
+        .iter()
+        .map(|r| (format!("rx:{}", short(&r.label)), r.receiver.breakdown))
+        .collect();
+    println!("\nReceiver-side CPU breakdown (fraction of cycles):");
+    print!("{}", format_breakdown_table(&rx));
+    let tx: Vec<_> = reports
+        .iter()
+        .map(|r| (format!("tx:{}", short(&r.label)), r.sender.breakdown))
+        .collect();
+    println!("Sender-side CPU breakdown (fraction of cycles):");
+    print!("{}", format_breakdown_table(&tx));
+}
+
+fn short(label: &str) -> String {
+    label.split('/').next_back().unwrap_or(label).to_string()
+}
+
+/// Render the post-GRO skb size distribution (Fig. 8c style).
+pub fn print_skb_distribution(r: &Report) {
+    let total: u64 = r.skb_size_hist.iter().map(|(_, c)| c).sum();
+    if total == 0 {
+        println!("  (no skbs recorded)");
+        return;
+    }
+    println!(
+        "  {} skbs, avg {:.0}B; distribution (5KB bins):",
+        total, r.avg_skb_bytes
+    );
+    let mut bins = [0u64; 14];
+    for &(lb, count) in &r.skb_size_hist {
+        let bin = ((lb / 5_000) as usize).min(13);
+        bins[bin] += count;
+    }
+    for (i, &c) in bins.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let pct = c as f64 / total as f64 * 100.0;
+        let bar = "#".repeat((pct / 2.0).ceil() as usize);
+        println!("  {:>3}-{:>3}KB {:>6.1}% {}", i * 5, (i + 1) * 5, pct, bar);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_labels() {
+        assert_eq!(short("single/+arfs"), "+arfs");
+        assert_eq!(short("plain"), "plain");
+    }
+
+    #[test]
+    fn skb_distribution_handles_empty() {
+        let r = Report::default();
+        print_skb_distribution(&r); // must not panic
+    }
+}

@@ -1,0 +1,251 @@
+//! The experiment builder.
+
+use hns_mem::numa::Topology;
+use hns_metrics::Report;
+use hns_sim::Duration;
+use hns_stack::{OptLevel, SimConfig, World};
+use hns_workload::{Placement, Scenario};
+
+/// Which traffic pattern / workload to run (paper Fig. 2 + §3.7).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ScenarioKind {
+    /// One long flow, NIC-local cores (§3.1).
+    Single,
+    /// One long flow with both applications on NIC-remote cores (Fig. 4).
+    SingleNicRemote,
+    /// `flows` long flows, one per core pair (§3.2).
+    OneToOne {
+        /// Number of flows (1..=24).
+        flows: u16,
+    },
+    /// `flows` sender cores into one receiver core (§3.3).
+    Incast {
+        /// Number of flows.
+        flows: u16,
+    },
+    /// One sender core into `flows` receiver cores (§3.4).
+    Outcast {
+        /// Number of flows.
+        flows: u16,
+    },
+    /// `x` × `x` flows (§3.5).
+    AllToAll {
+        /// Cores per side.
+        x: u16,
+    },
+    /// `clients` ping-pong RPC clients against one server thread (§3.7).
+    RpcIncast {
+        /// Client application count (paper: 16).
+        clients: u16,
+        /// Request/response size in bytes.
+        size: u32,
+        /// Server thread placement (Fig. 10c compares local vs remote).
+        server: Placement,
+    },
+    /// One long flow + `shorts` 4KB RPC flows on a single core pair
+    /// (§3.7, Fig. 11).
+    Mixed {
+        /// Number of colocated short flows.
+        shorts: u16,
+        /// RPC size in bytes (paper: 4KB).
+        size: u32,
+    },
+    /// Open-loop Poisson RPC against one server core: the latency-vs-load
+    /// workload (future work the paper calls for).
+    OpenLoop {
+        /// Poisson client sources (one per sender core).
+        clients: u16,
+        /// Request/response size in bytes.
+        size: u32,
+        /// Offered load per client, requests/second.
+        rate_rps: f64,
+    },
+}
+
+impl ScenarioKind {
+    fn build(self, topo: &Topology) -> Scenario {
+        match self {
+            ScenarioKind::Single => hns_workload::single_flow(topo, Placement::NicLocalFirst),
+            ScenarioKind::SingleNicRemote => {
+                hns_workload::single_flow(topo, Placement::NicRemote)
+            }
+            ScenarioKind::OneToOne { flows } => hns_workload::one_to_one(topo, flows),
+            ScenarioKind::Incast { flows } => hns_workload::incast(topo, flows),
+            ScenarioKind::Outcast { flows } => hns_workload::outcast(topo, flows),
+            ScenarioKind::AllToAll { x } => hns_workload::all_to_all(topo, x),
+            ScenarioKind::RpcIncast {
+                clients,
+                size,
+                server,
+            } => hns_workload::rpc_incast(topo, clients, size, server),
+            ScenarioKind::Mixed { shorts, size } => {
+                hns_workload::mixed_long_short(topo, shorts, size)
+            }
+            ScenarioKind::OpenLoop {
+                clients,
+                size,
+                rate_rps,
+            } => hns_workload::open_loop_rpc(topo, clients, size, rate_rps),
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> String {
+        match self {
+            ScenarioKind::Single => "single".into(),
+            ScenarioKind::SingleNicRemote => "single/nic-remote".into(),
+            ScenarioKind::OneToOne { flows } => format!("one-to-one/{flows}"),
+            ScenarioKind::Incast { flows } => format!("incast/{flows}"),
+            ScenarioKind::Outcast { flows } => format!("outcast/{flows}"),
+            ScenarioKind::AllToAll { x } => format!("all-to-all/{x}x{x}"),
+            ScenarioKind::RpcIncast { clients, size, .. } => {
+                format!("rpc/{clients}:1/{}KB", size / 1024)
+            }
+            ScenarioKind::Mixed { shorts, .. } => format!("mixed/1long+{shorts}short"),
+            ScenarioKind::OpenLoop {
+                clients, rate_rps, ..
+            } => format!("open-loop/{clients}x{rate_rps:.0}rps"),
+        }
+    }
+}
+
+/// A runnable experiment.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    /// Full simulation configuration.
+    pub cfg: SimConfig,
+    /// Traffic pattern.
+    pub scenario: ScenarioKind,
+    /// Warmup window (measurements discarded).
+    pub warmup: Duration,
+    /// Measurement window.
+    pub measure: Duration,
+    /// Report label (defaults to the scenario label).
+    pub label: Option<String>,
+}
+
+impl Experiment {
+    /// Experiment with default configuration (all optimizations, 100Gbps,
+    /// paper-testbed topology) and standard windows.
+    pub fn new(scenario: ScenarioKind) -> Self {
+        Experiment {
+            cfg: SimConfig::default(),
+            scenario,
+            warmup: Duration::from_millis(20),
+            measure: Duration::from_millis(30),
+            label: None,
+        }
+    }
+
+    /// Use one of the paper's incremental optimization levels.
+    pub fn at_level(mut self, level: OptLevel) -> Self {
+        let keep_rcvbuf = self.cfg.stack.rcvbuf;
+        let keep_desc = self.cfg.stack.rx_descriptors;
+        let keep_cc = self.cfg.stack.cc;
+        self.cfg.stack = hns_stack::StackConfig::at_level(level);
+        self.cfg.stack.rcvbuf = keep_rcvbuf;
+        self.cfg.stack.rx_descriptors = keep_desc;
+        self.cfg.stack.cc = keep_cc;
+        self
+    }
+
+    /// Mutate the configuration in place.
+    pub fn configure(mut self, f: impl FnOnce(&mut SimConfig)) -> Self {
+        f(&mut self.cfg);
+        self
+    }
+
+    /// Override the report label.
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Short windows (5ms + 8ms) for unit/doc tests.
+    pub fn quick(mut self) -> Self {
+        self.warmup = Duration::from_millis(5);
+        self.measure = Duration::from_millis(8);
+        self
+    }
+
+    /// Build the world, run it, return the report.
+    pub fn run(&self) -> Report {
+        let mut world = World::new(self.cfg);
+        world.set_label(
+            self.label
+                .clone()
+                .unwrap_or_else(|| self.scenario.label()),
+        );
+        self.scenario.build(&self.cfg.topology).install(&mut world);
+        world.run(self.warmup, self.measure)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hns_metrics::Category;
+
+    #[test]
+    fn single_flow_quick_run() {
+        let r = Experiment::new(ScenarioKind::Single).quick().run();
+        assert!(r.total_gbps > 5.0, "got {}", r.total_gbps);
+        assert_eq!(r.label, "single");
+    }
+
+    #[test]
+    fn opt_levels_rank_correctly() {
+        let mut last = 0.0;
+        for level in OptLevel::ALL {
+            let r = Experiment::new(ScenarioKind::Single)
+                .at_level(level)
+                .quick()
+                .run();
+            assert!(
+                r.thpt_per_core_gbps > last * 0.9,
+                "{} regressed: {} after {}",
+                level.label(),
+                r.thpt_per_core_gbps,
+                last
+            );
+            last = r.thpt_per_core_gbps;
+        }
+    }
+
+    #[test]
+    fn incast_bottlenecks_receiver_core() {
+        let r = Experiment::new(ScenarioKind::Incast { flows: 4 }).quick().run();
+        // The single receiver core is pegged (paper: "receiver core is
+        // bottlenecked in all cases"); four sender cores each run well
+        // below saturation.
+        assert!(r.receiver.cores_used < 1.2, "got {}", r.receiver.cores_used);
+        assert!(r.receiver.cores_used > 0.9, "got {}", r.receiver.cores_used);
+    }
+
+    #[test]
+    fn mixed_scenario_runs_and_reports_flows() {
+        let r = Experiment::new(ScenarioKind::Mixed {
+            shorts: 2,
+            size: 4096,
+        })
+        .quick()
+        .run();
+        assert!(r.flow_gbps(hns_workload::MIXED_LONG_FLOW) > 0.5);
+        assert!(r.rpcs_completed > 0);
+    }
+
+    #[test]
+    fn rpc_scenario_reports_copy_shift() {
+        // 4KB RPCs: data copy must NOT dominate (paper Fig. 10b).
+        let r = Experiment::new(ScenarioKind::RpcIncast {
+            clients: 16,
+            size: 4096,
+            server: Placement::NicLocalFirst,
+        })
+        .quick()
+        .run();
+        assert!(r.rpcs_completed > 100);
+        let copy = r.receiver.breakdown.fraction(Category::DataCopy);
+        assert!(copy < 0.4, "4KB RPCs should not be copy-bound: {copy}");
+    }
+}

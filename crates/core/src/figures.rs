@@ -1,0 +1,238 @@
+//! Every table and figure of the paper's evaluation (§3), as runnable
+//! experiment sets. Each function returns the reports a bench/binary
+//! renders; EXPERIMENTS.md records paper-vs-measured for all of them.
+
+use hns_metrics::Report;
+use hns_stack::config::RcvBufPolicy;
+use hns_stack::OptLevel;
+use hns_proto::cc::CcAlgo;
+
+use crate::experiment::{Experiment, ScenarioKind};
+use crate::Placement;
+
+/// Flow counts the multi-flow figures sweep (paper: 1, 8, 16, 24).
+pub const FLOW_SWEEP: [u16; 4] = [1, 8, 16, 24];
+
+/// Fig. 3a-d: single flow under incremental optimizations.
+pub fn fig03_single_flow() -> Vec<Report> {
+    OptLevel::ALL
+        .into_iter()
+        .map(|level| {
+            Experiment::new(ScenarioKind::Single)
+                .at_level(level)
+                .labeled(format!("single/{}", level.label()))
+                .run()
+        })
+        .collect()
+}
+
+/// Fig. 3e: cache miss rate and throughput vs NIC ring size × TCP Rx
+/// buffer size. Returns `(ring, buffer_label, report)` rows.
+pub fn fig03e_ring_buffer() -> Vec<(u32, &'static str, Report)> {
+    let rings = [128u32, 256, 512, 1024, 2048, 4096];
+    let buffers: [(&str, Option<u64>); 4] = [
+        ("default", None),
+        ("3200KB", Some(3200 * 1024)),
+        ("6400KB", Some(6400 * 1024)),
+        ("12800KB", Some(12800 * 1024)),
+    ];
+    let mut out = Vec::new();
+    for ring in rings {
+        for (label, buf) in buffers {
+            let r = Experiment::new(ScenarioKind::Single)
+                .configure(|c| {
+                    c.stack.rx_descriptors = ring;
+                    if let Some(b) = buf {
+                        c.stack.rcvbuf = RcvBufPolicy::Fixed(b);
+                    }
+                })
+                .labeled(format!("ring{ring}/{label}"))
+                .run();
+            out.push((ring, label, r));
+        }
+    }
+    out
+}
+
+/// Fig. 3f: NAPI→start-of-copy latency vs TCP Rx buffer size.
+/// Returns `(buffer_kb, report)` rows.
+pub fn fig03f_latency() -> Vec<(u64, Report)> {
+    [100u64, 200, 400, 800, 1600, 3200, 6400, 12800]
+        .into_iter()
+        .map(|kb| {
+            let r = Experiment::new(ScenarioKind::Single)
+                .configure(|c| c.stack.rcvbuf = RcvBufPolicy::Fixed(kb * 1024))
+                .labeled(format!("rcvbuf/{kb}KB"))
+                .run();
+            (kb, r)
+        })
+        .collect()
+}
+
+/// Fig. 4: single flow on NIC-local vs NIC-remote NUMA node.
+pub fn fig04_numa() -> Vec<Report> {
+    vec![
+        Experiment::new(ScenarioKind::Single)
+            .labeled("nic-local")
+            .run(),
+        Experiment::new(ScenarioKind::SingleNicRemote)
+            .labeled("nic-remote")
+            .run(),
+    ]
+}
+
+/// Fig. 5: one-to-one. Returns `(flows, level, report)` for the
+/// level-stacked throughput columns; breakdowns come from the aRFS rows.
+pub fn fig05_one_to_one() -> Vec<(u16, OptLevel, Report)> {
+    sweep_levels(|flows| ScenarioKind::OneToOne { flows })
+}
+
+/// Fig. 6: incast.
+pub fn fig06_incast() -> Vec<(u16, OptLevel, Report)> {
+    sweep_levels(|flows| ScenarioKind::Incast { flows })
+}
+
+/// Fig. 7: outcast. The paper reports throughput-per-*sender*-core; the
+/// report's sender side carries the relevant cores/breakdown.
+pub fn fig07_outcast() -> Vec<(u16, OptLevel, Report)> {
+    sweep_levels(|flows| ScenarioKind::Outcast { flows })
+}
+
+/// Fig. 8: all-to-all with x = 1, 8, 16, 24 cores per side.
+pub fn fig08_all_to_all() -> Vec<(u16, OptLevel, Report)> {
+    sweep_levels(|x| ScenarioKind::AllToAll { x })
+}
+
+fn sweep_levels(mk: impl Fn(u16) -> ScenarioKind) -> Vec<(u16, OptLevel, Report)> {
+    let mut out = Vec::new();
+    for flows in FLOW_SWEEP {
+        for level in OptLevel::ALL {
+            let kind = mk(flows);
+            let r = Experiment::new(kind)
+                .at_level(level)
+                .labeled(format!("{}/{}", kind.label(), level.label()))
+                .run();
+            out.push((flows, level, r));
+        }
+    }
+    out
+}
+
+/// Fig. 9: single flow under in-network loss. Returns
+/// `(loss_rate, report)` rows at all optimizations.
+pub fn fig09_loss() -> Vec<(f64, Report)> {
+    [0.0, 1.5e-4, 1.5e-3, 1.5e-2]
+        .into_iter()
+        .map(|loss| {
+            let r = Experiment::new(ScenarioKind::Single)
+                .configure(|c| c.link.loss_rate = loss)
+                .labeled(format!("loss/{loss}"))
+                .run();
+            (loss, r)
+        })
+        .collect()
+}
+
+/// Fig. 10a/b: 16:1 RPC incast across request sizes.
+pub fn fig10_short_flows() -> Vec<(u32, Report)> {
+    [4u32, 16, 32, 64]
+        .into_iter()
+        .map(|kb| {
+            let r = Experiment::new(ScenarioKind::RpcIncast {
+                clients: 16,
+                size: kb * 1024,
+                server: Placement::NicLocalFirst,
+            })
+            .labeled(format!("rpc/{kb}KB"))
+            .run();
+            (kb, r)
+        })
+        .collect()
+}
+
+/// Fig. 10c: 4KB RPC server on NIC-local vs NIC-remote NUMA node.
+pub fn fig10c_rpc_numa() -> Vec<Report> {
+    [Placement::NicLocalFirst, Placement::NicRemote]
+        .into_iter()
+        .map(|server| {
+            Experiment::new(ScenarioKind::RpcIncast {
+                clients: 16,
+                size: 4096,
+                server,
+            })
+            .labeled(match server {
+                Placement::NicLocalFirst => "rpc-4KB/nic-local",
+                Placement::NicRemote => "rpc-4KB/nic-remote",
+            })
+            .run()
+        })
+        .collect()
+}
+
+/// Fig. 11: one long flow + n short flows on a single core pair.
+pub fn fig11_mixed() -> Vec<(u16, Report)> {
+    [0u16, 1, 4, 16]
+        .into_iter()
+        .map(|shorts| {
+            let r = Experiment::new(ScenarioKind::Mixed {
+                shorts,
+                size: 4096,
+            })
+            .run();
+            (shorts, r)
+        })
+        .collect()
+}
+
+/// Fig. 12: DCA disabled and IOMMU enabled vs the default, single flow.
+pub fn fig12_dca_iommu() -> Vec<Report> {
+    vec![
+        Experiment::new(ScenarioKind::Single).labeled("default").run(),
+        Experiment::new(ScenarioKind::Single)
+            .configure(|c| c.stack.dca = false)
+            .labeled("dca-disabled")
+            .run(),
+        Experiment::new(ScenarioKind::Single)
+            .configure(|c| c.stack.iommu = true)
+            .labeled("iommu-enabled")
+            .run(),
+    ]
+}
+
+/// Fig. 13: congestion control comparison, single flow.
+pub fn fig13_congestion_control() -> Vec<(&'static str, Report)> {
+    [
+        ("cubic", CcAlgo::Cubic),
+        ("bbr", CcAlgo::Bbr),
+        ("dctcp", CcAlgo::Dctcp),
+    ]
+    .into_iter()
+    .map(|(name, cc)| {
+        let r = Experiment::new(ScenarioKind::Single)
+            .configure(|c| c.stack.cc = cc)
+            .labeled(format!("cc/{name}"))
+            .run();
+        (name, r)
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    // Figure functions are exercised end-to-end by the integration tests
+    // and benches; here we only check cheap structural properties of one.
+    use super::*;
+
+    #[test]
+    fn flow_sweep_matches_paper() {
+        assert_eq!(FLOW_SWEEP, [1, 8, 16, 24]);
+    }
+
+    #[test]
+    fn fig04_runs_both_placements() {
+        let rows = fig04_numa();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].label, "nic-local");
+        assert_eq!(rows[1].label, "nic-remote");
+    }
+}

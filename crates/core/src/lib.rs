@@ -1,0 +1,28 @@
+//! # hns-core — experiment orchestration
+//!
+//! The public API of the reproduction. An [`Experiment`] pairs a traffic
+//! [`ScenarioKind`] with a [`SimConfig`] and measurement windows; running
+//! it yields an [`hns_metrics::Report`] with everything the paper's
+//! figures plot (throughput-per-core, CPU breakdowns, cache miss rates,
+//! latency distributions, skb size histograms).
+//!
+//! The [`figures`] module packages every table/figure of the paper's
+//! evaluation (§3) as a function returning the corresponding report rows;
+//! the `hns-bench` crate prints them.
+//!
+//! ```
+//! use hns_core::{Experiment, ScenarioKind};
+//!
+//! let report = Experiment::new(ScenarioKind::Single)
+//!     .quick() // short windows for doc tests
+//!     .run();
+//! assert!(report.total_gbps > 1.0);
+//! ```
+
+pub mod experiment;
+pub mod figures;
+
+pub use experiment::{Experiment, ScenarioKind};
+pub use hns_metrics::{Category, CycleBreakdown, Report};
+pub use hns_stack::{OptLevel, SimConfig, StackConfig};
+pub use hns_workload::Placement;

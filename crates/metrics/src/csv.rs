@@ -1,0 +1,118 @@
+//! CSV export for experiment series — feed the figure data straight into
+//! a plotting pipeline.
+
+use crate::report::Report;
+use crate::taxonomy::ALL_CATEGORIES;
+
+/// Escape a CSV field (quotes fields containing commas/quotes/newlines).
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Render a series of reports as CSV: one row per report with the
+/// scalar metrics and both sides' per-category cycle fractions.
+pub fn reports_to_csv(reports: &[Report]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "label,window_secs,total_gbps,thpt_per_core_gbps,snd_cores,rcv_cores,\
+         rx_miss_rate,tx_miss_rate,napi_copy_avg_us,napi_copy_p99_us,\
+         rpc_latency_avg_us,rpc_latency_p99_us,avg_skb_bytes,wire_drops,\
+         ring_drops,retransmissions,rpcs_completed,fairness",
+    );
+    for cat in ALL_CATEGORIES {
+        out.push_str(&format!(",rx_{}", cat.label().replace('/', "_")));
+    }
+    for cat in ALL_CATEGORIES {
+        out.push_str(&format!(",tx_{}", cat.label().replace('/', "_")));
+    }
+    out.push('\n');
+
+    for r in reports {
+        out.push_str(&format!(
+            "{},{:.6},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.2},{:.2},{:.2},{:.2},{:.1},{},{},{},{},{:.4}",
+            escape(&r.label),
+            r.window_secs,
+            r.total_gbps,
+            r.thpt_per_core_gbps,
+            r.sender.cores_used,
+            r.receiver.cores_used,
+            r.receiver.cache.miss_rate(),
+            r.sender.cache.miss_rate(),
+            r.napi_to_copy.avg_us,
+            r.napi_to_copy.p99_us,
+            r.rpc_latency.avg_us,
+            r.rpc_latency.p99_us,
+            r.avg_skb_bytes,
+            r.wire_drops,
+            r.ring_drops,
+            r.retransmissions,
+            r.rpcs_completed,
+            r.fairness_index(),
+        ));
+        for cat in ALL_CATEGORIES {
+            out.push_str(&format!(",{:.4}", r.receiver.breakdown.fraction(cat)));
+        }
+        for cat in ALL_CATEGORIES {
+            out.push_str(&format!(",{:.4}", r.sender.breakdown.fraction(cat)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::Category;
+
+    #[test]
+    fn header_and_rows_align() {
+        let mut r = Report {
+            label: "unit".into(),
+            window_secs: 0.03,
+            total_gbps: 41.0,
+            ..Report::default()
+        };
+        r.receiver.breakdown.charge(Category::DataCopy, 10);
+        let csv = reports_to_csv(&[r]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let header_cols = lines[0].split(',').count();
+        let row_cols = lines[1].split(',').count();
+        assert_eq!(header_cols, row_cols, "header/row column mismatch");
+        assert!(lines[1].starts_with("unit,"));
+    }
+
+    #[test]
+    fn labels_with_commas_are_quoted() {
+        let r = Report {
+            label: "a,b".into(),
+            ..Report::default()
+        };
+        let csv = reports_to_csv(&[r]);
+        assert!(csv.contains("\"a,b\""));
+        // Column count still aligns despite the comma.
+        let lines: Vec<&str> = csv.lines().collect();
+        // Quoted commas must not split: count via a tiny state machine.
+        let mut cols = 1;
+        let mut quoted = false;
+        for ch in lines[1].chars() {
+            match ch {
+                '"' => quoted = !quoted,
+                ',' if !quoted => cols += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(cols, lines[0].split(',').count());
+    }
+
+    #[test]
+    fn empty_series_is_header_only() {
+        let csv = reports_to_csv(&[]);
+        assert_eq!(csv.lines().count(), 1);
+    }
+}

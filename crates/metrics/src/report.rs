@@ -1,0 +1,251 @@
+//! Experiment report: the measurement output of one simulated scenario.
+//!
+//! Every figure bench runs one or more experiments and renders the resulting
+//! [`Report`]s. Reports serialize to JSON so EXPERIMENTS.md entries can be
+//! regenerated mechanically.
+
+use crate::taxonomy::CycleBreakdown;
+use serde::{Deserialize, Serialize};
+
+/// Cache behaviour observed during receive-side (or send-side) data copy.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Bytes copied that were resident in the DCA/L3 cache.
+    pub hit_bytes: u64,
+    /// Bytes copied that had to be fetched from DRAM (local or remote).
+    pub miss_bytes: u64,
+}
+
+impl CacheStats {
+    /// Cache miss rate in `[0, 1]` (0 if no copies happened).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hit_bytes + self.miss_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.miss_bytes as f64 / total as f64
+        }
+    }
+
+    /// Merge another sample set into this one.
+    pub fn merge(&mut self, other: CacheStats) {
+        self.hit_bytes += other.hit_bytes;
+        self.miss_bytes += other.miss_bytes;
+    }
+}
+
+/// Latency distribution summary in microseconds (paper Fig. 3f reports the
+/// NAPI→start-of-data-copy delay).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Mean latency.
+    pub avg_us: f64,
+    /// 99th-percentile latency.
+    pub p99_us: f64,
+    /// Number of samples.
+    pub samples: u64,
+}
+
+/// Measurements for one side (sender or receiver) of the experiment.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SideReport {
+    /// Cycle breakdown across the eight taxonomy categories.
+    pub breakdown: CycleBreakdown,
+    /// Total CPU consumed, in cores (e.g. `3.75` = 3.75 fully-busy cores).
+    pub cores_used: f64,
+    /// Cache statistics for data copies performed on this side.
+    pub cache: CacheStats,
+}
+
+/// Full result of one experiment run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Report {
+    /// Human-readable experiment label.
+    pub label: String,
+    /// Measurement window length in seconds (warmup excluded).
+    pub window_secs: f64,
+    /// Application-level bytes delivered (receiver side) in the window.
+    pub delivered_bytes: u64,
+    /// Total application-level throughput in Gbps.
+    pub total_gbps: f64,
+    /// Throughput per bottleneck core in Gbps: `total_gbps / max(sender
+    /// cores, receiver cores)` — matches the paper's definition of dividing
+    /// by CPU utilization at the bottleneck.
+    pub thpt_per_core_gbps: f64,
+    /// Sender-side measurements.
+    pub sender: SideReport,
+    /// Receiver-side measurements.
+    pub receiver: SideReport,
+    /// NAPI→start-of-copy latency distribution.
+    pub napi_to_copy: LatencyStats,
+    /// RPC round-trip latency distribution (client-observed), short-flow
+    /// workloads only.
+    pub rpc_latency: LatencyStats,
+    /// Post-GRO skb size histogram: `(bucket_lower_bound_bytes, count)`.
+    pub skb_size_hist: Vec<(u64, u64)>,
+    /// Mean post-GRO skb size in bytes.
+    pub avg_skb_bytes: f64,
+    /// Packets dropped by the in-network loss injector.
+    pub wire_drops: u64,
+    /// Packets dropped at the receiver NIC for want of Rx descriptors.
+    pub ring_drops: u64,
+    /// Segments retransmitted by senders.
+    pub retransmissions: u64,
+    /// RPC round-trips completed (short-flow workloads only).
+    pub rpcs_completed: u64,
+    /// Per-flow delivered application bytes in the window, keyed by flow id,
+    /// so mixed workloads can report long-flow vs short-flow throughput.
+    pub per_flow_bytes: Vec<(u64, u64)>,
+    /// Aggregate throughput timeline: `(seconds_into_window, gbps)` sampled
+    /// once per millisecond — convergence/stability diagnostics.
+    pub gbps_timeline: Vec<(f64, f64)>,
+}
+
+impl Report {
+    /// Throughput of one flow in Gbps (0 if the flow is unknown).
+    pub fn flow_gbps(&self, flow_id: u64) -> f64 {
+        if self.window_secs <= 0.0 {
+            return 0.0;
+        }
+        self.per_flow_bytes
+            .iter()
+            .find(|(id, _)| *id == flow_id)
+            .map(|(_, b)| *b as f64 * 8.0 / 1e9 / self.window_secs)
+            .unwrap_or(0.0)
+    }
+
+    /// Which side is the CPU bottleneck (more cores consumed).
+    pub fn bottleneck_is_receiver(&self) -> bool {
+        self.receiver.cores_used >= self.sender.cores_used
+    }
+
+    /// Jain's fairness index over per-flow delivered bytes:
+    /// `(Σxᵢ)² / (n·Σxᵢ²)` ∈ (0, 1], 1 = perfectly fair. Used to check
+    /// that saturated multi-flow patterns (one-to-one, all-to-all) share
+    /// the link evenly.
+    pub fn fairness_index(&self) -> f64 {
+        let xs: Vec<f64> = self
+            .per_flow_bytes
+            .iter()
+            .map(|&(_, b)| b as f64)
+            .collect();
+        if xs.is_empty() {
+            return 1.0;
+        }
+        let sum: f64 = xs.iter().sum();
+        let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+        if sum_sq == 0.0 {
+            return 1.0;
+        }
+        sum * sum / (xs.len() as f64 * sum_sq)
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Coefficient of variation of the throughput timeline — a steadiness
+    /// check for the measurement window (0 = perfectly steady; empty or
+    /// idle timelines return 0).
+    pub fn throughput_cv(&self) -> f64 {
+        let xs: Vec<f64> = self.gbps_timeline.iter().map(|&(_, g)| g).collect();
+        if xs.len() < 2 {
+            return 0.0;
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        var.sqrt() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::Category;
+
+    #[test]
+    fn cache_miss_rate() {
+        let cs = CacheStats {
+            hit_bytes: 30,
+            miss_bytes: 70,
+        };
+        assert!((cs.miss_rate() - 0.7).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn cache_merge() {
+        let mut a = CacheStats {
+            hit_bytes: 1,
+            miss_bytes: 2,
+        };
+        a.merge(CacheStats {
+            hit_bytes: 3,
+            miss_bytes: 4,
+        });
+        assert_eq!(a.hit_bytes, 4);
+        assert_eq!(a.miss_bytes, 6);
+    }
+
+    #[test]
+    fn flow_gbps_lookup() {
+        let r = Report {
+            window_secs: 1.0,
+            per_flow_bytes: vec![(7, 125_000_000)], // 1 Gbps
+            ..Report::default()
+        };
+        assert!((r.flow_gbps(7) - 1.0).abs() < 1e-9);
+        assert_eq!(r.flow_gbps(8), 0.0);
+    }
+
+    #[test]
+    fn bottleneck_detection() {
+        let mut r = Report::default();
+        r.sender.cores_used = 0.5;
+        r.receiver.cores_used = 1.0;
+        assert!(r.bottleneck_is_receiver());
+        r.sender.cores_used = 2.0;
+        assert!(!r.bottleneck_is_receiver());
+    }
+
+    #[test]
+    fn fairness_index_properties() {
+        let mut r = Report {
+            per_flow_bytes: vec![(0, 100), (1, 100), (2, 100)],
+            ..Report::default()
+        };
+        assert!((r.fairness_index() - 1.0).abs() < 1e-12, "equal shares");
+        r.per_flow_bytes = vec![(0, 300), (1, 0), (2, 0)];
+        assert!((r.fairness_index() - 1.0 / 3.0).abs() < 1e-12, "one hog");
+        r.per_flow_bytes = vec![];
+        assert_eq!(r.fairness_index(), 1.0, "vacuous");
+    }
+
+    #[test]
+    fn throughput_cv_behaviour() {
+        let mut r = Report::default();
+        assert_eq!(r.throughput_cv(), 0.0, "empty timeline");
+        r.gbps_timeline = vec![(0.001, 40.0), (0.002, 40.0), (0.003, 40.0)];
+        assert!(r.throughput_cv() < 1e-12, "steady timeline");
+        r.gbps_timeline = vec![(0.001, 10.0), (0.002, 70.0)];
+        assert!(r.throughput_cv() > 0.5, "bursty timeline");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut r = Report {
+            label: "unit".into(),
+            total_gbps: 42.0,
+            ..Report::default()
+        };
+        r.receiver.breakdown.charge(Category::DataCopy, 99);
+        let j = r.to_json();
+        let back: Report = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.label, "unit");
+        assert_eq!(back.receiver.breakdown[Category::DataCopy], 99);
+    }
+}

@@ -1,0 +1,92 @@
+//! Plain-text table rendering for the figure benches.
+//!
+//! The benches print the same rows/series the paper's figures report; these
+//! helpers keep the formatting consistent across all of them.
+
+use crate::report::Report;
+use crate::taxonomy::{CycleBreakdown, ALL_CATEGORIES};
+
+/// Format a Gbps value the way the figure tables do.
+pub fn format_gbps(gbps: f64) -> String {
+    format!("{gbps:6.2}")
+}
+
+/// Render a CPU-breakdown table: one column per labelled breakdown, one row
+/// per taxonomy category, cells showing the fraction of CPU cycles — the
+/// textual equivalent of the paper's stacked-bar breakdown figures.
+pub fn format_breakdown_table(columns: &[(String, CycleBreakdown)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<14}", "category"));
+    for (label, _) in columns {
+        out.push_str(&format!(" {label:>14}"));
+    }
+    out.push('\n');
+    for cat in ALL_CATEGORIES {
+        out.push_str(&format!("{:<14}", cat.label()));
+        for (_, bd) in columns {
+            out.push_str(&format!(" {:>14.3}", bd.fraction(cat)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a series table: one row per report with throughput-per-core, total
+/// throughput, utilizations and cache miss rates — the scaffolding of the
+/// paper's line/bar figures.
+pub fn format_series_table(reports: &[Report]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>10} {:>10} {:>9} {:>9} {:>8} {:>8}\n",
+        "experiment", "thpt/core", "total", "snd_cores", "rcv_cores", "rx_miss", "tx_miss"
+    ));
+    for r in reports {
+        out.push_str(&format!(
+            "{:<28} {:>10.2} {:>10.2} {:>9.2} {:>9.2} {:>7.1}% {:>7.1}%\n",
+            r.label,
+            r.thpt_per_core_gbps,
+            r.total_gbps,
+            r.sender.cores_used,
+            r.receiver.cores_used,
+            r.receiver.cache.miss_rate() * 100.0,
+            r.sender.cache.miss_rate() * 100.0,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::Category;
+
+    #[test]
+    fn breakdown_table_contains_all_categories() {
+        let mut bd = CycleBreakdown::new();
+        bd.charge(Category::DataCopy, 50);
+        bd.charge(Category::TcpIp, 50);
+        let t = format_breakdown_table(&[("all-opts".into(), bd)]);
+        for cat in ALL_CATEGORIES {
+            assert!(t.contains(cat.label()), "missing {cat}");
+        }
+        assert!(t.contains("0.500"));
+    }
+
+    #[test]
+    fn series_table_has_rows() {
+        let r = Report {
+            label: "single-flow".into(),
+            thpt_per_core_gbps: 42.0,
+            total_gbps: 42.0,
+            ..Report::default()
+        };
+        let t = format_series_table(&[r]);
+        assert!(t.contains("single-flow"));
+        assert!(t.contains("42.00"));
+    }
+
+    #[test]
+    fn gbps_formatting() {
+        assert_eq!(format_gbps(42.0), " 42.00");
+    }
+}

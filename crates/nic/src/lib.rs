@@ -1,0 +1,41 @@
+//! # hns-nic — NIC hardware models
+//!
+//! Models the commodity-NIC features the paper's experiments toggle
+//! (ConnectX-5-class hardware):
+//!
+//! * [`Link`] — the full-duplex 100Gbps point-to-point wire, with
+//!   serialization/propagation delay, Bernoulli loss injection (the §3.6
+//!   "program the switch to drop packets randomly" substitute), and
+//!   queue-delay ECN marking for DCTCP,
+//! * [`RxRing`] — Rx descriptor accounting: frames consume descriptors,
+//!   NAPI replenishes them from the page pool, and an empty ring drops
+//!   frames (the paper's Fig. 3e descriptor sweep),
+//! * [`TxArbiter`] — per-core Tx queues with deficit-round-robin service,
+//!   which is what interleaves different flows' frames onto the wire and
+//!   starves GRO of aggregation opportunities as flow counts grow (§3.5),
+//! * [`tso`] — hardware segmentation of up-to-64KB skbs into MTU frames,
+//! * [`steering`] — the paper's Table 2: RSS/RPS/RFS/aRFS receive steering,
+//! * [`InterruptCoalescer`] — NAPI-style IRQ masking: no new interrupt
+//!   while a poll cycle is pending/running.
+
+pub mod interrupts;
+pub mod link;
+pub mod rxring;
+pub mod steering;
+pub mod tso;
+pub mod txqueue;
+
+pub use interrupts::InterruptCoalescer;
+pub use link::{Link, LinkConfig, TransmitOutcome};
+pub use rxring::RxRing;
+pub use steering::SteeringMode;
+pub use txqueue::TxArbiter;
+
+/// Standard Ethernet MTU payload bytes.
+pub const MTU_STANDARD: u32 = 1500;
+
+/// Jumbo-frame MTU payload bytes.
+pub const MTU_JUMBO: u32 = 9000;
+
+/// Maximum TSO/GSO/GRO aggregate size (Linux: 64KB).
+pub const MAX_AGGREGATE: u32 = 65536;

@@ -1,0 +1,253 @@
+//! Point-to-point link model.
+//!
+//! The paper's testbed wires two servers back-to-back with a 100Gbps cable
+//! (a switch is inserted only for the §3.6 loss experiments). Each
+//! direction of [`Link`] is an independent serializing resource: a frame
+//! occupies the wire for `bytes × 8 / rate`, frames queue behind each
+//! other (`busy_until`), and arrive `propagation` later. Loss is injected
+//! per frame with a deterministic seeded RNG; ECN CE marks are applied when
+//! the frame's queueing delay exceeds a threshold (K-style marking, used by
+//! the DCTCP experiments).
+
+use hns_sim::{Duration, SimRng, SimTime};
+
+/// Link parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkConfig {
+    /// Line rate in Gbps (paper: 100).
+    pub gbps: f64,
+    /// One-way propagation delay (cable + switch forwarding).
+    pub propagation: Duration,
+    /// Probability each frame is dropped in-network (§3.6 sweep).
+    pub loss_rate: f64,
+    /// Mark CE when a frame waits longer than this in the wire queue
+    /// (`None` disables marking).
+    pub ecn_threshold: Option<Duration>,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            gbps: 100.0,
+            propagation: Duration::from_micros(2),
+            loss_rate: 0.0,
+            ecn_threshold: None,
+        }
+    }
+}
+
+/// Result of offering a frame to one direction of the link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransmitOutcome {
+    /// Frame will arrive at the far end at this time, with this CE mark.
+    Delivered {
+        /// Arrival instant at the receiver NIC.
+        arrives: SimTime,
+        /// ECN Congestion-Experienced mark.
+        ce: bool,
+    },
+    /// Frame was dropped in-network.
+    Dropped,
+}
+
+/// One direction of the full-duplex wire.
+#[derive(Debug)]
+struct Direction {
+    busy_until: SimTime,
+    drops: u64,
+    frames: u64,
+    bytes: u64,
+}
+
+/// The full-duplex link between the two hosts.
+#[derive(Debug)]
+pub struct Link {
+    config: LinkConfig,
+    dirs: [Direction; 2],
+    rng: SimRng,
+}
+
+impl Link {
+    /// Build a link.
+    pub fn new(config: LinkConfig, seed: u64) -> Self {
+        Link {
+            config,
+            dirs: [
+                Direction {
+                    busy_until: SimTime::ZERO,
+                    drops: 0,
+                    frames: 0,
+                    bytes: 0,
+                },
+                Direction {
+                    busy_until: SimTime::ZERO,
+                    drops: 0,
+                    frames: 0,
+                    bytes: 0,
+                },
+            ],
+            rng: SimRng::new(seed ^ 0x11A7),
+        }
+    }
+
+    /// Config in use.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Offer a frame of `wire_bytes` to direction `dir` (0 = host0→host1).
+    /// Serialization starts when the wire frees up; the caller should gate
+    /// its transmit loop on [`Link::next_free`] to model NIC back-pressure.
+    pub fn transmit(&mut self, dir: usize, now: SimTime, wire_bytes: u64) -> TransmitOutcome {
+        let d = &mut self.dirs[dir];
+        d.frames += 1;
+        d.bytes += wire_bytes;
+
+        let start = d.busy_until.max(now);
+        let ser = Duration::for_bytes_at_gbps(wire_bytes, self.config.gbps);
+        d.busy_until = start + ser;
+
+        if self.config.loss_rate > 0.0 && self.rng.chance(self.config.loss_rate) {
+            d.drops += 1;
+            return TransmitOutcome::Dropped;
+        }
+
+        let queue_delay = start.since(now);
+        let ce = match self.config.ecn_threshold {
+            Some(k) => queue_delay >= k,
+            None => false,
+        };
+        TransmitOutcome::Delivered {
+            arrives: d.busy_until + self.config.propagation,
+            ce,
+        }
+    }
+
+    /// Earliest time direction `dir` can begin serializing a new frame.
+    pub fn next_free(&self, dir: usize) -> SimTime {
+        self.dirs[dir].busy_until
+    }
+
+    /// Frames dropped in-network on `dir`.
+    pub fn drops(&self, dir: usize) -> u64 {
+        self.dirs[dir].drops
+    }
+
+    /// Frames offered on `dir`.
+    pub fn frames(&self, dir: usize) -> u64 {
+        self.dirs[dir].frames
+    }
+
+    /// Bytes offered on `dir`.
+    pub fn bytes(&self, dir: usize) -> u64 {
+        self.dirs[dir].bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(loss: f64) -> Link {
+        Link::new(
+            LinkConfig {
+                loss_rate: loss,
+                ..LinkConfig::default()
+            },
+            7,
+        )
+    }
+
+    #[test]
+    fn serialization_and_propagation() {
+        let mut l = link(0.0);
+        let t0 = SimTime::ZERO;
+        // 9078-byte wire frame at 100Gbps = 726ns + 2us propagation.
+        match l.transmit(0, t0, 9078) {
+            TransmitOutcome::Delivered { arrives, ce } => {
+                assert_eq!(arrives.as_nanos(), 726 + 2_000);
+                assert!(!ce);
+            }
+            _ => panic!("dropped"),
+        }
+    }
+
+    #[test]
+    fn frames_queue_behind_each_other() {
+        let mut l = link(0.0);
+        let t0 = SimTime::ZERO;
+        let a1 = match l.transmit(0, t0, 9078) {
+            TransmitOutcome::Delivered { arrives, .. } => arrives,
+            _ => panic!(),
+        };
+        let a2 = match l.transmit(0, t0, 9078) {
+            TransmitOutcome::Delivered { arrives, .. } => arrives,
+            _ => panic!(),
+        };
+        assert_eq!(a2.since(a1), Duration::from_nanos(726));
+        assert_eq!(l.next_free(0).as_nanos(), 2 * 726);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut l = link(0.0);
+        l.transmit(0, SimTime::ZERO, 9078);
+        assert_eq!(l.next_free(1), SimTime::ZERO);
+        l.transmit(1, SimTime::ZERO, 78);
+        assert!(l.next_free(1) < l.next_free(0));
+    }
+
+    #[test]
+    fn loss_rate_statistics() {
+        let mut l = link(0.015);
+        let mut dropped = 0;
+        for _ in 0..100_000 {
+            if l.transmit(0, SimTime::ZERO, 1578) == TransmitOutcome::Dropped {
+                dropped += 1;
+            }
+        }
+        assert!((1_200..1_800).contains(&dropped), "drops = {dropped}");
+        assert_eq!(l.drops(0), dropped);
+    }
+
+    #[test]
+    fn ecn_marks_when_queue_builds() {
+        let mut l = Link::new(
+            LinkConfig {
+                ecn_threshold: Some(Duration::from_micros(5)),
+                ..LinkConfig::default()
+            },
+            1,
+        );
+        // Blast enough back-to-back frames that queueing exceeds 5us.
+        let mut saw_ce = false;
+        for _ in 0..100 {
+            if let TransmitOutcome::Delivered { ce, .. } = l.transmit(0, SimTime::ZERO, 9078) {
+                saw_ce |= ce;
+            }
+        }
+        assert!(saw_ce, "queue of 100 jumbo frames is ~72us deep");
+        // And an idle link doesn't mark.
+        let mut l2 = Link::new(
+            LinkConfig {
+                ecn_threshold: Some(Duration::from_micros(5)),
+                ..LinkConfig::default()
+            },
+            1,
+        );
+        match l2.transmit(0, SimTime::ZERO, 9078) {
+            TransmitOutcome::Delivered { ce, .. } => assert!(!ce),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn byte_and_frame_counters() {
+        let mut l = link(0.0);
+        l.transmit(0, SimTime::ZERO, 1000);
+        l.transmit(0, SimTime::ZERO, 2000);
+        assert_eq!(l.frames(0), 2);
+        assert_eq!(l.bytes(0), 3000);
+        assert_eq!(l.frames(1), 0);
+    }
+}

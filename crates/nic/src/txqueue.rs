@@ -1,0 +1,160 @@
+//! Tx queues and the NIC's transmit arbiter.
+//!
+//! Each sender core enqueues its (post-TSO) frames on its own hardware Tx
+//! queue; the NIC serves the queues in round-robin. With one active flow
+//! the wire carries long same-flow runs (GRO merges them back into 64KB
+//! skbs at the receiver); with many flows on *different* cores the arbiter
+//! interleaves them frame-by-frame, which — together with shrinking
+//! per-flow windows — is what starves GRO of batching opportunities as the
+//! paper's all-to-all experiment scales (§3.5, Fig. 8c).
+
+use std::collections::VecDeque;
+
+/// A frame queued for transmission: `(payload_bytes, tag)`. The tag is an
+/// opaque handle the stack uses to recover the segment on dequeue.
+pub type QueuedFrame<T> = (u32, T);
+
+/// Round-robin transmit arbiter over per-core Tx queues.
+#[derive(Debug)]
+pub struct TxArbiter<T> {
+    queues: Vec<VecDeque<QueuedFrame<T>>>,
+    /// Next queue to serve (round-robin pointer).
+    next: usize,
+    /// Total frames currently queued.
+    queued: usize,
+    /// Per-queue byte depth limit (BQL-ish); pushes beyond it are rejected
+    /// so the qdisc layer keeps the backlog instead.
+    byte_limit: u64,
+    depths: Vec<u64>,
+}
+
+impl<T> TxArbiter<T> {
+    /// Arbiter over `queues` hardware queues with a per-queue byte limit.
+    pub fn new(queues: usize, byte_limit: u64) -> Self {
+        assert!(queues > 0);
+        TxArbiter {
+            queues: (0..queues).map(|_| VecDeque::new()).collect(),
+            next: 0,
+            queued: 0,
+            byte_limit,
+            depths: vec![0; queues],
+        }
+    }
+
+    /// Try to enqueue a frame on `queue`. Returns `false` when the queue is
+    /// over its byte limit (caller keeps the frame in qdisc backlog).
+    pub fn enqueue(&mut self, queue: usize, payload: u32, tag: T) -> bool {
+        if self.depths[queue] + payload as u64 > self.byte_limit {
+            return false;
+        }
+        self.queues[queue].push_back((payload, tag));
+        self.depths[queue] += payload as u64;
+        self.queued += 1;
+        true
+    }
+
+    /// Dequeue the next frame in round-robin order.
+    pub fn dequeue(&mut self) -> Option<QueuedFrame<T>> {
+        if self.queued == 0 {
+            return None;
+        }
+        let n = self.queues.len();
+        for _ in 0..n {
+            let q = self.next;
+            self.next = (self.next + 1) % n;
+            if let Some(frame) = self.queues[q].pop_front() {
+                self.depths[q] -= frame.0 as u64;
+                self.queued -= 1;
+                return Some(frame);
+            }
+        }
+        None
+    }
+
+    /// Frames queued across all queues.
+    pub fn len(&self) -> usize {
+        self.queued
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queued == 0
+    }
+
+    /// Bytes queued on one queue.
+    pub fn queue_depth(&self, queue: usize) -> u64 {
+        self.depths[queue]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_queue_is_fifo() {
+        let mut a: TxArbiter<u32> = TxArbiter::new(1, 1 << 20);
+        for i in 0..5 {
+            assert!(a.enqueue(0, 100, i));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| a.dequeue()).map(|(_, t)| t).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn round_robin_interleaves_queues() {
+        let mut a: TxArbiter<(usize, u32)> = TxArbiter::new(3, 1 << 20);
+        for q in 0..3 {
+            for i in 0..3 {
+                assert!(a.enqueue(q, 100, (q, i)));
+            }
+        }
+        let order: Vec<(usize, u32)> =
+            std::iter::from_fn(|| a.dequeue()).map(|(_, t)| t).collect();
+        // Frame-by-frame interleaving across queues.
+        assert_eq!(
+            order,
+            vec![
+                (0, 0),
+                (1, 0),
+                (2, 0),
+                (0, 1),
+                (1, 1),
+                (2, 1),
+                (0, 2),
+                (1, 2),
+                (2, 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn byte_limit_rejects() {
+        let mut a: TxArbiter<u8> = TxArbiter::new(1, 250);
+        assert!(a.enqueue(0, 100, 0));
+        assert!(a.enqueue(0, 100, 1));
+        assert!(!a.enqueue(0, 100, 2), "251..300 bytes over limit");
+        a.dequeue();
+        assert!(a.enqueue(0, 100, 2), "room after dequeue");
+    }
+
+    #[test]
+    fn skips_empty_queues() {
+        let mut a: TxArbiter<u8> = TxArbiter::new(4, 1 << 20);
+        a.enqueue(2, 10, 42);
+        assert_eq!(a.dequeue().map(|(_, t)| t), Some(42));
+        assert!(a.dequeue().is_none());
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn depth_tracking() {
+        let mut a: TxArbiter<u8> = TxArbiter::new(2, 1 << 20);
+        a.enqueue(0, 100, 0);
+        a.enqueue(0, 200, 1);
+        assert_eq!(a.queue_depth(0), 300);
+        assert_eq!(a.queue_depth(1), 0);
+        a.dequeue();
+        assert_eq!(a.queue_depth(0), 200);
+    }
+}

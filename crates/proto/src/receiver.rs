@@ -1,0 +1,291 @@
+//! TCP receiver state machine.
+//!
+//! Consumes (possibly GRO-merged) data segments, reassembles them in order,
+//! and produces ACKs. The host stack calls [`TcpReceiver::on_data`] once per
+//! merged skb it delivers to the TCP layer — which matches Linux's behaviour
+//! under GRO of acknowledging per aggregated skb (effectively one ACK per up
+//! to 64KB instead of the textbook every-other-MSS), and produces immediate
+//! duplicate ACKs for out-of-order arrivals, feeding the sender's fast
+//! retransmit.
+//!
+//! Window advertisement accounts buffer occupancy at *skb truesize* — the
+//! kernel charges each queued skb roughly twice its payload against
+//! `sk_rcvbuf` (struct + page overheads), so a 6MB receive buffer holds at
+//! most ≈3MB of payload backlog. The application draining slowly closes
+//! the window, which is the coupling that lets host processing latency
+//! inflate the BDP (paper §3.1, Fig. 3f) — and the truesize factor is why
+//! the copy lag at the default auto-tuned buffer is ≈3MB, the operating
+//! point behind the paper's 49% DCA miss rate.
+
+use crate::autotune::RcvBufAutotune;
+use crate::reassembly::ReassemblyQueue;
+use crate::segment::{FlowId, Segment};
+
+/// Outcome of delivering one data segment to the receiver.
+#[derive(Clone, Copy, Debug)]
+pub struct AckAction {
+    /// ACK to transmit back to the sender (the stack charges its cost and
+    /// enqueues it). `None` only for wholly-duplicate old data when an ACK
+    /// was just sent.
+    pub ack: Option<Segment>,
+    /// Bytes that became in-order deliverable to the socket queue.
+    pub delivered: u64,
+    /// True if the segment was a (wholly or partially) duplicate.
+    pub duplicate: bool,
+    /// True if the segment landed out of order — this ACK is a dup-ACK.
+    pub out_of_order: bool,
+}
+
+/// The receiver half of one flow.
+pub struct TcpReceiver {
+    flow: FlowId,
+    mss: u32,
+    reasm: ReassemblyQueue,
+    autotune: RcvBufAutotune,
+    /// Unacknowledged in-order bytes (delayed-ACK accounting).
+    unacked_bytes: u64,
+    /// Dup-ACKs generated (reporting: §3.6 ACK-processing overhead).
+    pub dup_acks_sent: u64,
+    /// Total ACKs generated.
+    pub acks_sent: u64,
+}
+
+impl TcpReceiver {
+    /// New established flow with the given buffer policy.
+    pub fn new(flow: FlowId, mss: u32, autotune: RcvBufAutotune) -> Self {
+        TcpReceiver {
+            flow,
+            mss,
+            reasm: ReassemblyQueue::new(),
+            autotune,
+            unacked_bytes: 0,
+            dup_acks_sent: 0,
+            acks_sent: 0,
+        }
+    }
+
+    /// Flow id.
+    pub fn flow(&self) -> FlowId {
+        self.flow
+    }
+
+    /// Next expected in-order byte.
+    pub fn rcv_nxt(&self) -> u64 {
+        self.reasm.rcv_nxt()
+    }
+
+    /// Current receive buffer size.
+    pub fn rcvbuf(&self) -> u64 {
+        self.autotune.rcvbuf()
+    }
+
+    /// Mutable access to the buffer-sizing policy (the stack feeds DRS
+    /// samples from its copy loop).
+    pub fn autotune_mut(&mut self) -> &mut RcvBufAutotune {
+        &mut self.autotune
+    }
+
+    /// Window to advertise given the socket queue backlog (payload bytes
+    /// delivered to the socket but not yet copied to the application).
+    /// Occupancy is charged at truesize (≈2× payload), as in the kernel.
+    pub fn advertised_window(&self, socket_backlog: u64) -> u64 {
+        let truesize = 2 * (socket_backlog + self.reasm.ooo_bytes());
+        self.autotune.rcvbuf().saturating_sub(truesize)
+    }
+
+    /// Deliver a data segment of `len` bytes at stream offset `seq`;
+    /// `ce` is the wire ECN mark; `socket_backlog` as above.
+    ///
+    /// ACK policy follows Linux: out-of-order or duplicate data elicits an
+    /// immediate (dup-)ACK; in-order data is delay-acknowledged every
+    /// second MSS. GRO-merged skbs (≥ 2×MSS) therefore always ACK — one
+    /// ACK per aggregate — while the no-GRO path ACKs every other frame.
+    pub fn on_data(&mut self, seq: u64, len: u32, ce: bool, socket_backlog: u64) -> AckAction {
+        let outcome = self.reasm.insert(seq, len);
+        // Immediate ACK on: out-of-order / duplicate data (dup-ACK), ECN
+        // marks, or a hole fill that released previously-buffered ranges
+        // (delivered > this segment's own bytes) — recovery must learn
+        // about the repaired hole at once.
+        let immediate =
+            outcome.out_of_order || outcome.duplicate || ce || outcome.delivered > len as u64;
+        let ack = if immediate {
+            true
+        } else {
+            self.unacked_bytes += outcome.delivered;
+            self.unacked_bytes >= 2 * self.mss as u64
+        };
+        let ack_seg = if ack {
+            self.unacked_bytes = 0;
+            self.acks_sent += 1;
+            if outcome.out_of_order || outcome.duplicate {
+                self.dup_acks_sent += 1;
+            }
+            // Backlog grows by what was just delivered — account for it in
+            // the advertised window immediately (the copy hasn't happened
+            // yet).
+            let window = self.advertised_window(socket_backlog + outcome.delivered);
+            Some(Segment::ack(
+                self.flow,
+                self.reasm.rcv_nxt(),
+                window,
+                ce,
+                self.reasm.sack_blocks(),
+            ))
+        } else {
+            None
+        };
+        AckAction {
+            ack: ack_seg,
+            delivered: outcome.delivered,
+            duplicate: outcome.duplicate,
+            out_of_order: outcome.out_of_order,
+        }
+    }
+
+    /// Generate a pure window update (after the application drains a
+    /// previously-zero window).
+    pub fn window_update(&mut self, socket_backlog: u64) -> Segment {
+        self.acks_sent += 1;
+        Segment::ack(
+            self.flow,
+            self.reasm.rcv_nxt(),
+            self.advertised_window(socket_backlog),
+            false,
+            self.reasm.sack_blocks(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::SegmentKind;
+
+    fn ack_fields(s: &Segment) -> (u64, u64, bool) {
+        match s.kind {
+            SegmentKind::Ack {
+                ack,
+                window,
+                ecn_echo,
+                ..
+            } => (ack, window, ecn_echo),
+            _ => panic!("not an ack"),
+        }
+    }
+
+    fn rx() -> TcpReceiver {
+        TcpReceiver::new(1, 1448, RcvBufAutotune::fixed(1 << 20))
+    }
+
+    #[test]
+    fn in_order_data_acks_cumulative() {
+        let mut r = rx();
+        let a = r.on_data(0, 10_000, false, 0);
+        assert_eq!(a.delivered, 10_000);
+        let (ack, win, ecn) = ack_fields(&a.ack.unwrap());
+        assert_eq!(ack, 10_000);
+        assert_eq!(win, (1 << 20) - 20_000, "window shrinks by skb truesize");
+        assert!(!ecn);
+        assert!(!a.out_of_order);
+    }
+
+    #[test]
+    fn out_of_order_generates_dup_ack() {
+        let mut r = rx();
+        r.on_data(0, 1_000, false, 0);
+        let a = r.on_data(2_000, 1_000, false, 1_000);
+        assert!(a.out_of_order);
+        assert_eq!(a.delivered, 0);
+        let (ack, _, _) = ack_fields(&a.ack.unwrap());
+        assert_eq!(ack, 1_000, "dup ack repeats rcv_nxt");
+        assert_eq!(r.dup_acks_sent, 1);
+    }
+
+    #[test]
+    fn hole_fill_delivers_everything() {
+        let mut r = rx();
+        r.on_data(0, 1_000, false, 0);
+        r.on_data(2_000, 1_000, false, 1_000);
+        let a = r.on_data(1_000, 1_000, false, 1_000);
+        assert_eq!(a.delivered, 2_000);
+        let (ack, _, _) = ack_fields(&a.ack.unwrap());
+        assert_eq!(ack, 3_000);
+    }
+
+    #[test]
+    fn ecn_mark_echoed() {
+        let mut r = rx();
+        let a = r.on_data(0, 1_000, true, 0);
+        let (_, _, ecn) = ack_fields(&a.ack.unwrap());
+        assert!(ecn);
+    }
+
+    #[test]
+    fn window_counts_ooo_bytes() {
+        let mut r = rx();
+        r.on_data(10_000, 5_000, false, 0);
+        // 5KB held out-of-order reduces the advertised window by its
+        // truesize.
+        assert_eq!(r.advertised_window(0), (1 << 20) - 10_000);
+    }
+
+    #[test]
+    fn window_reaches_zero_at_half_buffer() {
+        let r = rx();
+        // Truesize doubling: payload backlog of rcvbuf/2 closes the window.
+        assert_eq!(r.advertised_window(1 << 19), 0);
+        assert_eq!(r.advertised_window(2 << 20), 0, "saturating");
+    }
+
+    #[test]
+    fn window_update_segment() {
+        let mut r = rx();
+        r.on_data(0, 1_000, false, 0);
+        let u = r.window_update(0);
+        let (ack, win, _) = ack_fields(&u);
+        assert_eq!(ack, 1_000);
+        assert_eq!(win, 1 << 20);
+    }
+
+    #[test]
+    fn duplicate_data_counted() {
+        let mut r = rx();
+        r.on_data(0, 10_000, false, 0);
+        let a = r.on_data(0, 1_000, false, 10_000);
+        assert!(a.duplicate);
+        assert_eq!(r.dup_acks_sent, 1);
+        assert_eq!(r.acks_sent, 2);
+    }
+
+    #[test]
+    fn delayed_ack_every_second_mss() {
+        let mut r = rx();
+        // First MSS-sized in-order segment: ACK withheld.
+        let a1 = r.on_data(0, 1_448, false, 0);
+        assert!(a1.ack.is_none(), "first MSS is delay-acked");
+        // Second: cumulative ACK released.
+        let a2 = r.on_data(1_448, 1_448, false, 1_448);
+        let (ack, _, _) = ack_fields(&a2.ack.expect("second MSS acks"));
+        assert_eq!(ack, 2 * 1_448);
+        assert_eq!(r.acks_sent, 1);
+    }
+
+    #[test]
+    fn gro_aggregates_always_ack() {
+        let mut r = rx();
+        // A 64KB merged skb is ≥ 2×MSS: immediate ACK.
+        let a = r.on_data(0, 65_536, false, 0);
+        assert!(a.ack.is_some());
+    }
+
+    #[test]
+    fn ooo_acks_immediately_even_after_delack() {
+        let mut r = rx();
+        let a1 = r.on_data(0, 1_448, false, 0);
+        assert!(a1.ack.is_none());
+        // Out-of-order arrival: immediate dup-ACK despite pending delack.
+        let a2 = r.on_data(10_000, 1_448, false, 1_448);
+        assert!(a2.ack.is_some());
+        assert_eq!(r.dup_acks_sent, 1);
+    }
+}

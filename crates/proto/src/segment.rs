@@ -1,0 +1,133 @@
+//! Wire segments.
+//!
+//! Segments are the protocol-level unit: a data segment covers a byte range
+//! of the flow's stream; a pure ACK carries cumulative acknowledgment and
+//! window information back to the sender. The NIC layer wraps these in
+//! frames (one segment per frame post-TSO).
+
+use crate::sack::SackBlocks;
+
+/// Flow identifier, unique per (sender app, receiver app) connection.
+pub type FlowId = u64;
+
+/// What a segment carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// Payload bytes `[seq, seq + len)` of the flow's stream.
+    Data {
+        /// Stream offset of the first payload byte.
+        seq: u64,
+        /// Payload length in bytes.
+        len: u32,
+        /// True if this is a retransmission (for accounting).
+        retransmit: bool,
+    },
+    /// A pure acknowledgment.
+    Ack {
+        /// Cumulative ACK: all bytes below this offset received.
+        ack: u64,
+        /// Receive window in bytes, measured from `ack`.
+        window: u64,
+        /// ECN echo: fraction-of-CE feedback for DCTCP (0 when unused).
+        ecn_echo: bool,
+        /// Selective-acknowledgment blocks: up to three received ranges
+        /// beyond `ack` (RFC 2018). Drives the sender's scoreboard-based
+        /// loss recovery.
+        sack: SackBlocks,
+    },
+}
+
+/// A protocol segment travelling the simulated wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// Owning flow.
+    pub flow: FlowId,
+    /// Payload or ACK content.
+    pub kind: SegmentKind,
+    /// ECN Congestion-Experienced mark set by the network (DCTCP marking).
+    pub ecn_ce: bool,
+}
+
+impl Segment {
+    /// Build a data segment.
+    pub fn data(flow: FlowId, seq: u64, len: u32, retransmit: bool) -> Self {
+        Segment {
+            flow,
+            kind: SegmentKind::Data {
+                seq,
+                len,
+                retransmit,
+            },
+            ecn_ce: false,
+        }
+    }
+
+    /// Build a pure ACK with its SACK blocks.
+    pub fn ack(flow: FlowId, ack: u64, window: u64, ecn_echo: bool, sack: SackBlocks) -> Self {
+        Segment {
+            flow,
+            kind: SegmentKind::Ack {
+                ack,
+                window,
+                ecn_echo,
+                sack,
+            },
+            ecn_ce: false,
+        }
+    }
+
+    /// Payload bytes carried (0 for ACKs).
+    pub fn payload_len(&self) -> u32 {
+        match self.kind {
+            SegmentKind::Data { len, .. } => len,
+            SegmentKind::Ack { .. } => 0,
+        }
+    }
+
+    /// Bytes this segment occupies on the wire including headers.
+    pub fn wire_bytes(&self) -> u64 {
+        self.payload_len() as u64 + crate::HEADER_BYTES as u64
+    }
+
+    /// True for data segments.
+    pub fn is_data(&self) -> bool {
+        matches!(self.kind, SegmentKind::Data { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_segment_fields() {
+        let s = Segment::data(3, 1000, 1448, false);
+        assert!(s.is_data());
+        assert_eq!(s.payload_len(), 1448);
+        assert_eq!(s.wire_bytes(), 1448 + 78);
+        assert_eq!(s.flow, 3);
+    }
+
+    #[test]
+    fn ack_segment_fields() {
+        let blocks = SackBlocks::from_ranges([(6000, 7000)]);
+        let s = Segment::ack(9, 5000, 65535, true, blocks);
+        assert!(!s.is_data());
+        assert_eq!(s.payload_len(), 0);
+        assert_eq!(s.wire_bytes(), 78);
+        match s.kind {
+            SegmentKind::Ack {
+                ack,
+                window,
+                ecn_echo,
+                sack,
+            } => {
+                assert_eq!(ack, 5000);
+                assert_eq!(window, 65535);
+                assert!(ecn_echo);
+                assert_eq!(sack.as_slice(), &[(6000, 7000)]);
+            }
+            _ => panic!("not an ack"),
+        }
+    }
+}

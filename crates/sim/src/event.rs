@@ -1,0 +1,275 @@
+//! Event queue.
+//!
+//! A discrete-event simulation advances by repeatedly popping the earliest
+//! pending event. [`EventQueue`] wraps a binary heap of [`ScheduledEvent`]s
+//! keyed by `(time, sequence)` — the monotonically increasing sequence number
+//! makes same-instant events pop in FIFO scheduling order, which is what
+//! keeps runs deterministic regardless of heap internals.
+//!
+//! Events also support *cancellation by token*: callers keep the
+//! [`EventToken`] returned by [`EventQueue::schedule`] and may lazily cancel
+//! it (e.g. a retransmission timer disarmed by an ACK). Cancelled events are
+//! skipped on pop.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Opaque handle identifying a scheduled event, for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventToken(u64);
+
+impl EventToken {
+    /// A token that never matches a real event.
+    pub const NONE: EventToken = EventToken(u64::MAX);
+}
+
+/// An event with its scheduled time and FIFO tie-break sequence.
+#[derive(Debug)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    seq: u64,
+    cancelled: bool,
+    /// The payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic priority queue of simulation events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    now: SimTime,
+    /// Tokens cancelled before their event popped. Kept sorted-small via
+    /// retain-on-pop; in practice this set stays tiny because timers are
+    /// cancelled close to their firing time.
+    cancelled: std::collections::HashSet<u64>,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue at t = 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            cancelled: std::collections::HashSet::new(),
+            popped: 0,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the most recently popped
+    /// event (monotonically non-decreasing).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events popped so far (for engine benchmarking).
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; debug builds assert, release
+    /// builds clamp to `now` so the simulation still makes progress.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventToken {
+        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent {
+            time: at,
+            seq,
+            cancelled: false,
+            event,
+        });
+        EventToken(seq)
+    }
+
+    /// Schedule `event` after a delay relative to `now`.
+    pub fn schedule_after(&mut self, delay: crate::Duration, event: E) -> EventToken {
+        self.schedule(self.now + delay, event)
+    }
+
+    /// Lazily cancel a previously scheduled event. Safe to call with a token
+    /// that has already fired (no effect) or [`EventToken::NONE`].
+    pub fn cancel(&mut self, token: EventToken) {
+        if token != EventToken::NONE && token.0 < self.next_seq {
+            self.cancelled.insert(token.0);
+        }
+    }
+
+    /// Pop the earliest pending event, advancing `now` to its timestamp.
+    /// Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(ev) = self.heap.pop() {
+            if ev.cancelled || self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.time >= self.now, "time went backwards");
+            self.now = ev.time;
+            self.popped += 1;
+            return Some((ev.time, ev.event));
+        }
+        None
+    }
+
+    /// Peek at the timestamp of the next pending event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drain cancelled heads first so the answer is accurate.
+        while let Some(head) = self.heap.peek() {
+            if head.cancelled || self.cancelled.contains(&head.seq) {
+                let ev = self.heap.pop().expect("peeked");
+                self.cancelled.remove(&ev.seq);
+            } else {
+                return Some(head.time);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), "c");
+        q.schedule(SimTime::from_nanos(10), "a");
+        q.schedule(SimTime::from_nanos(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), ());
+        q.schedule(SimTime::from_nanos(10), ());
+        q.schedule(SimTime::from_nanos(40), ());
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            assert_eq!(q.now(), t);
+        }
+        assert_eq!(last, SimTime::from_nanos(40));
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut q = EventQueue::new();
+        let _a = q.schedule(SimTime::from_nanos(1), "keep1");
+        let b = q.schedule(SimTime::from_nanos(2), "drop");
+        let _c = q.schedule(SimTime::from_nanos(3), "keep2");
+        q.cancel(b);
+        assert_eq!(q.len(), 2);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["keep1", "keep2"]);
+    }
+
+    #[test]
+    fn cancel_fired_token_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), 1u32);
+        assert!(q.pop().is_some());
+        q.cancel(a); // already fired
+        q.schedule(SimTime::from_nanos(2), 2u32);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+    }
+
+    #[test]
+    fn cancel_none_is_noop() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.cancel(EventToken::NONE);
+        q.schedule(SimTime::from_nanos(1), 7);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn schedule_after_uses_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(100), "base");
+        q.pop();
+        q.schedule_after(Duration::from_nanos(50), "later");
+        assert_eq!(q.pop().map(|(t, _)| t), Some(SimTime::from_nanos(150)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), ());
+        q.schedule(SimTime::from_nanos(2), ());
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(2)));
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        let t = q.schedule(SimTime::from_nanos(1), ());
+        assert_eq!(q.len(), 1);
+        q.cancel(t);
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,269 @@
+//! Experiment configuration: every knob the paper turns.
+
+use hns_mem::numa::Topology;
+use hns_nic::link::LinkConfig;
+use hns_nic::steering::SteeringMode;
+use hns_proto::cc::CcAlgo;
+use hns_sim::Duration;
+
+/// The paper's incremental optimization levels (Fig. 3a columns): each
+/// level enables everything the previous one does plus one more feature.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OptLevel {
+    /// No optimizations: no GSO/TSO, no GRO, 1500B MTU, worst-case IRQ
+    /// steering (the paper's modified-kernel "No Opt." baseline).
+    NoOpt,
+    /// + TSO at the sender, GRO at the receiver.
+    TsoGro,
+    /// + 9000B jumbo frames.
+    Jumbo,
+    /// + accelerated receive flow steering (and with it effective DCA).
+    Arfs,
+}
+
+impl OptLevel {
+    /// All levels in the order the paper's figures show them.
+    pub const ALL: [OptLevel; 4] = [
+        OptLevel::NoOpt,
+        OptLevel::TsoGro,
+        OptLevel::Jumbo,
+        OptLevel::Arfs,
+    ];
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OptLevel::NoOpt => "no-opt",
+            OptLevel::TsoGro => "+tso/gro",
+            OptLevel::Jumbo => "+jumbo",
+            OptLevel::Arfs => "+arfs",
+        }
+    }
+}
+
+/// Receive-buffer sizing policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RcvBufPolicy {
+    /// Linux dynamic right-sizing with the default 6MB cap.
+    Auto,
+    /// Fixed size in bytes (the Fig. 3e/3f sweeps).
+    Fixed(u64),
+}
+
+/// Host-stack feature configuration (shared by both hosts in a run).
+#[derive(Clone, Copy, Debug)]
+pub struct StackConfig {
+    /// Sender hardware segmentation offload.
+    pub tso: bool,
+    /// Sender software segmentation (used when TSO is off; the paper's
+    /// No-Opt baseline disables both so TCP emits MTU-sized skbs).
+    pub gso: bool,
+    /// Receiver software aggregation.
+    pub gro: bool,
+    /// Receiver *hardware* aggregation (LRO) — replaces GRO when set;
+    /// aggregation becomes CPU-free (the paper's footnote 3 "~55Gbps with
+    /// LRO" variant).
+    pub lro: bool,
+    /// MTU payload bytes (1500 or 9000).
+    pub mtu: u32,
+    /// Receive steering mechanism.
+    pub steering: SteeringMode,
+    /// DDIO/DCA enabled (§3.8 disables it).
+    pub dca: bool,
+    /// IOMMU enabled (§3.9 enables it).
+    pub iommu: bool,
+    /// NIC Rx descriptor count (Fig. 3e sweeps 128–4096). Default 512 —
+    /// the paper identifies ≤512 descriptors (≈4MB of buffer footprint)
+    /// as the point below which descriptor-pool conflicts stay negligible.
+    pub rx_descriptors: u32,
+    /// Receive buffer sizing.
+    pub rcvbuf: RcvBufPolicy,
+    /// Send buffer capacity in bytes. Set above the receive-buffer cap so
+    /// the receiver window (not the send buffer) is the binding constraint,
+    /// as in the paper's tuned testbed.
+    pub sndbuf: u64,
+    /// Congestion control algorithm.
+    pub cc: CcAlgo,
+    /// Max aggregation/segmentation size (TSO/GSO/GRO), Linux: 64KB.
+    pub max_aggregate: u32,
+    /// Sender-side zero-copy (`MSG_ZEROCOPY`, kernel ≥4.14, paper §4):
+    /// the user→kernel payload copy is replaced by per-page pinning and a
+    /// completion notification.
+    pub zerocopy_tx: bool,
+    /// Receiver-side zero-copy (TCP `mmap` receive, kernel ≥4.18, paper
+    /// §4): the kernel→user payload copy is replaced by per-page
+    /// remapping. Requires page-aligned reception; the paper notes it
+    /// needs non-trivial application changes.
+    pub zerocopy_rx: bool,
+}
+
+impl StackConfig {
+    /// Configuration for one of the paper's incremental optimization
+    /// levels, everything else at defaults.
+    pub fn at_level(level: OptLevel) -> Self {
+        let mut cfg = StackConfig {
+            tso: false,
+            gso: false,
+            gro: false,
+            lro: false,
+            mtu: 1500,
+            steering: SteeringMode::Rss,
+            dca: true,
+            iommu: false,
+            rx_descriptors: 512,
+            rcvbuf: RcvBufPolicy::Auto,
+            sndbuf: 16 * 1024 * 1024,
+            cc: CcAlgo::Cubic,
+            max_aggregate: 64 * 1024,
+            zerocopy_tx: false,
+            zerocopy_rx: false,
+        };
+        match level {
+            OptLevel::NoOpt => {}
+            OptLevel::TsoGro => {
+                cfg.tso = true;
+                cfg.gso = true;
+                cfg.gro = true;
+            }
+            OptLevel::Jumbo => {
+                cfg.tso = true;
+                cfg.gso = true;
+                cfg.gro = true;
+                cfg.mtu = 9000;
+            }
+            OptLevel::Arfs => {
+                cfg.tso = true;
+                cfg.gso = true;
+                cfg.gro = true;
+                cfg.mtu = 9000;
+                cfg.steering = SteeringMode::Arfs;
+            }
+        }
+        cfg
+    }
+
+    /// All optimizations on (the default for most experiments).
+    pub fn all_opts() -> Self {
+        Self::at_level(OptLevel::Arfs)
+    }
+
+    /// MSS: MTU minus protocol headers.
+    pub fn mss(&self) -> u32 {
+        self.mtu - 52
+    }
+
+    /// Largest skb the sender TCP layer emits per transmission.
+    pub fn max_tx_payload(&self) -> u32 {
+        if self.tso || self.gso {
+            self.max_aggregate
+        } else {
+            self.mss()
+        }
+    }
+}
+
+impl Default for StackConfig {
+    fn default() -> Self {
+        Self::all_opts()
+    }
+}
+
+/// Whole-simulation configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Stack features (same on both hosts, like the paper's testbed).
+    pub stack: StackConfig,
+    /// NUMA topology of each host.
+    pub topology: Topology,
+    /// The wire.
+    pub link: LinkConfig,
+    /// DCA-usable cache capacity in bytes (≈18% of L3).
+    pub dca_capacity: u64,
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+    /// NAPI budget in frames per poll cycle (Linux netdev_budget = 300).
+    pub napi_budget: u32,
+    /// Frames processed per softirq *step* (sub-batch granularity for the
+    /// scheduler; Linux polls in per-queue batches of 64).
+    pub napi_batch: u32,
+    /// Application read size per `recv()` call.
+    pub recv_size: u32,
+    /// Application `write()` size for long flows (iPerf default: 128KB).
+    pub write_size: u32,
+    /// IRQ dispatch latency from NIC to handler execution.
+    pub irq_latency: Duration,
+    /// Interrupt moderation (`ethtool -C rx-usecs`): the NIC delays the
+    /// IRQ after the first unmasked frame by this much, batching further
+    /// arrivals into one interrupt. Zero (the default here, and typical
+    /// with NAPI doing the real coalescing) fires immediately.
+    pub irq_coalesce: Duration,
+    /// Record per-flow protocol traces ([`crate::trace::FlowTracer`]).
+    pub trace_flows: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            stack: StackConfig::default(),
+            topology: Topology::default(),
+            link: LinkConfig::default(),
+            dca_capacity: hns_mem::dca::DEFAULT_DCA_CAPACITY,
+            seed: 1,
+            napi_budget: 300,
+            napi_batch: 64,
+            recv_size: 128 * 1024,
+            write_size: 128 * 1024,
+            irq_latency: Duration::from_micros(1),
+            irq_coalesce: Duration::ZERO,
+            trace_flows: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opt_levels_are_incremental() {
+        let no = StackConfig::at_level(OptLevel::NoOpt);
+        assert!(!no.tso && !no.gro && no.mtu == 1500);
+        assert_eq!(no.steering, SteeringMode::Rss);
+
+        let tg = StackConfig::at_level(OptLevel::TsoGro);
+        assert!(tg.tso && tg.gro && tg.mtu == 1500);
+
+        let j = StackConfig::at_level(OptLevel::Jumbo);
+        assert!(j.tso && j.gro && j.mtu == 9000);
+        assert_eq!(j.steering, SteeringMode::Rss);
+
+        let a = StackConfig::at_level(OptLevel::Arfs);
+        assert_eq!(a.steering, SteeringMode::Arfs);
+        assert!(a.tso && a.gro && a.mtu == 9000);
+    }
+
+    #[test]
+    fn max_tx_payload_depends_on_offloads() {
+        let mut c = StackConfig::all_opts();
+        assert_eq!(c.max_tx_payload(), 65536);
+        c.tso = false;
+        c.gso = false;
+        assert_eq!(c.max_tx_payload(), c.mss());
+    }
+
+    #[test]
+    fn mss_subtracts_headers() {
+        let c = StackConfig::at_level(OptLevel::NoOpt);
+        assert_eq!(c.mss(), 1448);
+        let j = StackConfig::at_level(OptLevel::Jumbo);
+        assert_eq!(j.mss(), 8948);
+    }
+
+    #[test]
+    fn default_simconfig_matches_testbed() {
+        let c = SimConfig::default();
+        assert_eq!(c.topology.total_cores(), 24);
+        assert_eq!(c.napi_budget, 300);
+        assert!((c.link.gbps - 100.0).abs() < f64::EPSILON);
+    }
+}

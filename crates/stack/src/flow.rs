@@ -1,0 +1,208 @@
+//! Flow state: one unidirectional TCP connection between the two hosts.
+//!
+//! A flow bundles the protocol endpoints (`TcpSender` at the source host,
+//! `TcpReceiver` + socket receive queue at the destination host) with the
+//! placement decisions that drive the memory model: which core runs the
+//! application on each side and which core the receive IRQ lands on.
+
+use std::collections::VecDeque;
+
+use hns_mem::numa::CoreId;
+use hns_proto::{CcAlgo, FlowId, RcvBufAutotune, TcpReceiver, TcpSender};
+use hns_sim::event::EventToken;
+use hns_sim::{Duration, SimTime};
+
+use crate::config::{RcvBufPolicy, SimConfig};
+use crate::skb::RxSkb;
+use crate::trace::FlowTracer;
+
+/// Placement and policy for one flow. Built by the workload layer.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowSpec {
+    /// Host transmitting the data (0 or 1).
+    pub src_host: usize,
+    /// Core of the sending application.
+    pub src_core: CoreId,
+    /// Host receiving the data.
+    pub dst_host: usize,
+    /// Core of the receiving application.
+    pub dst_core: CoreId,
+    /// Congestion control override (`None` → the experiment default).
+    pub cc: Option<CcAlgo>,
+    /// Receive-buffer override (`None` → the experiment default).
+    pub rcvbuf: Option<RcvBufPolicy>,
+}
+
+impl FlowSpec {
+    /// The common case: host 0 sends to host 1 with default policies.
+    pub fn forward(src_core: CoreId, dst_core: CoreId) -> Self {
+        FlowSpec {
+            src_host: 0,
+            src_core,
+            dst_host: 1,
+            dst_core,
+            cc: None,
+            rcvbuf: None,
+        }
+    }
+
+    /// Reverse-direction flow (host 1 sends to host 0), used for RPC
+    /// responses.
+    pub fn reverse(src_core: CoreId, dst_core: CoreId) -> Self {
+        FlowSpec {
+            src_host: 1,
+            src_core,
+            dst_host: 0,
+            dst_core,
+            cc: None,
+            rcvbuf: None,
+        }
+    }
+}
+
+/// Live state of one flow inside the [`crate::World`].
+pub struct Flow {
+    /// Flow id (index into the world's flow table).
+    pub id: FlowId,
+    /// Placement.
+    pub spec: FlowSpec,
+    /// Core receiving data-direction IRQ/softirq processing (dst host).
+    pub irq_core: CoreId,
+    /// Core receiving ACK-direction IRQ/softirq processing (src host).
+    pub ack_irq_core: CoreId,
+    /// Protocol sender (lives on `src_host`).
+    pub sender: TcpSender,
+    /// Protocol receiver (lives on `dst_host`).
+    pub receiver: TcpReceiver,
+    /// Socket receive queue: skbs awaiting application copy (in-order ones
+    /// first; out-of-order skbs are parked here too, sorted by sequence).
+    pub rx_queue: VecDeque<RxSkb>,
+    /// In-order bytes delivered to the socket but not yet copied
+    /// (`rcv_nxt − app_read_pos`); drives the advertised window.
+    pub rx_backlog: u64,
+    /// Stream offset up to which the application has copied. Duplicate
+    /// bytes in overlapping skbs are never double-counted because copies
+    /// only count the overlap with `[app_read_pos, rcv_nxt)`.
+    pub app_read_pos: u64,
+    /// Reader application thread blocked on this flow (wake on delivery).
+    pub reader_tid: Option<u32>,
+    /// Writer application thread blocked on send-buffer space.
+    pub writer_tid: Option<u32>,
+    /// Set when we advertised a (near-)zero window; the next application
+    /// drain sends an explicit window update.
+    pub window_closed: bool,
+    /// Bytes copied to the application within the measurement window.
+    pub app_bytes: u64,
+    /// Bytes copied since the last autotune tick.
+    pub copied_since_tick: u64,
+    /// EWMA of host-side NAPI→copy latency, feeds the DRS RTT hint.
+    pub host_latency_ewma: Duration,
+    /// Pending RTO event token (cancelled/rescheduled as the deadline
+    /// moves).
+    pub rto_token: EventToken,
+    /// Deadline the current RTO event was scheduled for.
+    pub rto_scheduled_for: Option<SimTime>,
+    /// BBR pacer: release timer armed.
+    pub pacer_armed: bool,
+    /// Retransmission count at warmup end (measurement subtracts it).
+    pub rtx_baseline: u64,
+    /// Optional protocol event trace.
+    pub trace: FlowTracer,
+}
+
+impl Flow {
+    /// Build a flow from its spec and the experiment configuration.
+    pub fn new(id: FlowId, spec: FlowSpec, cfg: &SimConfig, flow_index: u16) -> Self {
+        let cc = spec.cc.unwrap_or(cfg.stack.cc);
+        let rcvbuf = spec.rcvbuf.unwrap_or(cfg.stack.rcvbuf);
+        let autotune = match rcvbuf {
+            RcvBufPolicy::Auto => RcvBufAutotune::auto(),
+            RcvBufPolicy::Fixed(bytes) => RcvBufAutotune::fixed(bytes),
+        };
+        let steering = cfg.stack.steering;
+        Flow {
+            id,
+            spec,
+            irq_core: steering.irq_core(&cfg.topology, spec.dst_core, flow_index),
+            ack_irq_core: steering.irq_core(&cfg.topology, spec.src_core, flow_index),
+            sender: TcpSender::new(id, cfg.stack.mss(), cc),
+            receiver: TcpReceiver::new(id, cfg.stack.mss(), autotune),
+            rx_queue: VecDeque::new(),
+            rx_backlog: 0,
+            app_read_pos: 0,
+            reader_tid: None,
+            writer_tid: None,
+            window_closed: false,
+            app_bytes: 0,
+            copied_since_tick: 0,
+            host_latency_ewma: Duration::from_micros(10),
+            rto_token: EventToken::NONE,
+            rto_scheduled_for: None,
+            pacer_armed: false,
+            rtx_baseline: 0,
+            trace: FlowTracer::new(cfg.trace_flows),
+        }
+    }
+
+    /// Update the host-latency EWMA (gain 1/8).
+    pub fn sample_host_latency(&mut self, sample: Duration) {
+        let old = self.host_latency_ewma.as_nanos();
+        let s = sample.as_nanos();
+        self.host_latency_ewma = Duration::from_nanos(old - old / 8 + s / 8);
+    }
+
+    /// RTT hint for receive-buffer auto-tuning: wire RTT plus host
+    /// processing latency.
+    pub fn rtt_hint(&self, propagation: Duration) -> Duration {
+        propagation * 2 + self.host_latency_ewma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hns_nic::steering::SteeringMode;
+
+    #[test]
+    fn arfs_colocates_irq_with_apps() {
+        let cfg = SimConfig::default(); // aRFS
+        let f = Flow::new(0, FlowSpec::forward(2, 3), &cfg, 0);
+        assert_eq!(f.irq_core, 3);
+        assert_eq!(f.ack_irq_core, 2);
+    }
+
+    #[test]
+    fn rss_pins_irq_to_remote_node() {
+        let mut cfg = SimConfig::default();
+        cfg.stack.steering = SteeringMode::Rss;
+        let f = Flow::new(0, FlowSpec::forward(0, 0), &cfg, 0);
+        assert_ne!(cfg.topology.node_of(f.irq_core), cfg.topology.node_of(0));
+    }
+
+    #[test]
+    fn rcvbuf_override_applies() {
+        let cfg = SimConfig::default();
+        let mut spec = FlowSpec::forward(0, 0);
+        spec.rcvbuf = Some(RcvBufPolicy::Fixed(3200 * 1024));
+        let f = Flow::new(0, spec, &cfg, 0);
+        assert_eq!(f.receiver.rcvbuf(), 3200 * 1024);
+    }
+
+    #[test]
+    fn latency_ewma_moves_toward_samples() {
+        let cfg = SimConfig::default();
+        let mut f = Flow::new(0, FlowSpec::forward(0, 0), &cfg, 0);
+        for _ in 0..100 {
+            f.sample_host_latency(Duration::from_micros(200));
+        }
+        let us = f.host_latency_ewma.as_micros();
+        assert!((150..=205).contains(&us), "ewma = {us}us");
+    }
+
+    #[test]
+    fn reverse_spec_flips_hosts() {
+        let s = FlowSpec::reverse(4, 5);
+        assert_eq!(s.src_host, 1);
+        assert_eq!(s.dst_host, 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Socket buffers (skbs).
+//!
+//! An skb is pure metadata: it references payload bytes by byte-range and,
+//! on the receive side, by the DMA frames ([`hns_mem::FrameId`]) that hold
+//! them. This mirrors the kernel: "all other operations within the kernel
+//! are performed using metadata and pointer manipulations on skbs, and do
+//! not require data copy" (§2.1).
+
+use hns_mem::FrameId;
+use hns_proto::FlowId;
+use hns_sim::SimTime;
+
+/// Maximum fragments one skb can hold (Linux `MAX_SKB_FRAGS`). This is why
+/// jumbo frames help GRO even though GRO already aggregates: a 64KB
+/// aggregate needs 8 jumbo frags but would need 45 standard-MTU frags —
+/// far over the limit — so at 1500B MTU aggregates cap out near 24KB.
+pub const MAX_SKB_FRAGS: usize = 17;
+
+/// A receive-side skb, possibly GRO-aggregated from multiple frames.
+#[derive(Clone, Debug)]
+pub struct RxSkb {
+    /// Owning flow.
+    pub flow: FlowId,
+    /// Stream offset of the first payload byte.
+    pub seq: u64,
+    /// Total payload bytes.
+    pub len: u32,
+    /// DMA frames backing the payload, in order.
+    pub frags: Vec<FrameId>,
+    /// NAPI processing timestamp of the *first* frame (paper Fig. 3f
+    /// measures NAPI→start-of-copy from this).
+    pub napi_ts: SimTime,
+    /// ECN CE seen on any constituent frame.
+    pub ce: bool,
+    /// Any constituent frame was a retransmission (for accounting).
+    pub retransmit: bool,
+}
+
+impl RxSkb {
+    /// Single-frame skb as built by the driver before GRO.
+    pub fn from_frame(
+        flow: FlowId,
+        seq: u64,
+        len: u32,
+        frame: FrameId,
+        napi_ts: SimTime,
+        ce: bool,
+        retransmit: bool,
+    ) -> Self {
+        RxSkb {
+            flow,
+            seq,
+            len,
+            frags: vec![frame],
+            napi_ts,
+            ce,
+            retransmit,
+        }
+    }
+
+    /// Stream offset one past the last byte.
+    pub fn end(&self) -> u64 {
+        self.seq + self.len as u64
+    }
+
+    /// Try to append `other` (must be the immediately following bytes of
+    /// the same flow and fit under `max_len`). Returns `other` back on
+    /// failure.
+    pub fn try_merge(&mut self, other: RxSkb, max_len: u32) -> Result<(), RxSkb> {
+        if other.flow != self.flow
+            || other.seq != self.end()
+            || self.len + other.len > max_len
+            || self.frags.len() + other.frags.len() > MAX_SKB_FRAGS
+        {
+            return Err(other);
+        }
+        self.len += other.len;
+        self.frags.extend(other.frags);
+        self.ce |= other.ce;
+        self.retransmit |= other.retransmit;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skb(flow: FlowId, seq: u64, len: u32) -> RxSkb {
+        // Frame ids need an arena in real use; tests fabricate them.
+        let mut arena = hns_mem::FrameArena::new();
+        let f = arena.insert(len, 0);
+        RxSkb::from_frame(flow, seq, len, f, SimTime::ZERO, false, false)
+    }
+
+    #[test]
+    fn merge_contiguous_same_flow() {
+        let mut a = skb(1, 0, 9000);
+        let b = skb(1, 9000, 9000);
+        assert!(a.try_merge(b, 65536).is_ok());
+        assert_eq!(a.len, 18000);
+        assert_eq!(a.end(), 18000);
+        assert_eq!(a.frags.len(), 2);
+    }
+
+    #[test]
+    fn merge_rejects_gap() {
+        let mut a = skb(1, 0, 9000);
+        let b = skb(1, 18000, 9000);
+        assert!(a.try_merge(b, 65536).is_err());
+        assert_eq!(a.len, 9000);
+    }
+
+    #[test]
+    fn merge_rejects_other_flow() {
+        let mut a = skb(1, 0, 9000);
+        let b = skb(2, 9000, 9000);
+        assert!(a.try_merge(b, 65536).is_err());
+    }
+
+    #[test]
+    fn merge_respects_frag_limit() {
+        let mut arena = hns_mem::FrameArena::new();
+        let f = arena.insert(1448, 0);
+        let mut a = RxSkb::from_frame(1, 0, 1448, f, SimTime::ZERO, false, false);
+        for i in 1..MAX_SKB_FRAGS as u64 {
+            let g = arena.insert(1448, 0);
+            let b = RxSkb::from_frame(1, i * 1448, 1448, g, SimTime::ZERO, false, false);
+            assert!(a.try_merge(b, 65536).is_ok(), "frag {i} should fit");
+        }
+        let g = arena.insert(1448, 0);
+        let b = RxSkb::from_frame(
+            1,
+            MAX_SKB_FRAGS as u64 * 1448,
+            1448,
+            g,
+            SimTime::ZERO,
+            false,
+            false,
+        );
+        assert!(a.try_merge(b, 65536).is_err(), "18th frag must be rejected");
+        assert_eq!(a.frags.len(), MAX_SKB_FRAGS);
+    }
+
+    #[test]
+    fn merge_respects_cap() {
+        let mut a = skb(1, 0, 60_000);
+        let b = skb(1, 60_000, 9_000);
+        assert!(a.try_merge(b, 65_536).is_err(), "would exceed 64KB");
+    }
+
+    #[test]
+    fn merge_propagates_flags() {
+        let mut arena = hns_mem::FrameArena::new();
+        let f1 = arena.insert(100, 0);
+        let f2 = arena.insert(100, 0);
+        let mut a = RxSkb::from_frame(1, 0, 100, f1, SimTime::ZERO, false, false);
+        let b = RxSkb::from_frame(1, 100, 100, f2, SimTime::ZERO, true, true);
+        a.try_merge(b, 65536).unwrap();
+        assert!(a.ce);
+        assert!(a.retransmit);
+    }
+}

@@ -1,0 +1,1328 @@
+//! The simulation world: two hosts, one wire, and the event loop that
+//! drives every pipeline stage of the paper's Fig. 1.
+//!
+//! # Execution model
+//!
+//! Cores execute *steps*: a step is one scheduling quantum of a context
+//! (one NAPI sub-batch for the softirq, one syscall's worth of work for an
+//! application thread). `Dispatch` picks the next context via
+//! [`hns_sched::Scheduler`], executes its step immediately (mutating world
+//! state and charging cycles), and schedules `StepDone` after the step's
+//! simulated duration; `StepDone` requeues or blocks the context and
+//! dispatches again. All side effects apply at step start; the step's
+//! cycle cost is what occupies the core.
+//!
+//! Packets move as whole frames: the sender path enqueues post-TSO frames
+//! on the NIC [`TxArbiter`]; `TxDrain` serializes them onto the [`Link`];
+//! `FrameArrive` lands them in an Rx descriptor, DMAs them (into the DCA
+//! cache when eligible), and raises an IRQ subject to NAPI masking.
+
+use hns_mem::numa::MemClass;
+use hns_mem::pages_for;
+use hns_metrics::{Category, LatencyStats, Report, SideReport};
+use hns_nic::link::TransmitOutcome;
+use hns_nic::tso;
+use hns_nic::{Link, TxArbiter};
+use hns_proto::{FlowId, Segment, SegmentKind, HEADER_BYTES};
+use hns_sched::Task;
+use hns_sim::{cycles_to_time, Duration, EventQueue, SimTime};
+
+use crate::app::{AppInstance, AppSpec};
+use crate::config::SimConfig;
+use crate::costs::CostModel;
+use crate::flow::{Flow, FlowSpec};
+use crate::host::{Host, PendingFrame};
+use crate::skb::RxSkb;
+
+/// Simulation events.
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// Try to run something on (host, core).
+    Dispatch { host: u8, core: u16 },
+    /// The running step on (host, core) completed.
+    StepDone { host: u8, core: u16 },
+    /// The NIC of `host` pulls the next frame from its Tx queues.
+    TxDrain { host: u8 },
+    /// A frame arrives at the NIC of `dst`.
+    FrameArrive { dst: u8, seg: Segment },
+    /// IRQ delivery to (host, core).
+    Irq { host: u8, core: u16 },
+    /// Retransmission timer check for a flow.
+    Rto { flow: u32, deadline: SimTime },
+    /// BBR pacing timer fired for a flow.
+    PacerFire { flow: u32 },
+    /// An open-loop client's next Poisson request arrival.
+    OpenLoopArrival { app: u32 },
+    /// Periodic receive-buffer auto-tuning + housekeeping.
+    AutotuneTick,
+    /// Warmup over: reset measurement state.
+    EndWarmup,
+    /// Measurement over: stop.
+    EndRun,
+}
+
+/// Interval of the auto-tuning / housekeeping tick.
+const AUTOTUNE_INTERVAL: Duration = Duration::from_millis(1);
+
+/// Charges accumulated by one step. Thin wrapper so call sites read well.
+#[derive(Default)]
+struct Charges(hns_metrics::CycleBreakdown);
+
+impl Charges {
+    #[inline]
+    fn add(&mut self, cat: Category, cycles: u64) {
+        self.0.charge(cat, cycles);
+    }
+
+    fn total(&self) -> u64 {
+        self.0.total()
+    }
+}
+
+/// The assembled simulation.
+pub struct World {
+    /// Experiment configuration.
+    pub cfg: SimConfig,
+    /// Cycle-cost model.
+    pub cost: CostModel,
+    queue: EventQueue<Event>,
+    hosts: Vec<Host>,
+    link: Link,
+    arbiters: Vec<TxArbiter<Segment>>,
+    /// All flows, indexed by [`FlowId`].
+    pub flows: Vec<Flow>,
+    /// All applications.
+    pub apps: Vec<AppInstance>,
+    measuring: bool,
+    window_start: SimTime,
+    /// Client-observed RPC round-trip latencies (ns).
+    rpc_latency_ns: hns_sim::Histogram,
+    /// Workload randomness (open-loop inter-arrivals).
+    workload_rng: hns_sim::SimRng,
+    /// Bytes delivered since the last timeline sample.
+    tick_bytes: u64,
+    /// Aggregate throughput timeline, sampled each autotune tick.
+    gbps_timeline: Vec<(f64, f64)>,
+    finished: bool,
+    wire_drop_baseline: u64,
+    ring_drop_baseline: u64,
+    label: String,
+}
+
+impl World {
+    /// Build an empty world from a configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        let cores = cfg.topology.total_cores() as usize;
+        World {
+            cost: CostModel::calibrated(),
+            queue: EventQueue::new(),
+            hosts: vec![Host::new(0, &cfg), Host::new(1, &cfg)],
+            link: Link::new(cfg.link, cfg.seed),
+            arbiters: vec![
+                TxArbiter::new(cores, u64::MAX),
+                TxArbiter::new(cores, u64::MAX),
+            ],
+            flows: Vec::new(),
+            apps: Vec::new(),
+            measuring: false,
+            window_start: SimTime::ZERO,
+            rpc_latency_ns: hns_sim::Histogram::new(),
+            workload_rng: hns_sim::SimRng::new(cfg.seed ^ 0x0411),
+            tick_bytes: 0,
+            gbps_timeline: Vec::new(),
+            finished: false,
+            wire_drop_baseline: 0,
+            ring_drop_baseline: 0,
+            label: String::new(),
+            cfg,
+        }
+    }
+
+    /// Label carried into the report.
+    pub fn set_label(&mut self, label: impl Into<String>) {
+        self.label = label.into();
+    }
+
+    /// Register a flow. Returns its id.
+    pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
+        let id = self.flows.len() as FlowId;
+        let flow = Flow::new(id, spec, &self.cfg, id as u16);
+        let node = self.cfg.topology.node_of(spec.src_core);
+        self.hosts[spec.src_host].node_sender_flows[node as usize] += 1;
+        self.flows.push(flow);
+        id
+    }
+
+    /// Register an application on (host, core). Returns its index.
+    pub fn add_app(&mut self, host: usize, core: u16, spec: AppSpec) -> usize {
+        let tid = self.hosts[host].sched.add_thread(core);
+        let app = AppInstance::new(spec, host, core, tid);
+        for f in app.read_flows() {
+            self.flows[f as usize].reader_tid = Some(tid);
+        }
+        for f in app.write_flows() {
+            self.flows[f as usize].writer_tid = Some(tid);
+        }
+        debug_assert_eq!(self.hosts[host].thread_app.len(), tid as usize);
+        self.hosts[host].thread_app.push(self.apps.len());
+        self.apps.push(app);
+        self.apps.len() - 1
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Run the simulation: `warmup` to reach steady state (measurements
+    /// discarded), then a `measure` window. Returns the report.
+    pub fn run(&mut self, warmup: Duration, measure: Duration) -> Report {
+        self.queue
+            .schedule(SimTime::ZERO + warmup, Event::EndWarmup);
+        self.queue
+            .schedule(SimTime::ZERO + warmup + measure, Event::EndRun);
+        self.queue
+            .schedule(SimTime::ZERO + AUTOTUNE_INTERVAL, Event::AutotuneTick);
+
+        // Arm open-loop arrival processes.
+        for i in 0..self.apps.len() {
+            if let AppSpec::OpenLoopClient {
+                mean_interarrival_ns,
+                ..
+            } = self.apps[i].spec
+            {
+                let first = self.workload_rng.exp(mean_interarrival_ns as f64) as u64;
+                self.queue.schedule(
+                    SimTime::ZERO + Duration::from_nanos(first),
+                    Event::OpenLoopArrival { app: i as u32 },
+                );
+            }
+        }
+        // Kick every application awake.
+        for i in 0..self.apps.len() {
+            let (host, tid) = (self.apps[i].host, self.apps[i].tid);
+            self.hosts[host].sched.wake_thread(tid);
+            let core = self.apps[i].core;
+            self.queue.schedule(
+                SimTime::ZERO,
+                Event::Dispatch {
+                    host: host as u8,
+                    core,
+                },
+            );
+        }
+
+        while !self.finished {
+            match self.queue.pop() {
+                Some((_, ev)) => self.handle(ev),
+                None => break, // deadlock-free exhaustion (tests)
+            }
+        }
+        self.build_report()
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Dispatch { host, core } => self.dispatch(host as usize, core as usize),
+            Event::StepDone { host, core } => self.step_done(host as usize, core as usize),
+            Event::TxDrain { host } => self.tx_drain(host as usize),
+            Event::FrameArrive { dst, seg } => self.frame_arrive(dst as usize, seg),
+            Event::Irq { host, core } => {
+                let h = host as usize;
+                if self.hosts[h].sched.raise_softirq(core as usize) {
+                    self.dispatch(h, core as usize);
+                }
+            }
+            Event::Rto { flow, deadline } => self.handle_rto(flow as usize, deadline),
+            Event::PacerFire { flow } => self.pacer_fire(flow as usize),
+            Event::OpenLoopArrival { app } => self.open_loop_arrival(app as usize),
+            Event::AutotuneTick => self.autotune_tick(),
+            Event::EndWarmup => self.end_warmup(),
+            Event::EndRun => self.finished = true,
+        }
+    }
+
+    fn dispatch(&mut self, h: usize, core: usize) {
+        if self.hosts[h].sched.running(core).is_some() {
+            return; // busy; StepDone will redispatch
+        }
+        let picked = match self.hosts[h].sched.pick(core) {
+            Some(p) => p,
+            None => return, // idle
+        };
+        let mut charges = Charges::default();
+        if picked.switched {
+            charges.add(Category::Sched, self.cost.context_switch);
+        }
+        let runnable = match picked.task {
+            Task::Softirq => self.exec_softirq(h, core, &mut charges),
+            Task::Thread(tid) => self.exec_app(h, core, tid, &mut charges),
+        };
+        let cd = &mut self.hosts[h].cores[core];
+        cd.pending_runnable = runnable;
+        cd.breakdown += charges.0;
+        let span = cycles_to_time(charges.total());
+        cd.usage.add_busy(span);
+        self.queue.schedule_after(
+            span,
+            Event::StepDone {
+                host: h as u8,
+                core: core as u16,
+            },
+        );
+    }
+
+    fn step_done(&mut self, h: usize, core: usize) {
+        let running = self.hosts[h].sched.running(core);
+        let runnable = match running {
+            Some(Task::Softirq) => {
+                let cd = &self.hosts[h].cores[core];
+                let more = !cd.backlog.is_empty() || !cd.pacer_ready.is_empty();
+                if !more {
+                    self.hosts[h].coalescer.napi_complete(core);
+                }
+                more
+            }
+            Some(Task::Thread(_)) => self.hosts[h].cores[core].pending_runnable,
+            None => return,
+        };
+        self.hosts[h].sched.step_done(core, runnable);
+        self.dispatch(h, core);
+    }
+
+    // ------------------------------------------------------------------
+    // Softirq: NAPI polling, GRO, TCP/IP rx, ACK rx
+    // ------------------------------------------------------------------
+
+    fn exec_softirq(&mut self, h: usize, core: usize, ch: &mut Charges) -> bool {
+        let now = self.queue.now();
+
+        // Hard-IRQ handler work accumulated since the last step.
+        let irqs = std::mem::take(&mut self.hosts[h].cores[core].irqs_pending);
+        if irqs > 0 {
+            ch.add(Category::Etc, self.cost.irq_handler * irqs as u64);
+        }
+
+        // BBR pacer releases queued on this core.
+        while let Some(fid) = self.hosts[h].cores[core].pacer_ready.pop_front() {
+            ch.add(Category::Sched, self.cost.pacer_fire);
+            self.paced_release(fid as usize, ch);
+        }
+
+        // NAPI poll: one sub-batch of frames.
+        let batch = self
+            .cfg
+            .napi_batch
+            .min(self.hosts[h].cores[core].backlog.len() as u32);
+        if batch > 0 {
+            ch.add(Category::NetDevice, self.cost.napi_poll);
+        }
+        let mut replenish = 0u32;
+        for _ in 0..batch {
+            let pf = self.hosts[h].cores[core]
+                .backlog
+                .pop_front()
+                .expect("batch bounded by backlog");
+            replenish += 1;
+            match pf.seg.kind {
+                SegmentKind::Ack {
+                    ack,
+                    window,
+                    ecn_echo,
+                    sack,
+                } => {
+                    ch.add(Category::NetDevice, self.cost.driver_rx_ack);
+                    ch.add(Category::TcpIp, self.cost.ack_rx);
+                    self.process_ack(pf.seg.flow as usize, ack, window, ecn_echo, sack, ch);
+                }
+                SegmentKind::Data {
+                    seq,
+                    len,
+                    retransmit,
+                } => {
+                    ch.add(Category::NetDevice, self.cost.driver_rx_frame);
+                    ch.add(Category::Memory, self.cost.skb_alloc);
+                    ch.add(Category::SkbMgmt, self.cost.skb_build);
+                    if self.cfg.stack.steering.software_cost() {
+                        ch.add(Category::NetDevice, self.cost.steering_sw);
+                    }
+                    let frame = pf.frame.expect("data frames carry buffers");
+                    let skb =
+                        RxSkb::from_frame(pf.seg.flow, seq, len, frame, now, pf.seg.ecn_ce, retransmit);
+                    if self.cfg.stack.gro || self.cfg.stack.lro {
+                        if !self.cfg.stack.lro {
+                            ch.add(Category::NetDevice, self.cost.gro_per_frame);
+                        }
+                        let flushed = self.hosts[h].cores[core]
+                            .gro
+                            .offer(skb, self.cfg.stack.max_aggregate);
+                        for skb in flushed {
+                            self.deliver_skb(h, core, skb, ch);
+                        }
+                    } else {
+                        self.deliver_skb(h, core, skb, ch);
+                    }
+                }
+            }
+            self.hosts[h].cores[core].budget_used += 1;
+        }
+
+        // Driver replenishes this core's Rx ring for the descriptors we
+        // consumed.
+        if replenish > 0 {
+            let added = self.hosts[h].rings[core].replenish(replenish);
+            if added > 0 {
+                let pages = pages_for(self.cfg.stack.mtu as u64) * added as u64;
+                let out = self.hosts[h].pages.alloc(core as u16, pages);
+                ch.add(
+                    Category::Memory,
+                    out.fast_pages * self.cost.page_alloc_fast
+                        + out.slow_pages * self.cost.page_alloc_slow,
+                );
+                let mapped = self.hosts[h].iommu.map(pages);
+                ch.add(Category::Memory, mapped * self.cost.iommu_map);
+            }
+        }
+
+        // End of a poll cycle: flush GRO state.
+        let cd = &mut self.hosts[h].cores[core];
+        if cd.backlog.is_empty() || cd.budget_used >= self.cfg.napi_budget {
+            cd.budget_used = 0;
+            let flushed = cd.gro.flush_all();
+            for skb in flushed {
+                self.deliver_skb(h, core, skb, ch);
+            }
+        }
+
+        let cd = &self.hosts[h].cores[core];
+        !cd.backlog.is_empty() || !cd.pacer_ready.is_empty()
+    }
+
+    /// Deliver a (possibly aggregated) skb to the TCP/IP layer and the
+    /// owning socket. Runs in softirq context on `core` of host `h`.
+    fn deliver_skb(&mut self, h: usize, core: usize, skb: RxSkb, ch: &mut Charges) {
+        let now = self.queue.now();
+        if self.measuring {
+            self.hosts[h].skb_sizes.record(skb.len as u64);
+        }
+        ch.add(
+            Category::TcpIp,
+            self.cost.tcp_rx_cycles(skb.len) + self.cost.rx_queue_ops,
+        );
+        let fid = skb.flow as usize;
+        let contended = {
+            let f = &self.flows[fid];
+            f.irq_core != f.spec.dst_core
+        };
+        ch.add(
+            Category::Lock,
+            self.cost.sock_lock + if contended { self.cost.sock_lock_contended } else { 0 },
+        );
+
+        let (delivered, duplicate, ooo, ack) = {
+            let f = &mut self.flows[fid];
+            let action = f.receiver.on_data(skb.seq, skb.len, skb.ce, f.rx_backlog);
+            (
+                action.delivered,
+                action.duplicate,
+                action.out_of_order,
+                action.ack,
+            )
+        };
+        ch.add(Category::TcpIp, self.cost.ack_gen);
+        if ooo {
+            ch.add(Category::TcpIp, self.cost.tcp_ofo_per_skb);
+        }
+
+        if delivered == 0 && duplicate {
+            // Wholly duplicate data: free the buffers immediately (the
+            // kernel's OFO queue coalesces/drops duplicates).
+            let frags = skb.frags.clone();
+            ch.add(Category::SkbMgmt, self.cost.skb_free);
+            self.free_frags(h, core, &frags, ch);
+        } else {
+            // In-order or out-of-order: park the skb in sequence order.
+            let f = &mut self.flows[fid];
+            f.rx_queue.push_back(skb);
+            f.rx_queue.make_contiguous().sort_by_key(|s| s.seq);
+            f.rx_backlog = f.receiver.rcv_nxt() - f.app_read_pos;
+            if delivered > 0 {
+                // Track near-zero advertised window for later updates.
+                if f.receiver.advertised_window(f.rx_backlog) < 2 * self.cfg.stack.mss() as u64 {
+                    if !f.window_closed {
+                        f.trace
+                            .record(now, crate::trace::TraceEvent::WindowClosed);
+                    }
+                    f.window_closed = true;
+                }
+                if let Some(tid) = f.reader_tid {
+                    self.wake(h, tid, ch);
+                }
+            }
+        }
+
+        if let Some(ack_seg) = ack {
+            self.enqueue_frames(h, core, ack_seg, ch);
+        }
+    }
+
+    /// Process an incoming ACK at the data sender (host `h`).
+    fn process_ack(
+        &mut self,
+        fid: usize,
+        ack: u64,
+        window: u64,
+        ecn_echo: bool,
+        sack: hns_proto::SackBlocks,
+        ch: &mut Charges,
+    ) {
+        let now = self.queue.now();
+        let h = self.flows[fid].spec.src_host;
+        let action = self.flows[fid]
+            .sender
+            .on_ack(now, ack, window, ecn_echo, &sack);
+        if self.flows[fid].trace.enabled() {
+            let f = &mut self.flows[fid];
+            let srtt_us = f.sender.srtt().map(|d| d.as_micros()).unwrap_or(0);
+            let (cwnd, in_flight) = (f.sender.cwnd(), f.sender.in_flight());
+            f.trace.sample_cwnd(now, cwnd, in_flight, srtt_us);
+            if action.fast_retransmit {
+                f.trace
+                    .record(now, crate::trace::TraceEvent::Retransmit { seq: ack });
+            }
+        }
+        if action.newly_acked > 0 {
+            // Send-buffer space freed: update warm-buffer accounting and
+            // wake a blocked writer.
+            let node = self
+                .cfg
+                .topology
+                .node_of(self.flows[fid].spec.src_core);
+            self.hosts[h].adjust_send_active(node, -(action.newly_acked as i64));
+            let can_write = self.flows[fid]
+                .sender
+                .write_capacity(self.sndbuf_for(fid))
+                >= self.cfg.write_size as u64;
+            if can_write {
+                if let Some(tid) = self.flows[fid].writer_tid {
+                    self.wake(h, tid, ch);
+                }
+            }
+        }
+        if action.fast_retransmit {
+            ch.add(Category::TcpIp, self.cost.retransmit_extra);
+        }
+        if action.try_transmit {
+            self.pump(fid, ch);
+        }
+        self.sync_rto(fid);
+    }
+
+    // ------------------------------------------------------------------
+    // Application steps
+    // ------------------------------------------------------------------
+
+    fn exec_app(&mut self, h: usize, core: usize, tid: u32, ch: &mut Charges) -> bool {
+        let app_idx = self.hosts[h].thread_app[tid as usize];
+        // Clone the lightweight spec to appease the borrow checker; RPC
+        // progress lives in `self.apps[app_idx]` and is updated in place.
+        let spec = self.apps[app_idx].spec.clone();
+        match spec {
+            AppSpec::LongSender { flow } => self.step_long_sender(flow as usize, ch),
+            AppSpec::LongReceiver { flow } => self.step_long_receiver(h, core, flow as usize, ch),
+            AppSpec::RpcClient { tx, rx, size } => {
+                self.step_rpc_client(h, core, app_idx, tx as usize, rx as usize, size, ch)
+            }
+            AppSpec::RpcServer { conns, size } => {
+                self.step_rpc_server(h, core, app_idx, &conns, size, ch)
+            }
+            AppSpec::OpenLoopClient { tx, rx, size, .. } => {
+                self.step_open_loop_client(h, core, app_idx, tx as usize, rx as usize, size, ch)
+            }
+        }
+    }
+
+    /// Effective send-buffer size for a flow: Linux autotunes `sk_sndbuf`
+    /// toward twice the congestion window (`tcp_sndbuf_expand`), capped by
+    /// `tcp_wmem[2]`. Without this, thousands of idle-ish flows would each
+    /// buffer the full static maximum and the measurement would be
+    /// dominated by buffer-fill copies that never reach the wire.
+    fn sndbuf_for(&self, fid: usize) -> u64 {
+        let floor = 2 * self.cfg.write_size as u64;
+        (2 * self.flows[fid].sender.cwnd())
+            .clamp(floor, self.cfg.stack.sndbuf)
+    }
+
+    fn step_long_sender(&mut self, fid: usize, ch: &mut Charges) -> bool {
+        let write = self.cfg.write_size as u64;
+        let cap = self.sndbuf_for(fid);
+        if self.flows[fid].sender.write_capacity(cap) < write {
+            ch.add(Category::Sched, self.cost.block);
+            return false;
+        }
+        ch.add(Category::Etc, self.cost.syscall_write);
+        self.charge_sender_copy(fid, write, ch);
+        self.flows[fid].sender.app_write(write);
+        let node = self.cfg.topology.node_of(self.flows[fid].spec.src_core);
+        let h = self.flows[fid].spec.src_host;
+        self.hosts[h].adjust_send_active(node, write as i64);
+        self.pump(fid, ch);
+        self.sync_rto(fid);
+        let again = self.flows[fid].sender.write_capacity(self.sndbuf_for(fid)) >= write;
+        if !again {
+            ch.add(Category::Sched, self.cost.block);
+        }
+        again
+    }
+
+    /// Fixed L3 working-set footprint per sending flow beyond its unacked
+    /// buffer bytes: the application's user send buffer plus skb metadata
+    /// and page churn. Calibrated so 24 outcast flows reach the paper's
+    /// ~11% sender miss rate (Fig. 7c).
+    const SENDER_FLOW_FOOTPRINT: u64 = 576 * 1024;
+
+    /// Charge the user→kernel transfer of `bytes`: a payload copy through
+    /// the statistical sender L3 model, or — with `MSG_ZEROCOPY` (§4) —
+    /// per-page pinning plus a completion notification.
+    fn charge_sender_copy(&mut self, fid: usize, bytes: u64, ch: &mut Charges) {
+        if self.cfg.stack.zerocopy_tx {
+            let pages = pages_for(bytes);
+            ch.add(Category::Memory, pages * self.cost.zc_tx_pin_page);
+            ch.add(Category::Etc, self.cost.zc_tx_completion);
+            return;
+        }
+        let f = &self.flows[fid];
+        let h = f.spec.src_host;
+        let node = self.cfg.topology.node_of(f.spec.src_core);
+        let active = self.hosts[h].send_active(node)
+            + self.hosts[h].node_sender_flows[node as usize] as u64
+                * Self::SENDER_FLOW_FOOTPRINT;
+        let miss = self.hosts[h].sender_l3.miss_rate(active);
+        ch.add(Category::DataCopy, self.cost.sender_copy_cycles(bytes, miss));
+        if self.measuring {
+            let miss_bytes = (bytes as f64 * miss) as u64;
+            self.hosts[h].tx_copy_cache.miss_bytes += miss_bytes;
+            self.hosts[h].tx_copy_cache.hit_bytes += bytes - miss_bytes;
+        }
+    }
+
+    fn step_long_receiver(&mut self, h: usize, core: usize, fid: usize, ch: &mut Charges) -> bool {
+        if !self.readable(fid) {
+            ch.add(Category::Sched, self.cost.block);
+            return false;
+        }
+        ch.add(Category::Etc, self.cost.syscall_recv);
+        ch.add(Category::Lock, self.cost.sock_lock);
+        let copied = self.copy_from_socket(h, core, fid, self.cfg.recv_size as u64, ch);
+        self.after_app_copy(h, core, fid, copied, ch);
+        let again = self.readable(fid);
+        if !again {
+            ch.add(Category::Sched, self.cost.block);
+        }
+        again
+    }
+
+    /// Copy up to `budget` in-order bytes from the socket queue to the
+    /// application; returns bytes copied. Charges per-frag copy costs by
+    /// residency and frees the DMA buffers.
+    fn copy_from_socket(
+        &mut self,
+        h: usize,
+        core: usize,
+        fid: usize,
+        budget: u64,
+        ch: &mut Charges,
+    ) -> u64 {
+        let now = self.queue.now();
+        let mut copied = 0u64;
+        loop {
+            let (skb, lat_sample, effective) = {
+                let f = &mut self.flows[fid];
+                let rcv_nxt = f.receiver.rcv_nxt();
+                match f.rx_queue.front() {
+                    Some(s) if s.end() <= rcv_nxt && copied < budget => {
+                        let skb = f.rx_queue.pop_front().expect("front exists");
+                        // Only the overlap with [app_read_pos, rcv_nxt)
+                        // counts as new bytes — overlapping retransmits
+                        // never double-count.
+                        let lo = skb.seq.max(f.app_read_pos);
+                        let hi = skb.end().min(rcv_nxt);
+                        let effective = hi.saturating_sub(lo);
+                        f.app_read_pos = f.app_read_pos.max(hi);
+                        let lat = now.since(skb.napi_ts);
+                        (skb, lat, effective)
+                    }
+                    _ => break,
+                }
+            };
+            if self.measuring {
+                self.hosts[h].napi_to_copy_ns.record(lat_sample.as_nanos());
+            }
+            self.flows[fid].sample_host_latency(lat_sample);
+            ch.add(Category::SkbMgmt, self.cost.skb_free);
+            let frags = skb.frags.clone();
+            if effective > 0 && self.cfg.stack.zerocopy_rx {
+                // TCP mmap receive (§4): remap the pages instead of
+                // copying the payload. Cache residency becomes moot.
+                let pages = pages_for(effective);
+                ch.add(Category::Memory, pages * self.cost.zc_rx_remap_page);
+            } else if effective > 0 {
+                // Copy cost per fragment, by where the bytes are.
+                let app_node = self.cfg.topology.node_of(core as u16);
+                for &fr in &frags {
+                    let host = &mut self.hosts[h];
+                    let bytes = host.arena.bytes(fr);
+                    let resident = host.dca.probe_copy(&host.arena, fr);
+                    let class = self
+                        .cfg
+                        .topology
+                        .classify(app_node, self.hosts[h].arena.node(fr), resident);
+                    ch.add(Category::DataCopy, self.cost.copy_cycles(class, bytes));
+                    if self.measuring {
+                        if class == MemClass::DcaHit {
+                            self.hosts[h].rx_copy_cache.hit_bytes += bytes;
+                        } else {
+                            self.hosts[h].rx_copy_cache.miss_bytes += bytes;
+                        }
+                    }
+                }
+            }
+            self.free_frags(h, core, &frags, ch);
+            copied += effective;
+        }
+        copied
+    }
+
+    /// Post-copy socket bookkeeping shared by all reading apps.
+    fn after_app_copy(&mut self, h: usize, core: usize, fid: usize, copied: u64, ch: &mut Charges) {
+        if copied == 0 {
+            return;
+        }
+        let mss = self.cfg.stack.mss() as u64;
+        let f = &mut self.flows[fid];
+        f.rx_backlog = f.receiver.rcv_nxt() - f.app_read_pos;
+        if self.measuring {
+            f.app_bytes += copied;
+            self.tick_bytes += copied;
+        }
+        f.copied_since_tick += copied;
+        // Re-open a closed window explicitly.
+        if f.window_closed && f.receiver.advertised_window(f.rx_backlog) >= 2 * mss {
+            f.window_closed = false;
+            let upd = f.receiver.window_update(f.rx_backlog);
+            f.trace.record(
+                self.queue.now(),
+                crate::trace::TraceEvent::WindowReopened,
+            );
+            ch.add(Category::TcpIp, self.cost.ack_gen);
+            self.enqueue_frames(h, core, upd, ch);
+        }
+    }
+
+    /// Release DMA buffers: DCA reclaim, page free, IOMMU unmap.
+    fn free_frags(&mut self, h: usize, core: usize, frags: &[hns_mem::FrameId], ch: &mut Charges) {
+        let core_node = self.cfg.topology.node_of(core as u16);
+        for &fr in frags {
+            let node = self.hosts[h].arena.node(fr);
+            let bytes = self.hosts[h].arena.release(fr);
+            let pages = pages_for(bytes.max(1));
+            let out = self.hosts[h].pages.free(core as u16, pages, node == core_node);
+            ch.add(
+                Category::Memory,
+                out.fast_pages * self.cost.page_free_fast
+                    + out.slow_pages * self.cost.page_free_slow,
+            );
+            let unmapped = self.hosts[h].iommu.unmap(pages);
+            ch.add(Category::Memory, unmapped * self.cost.iommu_unmap);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the syscall surface
+    fn step_rpc_client(
+        &mut self,
+        h: usize,
+        core: usize,
+        app_idx: usize,
+        tx: usize,
+        rx: usize,
+        size: u32,
+        ch: &mut Charges,
+    ) -> bool {
+        if self.apps[app_idx].awaiting_response {
+            // Drain whatever response bytes have arrived.
+            if !self.readable(rx) {
+                ch.add(Category::Sched, self.cost.block);
+                return false;
+            }
+            ch.add(Category::Etc, self.cost.syscall_recv);
+            ch.add(Category::Lock, self.cost.sock_lock);
+            let copied = self.copy_from_socket(h, core, rx, u64::MAX, ch);
+            self.after_app_copy(h, core, rx, copied, ch);
+            self.apps[app_idx].rpc[0].received += copied;
+            if self.apps[app_idx].rpc[0].received >= size as u64 {
+                self.apps[app_idx].rpc[0].received -= size as u64;
+                self.apps[app_idx].rpc[0].completed += 1;
+                if self.measuring {
+                    self.apps[app_idx].completions += 1;
+                    let rtt = self.queue.now().since(self.apps[app_idx].sent_at);
+                    self.rpc_latency_ns.record(rtt.as_nanos());
+                }
+                self.apps[app_idx].awaiting_response = false;
+                return true; // immediately send the next request
+            }
+            ch.add(Category::Sched, self.cost.block);
+            return false;
+        }
+        // Send the next request.
+        self.apps[app_idx].sent_at = self.queue.now();
+        ch.add(Category::Etc, self.cost.syscall_write);
+        self.charge_sender_copy(tx, size as u64, ch);
+        self.flows[tx].sender.app_write(size as u64);
+        let node = self.cfg.topology.node_of(self.flows[tx].spec.src_core);
+        self.hosts[h].adjust_send_active(node, size as i64);
+        self.pump(tx, ch);
+        self.sync_rto(tx);
+        self.apps[app_idx].awaiting_response = true;
+        // Block until the response wakes us (unless it's somehow already
+        // here).
+        if self.readable(rx) {
+            return true;
+        }
+        ch.add(Category::Sched, self.cost.block);
+        false
+    }
+
+    fn step_rpc_server(
+        &mut self,
+        h: usize,
+        core: usize,
+        app_idx: usize,
+        conns: &[(FlowId, FlowId)],
+        size: u32,
+        ch: &mut Charges,
+    ) -> bool {
+        // Epoll-style service: one wakeup drains every ready connection
+        // (round-robin start for fairness).
+        let n = conns.len();
+        let start = self.apps[app_idx].next_conn;
+        let mut served = false;
+        for i in 0..n {
+            let ci = (start + i) % n;
+            let (rx, tx) = (conns[ci].0 as usize, conns[ci].1 as usize);
+            if !self.readable(rx) {
+                continue;
+            }
+            ch.add(Category::Etc, self.cost.syscall_recv);
+            ch.add(Category::Lock, self.cost.sock_lock);
+            let copied = self.copy_from_socket(h, core, rx, u64::MAX, ch);
+            self.after_app_copy(h, core, rx, copied, ch);
+            self.apps[app_idx].rpc[ci].received += copied;
+            while self.apps[app_idx].rpc[ci].received >= size as u64 {
+                self.apps[app_idx].rpc[ci].received -= size as u64;
+                // Write the response.
+                ch.add(Category::Etc, self.cost.syscall_write);
+                self.charge_sender_copy(tx, size as u64, ch);
+                self.flows[tx].sender.app_write(size as u64);
+                let node = self.cfg.topology.node_of(self.flows[tx].spec.src_core);
+                self.hosts[h].adjust_send_active(node, size as i64);
+                self.pump(tx, ch);
+                self.sync_rto(tx);
+                self.apps[app_idx].rpc[ci].completed += 1;
+                if self.measuring {
+                    self.apps[app_idx].completions += 1;
+                }
+            }
+            served = true;
+        }
+        self.apps[app_idx].next_conn = (start + 1) % n.max(1);
+        if !served {
+            ch.add(Category::Sched, self.cost.block);
+            return false;
+        }
+        // Stay runnable if any connection already has more data.
+        let again = conns.iter().any(|&(rx, _)| self.readable(rx as usize));
+        if !again {
+            ch.add(Category::Sched, self.cost.block);
+        }
+        again
+    }
+
+    /// An open-loop request arrived: queue it, wake the client, schedule
+    /// the next arrival.
+    fn open_loop_arrival(&mut self, app_idx: usize) {
+        let mean = match self.apps[app_idx].spec {
+            AppSpec::OpenLoopClient {
+                mean_interarrival_ns,
+                ..
+            } => mean_interarrival_ns,
+            _ => return,
+        };
+        self.apps[app_idx].pending_arrivals += 1;
+        let (h, tid) = (self.apps[app_idx].host, self.apps[app_idx].tid);
+        let mut ch = Charges::default();
+        self.wake(h, tid, &mut ch);
+        // Arrival-process overhead (timer) charged to the client's core.
+        let core = self.apps[app_idx].core as usize;
+        let cd = &mut self.hosts[h].cores[core];
+        cd.breakdown += ch.0;
+        cd.usage.add_busy(cycles_to_time(ch.total()));
+        let gap = self.workload_rng.exp(mean as f64) as u64;
+        self.queue.schedule_after(
+            Duration::from_nanos(gap.max(1)),
+            Event::OpenLoopArrival {
+                app: app_idx as u32,
+            },
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the syscall surface
+    fn step_open_loop_client(
+        &mut self,
+        h: usize,
+        core: usize,
+        app_idx: usize,
+        tx: usize,
+        rx: usize,
+        size: u32,
+        ch: &mut Charges,
+    ) -> bool {
+        let mut progressed = false;
+        // Drain any response bytes first.
+        if self.readable(rx) {
+            ch.add(Category::Etc, self.cost.syscall_recv);
+            ch.add(Category::Lock, self.cost.sock_lock);
+            let copied = self.copy_from_socket(h, core, rx, u64::MAX, ch);
+            self.after_app_copy(h, core, rx, copied, ch);
+            self.apps[app_idx].rpc[0].received += copied;
+            while self.apps[app_idx].rpc[0].received >= size as u64 {
+                self.apps[app_idx].rpc[0].received -= size as u64;
+                self.apps[app_idx].rpc[0].completed += 1;
+                if let Some(sent) = self.apps[app_idx].outstanding.pop_front() {
+                    if self.measuring {
+                        self.apps[app_idx].completions += 1;
+                        let rtt = self.queue.now().since(sent);
+                        self.rpc_latency_ns.record(rtt.as_nanos());
+                    }
+                }
+            }
+            progressed = true;
+        }
+        // Write one queued request per step (fine-grained fairness).
+        if self.apps[app_idx].pending_arrivals > 0 {
+            self.apps[app_idx].pending_arrivals -= 1;
+            self.apps[app_idx]
+                .outstanding
+                .push_back(self.queue.now());
+            ch.add(Category::Etc, self.cost.syscall_write);
+            self.charge_sender_copy(tx, size as u64, ch);
+            self.flows[tx].sender.app_write(size as u64);
+            let node = self.cfg.topology.node_of(self.flows[tx].spec.src_core);
+            self.hosts[h].adjust_send_active(node, size as i64);
+            self.pump(tx, ch);
+            self.sync_rto(tx);
+            progressed = true;
+        }
+        if !progressed {
+            ch.add(Category::Sched, self.cost.block);
+            return false;
+        }
+        let again = self.apps[app_idx].pending_arrivals > 0 || self.readable(rx);
+        if !again {
+            ch.add(Category::Sched, self.cost.block);
+        }
+        again
+    }
+
+    /// True if the flow's socket has in-order data ready for the app.
+    fn readable(&self, fid: usize) -> bool {
+        let f = &self.flows[fid];
+        f.rx_queue
+            .front()
+            .map(|s| s.end() <= f.receiver.rcv_nxt())
+            .unwrap_or(false)
+    }
+
+    // ------------------------------------------------------------------
+    // Transmission path
+    // ------------------------------------------------------------------
+
+    /// Pump as much of `fid`'s send queue into the NIC as the windows
+    /// allow. BBR flows arm the pacer instead.
+    fn pump(&mut self, fid: usize, ch: &mut Charges) {
+        if self.flows[fid].sender.pacing_rate().is_some() {
+            self.arm_pacer(fid);
+            return;
+        }
+        loop {
+            if !self.transmit_one(fid, ch) {
+                break;
+            }
+        }
+    }
+
+    /// Emit one (TSO-sized) segment. Returns false when nothing was
+    /// sendable.
+    fn transmit_one(&mut self, fid: usize, ch: &mut Charges) -> bool {
+        let now = self.queue.now();
+        let max = self.cfg.stack.max_tx_payload();
+        let seg = match self.flows[fid].sender.next_segment(now, max) {
+            Some(s) => s,
+            None => return false,
+        };
+        let (seq0, len, rtx) = match seg.kind {
+            SegmentKind::Data {
+                seq,
+                len,
+                retransmit,
+            } => (seq, len, retransmit),
+            _ => unreachable!("senders emit data"),
+        };
+        ch.add(
+            Category::TcpIp,
+            self.cost.tcp_tx_cycles(len) + if rtx { self.cost.retransmit_extra } else { 0 },
+        );
+        ch.add(Category::Memory, self.cost.skb_alloc_tx);
+        ch.add(Category::SkbMgmt, self.cost.skb_build_tx);
+
+        let mss = self.cfg.stack.mss();
+        let software_gso = !self.cfg.stack.tso && self.cfg.stack.gso;
+        let nframes = tso::frame_count(len, mss) as u64;
+        ch.add(Category::NetDevice, self.cost.qdisc_tx_cycles(nframes));
+        if software_gso {
+            ch.add(Category::NetDevice, self.cost.gso_per_frame * nframes);
+        }
+        let h = self.flows[fid].spec.src_host;
+        let queue = self.flows[fid].spec.src_core as usize;
+        let mut off = 0u64;
+        for flen in tso::segment(len, mss) {
+            let frame_seg = Segment::data(fid as FlowId, seq0 + off, flen, rtx);
+            let ok = self.arbiters[h].enqueue(queue, flen, frame_seg);
+            debug_assert!(ok, "tx queues are unbounded");
+            off += flen as u64;
+        }
+        self.arm_txdrain(h);
+        true
+    }
+
+    fn arm_txdrain(&mut self, h: usize) {
+        if !self.hosts[h].txdrain_armed && !self.arbiters[h].is_empty() {
+            self.hosts[h].txdrain_armed = true;
+            let at = self.link.next_free(h).max(self.queue.now());
+            self.queue.schedule(at, Event::TxDrain { host: h as u8 });
+        }
+    }
+
+    /// Enqueue an already-built control segment (ACK / window update) for
+    /// transmission from (host, core).
+    fn enqueue_frames(&mut self, h: usize, core: usize, seg: Segment, _ch: &mut Charges) {
+        let ok = self.arbiters[h].enqueue(core, seg.payload_len(), seg);
+        debug_assert!(ok);
+        self.arm_txdrain(h);
+    }
+
+    fn tx_drain(&mut self, h: usize) {
+        let now = self.queue.now();
+        match self.arbiters[h].dequeue() {
+            Some((payload, seg)) => {
+                let wire = payload as u64 + HEADER_BYTES as u64;
+                match self.link.transmit(h, now, wire) {
+                    TransmitOutcome::Delivered { arrives, ce } => {
+                        let mut seg = seg;
+                        seg.ecn_ce |= ce;
+                        self.queue.schedule(
+                            arrives,
+                            Event::FrameArrive {
+                                dst: (1 - h) as u8,
+                                seg,
+                            },
+                        );
+                    }
+                    TransmitOutcome::Dropped => {}
+                }
+                if self.arbiters[h].is_empty() {
+                    self.hosts[h].txdrain_armed = false;
+                } else {
+                    let at = self.link.next_free(h).max(now);
+                    self.queue.schedule(at, Event::TxDrain { host: h as u8 });
+                }
+            }
+            None => {
+                self.hosts[h].txdrain_armed = false;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // NIC receive path
+    // ------------------------------------------------------------------
+
+    fn frame_arrive(&mut self, dst: usize, seg: Segment) {
+        let now = self.queue.now();
+        let fid = seg.flow as usize;
+        // Steering decides the queue; the frame consumes a descriptor of
+        // *that queue's* ring.
+        let target_core = match seg.kind {
+            SegmentKind::Data { .. } => self.flows[fid].irq_core,
+            SegmentKind::Ack { .. } => self.flows[fid].ack_irq_core,
+        };
+        if !self.hosts[dst].rings[target_core as usize].try_receive() {
+            return; // queue out of descriptors: dropped, TCP recovers
+        }
+        let (core, frame) = match seg.kind {
+            SegmentKind::Data { len, .. } => {
+                let core = self.flows[fid].irq_core;
+                let node = self.cfg.topology.node_of(core);
+                let host = &mut self.hosts[dst];
+                let fr = host.arena.insert(len, node);
+                if node == self.cfg.topology.nic_node {
+                    host.dca.insert(&mut host.arena, fr);
+                }
+                (core, Some(fr))
+            }
+            SegmentKind::Ack { .. } => (self.flows[fid].ack_irq_core, None),
+        };
+        let host = &mut self.hosts[dst];
+        host.cores[core as usize].backlog.push_back(PendingFrame {
+            seg,
+            frame,
+            arrived: now,
+        });
+        if host.coalescer.frame_arrived(core as usize) {
+            host.cores[core as usize].irqs_pending += 1;
+            self.queue.schedule(
+                now + self.cfg.irq_latency + self.cfg.irq_coalesce,
+                Event::Irq {
+                    host: dst as u8,
+                    core,
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// Keep the event queue's RTO timer in sync with the sender's
+    /// deadline.
+    fn sync_rto(&mut self, fid: usize) {
+        let desired = self.flows[fid].sender.rto_deadline();
+        if desired == self.flows[fid].rto_scheduled_for {
+            return;
+        }
+        let token = self.flows[fid].rto_token;
+        self.queue.cancel(token);
+        self.flows[fid].rto_scheduled_for = desired;
+        self.flows[fid].rto_token = match desired {
+            Some(t) => self.queue.schedule(
+                t.max(self.queue.now()),
+                Event::Rto {
+                    flow: fid as u32,
+                    deadline: t,
+                },
+            ),
+            None => hns_sim::event::EventToken::NONE,
+        };
+    }
+
+    fn handle_rto(&mut self, fid: usize, deadline: SimTime) {
+        if self.flows[fid].rto_scheduled_for != Some(deadline) {
+            return; // stale timer
+        }
+        let now = self.queue.now();
+        self.flows[fid].rto_scheduled_for = None;
+        self.flows[fid].sender.on_rto(now);
+        self.flows[fid]
+            .trace
+            .record(now, crate::trace::TraceEvent::TimerFired);
+        // Timer softirq work: charge to the sender's app core directly
+        // (rare enough that we don't occupy the scheduler).
+        let h = self.flows[fid].spec.src_host;
+        let core = self.flows[fid].spec.src_core as usize;
+        let mut ch = Charges::default();
+        ch.add(Category::TcpIp, self.cost.retransmit_extra);
+        self.pump(fid, &mut ch);
+        self.sync_rto(fid);
+        let cd = &mut self.hosts[h].cores[core];
+        cd.breakdown += ch.0;
+        cd.usage.add_busy(cycles_to_time(ch.total()));
+    }
+
+    /// BBR pacing: arm the release timer if not armed.
+    fn arm_pacer(&mut self, fid: usize) {
+        if self.flows[fid].pacer_armed {
+            return;
+        }
+        let f = &self.flows[fid];
+        let has_work = f.sender.usable_window() > 0 && f.sender.unsent() > 0;
+        if !has_work {
+            return;
+        }
+        self.flows[fid].pacer_armed = true;
+        self.queue
+            .schedule(self.queue.now(), Event::PacerFire { flow: fid as u32 });
+    }
+
+    fn pacer_fire(&mut self, fid: usize) {
+        self.flows[fid].pacer_armed = false;
+        let h = self.flows[fid].spec.src_host;
+        let core = self.flows[fid].spec.src_core;
+        self.hosts[h].cores[core as usize]
+            .pacer_ready
+            .push_back(fid as u64);
+        if self.hosts[h].sched.raise_softirq(core as usize) {
+            self.dispatch(h, core as usize);
+        }
+    }
+
+    /// One paced release: emit a single segment, schedule the next release
+    /// by the pacing rate. Runs inside the softirq step.
+    fn paced_release(&mut self, fid: usize, ch: &mut Charges) {
+        if !self.transmit_one(fid, ch) {
+            return;
+        }
+        let f = &self.flows[fid];
+        let more = f.sender.usable_window() > 0 && f.sender.unsent() > 0;
+        if more {
+            if let Some(rate) = f.sender.pacing_rate() {
+                let burst = self.cfg.stack.max_tx_payload() as f64;
+                let gap = Duration::from_secs_f64(burst / rate.max(1.0));
+                self.flows[fid].pacer_armed = true;
+                let fire_at = self.queue.now() + gap;
+                self.queue
+                    .schedule(fire_at, Event::PacerFire { flow: fid as u32 });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Housekeeping + measurement
+    // ------------------------------------------------------------------
+
+    fn autotune_tick(&mut self) {
+        if self.measuring {
+            let t = self.queue.now().since(self.window_start).as_secs_f64();
+            let gbps =
+                self.tick_bytes as f64 * 8.0 / 1e9 / AUTOTUNE_INTERVAL.as_secs_f64();
+            self.gbps_timeline.push((t, gbps));
+            self.tick_bytes = 0;
+        }
+        let prop = self.cfg.link.propagation;
+        for f in &mut self.flows {
+            let copied = std::mem::take(&mut f.copied_since_tick);
+            let hint = f.rtt_hint(prop);
+            f.receiver
+                .autotune_mut()
+                .on_copied(copied, AUTOTUNE_INTERVAL, hint);
+        }
+        self.queue
+            .schedule_after(AUTOTUNE_INTERVAL, Event::AutotuneTick);
+    }
+
+    fn end_warmup(&mut self) {
+        let now = self.queue.now();
+        self.measuring = true;
+        self.window_start = now;
+        for h in &mut self.hosts {
+            h.reset_measurement(now);
+        }
+        for f in &mut self.flows {
+            f.app_bytes = 0;
+            f.rtx_baseline = f.sender.retransmissions;
+        }
+        for a in &mut self.apps {
+            a.completions = 0;
+        }
+        self.rpc_latency_ns.reset();
+        self.tick_bytes = 0;
+        self.gbps_timeline.clear();
+        self.wire_drop_baseline = self.link.drops(0) + self.link.drops(1);
+        self.ring_drop_baseline = self.hosts[0].ring_drops() + self.hosts[1].ring_drops();
+    }
+
+    fn build_report(&self) -> Report {
+        let now = self.queue.now();
+        let window = now.since(self.window_start).as_secs_f64();
+        let delivered: u64 = self.flows.iter().map(|f| f.app_bytes).sum();
+        let total_gbps = if window > 0.0 {
+            delivered as f64 * 8.0 / 1e9 / window
+        } else {
+            0.0
+        };
+
+        let side = |h: &Host| SideReport {
+            breakdown: h.total_breakdown(),
+            cores_used: h.cores_used(now),
+            cache: {
+                let mut c = h.rx_copy_cache;
+                c.merge(h.tx_copy_cache);
+                c
+            },
+        };
+        let sender = side(&self.hosts[0]);
+        let receiver = side(&self.hosts[1]);
+        let bottleneck_cores = sender.cores_used.max(receiver.cores_used).max(1e-9);
+
+        let lat = &self.hosts[1].napi_to_copy_ns;
+        let napi_to_copy = LatencyStats {
+            avg_us: lat.mean() / 1e3,
+            p99_us: lat.quantile(0.99) as f64 / 1e3,
+            samples: lat.count(),
+        };
+        let rpc_latency = LatencyStats {
+            avg_us: self.rpc_latency_ns.mean() / 1e3,
+            p99_us: self.rpc_latency_ns.quantile(0.99) as f64 / 1e3,
+            samples: self.rpc_latency_ns.count(),
+        };
+
+        Report {
+            label: self.label.clone(),
+            window_secs: window,
+            delivered_bytes: delivered,
+            total_gbps,
+            thpt_per_core_gbps: total_gbps / bottleneck_cores,
+            sender,
+            receiver,
+            napi_to_copy,
+            rpc_latency,
+            skb_size_hist: self.hosts[1].skb_sizes.iter_buckets().collect(),
+            avg_skb_bytes: self.hosts[1].skb_sizes.mean(),
+            wire_drops: self.link.drops(0) + self.link.drops(1) - self.wire_drop_baseline,
+            ring_drops: self.hosts[0].ring_drops() + self.hosts[1].ring_drops()
+                - self.ring_drop_baseline,
+            retransmissions: self
+                .flows
+                .iter()
+                .map(|f| f.sender.retransmissions - f.rtx_baseline)
+                .sum(),
+            rpcs_completed: self.apps.iter().map(|a| a.completions).sum(),
+            per_flow_bytes: self
+                .flows
+                .iter()
+                .map(|f| (f.id, f.app_bytes))
+                .collect(),
+            gbps_timeline: self.gbps_timeline.clone(),
+        }
+    }
+
+    /// Wake thread `tid` on host `h`, charging wakeup cost to the waker.
+    fn wake(&mut self, h: usize, tid: u32, ch: &mut Charges) {
+        if let Some(core_was_idle) = self.hosts[h].sched.wake_thread(tid) {
+            ch.add(Category::Sched, self.cost.wakeup);
+            if core_was_idle {
+                let core = self.hosts[h].sched.thread_core(tid);
+                self.queue.schedule(
+                    self.queue.now(),
+                    Event::Dispatch {
+                        host: h as u8,
+                        core,
+                    },
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! End-to-end smoke tests of the assembled world.
+
+use hns_sim::Duration;
+use hns_stack::{AppSpec, FlowSpec, SimConfig, World};
+
+fn single_flow_world(cfg: SimConfig) -> World {
+    let mut w = World::new(cfg);
+    let f = w.add_flow(FlowSpec::forward(0, 0));
+    w.add_app(0, 0, AppSpec::LongSender { flow: f });
+    w.add_app(1, 0, AppSpec::LongReceiver { flow: f });
+    w
+}
+
+#[test]
+fn single_flow_delivers_data() {
+    let mut w = single_flow_world(SimConfig::default());
+    let report = w.run(Duration::from_millis(20), Duration::from_millis(30));
+    assert!(
+        report.total_gbps > 5.0,
+        "single flow should move real data, got {:.2} Gbps",
+        report.total_gbps
+    );
+    assert!(
+        report.total_gbps < 100.0,
+        "cannot beat the wire: {:.2}",
+        report.total_gbps
+    );
+    assert!(report.delivered_bytes > 0);
+    assert_eq!(report.wire_drops, 0);
+    assert_eq!(report.retransmissions, 0, "lossless link");
+}
+
+#[test]
+fn receiver_is_the_bottleneck() {
+    let mut w = single_flow_world(SimConfig::default());
+    let report = w.run(Duration::from_millis(20), Duration::from_millis(30));
+    assert!(
+        report.receiver.cores_used > report.sender.cores_used,
+        "receiver {:.2} cores vs sender {:.2} cores",
+        report.receiver.cores_used,
+        report.sender.cores_used
+    );
+}
+
+#[test]
+fn data_copy_dominates_receiver() {
+    use hns_metrics::Category;
+    let mut w = single_flow_world(SimConfig::default());
+    let report = w.run(Duration::from_millis(20), Duration::from_millis(30));
+    let copy_frac = report.receiver.breakdown.fraction(Category::DataCopy);
+    assert!(
+        copy_frac > 0.3,
+        "data copy should dominate the receiver, got {copy_frac:.3}"
+    );
+    assert_eq!(
+        report.receiver.breakdown.dominant(),
+        Some(Category::DataCopy)
+    );
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let r1 = single_flow_world(SimConfig::default())
+        .run(Duration::from_millis(10), Duration::from_millis(10));
+    let r2 = single_flow_world(SimConfig::default())
+        .run(Duration::from_millis(10), Duration::from_millis(10));
+    assert_eq!(r1.delivered_bytes, r2.delivered_bytes);
+    assert_eq!(r1.receiver.breakdown, r2.receiver.breakdown);
+}
+
+#[test]
+fn loss_causes_retransmissions_and_lower_throughput() {
+    let clean = single_flow_world(SimConfig::default())
+        .run(Duration::from_millis(20), Duration::from_millis(30));
+    let mut cfg = SimConfig::default();
+    cfg.link.loss_rate = 0.015;
+    let lossy = single_flow_world(cfg).run(Duration::from_millis(20), Duration::from_millis(30));
+    assert!(lossy.wire_drops > 0);
+    assert!(lossy.retransmissions > 0);
+    assert!(
+        lossy.total_gbps < clean.total_gbps,
+        "loss {:.2} vs clean {:.2}",
+        lossy.total_gbps,
+        clean.total_gbps
+    );
+}
+
+#[test]
+fn rpc_ping_pong_completes() {
+    let mut w = World::new(SimConfig::default());
+    let req = w.add_flow(FlowSpec::forward(0, 0));
+    let resp = w.add_flow(FlowSpec::reverse(0, 0));
+    w.add_app(
+        0,
+        0,
+        AppSpec::RpcClient {
+            tx: req,
+            rx: resp,
+            size: 4096,
+        },
+    );
+    w.add_app(
+        1,
+        0,
+        AppSpec::RpcServer {
+            conns: vec![(req, resp)],
+            size: 4096,
+        },
+    );
+    let report = w.run(Duration::from_millis(10), Duration::from_millis(20));
+    assert!(
+        report.rpcs_completed > 100,
+        "ping-pong should turn many RPCs, got {}",
+        report.rpcs_completed
+    );
+}

@@ -1,0 +1,51 @@
+//! Use the simulator as a tuning tool: sweep the TCP receive buffer to
+//! find the DCA-aware sweet spot the kernel's auto-tuning misses
+//! (the paper's Fig. 3e/3f insight, §4 "rethinking TCP auto-tuning").
+//!
+//! Run with: `cargo run --release --example buffer_tuning`
+
+use hostnet::building_blocks::stack::config::RcvBufPolicy;
+use hostnet::{Experiment, ScenarioKind};
+
+fn main() {
+    println!(
+        "{:<12} {:>10} {:>8} {:>12} {:>12}",
+        "rcvbuf", "thpt/core", "miss", "avg_lat(us)", "p99_lat(us)"
+    );
+
+    let mut best = (0u64, 0.0f64);
+    for kb in [400u64, 800, 1600, 2400, 3200, 4800, 6400, 9600, 12800] {
+        let r = Experiment::new(ScenarioKind::Single)
+            .configure(|c| c.stack.rcvbuf = RcvBufPolicy::Fixed(kb * 1024))
+            .run();
+        println!(
+            "{:>9}KB {:>10.2} {:>7.1}% {:>12.1} {:>12.1}",
+            kb,
+            r.thpt_per_core_gbps,
+            r.receiver.cache.miss_rate() * 100.0,
+            r.napi_to_copy.avg_us,
+            r.napi_to_copy.p99_us
+        );
+        if r.thpt_per_core_gbps > best.1 {
+            best = (kb, r.thpt_per_core_gbps);
+        }
+    }
+
+    let auto = Experiment::new(ScenarioKind::Single).run();
+    println!(
+        "{:<12} {:>10.2} {:>7.1}%  (Linux DRS, grows to the 6MB cap)",
+        "auto-tuned",
+        auto.thpt_per_core_gbps,
+        auto.receiver.cache.miss_rate() * 100.0
+    );
+
+    println!(
+        "\nBest fixed buffer: {}KB at {:.2} Gbps/core — {:.0}% better than\n\
+         auto-tuning. The auto-tuner maximizes raw throughput and is blind\n\
+         to the ~3MB DDIO slice, so it overshoots the cache-friendly\n\
+         operating point exactly as the paper describes.",
+        best.0,
+        best.1,
+        (best.1 / auto.thpt_per_core_gbps - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,72 @@
+//! Trace a flow through loss: run one TCP flow over a lossy link with
+//! per-flow tracing enabled and render the congestion-window timeline —
+//! the simulator's answer to `tcp_probe`.
+//!
+//! Run with: `cargo run --release --example trace_flow`
+
+use hostnet::building_blocks::sim::Duration;
+use hostnet::building_blocks::stack::trace::TraceEvent;
+use hostnet::building_blocks::stack::{AppSpec, FlowSpec, SimConfig, World};
+
+fn main() {
+    let mut cfg = SimConfig::default();
+    cfg.link.loss_rate = 1.5e-3;
+    cfg.trace_flows = true;
+
+    let mut world = World::new(cfg);
+    let flow = world.add_flow(FlowSpec::forward(0, 0));
+    world.add_app(0, 0, AppSpec::LongSender { flow });
+    world.add_app(1, 0, AppSpec::LongReceiver { flow });
+    let report = world.run(Duration::from_millis(2), Duration::from_millis(28));
+
+    println!(
+        "flow 0 over a 0.15%-loss link: {:.2} Gbps, {} retransmissions\n",
+        report.total_gbps, report.retransmissions
+    );
+
+    let trace = &world.flows[flow as usize].trace;
+    let max_cwnd = trace
+        .cwnd_series()
+        .map(|(_, c)| c)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+
+    println!("congestion-window timeline (each row ≈ 1ms, # = cwnd, R = retransmit, T = timer):");
+    let mut last_ms = u64::MAX;
+    let mut marks: Vec<char> = Vec::new();
+    let mut cwnd_now = 0u64;
+    for &(t, ev) in trace.events() {
+        let ms = t.as_nanos() / 1_000_000;
+        if ms != last_ms {
+            if last_ms != u64::MAX {
+                render_row(last_ms, cwnd_now, max_cwnd, &marks);
+            }
+            last_ms = ms;
+            marks.clear();
+        }
+        match ev {
+            TraceEvent::CwndSample { cwnd, .. } => cwnd_now = cwnd,
+            TraceEvent::Retransmit { .. } => marks.push('R'),
+            TraceEvent::TimerFired => marks.push('T'),
+            TraceEvent::WindowClosed => marks.push('w'),
+            TraceEvent::WindowReopened => marks.push('W'),
+        }
+    }
+    if last_ms != u64::MAX {
+        render_row(last_ms, cwnd_now, max_cwnd, &marks);
+    }
+
+    println!(
+        "\n(max cwnd: {:.2} MB; every loss event shows the multiplicative\n\
+         decrease followed by CUBIC's recovery — at datacenter RTTs driven\n\
+         by the TCP-friendly region, exactly as in the kernel)",
+        max_cwnd as f64 / (1024.0 * 1024.0)
+    );
+}
+
+fn render_row(ms: u64, cwnd: u64, max: u64, marks: &[char]) {
+    let width = (cwnd as f64 / max as f64 * 58.0).round() as usize;
+    let tags: String = marks.iter().collect();
+    println!("{ms:>4}ms |{:<58}| {}", "#".repeat(width), tags);
+}

@@ -1,0 +1,526 @@
+//! `hostnet` — command-line front end for the simulator.
+//!
+//! ```text
+//! hostnet run single --level arfs --loss 0.0015 --json
+//! hostnet run incast --flows 8
+//! hostnet run rpc --clients 16 --size 4096 --remote-server
+//! hostnet run mixed --shorts 16
+//! hostnet figures fig06 fig12 --csv
+//! hostnet list
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace keeps its dependency
+//! surface to the approved set); see [`cli`] for the grammar.
+
+use hostnet::building_blocks::proto::cc::CcAlgo;
+use hostnet::building_blocks::sim::Duration;
+use hostnet::building_blocks::stack::config::RcvBufPolicy;
+use hostnet::{Experiment, OptLevel, Placement, ScenarioKind};
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse(&args) {
+        Ok(cmd) => execute(cmd),
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", cli::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn execute(cmd: cli::Command) -> ExitCode {
+    match cmd {
+        cli::Command::Help => {
+            println!("{}", cli::USAGE);
+            ExitCode::SUCCESS
+        }
+        cli::Command::List => {
+            println!("scenarios:");
+            println!("  single       one long flow (paper §3.1)");
+            println!("  numa-remote  one long flow on a NIC-remote node (Fig. 4)");
+            println!("  one-to-one   n flows, one per core pair (§3.2)     [--flows]");
+            println!("  incast       n sender cores → 1 receiver core (§3.3) [--flows]");
+            println!("  outcast      1 sender core → n receiver cores (§3.4) [--flows]");
+            println!("  all-to-all   x·x flows (§3.5)                       [--flows = x]");
+            println!("  rpc          ping-pong RPC incast (§3.7)  [--clients --size --remote-server]");
+            println!("  mixed        1 long + n short flows on one core (§3.7) [--shorts --size]");
+            ExitCode::SUCCESS
+        }
+        cli::Command::Figures { names, csv } => {
+            let reports = run_figures(&names);
+            if reports.is_empty() {
+                eprintln!("no matching figures (try `hostnet help`)");
+                return ExitCode::from(2);
+            }
+            if csv {
+                print!(
+                    "{}",
+                    hostnet::building_blocks::metrics::reports_to_csv(&reports)
+                );
+            } else {
+                print!(
+                    "{}",
+                    hostnet::building_blocks::metrics::format_series_table(&reports)
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        cli::Command::Run(run) => {
+            let mut exp = Experiment::new(run.scenario);
+            if let Some(level) = run.level {
+                exp = exp.at_level(level);
+            }
+            exp = exp.configure(|c| {
+                c.seed = run.seed;
+                c.link.loss_rate = run.loss;
+                if let Some(mtu) = run.mtu {
+                    c.stack.mtu = mtu;
+                }
+                if let Some(cc) = run.cc {
+                    c.stack.cc = cc;
+                }
+                if let Some(ring) = run.ring {
+                    c.stack.rx_descriptors = ring;
+                }
+                if let Some(kb) = run.rcvbuf_kb {
+                    c.stack.rcvbuf = RcvBufPolicy::Fixed(kb * 1024);
+                }
+                c.stack.dca = !run.no_dca;
+                c.stack.iommu = run.iommu;
+                c.stack.zerocopy_tx = run.zerocopy_tx;
+                c.stack.zerocopy_rx = run.zerocopy_rx;
+            });
+            exp.warmup = Duration::from_millis(run.warmup_ms);
+            exp.measure = Duration::from_millis(run.measure_ms);
+
+            let report = exp.run();
+            if run.json {
+                println!("{}", report.to_json());
+            } else {
+                print!(
+                    "{}",
+                    hostnet::building_blocks::metrics::format_series_table(std::slice::from_ref(
+                        &report
+                    ))
+                );
+                println!("\nreceiver breakdown:");
+                for (cat, _) in report.receiver.breakdown.iter() {
+                    println!(
+                        "  {:<12} {:>5.1}%",
+                        cat.label(),
+                        report.receiver.breakdown.fraction(cat) * 100.0
+                    );
+                }
+                if report.rpcs_completed > 0 {
+                    println!(
+                        "\nrpcs: {} ({:.0}/s)",
+                        report.rpcs_completed,
+                        report.rpcs_completed as f64 / report.window_secs
+                    );
+                }
+                if report.retransmissions > 0 {
+                    println!(
+                        "loss: {} wire drops, {} ring drops, {} retransmissions",
+                        report.wire_drops, report.ring_drops, report.retransmissions
+                    );
+                }
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// Run the named paper figures (all when empty) and collect their
+/// reports.
+fn run_figures(names: &[String]) -> Vec<hostnet::Report> {
+    use hostnet::building_blocks::core_figures as figures;
+    let want = |n: &str| names.is_empty() || names.iter().any(|x| x == n);
+    let mut out = Vec::new();
+    if want("fig03") {
+        out.extend(figures::fig03_single_flow());
+    }
+    if want("fig03e") {
+        out.extend(figures::fig03e_ring_buffer().into_iter().map(|(_, _, r)| r));
+    }
+    if want("fig03f") {
+        out.extend(figures::fig03f_latency().into_iter().map(|(_, r)| r));
+    }
+    if want("fig04") {
+        out.extend(figures::fig04_numa());
+    }
+    if want("fig05") {
+        out.extend(figures::fig05_one_to_one().into_iter().map(|(_, _, r)| r));
+    }
+    if want("fig06") {
+        out.extend(figures::fig06_incast().into_iter().map(|(_, _, r)| r));
+    }
+    if want("fig07") {
+        out.extend(figures::fig07_outcast().into_iter().map(|(_, _, r)| r));
+    }
+    if want("fig08") {
+        out.extend(figures::fig08_all_to_all().into_iter().map(|(_, _, r)| r));
+    }
+    if want("fig09") {
+        out.extend(figures::fig09_loss().into_iter().map(|(_, r)| r));
+    }
+    if want("fig10") {
+        out.extend(figures::fig10_short_flows().into_iter().map(|(_, r)| r));
+        out.extend(figures::fig10c_rpc_numa());
+    }
+    if want("fig11") {
+        out.extend(figures::fig11_mixed().into_iter().map(|(_, r)| r));
+    }
+    if want("fig12") {
+        out.extend(figures::fig12_dca_iommu());
+    }
+    if want("fig13") {
+        out.extend(
+            figures::fig13_congestion_control()
+                .into_iter()
+                .map(|(_, r)| r),
+        );
+    }
+    out
+}
+
+/// Command-line grammar and parsing.
+pub mod cli {
+    use super::*;
+
+    /// Top-level usage text.
+    pub const USAGE: &str = "\
+usage:
+  hostnet run <scenario> [options]
+  hostnet figures [fig03|fig03e|fig03f|fig04|fig05|fig06|fig07|fig08|
+                   fig09|fig10|fig11|fig12|fig13]... [--csv]
+  hostnet list
+  hostnet help
+
+scenarios: single | numa-remote | one-to-one | incast | outcast |
+           all-to-all | rpc | mixed   (see `hostnet list`)
+
+options:
+  --flows N          flow count / matrix dimension        (default 8)
+  --clients N        RPC clients                          (default 16)
+  --size BYTES       RPC request/response size            (default 4096)
+  --shorts N         short flows in the mixed scenario    (default 16)
+  --remote-server    place the RPC server on a NIC-remote node
+  --level L          no-opt | tso-gro | jumbo | arfs      (default arfs)
+  --cc ALGO          cubic | bbr | dctcp | reno           (default cubic)
+  --loss P           in-network loss probability          (default 0)
+  --mtu BYTES        1500..9000                           (default 9000)
+  --ring N           NIC Rx descriptors                   (default 512)
+  --rcvbuf-kb N      pin the receive buffer (default: Linux auto-tuning)
+  --no-dca           disable DDIO
+  --iommu            enable the IOMMU
+  --zerocopy-tx      MSG_ZEROCOPY sender path (§4)
+  --zerocopy-rx      TCP mmap receive path (§4)
+  --seed N           RNG seed                             (default 1)
+  --warmup-ms N      warmup window                        (default 20)
+  --measure-ms N     measurement window                   (default 30)
+  --json             emit the full report as JSON
+";
+
+    /// A parsed invocation.
+    #[derive(Debug)]
+    pub enum Command {
+        /// `hostnet help`.
+        Help,
+        /// `hostnet list`.
+        List,
+        /// `hostnet run …`.
+        Run(RunArgs),
+        /// `hostnet figures [names…] [--csv]`.
+        Figures {
+            /// Which figures to run (empty = all).
+            names: Vec<String>,
+            /// Emit CSV instead of tables.
+            csv: bool,
+        },
+    }
+
+    /// Options of `hostnet run`.
+    #[derive(Debug)]
+    pub struct RunArgs {
+        /// Scenario to execute.
+        pub scenario: ScenarioKind,
+        /// Optimization level override.
+        pub level: Option<OptLevel>,
+        /// Congestion control override.
+        pub cc: Option<CcAlgo>,
+        /// In-network loss probability.
+        pub loss: f64,
+        /// MTU override.
+        pub mtu: Option<u32>,
+        /// Rx descriptor override.
+        pub ring: Option<u32>,
+        /// Pinned receive buffer in KB.
+        pub rcvbuf_kb: Option<u64>,
+        /// Disable DDIO.
+        pub no_dca: bool,
+        /// Enable the IOMMU.
+        pub iommu: bool,
+        /// MSG_ZEROCOPY.
+        pub zerocopy_tx: bool,
+        /// TCP mmap receive.
+        pub zerocopy_rx: bool,
+        /// Seed.
+        pub seed: u64,
+        /// Warmup window (ms).
+        pub warmup_ms: u64,
+        /// Measurement window (ms).
+        pub measure_ms: u64,
+        /// Emit JSON.
+        pub json: bool,
+    }
+
+    /// Parse a full argument vector.
+    pub fn parse(args: &[String]) -> Result<Command, String> {
+        let mut it = args.iter();
+        match it.next().map(String::as_str) {
+            None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+            Some("list") => Ok(Command::List),
+            Some("run") => parse_run(&args[1..]).map(Command::Run),
+            Some("figures") => {
+                let mut names = Vec::new();
+                let mut csv = false;
+                for a in &args[1..] {
+                    if a == "--csv" {
+                        csv = true;
+                    } else if a.starts_with("--") {
+                        return Err(format!("figures: unknown flag `{a}`"));
+                    } else {
+                        names.push(a.clone());
+                    }
+                }
+                Ok(Command::Figures { names, csv })
+            }
+            Some(other) => Err(format!("unknown command `{other}`")),
+        }
+    }
+
+    fn parse_run(args: &[String]) -> Result<RunArgs, String> {
+        let scenario_name = args
+            .first()
+            .ok_or_else(|| "run: missing scenario".to_string())?
+            .clone();
+
+        // Defaults, possibly overridden by flags below.
+        let mut flows = 8u16;
+        let mut clients = 16u16;
+        let mut size = 4096u32;
+        let mut shorts = 16u16;
+        let mut remote_server = false;
+
+        let mut out = RunArgs {
+            scenario: ScenarioKind::Single, // placeholder, set at the end
+            level: None,
+            cc: None,
+            loss: 0.0,
+            mtu: None,
+            ring: None,
+            rcvbuf_kb: None,
+            no_dca: false,
+            iommu: false,
+            zerocopy_tx: false,
+            zerocopy_rx: false,
+            seed: 1,
+            warmup_ms: 20,
+            measure_ms: 30,
+            json: false,
+        };
+
+        let mut it = args[1..].iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<&String, String> {
+                it.next().ok_or_else(|| format!("{name}: missing value"))
+            };
+            match flag.as_str() {
+                "--flows" => flows = parse_num(value("--flows")?, "--flows")?,
+                "--clients" => clients = parse_num(value("--clients")?, "--clients")?,
+                "--size" => size = parse_num(value("--size")?, "--size")?,
+                "--shorts" => shorts = parse_num(value("--shorts")?, "--shorts")?,
+                "--remote-server" => remote_server = true,
+                "--level" => {
+                    out.level = Some(match value("--level")?.as_str() {
+                        "no-opt" => OptLevel::NoOpt,
+                        "tso-gro" => OptLevel::TsoGro,
+                        "jumbo" => OptLevel::Jumbo,
+                        "arfs" => OptLevel::Arfs,
+                        x => return Err(format!("--level: unknown level `{x}`")),
+                    })
+                }
+                "--cc" => {
+                    out.cc = Some(match value("--cc")?.as_str() {
+                        "cubic" => CcAlgo::Cubic,
+                        "bbr" => CcAlgo::Bbr,
+                        "dctcp" => CcAlgo::Dctcp,
+                        "reno" => CcAlgo::Reno,
+                        x => return Err(format!("--cc: unknown algorithm `{x}`")),
+                    })
+                }
+                "--loss" => {
+                    out.loss = value("--loss")?
+                        .parse()
+                        .map_err(|_| "--loss: expected a probability".to_string())?;
+                    if !(0.0..1.0).contains(&out.loss) {
+                        return Err("--loss: must be in [0, 1)".into());
+                    }
+                }
+                "--mtu" => out.mtu = Some(parse_num(value("--mtu")?, "--mtu")?),
+                "--ring" => out.ring = Some(parse_num(value("--ring")?, "--ring")?),
+                "--rcvbuf-kb" => {
+                    out.rcvbuf_kb = Some(parse_num(value("--rcvbuf-kb")?, "--rcvbuf-kb")?)
+                }
+                "--no-dca" => out.no_dca = true,
+                "--iommu" => out.iommu = true,
+                "--zerocopy-tx" => out.zerocopy_tx = true,
+                "--zerocopy-rx" => out.zerocopy_rx = true,
+                "--seed" => out.seed = parse_num(value("--seed")?, "--seed")?,
+                "--warmup-ms" => out.warmup_ms = parse_num(value("--warmup-ms")?, "--warmup-ms")?,
+                "--measure-ms" => {
+                    out.measure_ms = parse_num(value("--measure-ms")?, "--measure-ms")?
+                }
+                "--json" => out.json = true,
+                x => return Err(format!("unknown flag `{x}`")),
+            }
+        }
+
+        out.scenario = match scenario_name.as_str() {
+            "single" => ScenarioKind::Single,
+            "numa-remote" => ScenarioKind::SingleNicRemote,
+            "one-to-one" => ScenarioKind::OneToOne { flows },
+            "incast" => ScenarioKind::Incast { flows },
+            "outcast" => ScenarioKind::Outcast { flows },
+            "all-to-all" => ScenarioKind::AllToAll { x: flows },
+            "rpc" => ScenarioKind::RpcIncast {
+                clients,
+                size,
+                server: if remote_server {
+                    Placement::NicRemote
+                } else {
+                    Placement::NicLocalFirst
+                },
+            },
+            "mixed" => ScenarioKind::Mixed { shorts, size },
+            x => return Err(format!("unknown scenario `{x}` (see `hostnet list`)")),
+        };
+        Ok(out)
+    }
+
+    fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+        s.parse()
+            .map_err(|_| format!("{flag}: invalid number `{s}`"))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn argv(s: &str) -> Vec<String> {
+            s.split_whitespace().map(String::from).collect()
+        }
+
+        #[test]
+        fn parses_help_and_list() {
+            assert!(matches!(parse(&[]).unwrap(), Command::Help));
+            assert!(matches!(parse(&argv("help")).unwrap(), Command::Help));
+            assert!(matches!(parse(&argv("list")).unwrap(), Command::List));
+        }
+
+        #[test]
+        fn parses_simple_run() {
+            let cmd = parse(&argv("run single --json --seed 9")).unwrap();
+            match cmd {
+                Command::Run(r) => {
+                    assert_eq!(r.scenario, ScenarioKind::Single);
+                    assert!(r.json);
+                    assert_eq!(r.seed, 9);
+                }
+                _ => panic!("not a run"),
+            }
+        }
+
+        #[test]
+        fn parses_scenario_parameters() {
+            let cmd = parse(&argv("run rpc --clients 4 --size 16384 --remote-server")).unwrap();
+            match cmd {
+                Command::Run(r) => match r.scenario {
+                    ScenarioKind::RpcIncast {
+                        clients,
+                        size,
+                        server,
+                    } => {
+                        assert_eq!(clients, 4);
+                        assert_eq!(size, 16384);
+                        assert_eq!(server, Placement::NicRemote);
+                    }
+                    _ => panic!("wrong scenario"),
+                },
+                _ => panic!("not a run"),
+            }
+        }
+
+        #[test]
+        fn parses_stack_flags() {
+            let cmd = parse(&argv(
+                "run single --level jumbo --cc bbr --loss 0.0015 --mtu 1500 \
+                 --ring 2048 --rcvbuf-kb 3200 --no-dca --iommu --zerocopy-tx --zerocopy-rx",
+            ))
+            .unwrap();
+            match cmd {
+                Command::Run(r) => {
+                    assert_eq!(r.level, Some(OptLevel::Jumbo));
+                    assert!(matches!(r.cc, Some(CcAlgo::Bbr)));
+                    assert!((r.loss - 0.0015).abs() < 1e-12);
+                    assert_eq!(r.mtu, Some(1500));
+                    assert_eq!(r.ring, Some(2048));
+                    assert_eq!(r.rcvbuf_kb, Some(3200));
+                    assert!(r.no_dca && r.iommu && r.zerocopy_tx && r.zerocopy_rx);
+                }
+                _ => panic!("not a run"),
+            }
+        }
+
+        #[test]
+        fn rejects_bad_input() {
+            assert!(parse(&argv("frobnicate")).is_err());
+            assert!(parse(&argv("run nosuch")).is_err());
+            assert!(parse(&argv("run single --level warp9")).is_err());
+            assert!(parse(&argv("run single --loss 1.5")).is_err());
+            assert!(parse(&argv("run single --flows")).is_err());
+            assert!(parse(&argv("run single --mtu banana")).is_err());
+        }
+
+        #[test]
+        fn parses_figures_command() {
+            match parse(&argv("figures fig06 fig12 --csv")).unwrap() {
+                Command::Figures { names, csv } => {
+                    assert_eq!(names, vec!["fig06", "fig12"]);
+                    assert!(csv);
+                }
+                _ => panic!("not figures"),
+            }
+            match parse(&argv("figures")).unwrap() {
+                Command::Figures { names, csv } => {
+                    assert!(names.is_empty());
+                    assert!(!csv);
+                }
+                _ => panic!("not figures"),
+            }
+            assert!(parse(&argv("figures --bogus")).is_err());
+        }
+
+        #[test]
+        fn all_to_all_uses_flows_as_dimension() {
+            let cmd = parse(&argv("run all-to-all --flows 4")).unwrap();
+            match cmd {
+                Command::Run(r) => assert_eq!(r.scenario, ScenarioKind::AllToAll { x: 4 }),
+                _ => panic!("not a run"),
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Integration tests for the paper's §4 "future directions", implemented
+//! as simulator features: zero-copy datapaths, application-aware
+//! scheduling, and open-loop latency behaviour.
+
+use hostnet::{Category, Experiment, ScenarioKind};
+
+/// §4: receiver-side zero copy removes the dominant overhead — the paper
+/// projects large gains because "receiver is likely to be the throughput
+/// bottleneck".
+#[test]
+fn zerocopy_rx_removes_copy_and_lifts_throughput() {
+    let base = Experiment::new(ScenarioKind::Single).quick().run();
+    let zc = Experiment::new(ScenarioKind::Single)
+        .configure(|c| c.stack.zerocopy_rx = true)
+        .quick()
+        .run();
+    assert_eq!(
+        zc.receiver.breakdown[Category::DataCopy], 0,
+        "zero-copy receive must not copy"
+    );
+    assert!(
+        zc.thpt_per_core_gbps > 1.3 * base.thpt_per_core_gbps,
+        "zc {:.1} vs base {:.1}",
+        zc.thpt_per_core_gbps,
+        base.thpt_per_core_gbps
+    );
+}
+
+/// §4: sender-side zero copy approaches the paper's "~100Gbps of
+/// throughput-per-core" projection on the outcast pattern.
+#[test]
+fn zerocopy_tx_approaches_100g_per_sender_core() {
+    let r = Experiment::new(ScenarioKind::Outcast { flows: 8 })
+        .configure(|c| c.stack.zerocopy_tx = true)
+        .run();
+    let per_sender = r.total_gbps / r.sender.cores_used.max(1e-9);
+    assert!(
+        per_sender > 85.0,
+        "sender-side zero-copy should near 100Gbps/core, got {per_sender:.1}"
+    );
+}
+
+/// Zero-copy on both sides: copies vanish from both breakdowns and the
+/// wire (or remaining per-frame costs) becomes the limit.
+#[test]
+fn zerocopy_both_sides() {
+    let r = Experiment::new(ScenarioKind::Single)
+        .configure(|c| {
+            c.stack.zerocopy_tx = true;
+            c.stack.zerocopy_rx = true;
+        })
+        .quick()
+        .run();
+    assert_eq!(r.receiver.breakdown[Category::DataCopy], 0);
+    assert_eq!(r.sender.breakdown[Category::DataCopy], 0);
+    assert!(r.total_gbps > 40.0, "got {:.1}", r.total_gbps);
+}
+
+/// Open-loop RPC: latency rises with offered load (the hockey-stick), and
+/// throughput tracks the offered load while unsaturated.
+#[test]
+fn open_loop_latency_hockey_stick() {
+    let light = Experiment::new(ScenarioKind::OpenLoop {
+        clients: 8,
+        size: 4096,
+        rate_rps: 2_500.0, // 20k rps aggregate
+    })
+    .run();
+    let heavy = Experiment::new(ScenarioKind::OpenLoop {
+        clients: 8,
+        size: 4096,
+        rate_rps: 36_000.0, // 288k rps aggregate, near server capacity
+    })
+    .run();
+    assert!(light.rpcs_completed > 0 && heavy.rpcs_completed > 0);
+    assert!(
+        heavy.rpc_latency.avg_us > 1.5 * light.rpc_latency.avg_us,
+        "no hockey stick: light {:.1}us heavy {:.1}us",
+        light.rpc_latency.avg_us,
+        heavy.rpc_latency.avg_us
+    );
+    assert!(heavy.rpc_latency.p99_us > heavy.rpc_latency.avg_us);
+    // Light load is essentially unqueued: round trip in the tens of µs.
+    assert!(
+        light.rpc_latency.avg_us < 50.0,
+        "light-load latency {:.1}us",
+        light.rpc_latency.avg_us
+    );
+}
+
+/// Open-loop throughput matches the offered load when the server has
+/// headroom (conservation of requests).
+#[test]
+fn open_loop_conserves_offered_load() {
+    let r = Experiment::new(ScenarioKind::OpenLoop {
+        clients: 4,
+        size: 4096,
+        rate_rps: 10_000.0,
+    })
+    .run();
+    let achieved = r.rpcs_completed as f64 / 2.0 / r.window_secs;
+    let offered = 4.0 * 10_000.0;
+    let rel = (achieved - offered).abs() / offered;
+    assert!(
+        rel < 0.15,
+        "achieved {achieved:.0} vs offered {offered:.0} (rel {rel:.2})"
+    );
+}

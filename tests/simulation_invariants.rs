@@ -1,0 +1,155 @@
+//! Cross-cutting invariants of the simulation itself: determinism,
+//! conservation, and sanity bounds that must hold for *every* scenario.
+
+use hostnet::{Experiment, Report, ScenarioKind};
+
+fn all_scenarios() -> Vec<ScenarioKind> {
+    vec![
+        ScenarioKind::Single,
+        ScenarioKind::SingleNicRemote,
+        ScenarioKind::OneToOne { flows: 4 },
+        ScenarioKind::Incast { flows: 4 },
+        ScenarioKind::Outcast { flows: 4 },
+        ScenarioKind::AllToAll { x: 3 },
+        ScenarioKind::RpcIncast {
+            clients: 4,
+            size: 4096,
+            server: hostnet::Placement::NicLocalFirst,
+        },
+        ScenarioKind::Mixed {
+            shorts: 2,
+            size: 4096,
+        },
+    ]
+}
+
+fn run(kind: ScenarioKind, seed: u64) -> Report {
+    Experiment::new(kind)
+        .configure(|c| c.seed = seed)
+        .quick()
+        .run()
+}
+
+/// Same seed → bit-identical measurements, for every scenario.
+#[test]
+fn deterministic_across_all_scenarios() {
+    for kind in all_scenarios() {
+        let a = run(kind, 7);
+        let b = run(kind, 7);
+        assert_eq!(a.delivered_bytes, b.delivered_bytes, "{kind:?}");
+        assert_eq!(a.receiver.breakdown, b.receiver.breakdown, "{kind:?}");
+        assert_eq!(a.sender.breakdown, b.sender.breakdown, "{kind:?}");
+        assert_eq!(a.retransmissions, b.retransmissions, "{kind:?}");
+    }
+}
+
+/// Different seeds still produce valid (similar-magnitude) results.
+#[test]
+fn seed_changes_are_bounded() {
+    let a = run(ScenarioKind::Single, 1);
+    let b = run(ScenarioKind::Single, 999);
+    let rel = (a.total_gbps - b.total_gbps).abs() / a.total_gbps;
+    assert!(rel < 0.15, "seed sensitivity too high: {rel:.2}");
+}
+
+/// Physical sanity for every scenario: nothing beats the wire, CPU
+/// utilizations are within core counts, fractions sum to 1.
+#[test]
+fn physical_bounds_hold_everywhere() {
+    for kind in all_scenarios() {
+        let r = run(kind, 3);
+        assert!(r.total_gbps >= 0.0 && r.total_gbps < 100.0, "{kind:?}: {}", r.total_gbps);
+        assert!(r.sender.cores_used <= 24.0 + 1e-6, "{kind:?}");
+        assert!(r.receiver.cores_used <= 24.0 + 1e-6, "{kind:?}");
+        for side in [&r.sender, &r.receiver] {
+            let total = side.breakdown.total();
+            if total > 0 {
+                let s: f64 = hostnet::building_blocks::metrics::ALL_CATEGORIES
+                    .iter()
+                    .map(|&c| side.breakdown.fraction(c))
+                    .sum();
+                assert!((s - 1.0).abs() < 1e-9, "{kind:?}: fractions sum {s}");
+            }
+        }
+        let miss = r.receiver.cache.miss_rate();
+        assert!((0.0..=1.0).contains(&miss), "{kind:?}");
+        // Per-flow bytes sum to the total delivered.
+        let per_flow: u64 = r.per_flow_bytes.iter().map(|(_, b)| b).sum();
+        assert_eq!(per_flow, r.delivered_bytes, "{kind:?}");
+    }
+}
+
+/// Without loss injection nothing is dropped in-network. Retransmissions
+/// may still occur — incast patterns legitimately overrun the Rx
+/// descriptor ring — but only when ring drops actually happened.
+#[test]
+fn lossless_conservation() {
+    for kind in all_scenarios() {
+        let r = run(kind, 11);
+        assert_eq!(r.wire_drops, 0, "{kind:?}");
+        if r.ring_drops == 0 {
+            // A handful of tail-loss-probe retransmissions are genuine
+            // even without loss: TLP fires on delay-acked burst tails
+            // (it beats the delayed-ACK timer in real kernels too). They
+            // must stay rare.
+            assert!(
+                r.retransmissions < 100,
+                "{kind:?}: {} spurious retransmissions",
+                r.retransmissions
+            );
+        }
+        assert!(r.delivered_bytes > 0, "{kind:?} moved no data");
+    }
+}
+
+/// The measurement window is respected: doubling the window roughly
+/// doubles delivered bytes (steady state), and throughput stays put.
+#[test]
+fn window_scaling_is_linear() {
+    use hostnet::building_blocks::sim::Duration;
+    let mut short = Experiment::new(ScenarioKind::Single);
+    short.warmup = Duration::from_millis(10);
+    short.measure = Duration::from_millis(10);
+    let mut long = Experiment::new(ScenarioKind::Single);
+    long.warmup = Duration::from_millis(10);
+    long.measure = Duration::from_millis(20);
+    let rs = short.run();
+    let rl = long.run();
+    let ratio = rl.delivered_bytes as f64 / rs.delivered_bytes as f64;
+    assert!((1.8..2.2).contains(&ratio), "bytes ratio = {ratio:.2}");
+    let thpt_rel = (rl.total_gbps - rs.total_gbps).abs() / rs.total_gbps;
+    assert!(thpt_rel < 0.1, "throughput shifted {thpt_rel:.2}");
+}
+
+/// Reports serialize to JSON and back without loss (EXPERIMENTS tooling).
+#[test]
+fn reports_round_trip_json() {
+    let r = run(ScenarioKind::Single, 5);
+    let json = r.to_json();
+    let back: Report = serde_json::from_str(&json).expect("parse");
+    assert_eq!(back.delivered_bytes, r.delivered_bytes);
+    assert_eq!(back.receiver.breakdown, r.receiver.breakdown);
+}
+
+/// The throughput timeline integrates back to the delivered bytes and the
+/// measurement window is steady for a converged single flow.
+#[test]
+fn timeline_integrates_and_is_steady() {
+    let r = Experiment::new(ScenarioKind::Single).run();
+    assert!(!r.gbps_timeline.is_empty());
+    // Integrate: each sample covers ~1ms.
+    let integrated_bytes: f64 = r
+        .gbps_timeline
+        .iter()
+        .map(|&(_, g)| g * 1e9 / 8.0 * 0.001)
+        .sum();
+    let rel = (integrated_bytes - r.delivered_bytes as f64).abs()
+        / r.delivered_bytes as f64;
+    assert!(rel < 0.05, "timeline does not integrate: rel {rel:.3}");
+    // Post-warmup, a lossless single flow is steady.
+    assert!(
+        r.throughput_cv() < 0.25,
+        "unsteady measurement window: cv = {:.3}",
+        r.throughput_cv()
+    );
+}
