@@ -3,7 +3,7 @@
 use hns_mem::numa::Topology;
 use hns_metrics::Report;
 use hns_sim::Duration;
-use hns_stack::{OptLevel, SimConfig, World};
+use hns_stack::{OptLevel, RunError, SimConfig, World};
 use hns_workload::{Placement, Scenario};
 
 /// Which traffic pattern / workload to run (paper Fig. 2 + §3.7).
@@ -168,8 +168,17 @@ impl Experiment {
         self
     }
 
-    /// Build the world, run it, return the report.
+    /// Build the world, run it, return the report. Panics if the run does
+    /// not quiesce; fault experiments should prefer [`Experiment::try_run`].
     pub fn run(&self) -> Report {
+        self.try_run()
+            .unwrap_or_else(|e| panic!("{}: run did not quiesce: {e}", self.scenario.label()))
+    }
+
+    /// Build the world and run it; a wedged run (stalled flows, event
+    /// storm, queue leak, invalid fault plan) returns the watchdog's
+    /// [`RunError`] with a diagnostic snapshot instead of panicking.
+    pub fn try_run(&self) -> Result<Report, RunError> {
         let mut world = World::new(self.cfg);
         world.set_label(
             self.label
@@ -177,7 +186,7 @@ impl Experiment {
                 .unwrap_or_else(|| self.scenario.label()),
         );
         self.scenario.build(&self.cfg.topology).install(&mut world);
-        world.run(self.warmup, self.measure)
+        world.try_run(self.warmup, self.measure)
     }
 }
 
@@ -185,6 +194,23 @@ impl Experiment {
 mod tests {
     use super::*;
     use hns_metrics::Category;
+
+    #[test]
+    fn try_run_rejects_bad_fault_plan() {
+        use hns_faults::{CoreStall, PhaseSchedule};
+        use hns_sim::Duration;
+        let e = Experiment::new(ScenarioKind::Single)
+            .configure(|c| {
+                c.faults.core_stall = Some(CoreStall {
+                    window: PhaseSchedule::once(Duration::ZERO, Duration::from_millis(1)),
+                    host: 1,
+                    core: 9999,
+                });
+            })
+            .quick();
+        let err = e.try_run().unwrap_err();
+        assert_eq!(err.kind, hns_stack::RunErrorKind::BadFaultPlan);
+    }
 
     #[test]
     fn single_flow_quick_run() {

@@ -1,0 +1,167 @@
+//! The aggregate fault plan threaded through `SimConfig`.
+
+use crate::loss::LossModel;
+use crate::schedule::PhaseSchedule;
+use hns_sim::Duration;
+
+/// Added one-way delay during a scheduled window (in-network latency spike:
+/// failover reroute, congested core switch, …).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencySpike {
+    /// When the spike applies.
+    pub window: PhaseSchedule,
+    /// Extra propagation delay while active.
+    pub extra: Duration,
+}
+
+/// Rx descriptor-ring exhaustion: while active, the victim host's Rx rings
+/// hold back every free descriptor, so arriving frames drop at the NIC and
+/// senders must recover via RTO/zero-window machinery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RingExhaust {
+    /// When the exhaustion applies.
+    pub window: PhaseSchedule,
+    /// Victim host (0 = sender side, 1 = receiver side).
+    pub host: u8,
+}
+
+/// Page-pool allocation failure: while active, descriptor replenish cannot
+/// be backed by pages, so rings drain and subsequent arrivals drop
+/// (attributed to the `pool` bucket).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolPressure {
+    /// When the allocation failures apply.
+    pub window: PhaseSchedule,
+    /// Victim host (0 = sender side, 1 = receiver side).
+    pub host: u8,
+}
+
+/// Core stall ("noisy neighbor"): while active, the victim core executes no
+/// stack work — dispatches are deferred to the end of the window, backlog
+/// builds, and NAPI must re-arm afterwards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreStall {
+    /// When the stall applies.
+    pub window: PhaseSchedule,
+    /// Victim host (0 = sender side, 1 = receiver side).
+    pub host: u8,
+    /// Victim core index on that host.
+    pub core: u16,
+}
+
+/// Complete deterministic fault plan for one run. `Default` injects
+/// nothing, so every existing experiment is unchanged.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultConfig {
+    /// In-network per-frame loss process.
+    pub loss: LossModel,
+    /// Link flap: while active the wire delivers nothing in either
+    /// direction.
+    pub flap: Option<PhaseSchedule>,
+    /// In-network latency spike.
+    pub latency_spike: Option<LatencySpike>,
+    /// Rx descriptor-ring exhaustion.
+    pub ring_exhaust: Option<RingExhaust>,
+    /// Page-pool allocation failure.
+    pub pool_pressure: Option<PoolPressure>,
+    /// Core stall window.
+    pub core_stall: Option<CoreStall>,
+}
+
+impl FaultConfig {
+    /// True when the plan injects nothing at all.
+    pub fn is_quiet(&self) -> bool {
+        *self == FaultConfig::default()
+    }
+
+    /// Validate every schedule in the plan.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(flap) = &self.flap {
+            flap.validate().map_err(|e| format!("flap: {e}"))?;
+        }
+        if let Some(spike) = &self.latency_spike {
+            spike
+                .window
+                .validate()
+                .map_err(|e| format!("latency spike: {e}"))?;
+        }
+        if let Some(ring) = &self.ring_exhaust {
+            ring.window
+                .validate()
+                .map_err(|e| format!("ring exhaust: {e}"))?;
+            if ring.host > 1 {
+                return Err(format!("ring exhaust host {} out of range", ring.host));
+            }
+        }
+        if let Some(pool) = &self.pool_pressure {
+            pool.window
+                .validate()
+                .map_err(|e| format!("pool pressure: {e}"))?;
+            if pool.host > 1 {
+                return Err(format!("pool pressure host {} out of range", pool.host));
+            }
+        }
+        if let Some(stall) = &self.core_stall {
+            stall
+                .window
+                .validate()
+                .map_err(|e| format!("core stall: {e}"))?;
+            if stall.host > 1 {
+                return Err(format!("core stall host {} out of range", stall.host));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_quiet_and_valid() {
+        let f = FaultConfig::default();
+        assert!(f.is_quiet());
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn any_fault_breaks_quiet() {
+        let f = FaultConfig {
+            loss: LossModel::uniform(0.01),
+            ..Default::default()
+        };
+        assert!(!f.is_quiet());
+
+        let f = FaultConfig {
+            flap: Some(PhaseSchedule::once(
+                Duration::from_millis(5),
+                Duration::from_millis(1),
+            )),
+            ..Default::default()
+        };
+        assert!(!f.is_quiet());
+    }
+
+    #[test]
+    fn validation_catches_bad_schedules_and_hosts() {
+        let f = FaultConfig {
+            flap: Some(PhaseSchedule::every(
+                Duration::ZERO,
+                Duration::from_millis(2),
+                Duration::from_millis(1),
+            )),
+            ..Default::default()
+        };
+        assert!(f.validate().is_err());
+
+        let f = FaultConfig {
+            ring_exhaust: Some(RingExhaust {
+                window: PhaseSchedule::once(Duration::ZERO, Duration::from_millis(1)),
+                host: 3,
+            }),
+            ..Default::default()
+        };
+        assert!(f.validate().is_err());
+    }
+}

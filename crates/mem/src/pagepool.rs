@@ -57,6 +57,9 @@ struct Pcp {
 pub struct PageAllocator {
     pcps: Vec<Pcp>,
     cores_per_node: u8,
+    /// Fault injection: while set, [`PageAllocator::try_alloc`] refuses
+    /// every request (allocator under pressure / reclaim stall).
+    failing: bool,
 }
 
 /// Linux defaults: pcp batch is 63 pages on large machines; high watermark
@@ -77,7 +80,28 @@ impl PageAllocator {
                 })
                 .collect(),
             cores_per_node,
+            failing: false,
         }
+    }
+
+    /// Toggle injected allocation failure (pool-pressure fault window).
+    pub fn set_failing(&mut self, failing: bool) {
+        self.failing = failing;
+    }
+
+    /// True while injected allocation failure is active.
+    pub fn failing(&self) -> bool {
+        self.failing
+    }
+
+    /// Fallible allocation: `None` while an injected failure window is
+    /// active (the caller must cope — e.g. leave Rx descriptors unbacked),
+    /// otherwise identical to [`PageAllocator::alloc`].
+    pub fn try_alloc(&mut self, core: CoreId, pages: u64) -> Option<AllocOutcome> {
+        if self.failing {
+            return None;
+        }
+        Some(self.alloc(core, pages))
     }
 
     /// NUMA node owning `core`'s pageset.
@@ -207,6 +231,19 @@ mod tests {
         assert!(a.slow_pages > 0);
         let f = pa.free(0, 2_000, true);
         assert!(f.slow_pages > 0);
+    }
+
+    #[test]
+    fn injected_failure_window() {
+        let mut pa = PageAllocator::new(1, 6);
+        assert!(pa.try_alloc(0, 4).is_some());
+        pa.set_failing(true);
+        assert!(pa.failing());
+        assert!(pa.try_alloc(0, 4).is_none());
+        // The infallible path is unaffected (used by non-fault call sites).
+        assert_eq!(pa.alloc(0, 4).total(), 4);
+        pa.set_failing(false);
+        assert!(pa.try_alloc(0, 4).is_some());
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Drop taxonomy: where every lost frame died.
+//!
+//! The paper reports only an aggregate packet-drop rate (Fig. 9). For fault
+//! injection we need attribution: a frame can be lost on the wire, at the
+//! NIC for want of Rx descriptors, at the softirq backlog (GRO overflow,
+//! the `netdev_max_backlog` analogue), at the socket for arriving outside
+//! the receive window, or because the page pool could not back a descriptor
+//! replenish. Every dropped frame is charged to exactly one bucket, so
+//! `total()` equals the true number of frames lost end-to-end and resilience
+//! experiments can verify full accounting.
+
+use crate::json::{obj, JsonError, Value};
+
+/// Frames dropped, attributed to the layer that dropped them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DropStats {
+    /// Lost in the network (random loss, burst loss, link flap).
+    pub wire: u64,
+    /// Arrived at the NIC but no free Rx descriptor (organic exhaustion
+    /// under incast, or injected ring-exhaustion faults).
+    pub rx_ring: u64,
+    /// Rx descriptor available but the per-core softirq backlog was full
+    /// (GRO/backlog overflow).
+    pub gro_overflow: u64,
+    /// Delivered to TCP but outside the receive window (socket queue full
+    /// from the sender's point of view).
+    pub socket_queue: u64,
+    /// Rx descriptor replenish failed because the page pool was exhausted
+    /// (injected allocation-failure faults).
+    pub pool: u64,
+}
+
+impl DropStats {
+    /// All-zero stats.
+    pub const fn new() -> Self {
+        DropStats {
+            wire: 0,
+            rx_ring: 0,
+            gro_overflow: 0,
+            socket_queue: 0,
+            pool: 0,
+        }
+    }
+
+    /// Total frames lost across every attribution point.
+    pub fn total(&self) -> u64 {
+        self.wire + self.rx_ring + self.gro_overflow + self.socket_queue + self.pool
+    }
+
+    /// Merge another sample set into this one.
+    pub fn merge(&mut self, other: DropStats) {
+        self.wire += other.wire;
+        self.rx_ring += other.rx_ring;
+        self.gro_overflow += other.gro_overflow;
+        self.socket_queue += other.socket_queue;
+        self.pool += other.pool;
+    }
+
+    /// Bucket-wise `self - baseline`, used to exclude warmup drops from the
+    /// measurement window (saturating, so a never-reset baseline is safe).
+    pub fn since(&self, baseline: DropStats) -> DropStats {
+        DropStats {
+            wire: self.wire.saturating_sub(baseline.wire),
+            rx_ring: self.rx_ring.saturating_sub(baseline.rx_ring),
+            gro_overflow: self.gro_overflow.saturating_sub(baseline.gro_overflow),
+            socket_queue: self.socket_queue.saturating_sub(baseline.socket_queue),
+            pool: self.pool.saturating_sub(baseline.pool),
+        }
+    }
+
+    /// Labelled `(bucket, count)` view in stable order.
+    pub fn buckets(&self) -> [(&'static str, u64); 5] {
+        [
+            ("wire", self.wire),
+            ("rx_ring", self.rx_ring),
+            ("gro_overflow", self.gro_overflow),
+            ("socket_queue", self.socket_queue),
+            ("pool", self.pool),
+        ]
+    }
+
+    pub(crate) fn to_value(self) -> Value {
+        obj(vec![
+            ("wire", Value::UInt(self.wire)),
+            ("rx_ring", Value::UInt(self.rx_ring)),
+            ("gro_overflow", Value::UInt(self.gro_overflow)),
+            ("socket_queue", Value::UInt(self.socket_queue)),
+            ("pool", Value::UInt(self.pool)),
+        ])
+    }
+
+    pub(crate) fn from_value(v: &Value) -> Result<DropStats, JsonError> {
+        Ok(DropStats {
+            wire: v.get("wire")?.as_u64()?,
+            rx_ring: v.get("rx_ring")?.as_u64()?,
+            gro_overflow: v.get("gro_overflow")?.as_u64()?,
+            socket_queue: v.get("socket_queue")?.as_u64()?,
+            pool: v.get("pool")?.as_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_every_bucket() {
+        let d = DropStats {
+            wire: 1,
+            rx_ring: 2,
+            gro_overflow: 3,
+            socket_queue: 4,
+            pool: 5,
+        };
+        assert_eq!(d.total(), 15);
+        assert_eq!(d.buckets().iter().map(|&(_, n)| n).sum::<u64>(), 15);
+    }
+
+    #[test]
+    fn merge_and_since_are_inverse() {
+        let mut a = DropStats {
+            wire: 10,
+            rx_ring: 5,
+            ..DropStats::new()
+        };
+        let b = DropStats {
+            wire: 3,
+            pool: 7,
+            ..DropStats::new()
+        };
+        a.merge(b);
+        assert_eq!(a.wire, 13);
+        assert_eq!(a.pool, 7);
+        let delta = a.since(b);
+        assert_eq!(delta.wire, 10);
+        assert_eq!(delta.rx_ring, 5);
+        assert_eq!(delta.pool, 0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let d = DropStats {
+            wire: 8,
+            gro_overflow: 1,
+            socket_queue: 2,
+            ..DropStats::new()
+        };
+        let v = d.to_value();
+        assert_eq!(DropStats::from_value(&v).unwrap(), d);
+    }
+}

@@ -14,12 +14,15 @@
 //! the figure benches, and JSON export for EXPERIMENTS.md tooling.
 
 pub mod csv;
+pub mod drops;
+pub mod json;
 pub mod report;
 pub mod table;
 pub mod taxonomy;
 pub mod util;
 
 pub use csv::reports_to_csv;
+pub use drops::DropStats;
 pub use report::{CacheStats, LatencyStats, Report, SideReport};
 pub use table::{format_breakdown_table, format_gbps, format_series_table};
 pub use taxonomy::{Category, CycleBreakdown, ALL_CATEGORIES};

@@ -4,11 +4,12 @@
 //! [`Report`]s. Reports serialize to JSON so EXPERIMENTS.md entries can be
 //! regenerated mechanically.
 
+use crate::drops::DropStats;
+use crate::json::{self, JsonError, Value};
 use crate::taxonomy::CycleBreakdown;
-use serde::{Deserialize, Serialize};
 
 /// Cache behaviour observed during receive-side (or send-side) data copy.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct CacheStats {
     /// Bytes copied that were resident in the DCA/L3 cache.
     pub hit_bytes: u64,
@@ -32,11 +33,25 @@ impl CacheStats {
         self.hit_bytes += other.hit_bytes;
         self.miss_bytes += other.miss_bytes;
     }
+
+    fn to_value(self) -> Value {
+        json::obj(vec![
+            ("hit_bytes", Value::UInt(self.hit_bytes)),
+            ("miss_bytes", Value::UInt(self.miss_bytes)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<CacheStats, JsonError> {
+        Ok(CacheStats {
+            hit_bytes: v.get("hit_bytes")?.as_u64()?,
+            miss_bytes: v.get("miss_bytes")?.as_u64()?,
+        })
+    }
 }
 
 /// Latency distribution summary in microseconds (paper Fig. 3f reports the
 /// NAPI→start-of-data-copy delay).
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct LatencyStats {
     /// Mean latency.
     pub avg_us: f64,
@@ -46,8 +61,26 @@ pub struct LatencyStats {
     pub samples: u64,
 }
 
+impl LatencyStats {
+    fn to_value(self) -> Value {
+        json::obj(vec![
+            ("avg_us", Value::Num(self.avg_us)),
+            ("p99_us", Value::Num(self.p99_us)),
+            ("samples", Value::UInt(self.samples)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<LatencyStats, JsonError> {
+        Ok(LatencyStats {
+            avg_us: v.get("avg_us")?.as_f64()?,
+            p99_us: v.get("p99_us")?.as_f64()?,
+            samples: v.get("samples")?.as_u64()?,
+        })
+    }
+}
+
 /// Measurements for one side (sender or receiver) of the experiment.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SideReport {
     /// Cycle breakdown across the eight taxonomy categories.
     pub breakdown: CycleBreakdown,
@@ -57,8 +90,26 @@ pub struct SideReport {
     pub cache: CacheStats,
 }
 
+impl SideReport {
+    fn to_value(&self) -> Value {
+        json::obj(vec![
+            ("breakdown", self.breakdown.to_value()),
+            ("cores_used", Value::Num(self.cores_used)),
+            ("cache", self.cache.to_value()),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<SideReport, JsonError> {
+        Ok(SideReport {
+            breakdown: CycleBreakdown::from_value(v.get("breakdown")?)?,
+            cores_used: v.get("cores_used")?.as_f64()?,
+            cache: CacheStats::from_value(v.get("cache")?)?,
+        })
+    }
+}
+
 /// Full result of one experiment run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Report {
     /// Human-readable experiment label.
     pub label: String,
@@ -89,6 +140,10 @@ pub struct Report {
     pub wire_drops: u64,
     /// Packets dropped at the receiver NIC for want of Rx descriptors.
     pub ring_drops: u64,
+    /// Full drop taxonomy: every lost frame attributed to the layer that
+    /// dropped it (`drops.wire == wire_drops`, `drops.rx_ring + drops.pool
+    /// == ring_drops`; the extra buckets cover backlog and socket drops).
+    pub drops: DropStats,
     /// Segments retransmitted by senders.
     pub retransmissions: u64,
     /// RPC round-trips completed (short-flow workloads only).
@@ -140,9 +195,61 @@ impl Report {
         sum * sum / (xs.len() as f64 * sum_sq)
     }
 
-    /// Serialize to pretty JSON.
+    /// Serialize to pretty JSON. Output is byte-identical for identical
+    /// reports, which the determinism regression tests rely on.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serializes")
+        self.to_value().pretty()
+    }
+
+    /// Parse a report previously rendered by [`Report::to_json`].
+    pub fn from_json(text: &str) -> Result<Report, JsonError> {
+        Report::from_value(&Value::parse(text)?)
+    }
+
+    fn to_value(&self) -> Value {
+        json::obj(vec![
+            ("label", Value::Str(self.label.clone())),
+            ("window_secs", Value::Num(self.window_secs)),
+            ("delivered_bytes", Value::UInt(self.delivered_bytes)),
+            ("total_gbps", Value::Num(self.total_gbps)),
+            ("thpt_per_core_gbps", Value::Num(self.thpt_per_core_gbps)),
+            ("sender", self.sender.to_value()),
+            ("receiver", self.receiver.to_value()),
+            ("napi_to_copy", self.napi_to_copy.to_value()),
+            ("rpc_latency", self.rpc_latency.to_value()),
+            ("skb_size_hist", json::pairs_u64(&self.skb_size_hist)),
+            ("avg_skb_bytes", Value::Num(self.avg_skb_bytes)),
+            ("wire_drops", Value::UInt(self.wire_drops)),
+            ("ring_drops", Value::UInt(self.ring_drops)),
+            ("drops", self.drops.to_value()),
+            ("retransmissions", Value::UInt(self.retransmissions)),
+            ("rpcs_completed", Value::UInt(self.rpcs_completed)),
+            ("per_flow_bytes", json::pairs_u64(&self.per_flow_bytes)),
+            ("gbps_timeline", json::pairs_f64(&self.gbps_timeline)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Report, JsonError> {
+        Ok(Report {
+            label: v.get("label")?.as_str()?.to_string(),
+            window_secs: v.get("window_secs")?.as_f64()?,
+            delivered_bytes: v.get("delivered_bytes")?.as_u64()?,
+            total_gbps: v.get("total_gbps")?.as_f64()?,
+            thpt_per_core_gbps: v.get("thpt_per_core_gbps")?.as_f64()?,
+            sender: SideReport::from_value(v.get("sender")?)?,
+            receiver: SideReport::from_value(v.get("receiver")?)?,
+            napi_to_copy: LatencyStats::from_value(v.get("napi_to_copy")?)?,
+            rpc_latency: LatencyStats::from_value(v.get("rpc_latency")?)?,
+            skb_size_hist: json::parse_pairs_u64(v.get("skb_size_hist")?)?,
+            avg_skb_bytes: v.get("avg_skb_bytes")?.as_f64()?,
+            wire_drops: v.get("wire_drops")?.as_u64()?,
+            ring_drops: v.get("ring_drops")?.as_u64()?,
+            drops: DropStats::from_value(v.get("drops")?)?,
+            retransmissions: v.get("retransmissions")?.as_u64()?,
+            rpcs_completed: v.get("rpcs_completed")?.as_u64()?,
+            per_flow_bytes: json::parse_pairs_u64(v.get("per_flow_bytes")?)?,
+            gbps_timeline: json::parse_pairs_f64(v.get("gbps_timeline")?)?,
+        })
     }
 
     /// Coefficient of variation of the throughput timeline — a steadiness
@@ -243,9 +350,17 @@ mod tests {
             ..Report::default()
         };
         r.receiver.breakdown.charge(Category::DataCopy, 99);
+        r.drops.wire = 3;
+        r.drops.pool = 4;
+        r.skb_size_hist = vec![(0, 5), (4096, 9)];
+        r.gbps_timeline = vec![(0.001, 41.5)];
         let j = r.to_json();
-        let back: Report = serde_json::from_str(&j).unwrap();
+        let back = Report::from_json(&j).unwrap();
         assert_eq!(back.label, "unit");
         assert_eq!(back.receiver.breakdown[Category::DataCopy], 99);
+        assert_eq!(back.drops.total(), 7);
+        assert_eq!(back.skb_size_hist, r.skb_size_hist);
+        assert_eq!(back.gbps_timeline, r.gbps_timeline);
+        assert_eq!(back.to_json(), j, "serialization is stable");
     }
 }

@@ -14,12 +14,12 @@
 //! | Scheduling | Scheduling / context switching among threads |
 //! | Etc | Remaining functions (e.g. IRQ handling) |
 
-use serde::{Deserialize, Serialize};
+use crate::json::{obj, JsonError, Value};
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut};
 
 /// One of the eight CPU-cycle categories of the paper's Table 1.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Category {
     /// Payload copies between user space and kernel space.
     DataCopy,
@@ -91,7 +91,7 @@ impl fmt::Display for Category {
 /// Cycles charged per category. The fundamental profiling datum of the
 /// reproduction: the paper's Figs. 3c/3d/5b/5c/6b/7b/8b/9c/9d/10b/11b/12b/
 /// 12c/13b/13c are all rendered from one of these.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CycleBreakdown {
     cycles: [u64; 8],
 }
@@ -154,6 +154,27 @@ impl CycleBreakdown {
     /// Iterate `(category, cycles)` in display order.
     pub fn iter(&self) -> impl Iterator<Item = (Category, u64)> + '_ {
         ALL_CATEGORIES.into_iter().map(|c| (c, self.cycles[c.index()]))
+    }
+
+    pub(crate) fn to_value(self) -> Value {
+        obj(vec![(
+            "cycles",
+            Value::Arr(self.cycles.iter().map(|&c| Value::UInt(c)).collect()),
+        )])
+    }
+
+    pub(crate) fn from_value(v: &Value) -> Result<CycleBreakdown, JsonError> {
+        let arr = v.get("cycles")?.as_arr()?;
+        if arr.len() != 8 {
+            return Err(JsonError {
+                message: format!("cycles array has {} entries, expected 8", arr.len()),
+            });
+        }
+        let mut cycles = [0u64; 8];
+        for (slot, item) in cycles.iter_mut().zip(arr) {
+            *slot = item.as_u64()?;
+        }
+        Ok(CycleBreakdown { cycles })
     }
 }
 
@@ -251,11 +272,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let mut b = CycleBreakdown::new();
         b.charge(Category::NetDevice, 42);
-        let json = serde_json::to_string(&b).unwrap();
-        let back: CycleBreakdown = serde_json::from_str(&json).unwrap();
+        let back = CycleBreakdown::from_value(&b.to_value()).unwrap();
         assert_eq!(b, back);
     }
 }

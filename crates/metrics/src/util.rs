@@ -7,10 +7,9 @@
 //! span to the owning core's [`CoreUsage`].
 
 use hns_sim::{Duration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Busy-time accounting for one simulated core.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct CoreUsage {
     busy_ns: u64,
     /// Start of the measurement window (busy time before this is excluded).

@@ -5,10 +5,13 @@
 //! direction of [`Link`] is an independent serializing resource: a frame
 //! occupies the wire for `bytes × 8 / rate`, frames queue behind each
 //! other (`busy_until`), and arrive `propagation` later. Loss is injected
-//! per frame with a deterministic seeded RNG; ECN CE marks are applied when
-//! the frame's queueing delay exceeds a threshold (K-style marking, used by
-//! the DCTCP experiments).
+//! per frame with a deterministic seeded RNG — either independently per
+//! frame (the paper's §3.6 sweep) or through a Gilbert–Elliott bursty
+//! process; scheduled link flaps and latency spikes model in-network
+//! failures. ECN CE marks are applied when the frame's queueing delay
+//! exceeds a threshold (K-style marking, used by the DCTCP experiments).
 
+use hns_faults::{LatencySpike, LossModel, LossProcess, PhaseSchedule};
 use hns_sim::{Duration, SimRng, SimTime};
 
 /// Link parameters.
@@ -18,8 +21,13 @@ pub struct LinkConfig {
     pub gbps: f64,
     /// One-way propagation delay (cable + switch forwarding).
     pub propagation: Duration,
-    /// Probability each frame is dropped in-network (§3.6 sweep).
-    pub loss_rate: f64,
+    /// Per-frame in-network loss process (§3.6 sweep, burst-loss faults).
+    pub loss: LossModel,
+    /// Scheduled outage: while active, every frame in both directions is
+    /// lost (cable pull / switch reboot).
+    pub flap: Option<PhaseSchedule>,
+    /// Scheduled extra one-way delay (failover reroute).
+    pub latency_spike: Option<LatencySpike>,
     /// Mark CE when a frame waits longer than this in the wire queue
     /// (`None` disables marking).
     pub ecn_threshold: Option<Duration>,
@@ -30,7 +38,9 @@ impl Default for LinkConfig {
         LinkConfig {
             gbps: 100.0,
             propagation: Duration::from_micros(2),
-            loss_rate: 0.0,
+            loss: LossModel::None,
+            flap: None,
+            latency_spike: None,
             ecn_threshold: None,
         }
     }
@@ -64,7 +74,16 @@ struct Direction {
 pub struct Link {
     config: LinkConfig,
     dirs: [Direction; 2],
+    /// Independent loss processes per direction (each direction of a real
+    /// cable fails independently).
+    loss: [LossProcess; 2],
     rng: SimRng,
+}
+
+/// Line-rate serialization time of a nominal 1500B+overhead frame: the
+/// slot that converts idle wire time into Gilbert–Elliott chain steps.
+fn nominal_slot(config: &LinkConfig) -> Duration {
+    Duration::for_bytes_at_gbps(1578, config.gbps)
 }
 
 impl Link {
@@ -85,6 +104,10 @@ impl Link {
                     frames: 0,
                     bytes: 0,
                 },
+            ],
+            loss: [
+                LossProcess::with_slot(config.loss, nominal_slot(&config)),
+                LossProcess::with_slot(config.loss, nominal_slot(&config)),
             ],
             rng: SimRng::new(seed ^ 0x11A7),
         }
@@ -107,7 +130,11 @@ impl Link {
         let ser = Duration::for_bytes_at_gbps(wire_bytes, self.config.gbps);
         d.busy_until = start + ser;
 
-        if self.config.loss_rate > 0.0 && self.rng.chance(self.config.loss_rate) {
+        // A flapped (down) link loses every frame in both directions; the
+        // loss process still advances so post-flap behaviour is independent
+        // of how many frames died during the outage window.
+        let flapped = matches!(&self.config.flap, Some(w) if w.active(now));
+        if self.loss[dir].step(now, &mut self.rng) || flapped {
             d.drops += 1;
             return TransmitOutcome::Dropped;
         }
@@ -117,8 +144,14 @@ impl Link {
             Some(k) => queue_delay >= k,
             None => false,
         };
+        let mut propagation = self.config.propagation;
+        if let Some(spike) = &self.config.latency_spike {
+            if spike.window.active(now) {
+                propagation += spike.extra;
+            }
+        }
         TransmitOutcome::Delivered {
-            arrives: d.busy_until + self.config.propagation,
+            arrives: d.busy_until + propagation,
             ce,
         }
     }
@@ -151,7 +184,7 @@ mod tests {
     fn link(loss: f64) -> Link {
         Link::new(
             LinkConfig {
-                loss_rate: loss,
+                loss: LossModel::uniform(loss),
                 ..LinkConfig::default()
             },
             7,
@@ -239,6 +272,91 @@ mod tests {
             TransmitOutcome::Delivered { ce, .. } => assert!(!ce),
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn bursty_loss_comes_in_bursts() {
+        let mut l = Link::new(
+            LinkConfig {
+                loss: LossModel::bursty(0.02, 8.0),
+                ..LinkConfig::default()
+            },
+            7,
+        );
+        let mut lost = 0u64;
+        let mut bursts = 0u64;
+        let mut in_burst = false;
+        for _ in 0..200_000 {
+            let drop = l.transmit(0, SimTime::ZERO, 1578) == TransmitOutcome::Dropped;
+            if drop {
+                lost += 1;
+                if !in_burst {
+                    bursts += 1;
+                }
+            }
+            in_burst = drop;
+        }
+        let rate = lost as f64 / 200_000.0;
+        assert!((0.013..0.027).contains(&rate), "rate = {rate}");
+        let mean_burst = lost as f64 / bursts as f64;
+        assert!(mean_burst > 4.0, "mean burst = {mean_burst}");
+    }
+
+    #[test]
+    fn flap_window_kills_both_directions() {
+        let mut l = Link::new(
+            LinkConfig {
+                flap: Some(PhaseSchedule::once(
+                    Duration::from_micros(10),
+                    Duration::from_micros(20),
+                )),
+                ..LinkConfig::default()
+            },
+            7,
+        );
+        let up = SimTime::from_nanos(5_000);
+        let down = SimTime::from_nanos(15_000);
+        let up_again = SimTime::from_nanos(31_000);
+        assert!(matches!(
+            l.transmit(0, up, 1578),
+            TransmitOutcome::Delivered { .. }
+        ));
+        assert_eq!(l.transmit(0, down, 1578), TransmitOutcome::Dropped);
+        assert_eq!(l.transmit(1, down, 1578), TransmitOutcome::Dropped);
+        assert!(matches!(
+            l.transmit(1, up_again, 1578),
+            TransmitOutcome::Delivered { .. }
+        ));
+        assert_eq!(l.drops(0) + l.drops(1), 2);
+    }
+
+    #[test]
+    fn latency_spike_adds_delay_during_window() {
+        let spike = LatencySpike {
+            window: PhaseSchedule::once(Duration::from_micros(10), Duration::from_micros(10)),
+            extra: Duration::from_micros(50),
+        };
+        let mut l = Link::new(
+            LinkConfig {
+                latency_spike: Some(spike),
+                ..LinkConfig::default()
+            },
+            7,
+        );
+        let normal = match l.transmit(0, SimTime::from_nanos(1_000), 1578) {
+            TransmitOutcome::Delivered { arrives, .. } => arrives,
+            _ => panic!(),
+        };
+        let spiked = match l.transmit(0, SimTime::from_nanos(15_000), 1578) {
+            TransmitOutcome::Delivered { arrives, .. } => arrives,
+            _ => panic!(),
+        };
+        // Same serialization and propagation, plus 50us of spike, minus the
+        // 14us later offer time.
+        assert_eq!(
+            spiked.since(normal),
+            Duration::from_micros(50) + Duration::from_micros(14)
+        );
     }
 
     #[test]

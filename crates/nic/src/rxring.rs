@@ -17,6 +17,10 @@
 pub struct RxRing {
     capacity: u32,
     available: u32,
+    /// Descriptors taken out of service by fault injection; returned by
+    /// [`RxRing::restore`].
+    withheld: u32,
+    faulted: bool,
     /// Frames dropped for want of a descriptor.
     pub drops: u64,
     /// Frames successfully received.
@@ -30,6 +34,8 @@ impl RxRing {
         RxRing {
             capacity,
             available: capacity,
+            withheld: 0,
+            faulted: false,
             drops: 0,
             received: 0,
         }
@@ -47,7 +53,29 @@ impl RxRing {
 
     /// Descriptors consumed and awaiting driver replenishment.
     pub fn consumed(&self) -> u32 {
-        self.capacity - self.available
+        self.capacity - self.available - self.withheld
+    }
+
+    /// True while fault injection holds this ring's descriptors hostage.
+    pub fn faulted(&self) -> bool {
+        self.faulted
+    }
+
+    /// Fault injection: pull every free descriptor out of service so
+    /// arriving frames drop at the NIC. Replenishes during the fault are
+    /// withheld too; [`RxRing::restore`] returns everything at once.
+    pub fn force_exhaust(&mut self) {
+        self.faulted = true;
+        self.withheld += self.available;
+        self.available = 0;
+    }
+
+    /// End of an injected exhaustion window: withheld descriptors go back
+    /// into service.
+    pub fn restore(&mut self) {
+        self.faulted = false;
+        self.available += self.withheld;
+        self.withheld = 0;
     }
 
     /// A frame arrived: consume one descriptor. Returns `false` (and counts
@@ -64,11 +92,31 @@ impl RxRing {
 
     /// Driver replenishes up to `n` descriptors (NAPI refill). Returns how
     /// many were actually added — the caller charges page-allocation and
-    /// IOMMU-map costs for exactly that many buffers.
+    /// IOMMU-map costs for exactly that many buffers. While an injected
+    /// exhaustion fault is active the descriptors are withheld instead of
+    /// entering service.
     pub fn replenish(&mut self, n: u32) -> u32 {
-        let add = n.min(self.capacity - self.available);
-        self.available += add;
+        let add = n.min(self.capacity - self.available - self.withheld);
+        if self.faulted {
+            self.withheld += add;
+        } else {
+            self.available += add;
+        }
         add
+    }
+
+    /// Undo (part of) a replenish that could not be backed by pages: take
+    /// up to `n` descriptors back out of the ring. Returns how many were
+    /// actually removed; the caller tracks them as a deficit to repay.
+    pub fn unreplenish(&mut self, n: u32) -> u32 {
+        let pool = if self.faulted {
+            &mut self.withheld
+        } else {
+            &mut self.available
+        };
+        let take = n.min(*pool);
+        *pool -= take;
+        take
     }
 }
 
@@ -112,5 +160,38 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_capacity_rejected() {
         RxRing::new(0);
+    }
+
+    #[test]
+    fn force_exhaust_and_restore() {
+        let mut r = RxRing::new(4);
+        assert!(r.try_receive());
+        r.force_exhaust();
+        assert!(r.faulted());
+        assert_eq!(r.available(), 0);
+        assert!(!r.try_receive(), "exhausted ring drops");
+        // Replenishes during the fault are withheld, not served.
+        assert_eq!(r.replenish(1), 1);
+        assert!(!r.try_receive());
+        r.restore();
+        assert!(!r.faulted());
+        assert_eq!(r.available(), 4, "all descriptors back in service");
+        assert!(r.try_receive());
+        assert_eq!(r.drops, 2);
+    }
+
+    #[test]
+    fn unreplenish_takes_back_descriptors() {
+        let mut r = RxRing::new(8);
+        for _ in 0..6 {
+            r.try_receive();
+        }
+        assert_eq!(r.replenish(4), 4);
+        assert_eq!(r.unreplenish(4), 4);
+        assert_eq!(r.available(), 2);
+        assert_eq!(r.consumed(), 6);
+        // Cannot take back more than what's in service.
+        assert_eq!(r.unreplenish(100), 2);
+        assert_eq!(r.available(), 0);
     }
 }

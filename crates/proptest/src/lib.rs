@@ -1,0 +1,190 @@
+//! Offline subset of the [proptest](https://docs.rs/proptest) API.
+//!
+//! The workspace must build and test without network access, so the real
+//! proptest crate (and its dependency tree) cannot be fetched. This shim
+//! implements the slice of the API the repository's property tests use:
+//!
+//! - the [`proptest!`] macro (including `#![proptest_config(..)]`),
+//! - [`prop_assert!`] / [`prop_assert_eq!`],
+//! - strategies: integer and float ranges, [`Just`], [`any`], tuples,
+//!   [`collection::vec`], [`prop_oneof!`], and [`Strategy::prop_map`],
+//! - [`ProptestConfig::with_cases`].
+//!
+//! Semantics differ from the real crate in one deliberate way: there is no
+//! shrinking. Each test runs `cases` deterministic pseudo-random inputs
+//! derived from the test's name, so failures reproduce bit-identically from
+//! run to run, which is what a deterministic-simulation repository needs.
+
+pub mod rng;
+pub mod strategy;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::ops::Range;
+
+    /// Strategy producing a `Vec` whose length is drawn from `len` and
+    /// whose elements are drawn from `element`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration (`ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; simulation cases are heavyweight,
+        // so the repo's tests always override this. 64 keeps un-annotated
+        // properties meaningful but affordable.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident(
+        $( $arg:ident in $strat:expr ),+ $(,)?
+    ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::rng::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..config.cases {
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!`: assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// `prop_assert_eq!`: equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// `prop_assert_ne!`: inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// `prop_oneof!`: pick uniformly among the listed strategies (all must
+/// yield the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::one_of(vec![ $( $crate::strategy::boxed($strat) ),+ ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in -5i32..5, f in 0.25f64..0.75) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_respects_length(v in collection::vec(0u64..100, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn tuples_and_map(pair in (0u32..10, any::<bool>()).prop_map(|(a, b)| (a * 2, b))) {
+            prop_assert!(pair.0 % 2 == 0 && pair.0 < 20);
+        }
+
+        #[test]
+        fn oneof_picks_listed(v in prop_oneof![Just(1u32), Just(5), 100u32..200]) {
+            prop_assert!(v == 1 || v == 5 || (100..200).contains(&v));
+        }
+    }
+
+    #[test]
+    fn determinism_across_instantiations() {
+        use crate::rng::TestRng;
+        use crate::strategy::Strategy;
+        let s = (0u64..1_000_000, 0.0f64..1.0);
+        let a: Vec<_> = {
+            let mut r = TestRng::from_name("x");
+            (0..10).map(|_| s.generate(&mut r)).collect()
+        };
+        let b: Vec<_> = {
+            let mut r = TestRng::from_name("x");
+            (0..10).map(|_| s.generate(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

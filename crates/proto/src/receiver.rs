@@ -159,18 +159,10 @@ impl TcpReceiver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::segment::SegmentKind;
 
     fn ack_fields(s: &Segment) -> (u64, u64, bool) {
-        match s.kind {
-            SegmentKind::Ack {
-                ack,
-                window,
-                ecn_echo,
-                ..
-            } => (ack, window, ecn_echo),
-            _ => panic!("not an ack"),
-        }
+        let v = s.ack_view().expect("receiver emits acks");
+        (v.ack, v.window, v.ecn_echo)
     }
 
     fn rx() -> TcpReceiver {

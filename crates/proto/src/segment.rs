@@ -93,6 +93,72 @@ impl Segment {
     pub fn is_data(&self) -> bool {
         matches!(self.kind, SegmentKind::Data { .. })
     }
+
+    /// Typed accessor: the data fields, or `None` for an ACK. Prefer this
+    /// over matching [`SegmentKind`] with a panicking catch-all arm.
+    pub fn data_view(&self) -> Option<DataView> {
+        match self.kind {
+            SegmentKind::Data {
+                seq,
+                len,
+                retransmit,
+            } => Some(DataView {
+                seq,
+                len,
+                retransmit,
+            }),
+            SegmentKind::Ack { .. } => None,
+        }
+    }
+
+    /// Typed accessor: the ACK fields, or `None` for a data segment.
+    pub fn ack_view(&self) -> Option<AckView> {
+        match self.kind {
+            SegmentKind::Ack {
+                ack,
+                window,
+                ecn_echo,
+                sack,
+            } => Some(AckView {
+                ack,
+                window,
+                ecn_echo,
+                sack,
+            }),
+            SegmentKind::Data { .. } => None,
+        }
+    }
+}
+
+/// The fields of a data segment ([`Segment::data_view`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DataView {
+    /// Stream offset of the first payload byte.
+    pub seq: u64,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// True if this is a retransmission.
+    pub retransmit: bool,
+}
+
+impl DataView {
+    /// One past the last payload byte.
+    pub fn end(&self) -> u64 {
+        self.seq + self.len as u64
+    }
+}
+
+/// The fields of a pure ACK ([`Segment::ack_view`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AckView {
+    /// Cumulative ACK offset.
+    pub ack: u64,
+    /// Advertised receive window in bytes.
+    pub window: u64,
+    /// ECN echo flag.
+    pub ecn_echo: bool,
+    /// Selective-acknowledgment blocks.
+    pub sack: SackBlocks,
 }
 
 #[cfg(test)]
@@ -115,19 +181,22 @@ mod tests {
         assert!(!s.is_data());
         assert_eq!(s.payload_len(), 0);
         assert_eq!(s.wire_bytes(), 78);
-        match s.kind {
-            SegmentKind::Ack {
-                ack,
-                window,
-                ecn_echo,
-                sack,
-            } => {
-                assert_eq!(ack, 5000);
-                assert_eq!(window, 65535);
-                assert!(ecn_echo);
-                assert_eq!(sack.as_slice(), &[(6000, 7000)]);
-            }
-            _ => panic!("not an ack"),
-        }
+        let v = s.ack_view().expect("ack segment");
+        assert_eq!(v.ack, 5000);
+        assert_eq!(v.window, 65535);
+        assert!(v.ecn_echo);
+        assert_eq!(v.sack.as_slice(), &[(6000, 7000)]);
+    }
+
+    #[test]
+    fn typed_views_reject_wrong_kind() {
+        let d = Segment::data(1, 0, 100, false);
+        assert!(d.ack_view().is_none());
+        let dv = d.data_view().expect("data");
+        assert_eq!((dv.seq, dv.len, dv.retransmit), (0, 100, false));
+        assert_eq!(dv.end(), 100);
+        let a = Segment::ack(1, 5, 10, false, SackBlocks::EMPTY);
+        assert!(a.data_view().is_none());
+        assert!(a.ack_view().is_some());
     }
 }

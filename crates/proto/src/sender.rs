@@ -505,17 +505,10 @@ impl TcpSender {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::segment::SegmentKind;
 
     fn seg_range(s: &Segment) -> (u64, u64, bool) {
-        match s.kind {
-            SegmentKind::Data {
-                seq,
-                len,
-                retransmit,
-            } => (seq, seq + len as u64, retransmit),
-            _ => panic!("not data"),
-        }
+        let d = s.data_view().expect("sender emits data");
+        (d.seq, d.end(), d.retransmit)
     }
 
     fn sender() -> TcpSender {
@@ -723,7 +716,7 @@ mod tests {
         let mut now = SimTime::ZERO;
         // Establish an RTT sample so the PTO arms.
         while s.next_segment(now, 1000).is_some() {}
-        now = now + Duration::from_micros(80);
+        now += Duration::from_micros(80);
         s.on_ack(now, 5_000, 1 << 20, false, &SackBlocks::EMPTY);
         // Remaining 5KB in flight; no more ACKs arrive. The first timer
         // fire is the tail-loss probe, well before a full RTO.
@@ -754,13 +747,13 @@ mod tests {
         while s.next_segment(now, 1000).is_some() {}
         // Walk the peer's window edge up to exactly 65_536 and then close
         // it: the receiver's buffer fills while the edge never moves.
-        now = now + Duration::from_micros(50);
+        now += Duration::from_micros(50);
         s.on_ack(now, 10_000, 55_536, false, &SackBlocks::EMPTY);
         while s.next_segment(now, 1000).is_some() {}
-        now = now + Duration::from_micros(50);
+        now += Duration::from_micros(50);
         s.on_ack(now, 30_000, 35_536, false, &SackBlocks::EMPTY);
         while s.next_segment(now, 1000).is_some() {}
-        now = now + Duration::from_micros(50);
+        now += Duration::from_micros(50);
         s.on_ack(now, 65_536, 0, false, &SackBlocks::EMPTY);
         assert_eq!(s.in_flight(), 0);
         assert!(s.unsent() > 0);

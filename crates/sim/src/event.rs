@@ -97,9 +97,11 @@ impl<E> EventQueue<E> {
         self.now
     }
 
-    /// Number of pending (non-cancelled) events.
+    /// Number of pending (non-cancelled) events. Saturating: a token
+    /// cancelled after its event already fired sits in the cancelled set
+    /// until swept, briefly overcounting it.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.heap.len().saturating_sub(self.cancelled.len())
     }
 
     /// True if no events are pending.

@@ -1,5 +1,6 @@
 //! Experiment configuration: every knob the paper turns.
 
+use hns_faults::FaultConfig;
 use hns_mem::numa::Topology;
 use hns_nic::link::LinkConfig;
 use hns_nic::steering::SteeringMode;
@@ -199,6 +200,21 @@ pub struct SimConfig {
     pub irq_coalesce: Duration,
     /// Record per-flow protocol traces ([`crate::trace::FlowTracer`]).
     pub trace_flows: bool,
+    /// Per-core softirq backlog cap in frames (`netdev_max_backlog`-style):
+    /// arrivals beyond it are dropped before consuming a descriptor and
+    /// attributed to the `gro_overflow` bucket. Zero (the default, matching
+    /// NAPI where the ring itself bounds the backlog) disables the cap;
+    /// fault experiments set it so stalled cores shed load visibly.
+    pub max_backlog: u32,
+    /// Deterministic fault plan (resource faults; wire faults live in
+    /// [`LinkConfig`]). Default injects nothing.
+    pub faults: FaultConfig,
+    /// Run watchdog: declare the run wedged if nothing moves — no wire
+    /// frames, no delivered bytes, no retransmissions — for this much
+    /// sim time while flows still have outstanding data. Must exceed the
+    /// longest legitimate silence (deepest RTO backoff the fault plan can
+    /// provoke). `Duration::ZERO` disables the stall check.
+    pub watchdog_horizon: Duration,
 }
 
 impl Default for SimConfig {
@@ -216,6 +232,9 @@ impl Default for SimConfig {
             irq_latency: Duration::from_micros(1),
             irq_coalesce: Duration::ZERO,
             trace_flows: false,
+            max_backlog: 0,
+            faults: FaultConfig::default(),
+            watchdog_horizon: Duration::from_secs(5),
         }
     }
 }

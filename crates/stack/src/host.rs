@@ -45,6 +45,12 @@ pub struct CoreData {
     pub breakdown: CycleBreakdown,
     /// Whether the currently-running step should requeue its task.
     pub pending_runnable: bool,
+    /// Rx descriptors consumed whose replenish could not be page-backed
+    /// (injected pool pressure); repaid when the pressure clears.
+    pub ring_deficit: u32,
+    /// Injected core stall ("noisy neighbor"): while set, no stack work is
+    /// dispatched on this core.
+    pub stalled: bool,
 }
 
 impl CoreData {
@@ -58,6 +64,8 @@ impl CoreData {
             usage: CoreUsage::new(),
             breakdown: CycleBreakdown::new(),
             pending_runnable: false,
+            ring_deficit: 0,
+            stalled: false,
         }
     }
 }

@@ -30,10 +30,12 @@ pub mod gro;
 pub mod host;
 pub mod skb;
 pub mod trace;
+pub mod watchdog;
 pub mod world;
 
 pub use app::AppSpec;
 pub use config::{OptLevel, SimConfig, StackConfig};
 pub use costs::CostModel;
 pub use flow::FlowSpec;
+pub use watchdog::{RunError, RunErrorKind};
 pub use world::World;

@@ -19,7 +19,7 @@
 
 use hns_mem::numa::MemClass;
 use hns_mem::pages_for;
-use hns_metrics::{Category, LatencyStats, Report, SideReport};
+use hns_metrics::{Category, DropStats, LatencyStats, Report, SideReport};
 use hns_nic::link::TransmitOutcome;
 use hns_nic::tso;
 use hns_nic::{Link, TxArbiter};
@@ -33,6 +33,7 @@ use crate::costs::CostModel;
 use crate::flow::{Flow, FlowSpec};
 use crate::host::{Host, PendingFrame};
 use crate::skb::RxSkb;
+use crate::watchdog::{RunError, RunErrorKind, Snapshot, StuckFlow};
 
 /// Simulation events.
 #[derive(Clone, Copy, Debug)]
@@ -59,10 +60,32 @@ enum Event {
     EndWarmup,
     /// Measurement over: stop.
     EndRun,
+    /// A fault schedule crosses a window boundary: reconcile its state.
+    FaultTick { kind: FaultKind },
+}
+
+/// Which scheduled resource fault a `FaultTick` reconciles.
+#[derive(Clone, Copy, Debug)]
+enum FaultKind {
+    /// Rx descriptor-ring exhaustion.
+    Ring,
+    /// Page-pool allocation failure.
+    Pool,
+    /// Core stall (noisy neighbor).
+    Stall,
 }
 
 /// Interval of the auto-tuning / housekeeping tick.
 const AUTOTUNE_INTERVAL: Duration = Duration::from_millis(1);
+
+/// Watchdog: events fired at one sim-time instant before declaring a
+/// zero-delay rescheduling storm. Healthy runs see at most a few thousand
+/// same-instant events (one softirq step across every core).
+const STORM_LIMIT: u64 = 5_000_000;
+
+/// Watchdog: pending-event count past which the queue is declared leaking.
+/// Steady state holds a few events per flow plus a few per core.
+const LEAK_LIMIT: usize = 10_000_000;
 
 /// Charges accumulated by one step. Thin wrapper so call sites read well.
 #[derive(Default)]
@@ -106,6 +129,19 @@ pub struct World {
     finished: bool,
     wire_drop_baseline: u64,
     ring_drop_baseline: u64,
+    /// Cumulative drop taxonomy since t = 0 (wire / rx-ring / gro-overflow
+    /// / socket-queue / pool); reports subtract `drop_baseline`.
+    drop_stats: DropStats,
+    drop_baseline: DropStats,
+    /// Forward-progress counter: bumped whenever a frame is offered to the
+    /// wire or an application copies bytes out of a socket.
+    progress: u64,
+    last_progress: u64,
+    last_progress_at: SimTime,
+    /// Same-instant event counting for the event-storm tripwire.
+    storm_at: SimTime,
+    storm_count: u64,
+    run_error: Option<RunError>,
     label: String,
 }
 
@@ -133,6 +169,14 @@ impl World {
             finished: false,
             wire_drop_baseline: 0,
             ring_drop_baseline: 0,
+            drop_stats: DropStats::new(),
+            drop_baseline: DropStats::new(),
+            progress: 0,
+            last_progress: 0,
+            last_progress_at: SimTime::ZERO,
+            storm_at: SimTime::ZERO,
+            storm_count: 0,
+            run_error: None,
             label: String::new(),
             cfg,
         }
@@ -175,8 +219,20 @@ impl World {
     }
 
     /// Run the simulation: `warmup` to reach steady state (measurements
-    /// discarded), then a `measure` window. Returns the report.
+    /// discarded), then a `measure` window. Returns the report, panicking
+    /// if the watchdog declares the run wedged — use [`World::try_run`]
+    /// when a structured error is wanted (fault experiments).
     pub fn run(&mut self, warmup: Duration, measure: Duration) -> Report {
+        self.try_run(warmup, measure)
+            .unwrap_or_else(|e| panic!("run did not quiesce: {e}"))
+    }
+
+    /// Fallible [`World::run`]: a wedged run (no forward progress over the
+    /// configured horizon, an event storm, or a leaking event queue)
+    /// returns a [`RunError`] with a diagnostic snapshot instead of
+    /// hanging or panicking.
+    pub fn try_run(&mut self, warmup: Duration, measure: Duration) -> Result<Report, RunError> {
+        self.arm_faults()?;
         self.queue
             .schedule(SimTime::ZERO + warmup, Event::EndWarmup);
         self.queue
@@ -214,11 +270,101 @@ impl World {
 
         while !self.finished {
             match self.queue.pop() {
-                Some((_, ev)) => self.handle(ev),
+                Some((t, ev)) => {
+                    if t == self.storm_at {
+                        self.storm_count += 1;
+                    } else {
+                        self.storm_at = t;
+                        self.storm_count = 0;
+                    }
+                    if self.storm_count > STORM_LIMIT {
+                        self.trip(
+                            RunErrorKind::EventStorm,
+                            format!("{STORM_LIMIT}+ events at t={}ns", t.as_nanos()),
+                        );
+                        break;
+                    }
+                    if self.queue.len() > LEAK_LIMIT {
+                        self.trip(
+                            RunErrorKind::QueueLeak,
+                            format!("event queue grew past {LEAK_LIMIT}"),
+                        );
+                        break;
+                    }
+                    self.handle(ev)
+                }
                 None => break, // deadlock-free exhaustion (tests)
             }
         }
-        self.build_report()
+        match self.run_error.take() {
+            Some(e) => Err(e),
+            None => Ok(self.build_report()),
+        }
+    }
+
+    /// Validate the fault plan and apply / schedule every fault window.
+    fn arm_faults(&mut self) -> Result<(), RunError> {
+        let bad_plan = |detail: String| RunError {
+            kind: RunErrorKind::BadFaultPlan,
+            at: SimTime::ZERO,
+            detail,
+            snapshot: Snapshot::default(),
+        };
+        self.cfg.faults.validate().map_err(bad_plan)?;
+        if let Some(cs) = &self.cfg.faults.core_stall {
+            if cs.core >= self.cfg.topology.total_cores() {
+                return Err(bad_plan(format!(
+                    "core stall victim core {} out of range (host has {})",
+                    cs.core,
+                    self.cfg.topology.total_cores()
+                )));
+            }
+        }
+        for kind in [FaultKind::Ring, FaultKind::Pool, FaultKind::Stall] {
+            self.fault_tick(kind);
+        }
+        Ok(())
+    }
+
+    /// Record a watchdog error and stop the event loop.
+    fn trip(&mut self, kind: RunErrorKind, detail: String) {
+        if self.run_error.is_none() {
+            self.run_error = Some(RunError {
+                kind,
+                at: self.queue.now(),
+                detail,
+                snapshot: self.snapshot(),
+            });
+        }
+        self.finished = true;
+    }
+
+    /// Capture diagnostic state for a [`RunError`].
+    fn snapshot(&self) -> Snapshot {
+        let backlog_frames = self
+            .hosts
+            .iter()
+            .flat_map(|h| h.cores.iter())
+            .map(|c| c.backlog.len() as u64)
+            .sum();
+        let stuck_flows = self
+            .flows
+            .iter()
+            .filter(|f| f.sender.in_flight() > 0 || f.sender.unsent() > 0)
+            .take(8)
+            .map(|f| StuckFlow {
+                flow: f.id,
+                in_flight: f.sender.in_flight(),
+                unsent: f.sender.unsent(),
+            })
+            .collect();
+        Snapshot {
+            queue_len: self.queue.len(),
+            backlog_frames,
+            stuck_flows,
+            wire_frames: self.link.frames(0) + self.link.frames(1),
+            retransmissions: self.flows.iter().map(|f| f.sender.retransmissions).sum(),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -243,10 +389,112 @@ impl World {
             Event::AutotuneTick => self.autotune_tick(),
             Event::EndWarmup => self.end_warmup(),
             Event::EndRun => self.finished = true,
+            Event::FaultTick { kind } => self.fault_tick(kind),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Reconcile one scheduled fault with its window state at `now`, apply
+    /// the side effects of any transition, and schedule the next boundary.
+    /// Idempotent, so it doubles as the t = 0 arming call.
+    fn fault_tick(&mut self, kind: FaultKind) {
+        let now = self.queue.now();
+        let next = match kind {
+            FaultKind::Ring => {
+                let Some(re) = self.cfg.faults.ring_exhaust else {
+                    return;
+                };
+                let h = re.host as usize;
+                if re.window.active(now) {
+                    for r in &mut self.hosts[h].rings {
+                        if !r.faulted() {
+                            r.force_exhaust();
+                        }
+                    }
+                } else {
+                    for r in &mut self.hosts[h].rings {
+                        if r.faulted() {
+                            r.restore();
+                        }
+                    }
+                }
+                re.window.next_transition(now)
+            }
+            FaultKind::Pool => {
+                let Some(pp) = self.cfg.faults.pool_pressure else {
+                    return;
+                };
+                let h = pp.host as usize;
+                let active = pp.window.active(now);
+                let was = self.hosts[h].pages.failing();
+                self.hosts[h].pages.set_failing(active);
+                if was && !active {
+                    self.repay_ring_deficits(h);
+                }
+                pp.window.next_transition(now)
+            }
+            FaultKind::Stall => {
+                let Some(cs) = self.cfg.faults.core_stall else {
+                    return;
+                };
+                let (h, core) = (cs.host as usize, cs.core as usize);
+                let active = cs.window.active(now);
+                let was = self.hosts[h].cores[core].stalled;
+                self.hosts[h].cores[core].stalled = active;
+                if was && !active {
+                    // Stall over: resume whatever piled up on the core.
+                    self.queue.schedule(
+                        now,
+                        Event::Dispatch {
+                            host: h as u8,
+                            core: cs.core,
+                        },
+                    );
+                }
+                cs.window.next_transition(now)
+            }
+        };
+        if let Some(t) = next {
+            self.queue.schedule(t, Event::FaultTick { kind });
+        }
+    }
+
+    /// Pool pressure cleared: re-back the descriptors whose replenish
+    /// failed during the window, charging the deferred page-allocation and
+    /// IOMMU costs to each owning core.
+    fn repay_ring_deficits(&mut self, h: usize) {
+        for core in 0..self.hosts[h].cores.len() {
+            let deficit = std::mem::take(&mut self.hosts[h].cores[core].ring_deficit);
+            if deficit == 0 {
+                continue;
+            }
+            let added = self.hosts[h].rings[core].replenish(deficit);
+            if added == 0 {
+                continue;
+            }
+            let mut ch = Charges::default();
+            let pages = pages_for(self.cfg.stack.mtu as u64) * added as u64;
+            let out = self.hosts[h].pages.alloc(core as u16, pages);
+            ch.add(
+                Category::Memory,
+                out.fast_pages * self.cost.page_alloc_fast
+                    + out.slow_pages * self.cost.page_alloc_slow,
+            );
+            let mapped = self.hosts[h].iommu.map(pages);
+            ch.add(Category::Memory, mapped * self.cost.iommu_map);
+            let cd = &mut self.hosts[h].cores[core];
+            cd.breakdown += ch.0;
+            cd.usage.add_busy(cycles_to_time(ch.total()));
         }
     }
 
     fn dispatch(&mut self, h: usize, core: usize) {
+        if self.hosts[h].cores[core].stalled {
+            return; // injected noisy neighbor owns the core; FaultTick resumes
+        }
         if self.hosts[h].sched.running(core).is_some() {
             return; // busy; StepDone will redispatch
         }
@@ -377,14 +625,25 @@ impl World {
             let added = self.hosts[h].rings[core].replenish(replenish);
             if added > 0 {
                 let pages = pages_for(self.cfg.stack.mtu as u64) * added as u64;
-                let out = self.hosts[h].pages.alloc(core as u16, pages);
-                ch.add(
-                    Category::Memory,
-                    out.fast_pages * self.cost.page_alloc_fast
-                        + out.slow_pages * self.cost.page_alloc_slow,
-                );
-                let mapped = self.hosts[h].iommu.map(pages);
-                ch.add(Category::Memory, mapped * self.cost.iommu_map);
+                match self.hosts[h].pages.try_alloc(core as u16, pages) {
+                    Some(out) => {
+                        ch.add(
+                            Category::Memory,
+                            out.fast_pages * self.cost.page_alloc_fast
+                                + out.slow_pages * self.cost.page_alloc_slow,
+                        );
+                        let mapped = self.hosts[h].iommu.map(pages);
+                        ch.add(Category::Memory, mapped * self.cost.iommu_map);
+                    }
+                    None => {
+                        // Injected pool pressure: the descriptors cannot be
+                        // backed by pages. Pull them back out of service and
+                        // remember the deficit; it is repaid (with its page
+                        // and IOMMU costs) when the pressure window ends.
+                        let taken = self.hosts[h].rings[core].unreplenish(added);
+                        self.hosts[h].cores[core].ring_deficit += taken;
+                    }
+                }
             }
         }
 
@@ -440,7 +699,10 @@ impl World {
 
         if delivered == 0 && duplicate {
             // Wholly duplicate data: free the buffers immediately (the
-            // kernel's OFO queue coalesces/drops duplicates).
+            // kernel's OFO queue coalesces/drops duplicates). These frames
+            // survived the wire and the NIC only to be discarded at the
+            // socket — the `socket_queue` bucket of the drop taxonomy.
+            self.drop_stats.socket_queue += skb.frags.len().max(1) as u64;
             let frags = skb.frags.clone();
             ch.add(Category::SkbMgmt, self.cost.skb_free);
             self.free_frags(h, core, &frags, ch);
@@ -702,6 +964,7 @@ impl World {
         if copied == 0 {
             return;
         }
+        self.progress += 1;
         let mss = self.cfg.stack.mss() as u64;
         let f = &mut self.flows[fid];
         f.rx_backlog = f.receiver.rcv_nxt() - f.app_read_pos;
@@ -973,13 +1236,18 @@ impl World {
             Some(s) => s,
             None => return false,
         };
-        let (seq0, len, rtx) = match seg.kind {
-            SegmentKind::Data {
-                seq,
-                len,
-                retransmit,
-            } => (seq, len, retransmit),
-            _ => unreachable!("senders emit data"),
+        let (seq0, len, rtx) = match seg.data_view() {
+            Some(d) => (d.seq, d.len, d.retransmit),
+            None => {
+                // Senders only emit data today; if a control segment ever
+                // appears here, forward it untouched rather than abort.
+                let h = self.flows[fid].spec.src_host;
+                let queue = self.flows[fid].spec.src_core as usize;
+                let ok = self.arbiters[h].enqueue(queue, seg.payload_len(), seg);
+                debug_assert!(ok, "tx queues are unbounded");
+                self.arm_txdrain(h);
+                return true;
+            }
         };
         ch.add(
             Category::TcpIp,
@@ -1028,6 +1296,10 @@ impl World {
         let now = self.queue.now();
         match self.arbiters[h].dequeue() {
             Some((payload, seg)) => {
+                // Anything reaching the wire counts as forward progress for
+                // the watchdog — even a dropped frame proves the sender's
+                // recovery machinery is still alive.
+                self.progress += 1;
                 let wire = payload as u64 + HEADER_BYTES as u64;
                 match self.link.transmit(h, now, wire) {
                     TransmitOutcome::Delivered { arrives, ce } => {
@@ -1041,7 +1313,9 @@ impl World {
                             },
                         );
                     }
-                    TransmitOutcome::Dropped => {}
+                    TransmitOutcome::Dropped => {
+                        self.drop_stats.wire += 1;
+                    }
                 }
                 if self.arbiters[h].is_empty() {
                     self.hosts[h].txdrain_armed = false;
@@ -1069,8 +1343,27 @@ impl World {
             SegmentKind::Data { .. } => self.flows[fid].irq_core,
             SegmentKind::Ack { .. } => self.flows[fid].ack_irq_core,
         };
+        // Softirq backlog cap (netdev_max_backlog): shed load before even
+        // consuming a descriptor when the polling core has fallen too far
+        // behind (e.g. an injected core stall).
+        let cap = self.cfg.max_backlog as usize;
+        if cap > 0 && self.hosts[dst].cores[target_core as usize].backlog.len() >= cap {
+            self.drop_stats.gro_overflow += 1;
+            return;
+        }
         if !self.hosts[dst].rings[target_core as usize].try_receive() {
-            return; // queue out of descriptors: dropped, TCP recovers
+            // Out of descriptors: dropped, TCP recovers. Attribute the drop
+            // to the page pool when the ring is empty because replenishes
+            // could not be backed, otherwise to the ring itself (organic
+            // overrun or injected exhaustion).
+            let pool_starved = self.hosts[dst].pages.failing()
+                && !self.hosts[dst].rings[target_core as usize].faulted();
+            if pool_starved {
+                self.drop_stats.pool += 1;
+            } else {
+                self.drop_stats.rx_ring += 1;
+            }
+            return;
         }
         let (core, frame) = match seg.kind {
             SegmentKind::Data { len, .. } => {
@@ -1135,6 +1428,10 @@ impl World {
         }
         let now = self.queue.now();
         self.flows[fid].rto_scheduled_for = None;
+        // The token just fired; forget it so a later `sync_rto` doesn't
+        // "cancel" a dead token (which would pollute the queue's cancelled
+        // set and skew its pending-event count).
+        self.flows[fid].rto_token = hns_sim::event::EventToken::NONE;
         self.flows[fid].sender.on_rto(now);
         self.flows[fid]
             .trace
@@ -1219,8 +1516,44 @@ impl World {
                 .autotune_mut()
                 .on_copied(copied, AUTOTUNE_INTERVAL, hint);
         }
+        self.check_watchdog();
         self.queue
             .schedule_after(AUTOTUNE_INTERVAL, Event::AutotuneTick);
+    }
+
+    /// Stall tripwire, evaluated once per autotune tick: if the progress
+    /// counter hasn't moved for a full horizon while some flow still has
+    /// outstanding work, the run is wedged.
+    fn check_watchdog(&mut self) {
+        let horizon = self.cfg.watchdog_horizon;
+        if horizon == Duration::ZERO || self.run_error.is_some() {
+            return;
+        }
+        let now = self.queue.now();
+        if self.progress != self.last_progress {
+            self.last_progress = self.progress;
+            self.last_progress_at = now;
+            return;
+        }
+        if now.since(self.last_progress_at) < horizon {
+            return;
+        }
+        let outstanding = self
+            .flows
+            .iter()
+            .any(|f| f.sender.in_flight() > 0 || f.sender.unsent() > 0);
+        if !outstanding {
+            // Quiet because there's nothing to do — not a stall.
+            self.last_progress_at = now;
+            return;
+        }
+        self.trip(
+            RunErrorKind::Stalled,
+            format!(
+                "no forward progress for {}ns with flows outstanding",
+                horizon.as_nanos()
+            ),
+        );
     }
 
     fn end_warmup(&mut self) {
@@ -1242,6 +1575,7 @@ impl World {
         self.gbps_timeline.clear();
         self.wire_drop_baseline = self.link.drops(0) + self.link.drops(1);
         self.ring_drop_baseline = self.hosts[0].ring_drops() + self.hosts[1].ring_drops();
+        self.drop_baseline = self.drop_stats;
     }
 
     fn build_report(&self) -> Report {
@@ -1279,6 +1613,16 @@ impl World {
             samples: self.rpc_latency_ns.count(),
         };
 
+        let wire_drops = self.link.drops(0) + self.link.drops(1) - self.wire_drop_baseline;
+        let ring_drops = self.hosts[0].ring_drops() + self.hosts[1].ring_drops()
+            - self.ring_drop_baseline;
+        // Attribution invariants: the world counts every drop exactly once,
+        // so `drops.wire == wire_drops` and
+        // `drops.rx_ring + drops.pool == ring_drops`.
+        let drops = self.drop_stats.since(self.drop_baseline);
+        debug_assert_eq!(drops.wire, wire_drops);
+        debug_assert_eq!(drops.rx_ring + drops.pool, ring_drops);
+
         Report {
             label: self.label.clone(),
             window_secs: window,
@@ -1291,9 +1635,9 @@ impl World {
             rpc_latency,
             skb_size_hist: self.hosts[1].skb_sizes.iter_buckets().collect(),
             avg_skb_bytes: self.hosts[1].skb_sizes.mean(),
-            wire_drops: self.link.drops(0) + self.link.drops(1) - self.wire_drop_baseline,
-            ring_drops: self.hosts[0].ring_drops() + self.hosts[1].ring_drops()
-                - self.ring_drop_baseline,
+            wire_drops,
+            ring_drops,
+            drops,
             retransmissions: self
                 .flows
                 .iter()

@@ -62,7 +62,7 @@ fn cfg_strategy() -> impl Strategy<Value = Cfg> {
 fn build(c: &Cfg) -> World {
     let mut cfg = SimConfig::default();
     cfg.seed = c.seed;
-    cfg.link.loss_rate = c.loss_milli as f64 / 1000.0 / 10.0;
+    cfg.link.loss = hns_faults::LossModel::uniform(c.loss_milli as f64 / 1000.0 / 10.0);
     cfg.stack.mtu = c.mtu;
     cfg.stack.tso = c.tso_gro;
     cfg.stack.gso = c.tso_gro;

@@ -73,7 +73,7 @@ fn loss_causes_retransmissions_and_lower_throughput() {
     let clean = single_flow_world(SimConfig::default())
         .run(Duration::from_millis(20), Duration::from_millis(30));
     let mut cfg = SimConfig::default();
-    cfg.link.loss_rate = 0.015;
+    cfg.link.loss = hns_faults::LossModel::uniform(0.015);
     let lossy = single_flow_world(cfg).run(Duration::from_millis(20), Duration::from_millis(30));
     assert!(lossy.wire_drops > 0);
     assert!(lossy.retransmissions > 0);

@@ -10,7 +10,7 @@ use hostnet::building_blocks::stack::{AppSpec, FlowSpec, SimConfig, World};
 
 fn main() {
     let mut cfg = SimConfig::default();
-    cfg.link.loss_rate = 1.5e-3;
+    cfg.link.loss = hns_faults::LossModel::uniform(1.5e-3);
     cfg.trace_flows = true;
 
     let mut world = World::new(cfg);

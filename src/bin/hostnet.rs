@@ -75,7 +75,7 @@ fn execute(cmd: cli::Command) -> ExitCode {
             }
             exp = exp.configure(|c| {
                 c.seed = run.seed;
-                c.link.loss_rate = run.loss;
+                c.link.loss = hns_faults::LossModel::uniform(run.loss);
                 if let Some(mtu) = run.mtu {
                     c.stack.mtu = mtu;
                 }
@@ -92,11 +92,18 @@ fn execute(cmd: cli::Command) -> ExitCode {
                 c.stack.iommu = run.iommu;
                 c.stack.zerocopy_tx = run.zerocopy_tx;
                 c.stack.zerocopy_rx = run.zerocopy_rx;
+                apply_faults(c, &run);
             });
             exp.warmup = Duration::from_millis(run.warmup_ms);
             exp.measure = Duration::from_millis(run.measure_ms);
 
-            let report = exp.run();
+            let report = match exp.try_run() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("run did not quiesce: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             if run.json {
                 println!("{}", report.to_json());
             } else {
@@ -127,10 +134,69 @@ fn execute(cmd: cli::Command) -> ExitCode {
                         report.wire_drops, report.ring_drops, report.retransmissions
                     );
                 }
+                if report.drops.total() > 0 {
+                    let mut parts = Vec::new();
+                    for (bucket, n) in report.drops.buckets() {
+                        if n > 0 {
+                            parts.push(format!("{bucket} {n}"));
+                        }
+                    }
+                    println!(
+                        "drop taxonomy: {} ({} frames attributed)",
+                        parts.join(", "),
+                        report.drops.total()
+                    );
+                }
             }
             ExitCode::SUCCESS
         }
     }
+}
+
+/// Translate the CLI's `--fault-*` flags into the simulation's fault plan.
+/// Scheduled faults (flap, spike, ring, pool, stall) share one window
+/// starting at `--fault-at-ms`; resource faults target the receiver host.
+fn apply_faults(c: &mut hostnet::building_blocks::stack::SimConfig, run: &cli::RunArgs) {
+    use hostnet::building_blocks::faults::{
+        CoreStall, LatencySpike, LossModel, PhaseSchedule, PoolPressure, RingExhaust,
+    };
+
+    let ms = |v: f64| Duration::from_nanos((v * 1e6) as u64);
+    let window = |d: f64| PhaseSchedule::once(ms(run.fault_at_ms), ms(d));
+
+    if run.burst_loss > 0.0 {
+        c.link.loss = LossModel::bursty(run.burst_loss, run.burst_len);
+    }
+    if run.flap_ms > 0.0 {
+        c.link.flap = Some(window(run.flap_ms));
+    }
+    if run.spike_ms > 0.0 {
+        c.link.latency_spike = Some(LatencySpike {
+            window: window(run.spike_ms),
+            extra: Duration::from_micros(100),
+        });
+    }
+    if run.ring_ms > 0.0 {
+        c.faults.ring_exhaust = Some(RingExhaust {
+            window: window(run.ring_ms),
+            host: 1,
+        });
+    }
+    if run.pool_ms > 0.0 {
+        c.faults.pool_pressure = Some(PoolPressure {
+            window: window(run.pool_ms),
+            host: 1,
+        });
+    }
+    if run.stall_ms > 0.0 {
+        c.faults.core_stall = Some(CoreStall {
+            window: window(run.stall_ms),
+            host: 1,
+            core: 0,
+        });
+    }
+    c.watchdog_horizon = Duration::from_millis(run.watchdog_ms);
+    c.max_backlog = run.max_backlog;
 }
 
 /// Run the named paper figures (all when empty) and collect their
@@ -166,6 +232,9 @@ fn run_figures(names: &[String]) -> Vec<hostnet::Report> {
     if want("fig09") {
         out.extend(figures::fig09_loss().into_iter().map(|(_, r)| r));
     }
+    if want("fig09b") {
+        out.extend(figures::fig09b_resilience().into_iter().map(|(_, r)| r));
+    }
     if want("fig10") {
         out.extend(figures::fig10_short_flows().into_iter().map(|(_, r)| r));
         out.extend(figures::fig10c_rpc_numa());
@@ -195,7 +264,7 @@ pub mod cli {
 usage:
   hostnet run <scenario> [options]
   hostnet figures [fig03|fig03e|fig03f|fig04|fig05|fig06|fig07|fig08|
-                   fig09|fig10|fig11|fig12|fig13]... [--csv]
+                   fig09|fig09b|fig10|fig11|fig12|fig13]... [--csv]
   hostnet list
   hostnet help
 
@@ -222,6 +291,18 @@ options:
   --warmup-ms N      warmup window                        (default 20)
   --measure-ms N     measurement window                   (default 30)
   --json             emit the full report as JSON
+
+fault injection (all deterministic; scheduled faults share one window):
+  --fault-at-ms T        fault window start in ms             (default 30)
+  --fault-burst-loss P   Gilbert-Elliott wire loss, long-run rate P
+  --fault-burst-len B    mean loss-burst length in frames     (default 8)
+  --fault-flap-ms D      link flap (total outage) for D ms
+  --fault-spike-ms D     +100us one-way latency for D ms
+  --fault-ring-ms D      receiver Rx rings withhold descriptors for D ms
+  --fault-pool-ms D      receiver page-pool allocations fail for D ms
+  --fault-stall-ms D     receiver core 0 executes nothing for D ms
+  --watchdog-ms N        stall watchdog horizon (0 = off)     (default 5000)
+  --max-backlog N        per-core softirq backlog cap (0 = off)
 ";
 
     /// A parsed invocation.
@@ -275,6 +356,26 @@ options:
         pub measure_ms: u64,
         /// Emit JSON.
         pub json: bool,
+        /// Start of every scheduled fault window, ms.
+        pub fault_at_ms: f64,
+        /// Gilbert–Elliott long-run loss rate (0 = none).
+        pub burst_loss: f64,
+        /// Mean loss-burst length in frames.
+        pub burst_len: f64,
+        /// Link-flap duration, ms (0 = none).
+        pub flap_ms: f64,
+        /// Latency-spike duration, ms (0 = none).
+        pub spike_ms: f64,
+        /// Rx-ring exhaustion duration, ms (0 = none).
+        pub ring_ms: f64,
+        /// Page-pool failure duration, ms (0 = none).
+        pub pool_ms: f64,
+        /// Core-stall duration, ms (0 = none).
+        pub stall_ms: f64,
+        /// Watchdog horizon, ms (0 disables).
+        pub watchdog_ms: u64,
+        /// Softirq backlog cap in frames (0 disables).
+        pub max_backlog: u32,
     }
 
     /// Parse a full argument vector.
@@ -331,6 +432,16 @@ options:
             warmup_ms: 20,
             measure_ms: 30,
             json: false,
+            fault_at_ms: 30.0,
+            burst_loss: 0.0,
+            burst_len: 8.0,
+            flap_ms: 0.0,
+            spike_ms: 0.0,
+            ring_ms: 0.0,
+            pool_ms: 0.0,
+            stall_ms: 0.0,
+            watchdog_ms: 5000,
+            max_backlog: 0,
         };
 
         let mut it = args[1..].iter();
@@ -379,6 +490,40 @@ options:
                 "--iommu" => out.iommu = true,
                 "--zerocopy-tx" => out.zerocopy_tx = true,
                 "--zerocopy-rx" => out.zerocopy_rx = true,
+                "--fault-at-ms" => {
+                    out.fault_at_ms = parse_num(value("--fault-at-ms")?, "--fault-at-ms")?
+                }
+                "--fault-burst-loss" => {
+                    out.burst_loss =
+                        parse_num(value("--fault-burst-loss")?, "--fault-burst-loss")?;
+                    if !(0.0..1.0).contains(&out.burst_loss) {
+                        return Err("--fault-burst-loss: must be in [0, 1)".into());
+                    }
+                }
+                "--fault-burst-len" => {
+                    out.burst_len = parse_num(value("--fault-burst-len")?, "--fault-burst-len")?
+                }
+                "--fault-flap-ms" => {
+                    out.flap_ms = parse_num(value("--fault-flap-ms")?, "--fault-flap-ms")?
+                }
+                "--fault-spike-ms" => {
+                    out.spike_ms = parse_num(value("--fault-spike-ms")?, "--fault-spike-ms")?
+                }
+                "--fault-ring-ms" => {
+                    out.ring_ms = parse_num(value("--fault-ring-ms")?, "--fault-ring-ms")?
+                }
+                "--fault-pool-ms" => {
+                    out.pool_ms = parse_num(value("--fault-pool-ms")?, "--fault-pool-ms")?
+                }
+                "--fault-stall-ms" => {
+                    out.stall_ms = parse_num(value("--fault-stall-ms")?, "--fault-stall-ms")?
+                }
+                "--watchdog-ms" => {
+                    out.watchdog_ms = parse_num(value("--watchdog-ms")?, "--watchdog-ms")?
+                }
+                "--max-backlog" => {
+                    out.max_backlog = parse_num(value("--max-backlog")?, "--max-backlog")?
+                }
                 "--seed" => out.seed = parse_num(value("--seed")?, "--seed")?,
                 "--warmup-ms" => out.warmup_ms = parse_num(value("--warmup-ms")?, "--warmup-ms")?,
                 "--measure-ms" => {
@@ -408,6 +553,19 @@ options:
             "mixed" => ScenarioKind::Mixed { shorts, size },
             x => return Err(format!("unknown scenario `{x}` (see `hostnet list`)")),
         };
+        for (v, flag) in [
+            (out.fault_at_ms, "--fault-at-ms"),
+            (out.burst_len, "--fault-burst-len"),
+            (out.flap_ms, "--fault-flap-ms"),
+            (out.spike_ms, "--fault-spike-ms"),
+            (out.ring_ms, "--fault-ring-ms"),
+            (out.pool_ms, "--fault-pool-ms"),
+            (out.stall_ms, "--fault-stall-ms"),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{flag}: must be a non-negative number"));
+            }
+        }
         Ok(out)
     }
 
@@ -486,7 +644,51 @@ options:
         }
 
         #[test]
+        fn parses_fault_flags() {
+            let cmd = parse(&argv(
+                "run single --fault-burst-loss 0.02 --fault-burst-len 16 \
+                 --fault-at-ms 22.5 --fault-flap-ms 1.5 --fault-ring-ms 2 \
+                 --fault-pool-ms 3 --fault-stall-ms 4 --fault-spike-ms 0.5 \
+                 --watchdog-ms 800 --max-backlog 4096",
+            ))
+            .unwrap();
+            match cmd {
+                Command::Run(r) => {
+                    assert!((r.burst_loss - 0.02).abs() < 1e-12);
+                    assert!((r.burst_len - 16.0).abs() < 1e-12);
+                    assert!((r.fault_at_ms - 22.5).abs() < 1e-12);
+                    assert!((r.flap_ms - 1.5).abs() < 1e-12);
+                    assert!((r.ring_ms - 2.0).abs() < 1e-12);
+                    assert!((r.pool_ms - 3.0).abs() < 1e-12);
+                    assert!((r.stall_ms - 4.0).abs() < 1e-12);
+                    assert!((r.spike_ms - 0.5).abs() < 1e-12);
+                    assert_eq!(r.watchdog_ms, 800);
+                    assert_eq!(r.max_backlog, 4096);
+                }
+                _ => panic!("not a run"),
+            }
+        }
+
+        #[test]
+        fn fault_defaults_are_quiet() {
+            match parse(&argv("run single")).unwrap() {
+                Command::Run(r) => {
+                    assert_eq!(r.burst_loss, 0.0);
+                    assert_eq!(r.flap_ms, 0.0);
+                    assert_eq!(r.ring_ms, 0.0);
+                    assert_eq!(r.watchdog_ms, 5000);
+                    assert_eq!(r.max_backlog, 0);
+                }
+                _ => panic!("not a run"),
+            }
+        }
+
+        #[test]
         fn rejects_bad_input() {
+            assert!(parse(&argv("run single --fault-burst-loss 1.5")).is_err());
+            assert!(parse(&argv("run single --fault-flap-ms")).is_err());
+            assert!(parse(&argv("run single --fault-flap-ms -1")).is_err());
+            assert!(parse(&argv("run single --fault-at-ms NaN")).is_err());
             assert!(parse(&argv("frobnicate")).is_err());
             assert!(parse(&argv("run nosuch")).is_err());
             assert!(parse(&argv("run single --level warp9")).is_err());

@@ -11,6 +11,7 @@ pub use hns_core::*;
 /// compose their own hosts, NICs, or workloads.
 pub mod building_blocks {
     pub use hns_core::figures as core_figures;
+    pub use hns_faults as faults;
     pub use hns_mem as mem;
     pub use hns_metrics as metrics;
     pub use hns_nic as nic;

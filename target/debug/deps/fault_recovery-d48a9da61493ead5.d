@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_recovery-d48a9da61493ead5.d: crates/stack/tests/fault_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_recovery-d48a9da61493ead5.rmeta: crates/stack/tests/fault_recovery.rs Cargo.toml
+
+crates/stack/tests/fault_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_directions-676c1cbbec1016ef.d: tests/future_directions.rs
+
+/root/repo/target/debug/deps/future_directions-676c1cbbec1016ef: tests/future_directions.rs
+
+tests/future_directions.rs:

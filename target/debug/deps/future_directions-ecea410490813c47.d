@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/future_directions-ecea410490813c47.d: tests/future_directions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuture_directions-ecea410490813c47.rmeta: tests/future_directions.rs Cargo.toml
+
+tests/future_directions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hns_core-5902df23e39e466d.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhns_core-5902df23e39e466d.rmeta: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/experiment.rs:
+crates/core/src/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hns_core-68f05601a1004a56.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhns_core-68f05601a1004a56.rmeta: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/experiment.rs:
+crates/core/src/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hns_core-c00bae5f62e399b7.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs
+
+/root/repo/target/debug/deps/libhns_core-c00bae5f62e399b7.rlib: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs
+
+/root/repo/target/debug/deps/libhns_core-c00bae5f62e399b7.rmeta: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiment.rs:
+crates/core/src/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hns_core-c0220f5222ccdd32.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs
+
+/root/repo/target/debug/deps/libhns_core-c0220f5222ccdd32.rlib: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs
+
+/root/repo/target/debug/deps/libhns_core-c0220f5222ccdd32.rmeta: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiment.rs:
+crates/core/src/figures.rs:

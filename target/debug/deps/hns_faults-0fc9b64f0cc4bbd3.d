@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hns_faults-0fc9b64f0cc4bbd3.d: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/loss.rs crates/faults/src/schedule.rs
+
+/root/repo/target/debug/deps/libhns_faults-0fc9b64f0cc4bbd3.rlib: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/loss.rs crates/faults/src/schedule.rs
+
+/root/repo/target/debug/deps/libhns_faults-0fc9b64f0cc4bbd3.rmeta: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/loss.rs crates/faults/src/schedule.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/config.rs:
+crates/faults/src/loss.rs:
+crates/faults/src/schedule.rs:

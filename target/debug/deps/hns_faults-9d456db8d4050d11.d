@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hns_faults-9d456db8d4050d11.d: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/loss.rs crates/faults/src/schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhns_faults-9d456db8d4050d11.rmeta: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/loss.rs crates/faults/src/schedule.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+crates/faults/src/config.rs:
+crates/faults/src/loss.rs:
+crates/faults/src/schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hns_faults-e551c825b6b37ab2.d: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/loss.rs crates/faults/src/schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhns_faults-e551c825b6b37ab2.rmeta: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/loss.rs crates/faults/src/schedule.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+crates/faults/src/config.rs:
+crates/faults/src/loss.rs:
+crates/faults/src/schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hns_mem-895ffa3a4aaed328.d: crates/mem/src/lib.rs crates/mem/src/dca.rs crates/mem/src/frame.rs crates/mem/src/iommu.rs crates/mem/src/numa.rs crates/mem/src/pagepool.rs crates/mem/src/sender_l3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhns_mem-895ffa3a4aaed328.rmeta: crates/mem/src/lib.rs crates/mem/src/dca.rs crates/mem/src/frame.rs crates/mem/src/iommu.rs crates/mem/src/numa.rs crates/mem/src/pagepool.rs crates/mem/src/sender_l3.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/dca.rs:
+crates/mem/src/frame.rs:
+crates/mem/src/iommu.rs:
+crates/mem/src/numa.rs:
+crates/mem/src/pagepool.rs:
+crates/mem/src/sender_l3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

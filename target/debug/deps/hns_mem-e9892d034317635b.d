@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hns_mem-e9892d034317635b.d: crates/mem/src/lib.rs crates/mem/src/dca.rs crates/mem/src/frame.rs crates/mem/src/iommu.rs crates/mem/src/numa.rs crates/mem/src/pagepool.rs crates/mem/src/sender_l3.rs
+
+/root/repo/target/debug/deps/libhns_mem-e9892d034317635b.rlib: crates/mem/src/lib.rs crates/mem/src/dca.rs crates/mem/src/frame.rs crates/mem/src/iommu.rs crates/mem/src/numa.rs crates/mem/src/pagepool.rs crates/mem/src/sender_l3.rs
+
+/root/repo/target/debug/deps/libhns_mem-e9892d034317635b.rmeta: crates/mem/src/lib.rs crates/mem/src/dca.rs crates/mem/src/frame.rs crates/mem/src/iommu.rs crates/mem/src/numa.rs crates/mem/src/pagepool.rs crates/mem/src/sender_l3.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/dca.rs:
+crates/mem/src/frame.rs:
+crates/mem/src/iommu.rs:
+crates/mem/src/numa.rs:
+crates/mem/src/pagepool.rs:
+crates/mem/src/sender_l3.rs:

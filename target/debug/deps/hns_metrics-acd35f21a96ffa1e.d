@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hns_metrics-acd35f21a96ffa1e.d: crates/metrics/src/lib.rs crates/metrics/src/csv.rs crates/metrics/src/drops.rs crates/metrics/src/json.rs crates/metrics/src/report.rs crates/metrics/src/table.rs crates/metrics/src/taxonomy.rs crates/metrics/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhns_metrics-acd35f21a96ffa1e.rmeta: crates/metrics/src/lib.rs crates/metrics/src/csv.rs crates/metrics/src/drops.rs crates/metrics/src/json.rs crates/metrics/src/report.rs crates/metrics/src/table.rs crates/metrics/src/taxonomy.rs crates/metrics/src/util.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/csv.rs:
+crates/metrics/src/drops.rs:
+crates/metrics/src/json.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/table.rs:
+crates/metrics/src/taxonomy.rs:
+crates/metrics/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

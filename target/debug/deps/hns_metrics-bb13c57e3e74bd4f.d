@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hns_metrics-bb13c57e3e74bd4f.d: crates/metrics/src/lib.rs crates/metrics/src/csv.rs crates/metrics/src/drops.rs crates/metrics/src/json.rs crates/metrics/src/report.rs crates/metrics/src/table.rs crates/metrics/src/taxonomy.rs crates/metrics/src/util.rs
+
+/root/repo/target/debug/deps/libhns_metrics-bb13c57e3e74bd4f.rlib: crates/metrics/src/lib.rs crates/metrics/src/csv.rs crates/metrics/src/drops.rs crates/metrics/src/json.rs crates/metrics/src/report.rs crates/metrics/src/table.rs crates/metrics/src/taxonomy.rs crates/metrics/src/util.rs
+
+/root/repo/target/debug/deps/libhns_metrics-bb13c57e3e74bd4f.rmeta: crates/metrics/src/lib.rs crates/metrics/src/csv.rs crates/metrics/src/drops.rs crates/metrics/src/json.rs crates/metrics/src/report.rs crates/metrics/src/table.rs crates/metrics/src/taxonomy.rs crates/metrics/src/util.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/csv.rs:
+crates/metrics/src/drops.rs:
+crates/metrics/src/json.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/table.rs:
+crates/metrics/src/taxonomy.rs:
+crates/metrics/src/util.rs:

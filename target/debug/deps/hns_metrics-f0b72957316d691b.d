@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hns_metrics-f0b72957316d691b.d: crates/metrics/src/lib.rs crates/metrics/src/csv.rs crates/metrics/src/drops.rs crates/metrics/src/json.rs crates/metrics/src/report.rs crates/metrics/src/table.rs crates/metrics/src/taxonomy.rs crates/metrics/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhns_metrics-f0b72957316d691b.rmeta: crates/metrics/src/lib.rs crates/metrics/src/csv.rs crates/metrics/src/drops.rs crates/metrics/src/json.rs crates/metrics/src/report.rs crates/metrics/src/table.rs crates/metrics/src/taxonomy.rs crates/metrics/src/util.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/csv.rs:
+crates/metrics/src/drops.rs:
+crates/metrics/src/json.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/table.rs:
+crates/metrics/src/taxonomy.rs:
+crates/metrics/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

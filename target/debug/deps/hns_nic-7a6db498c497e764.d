@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hns_nic-7a6db498c497e764.d: crates/nic/src/lib.rs crates/nic/src/interrupts.rs crates/nic/src/link.rs crates/nic/src/rxring.rs crates/nic/src/steering.rs crates/nic/src/tso.rs crates/nic/src/txqueue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhns_nic-7a6db498c497e764.rmeta: crates/nic/src/lib.rs crates/nic/src/interrupts.rs crates/nic/src/link.rs crates/nic/src/rxring.rs crates/nic/src/steering.rs crates/nic/src/tso.rs crates/nic/src/txqueue.rs Cargo.toml
+
+crates/nic/src/lib.rs:
+crates/nic/src/interrupts.rs:
+crates/nic/src/link.rs:
+crates/nic/src/rxring.rs:
+crates/nic/src/steering.rs:
+crates/nic/src/tso.rs:
+crates/nic/src/txqueue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

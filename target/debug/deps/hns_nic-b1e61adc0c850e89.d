@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hns_nic-b1e61adc0c850e89.d: crates/nic/src/lib.rs crates/nic/src/interrupts.rs crates/nic/src/link.rs crates/nic/src/rxring.rs crates/nic/src/steering.rs crates/nic/src/tso.rs crates/nic/src/txqueue.rs
+
+/root/repo/target/debug/deps/libhns_nic-b1e61adc0c850e89.rlib: crates/nic/src/lib.rs crates/nic/src/interrupts.rs crates/nic/src/link.rs crates/nic/src/rxring.rs crates/nic/src/steering.rs crates/nic/src/tso.rs crates/nic/src/txqueue.rs
+
+/root/repo/target/debug/deps/libhns_nic-b1e61adc0c850e89.rmeta: crates/nic/src/lib.rs crates/nic/src/interrupts.rs crates/nic/src/link.rs crates/nic/src/rxring.rs crates/nic/src/steering.rs crates/nic/src/tso.rs crates/nic/src/txqueue.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/interrupts.rs:
+crates/nic/src/link.rs:
+crates/nic/src/rxring.rs:
+crates/nic/src/steering.rs:
+crates/nic/src/tso.rs:
+crates/nic/src/txqueue.rs:

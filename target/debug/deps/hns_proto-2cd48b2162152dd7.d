@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/hns_proto-2cd48b2162152dd7.d: crates/proto/src/lib.rs crates/proto/src/autotune.rs crates/proto/src/cc/mod.rs crates/proto/src/cc/bbr.rs crates/proto/src/cc/cubic.rs crates/proto/src/cc/dctcp.rs crates/proto/src/cc/reno.rs crates/proto/src/receiver.rs crates/proto/src/reassembly.rs crates/proto/src/sack.rs crates/proto/src/segment.rs crates/proto/src/sender.rs
+
+/root/repo/target/debug/deps/libhns_proto-2cd48b2162152dd7.rlib: crates/proto/src/lib.rs crates/proto/src/autotune.rs crates/proto/src/cc/mod.rs crates/proto/src/cc/bbr.rs crates/proto/src/cc/cubic.rs crates/proto/src/cc/dctcp.rs crates/proto/src/cc/reno.rs crates/proto/src/receiver.rs crates/proto/src/reassembly.rs crates/proto/src/sack.rs crates/proto/src/segment.rs crates/proto/src/sender.rs
+
+/root/repo/target/debug/deps/libhns_proto-2cd48b2162152dd7.rmeta: crates/proto/src/lib.rs crates/proto/src/autotune.rs crates/proto/src/cc/mod.rs crates/proto/src/cc/bbr.rs crates/proto/src/cc/cubic.rs crates/proto/src/cc/dctcp.rs crates/proto/src/cc/reno.rs crates/proto/src/receiver.rs crates/proto/src/reassembly.rs crates/proto/src/sack.rs crates/proto/src/segment.rs crates/proto/src/sender.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/autotune.rs:
+crates/proto/src/cc/mod.rs:
+crates/proto/src/cc/bbr.rs:
+crates/proto/src/cc/cubic.rs:
+crates/proto/src/cc/dctcp.rs:
+crates/proto/src/cc/reno.rs:
+crates/proto/src/receiver.rs:
+crates/proto/src/reassembly.rs:
+crates/proto/src/sack.rs:
+crates/proto/src/segment.rs:
+crates/proto/src/sender.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/hns_proto-76619a903fc91901.d: crates/proto/src/lib.rs crates/proto/src/autotune.rs crates/proto/src/cc/mod.rs crates/proto/src/cc/bbr.rs crates/proto/src/cc/cubic.rs crates/proto/src/cc/dctcp.rs crates/proto/src/cc/reno.rs crates/proto/src/receiver.rs crates/proto/src/reassembly.rs crates/proto/src/sack.rs crates/proto/src/segment.rs crates/proto/src/sender.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhns_proto-76619a903fc91901.rmeta: crates/proto/src/lib.rs crates/proto/src/autotune.rs crates/proto/src/cc/mod.rs crates/proto/src/cc/bbr.rs crates/proto/src/cc/cubic.rs crates/proto/src/cc/dctcp.rs crates/proto/src/cc/reno.rs crates/proto/src/receiver.rs crates/proto/src/reassembly.rs crates/proto/src/sack.rs crates/proto/src/segment.rs crates/proto/src/sender.rs Cargo.toml
+
+crates/proto/src/lib.rs:
+crates/proto/src/autotune.rs:
+crates/proto/src/cc/mod.rs:
+crates/proto/src/cc/bbr.rs:
+crates/proto/src/cc/cubic.rs:
+crates/proto/src/cc/dctcp.rs:
+crates/proto/src/cc/reno.rs:
+crates/proto/src/receiver.rs:
+crates/proto/src/reassembly.rs:
+crates/proto/src/sack.rs:
+crates/proto/src/segment.rs:
+crates/proto/src/sender.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hns_sched-93a049e8a52b4433.d: crates/sched/src/lib.rs
+
+/root/repo/target/debug/deps/libhns_sched-93a049e8a52b4433.rlib: crates/sched/src/lib.rs
+
+/root/repo/target/debug/deps/libhns_sched-93a049e8a52b4433.rmeta: crates/sched/src/lib.rs
+
+crates/sched/src/lib.rs:

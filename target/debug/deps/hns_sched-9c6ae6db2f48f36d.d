@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hns_sched-9c6ae6db2f48f36d.d: crates/sched/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhns_sched-9c6ae6db2f48f36d.rmeta: crates/sched/src/lib.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

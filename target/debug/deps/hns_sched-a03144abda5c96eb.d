@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hns_sched-a03144abda5c96eb.d: crates/sched/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhns_sched-a03144abda5c96eb.rmeta: crates/sched/src/lib.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hns_sim-bbec9de29bf70313.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhns_sim-bbec9de29bf70313.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/hns_stack-73948e9fe6d7c619.d: crates/stack/src/lib.rs crates/stack/src/app.rs crates/stack/src/config.rs crates/stack/src/costs.rs crates/stack/src/flow.rs crates/stack/src/gro.rs crates/stack/src/host.rs crates/stack/src/skb.rs crates/stack/src/trace.rs crates/stack/src/watchdog.rs crates/stack/src/world.rs
+
+/root/repo/target/debug/deps/libhns_stack-73948e9fe6d7c619.rlib: crates/stack/src/lib.rs crates/stack/src/app.rs crates/stack/src/config.rs crates/stack/src/costs.rs crates/stack/src/flow.rs crates/stack/src/gro.rs crates/stack/src/host.rs crates/stack/src/skb.rs crates/stack/src/trace.rs crates/stack/src/watchdog.rs crates/stack/src/world.rs
+
+/root/repo/target/debug/deps/libhns_stack-73948e9fe6d7c619.rmeta: crates/stack/src/lib.rs crates/stack/src/app.rs crates/stack/src/config.rs crates/stack/src/costs.rs crates/stack/src/flow.rs crates/stack/src/gro.rs crates/stack/src/host.rs crates/stack/src/skb.rs crates/stack/src/trace.rs crates/stack/src/watchdog.rs crates/stack/src/world.rs
+
+crates/stack/src/lib.rs:
+crates/stack/src/app.rs:
+crates/stack/src/config.rs:
+crates/stack/src/costs.rs:
+crates/stack/src/flow.rs:
+crates/stack/src/gro.rs:
+crates/stack/src/host.rs:
+crates/stack/src/skb.rs:
+crates/stack/src/trace.rs:
+crates/stack/src/watchdog.rs:
+crates/stack/src/world.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hns_stack-b3ac17b573e1bf6f.d: crates/stack/src/lib.rs crates/stack/src/app.rs crates/stack/src/config.rs crates/stack/src/costs.rs crates/stack/src/flow.rs crates/stack/src/gro.rs crates/stack/src/host.rs crates/stack/src/skb.rs crates/stack/src/trace.rs crates/stack/src/world.rs
+
+/root/repo/target/debug/deps/libhns_stack-b3ac17b573e1bf6f.rlib: crates/stack/src/lib.rs crates/stack/src/app.rs crates/stack/src/config.rs crates/stack/src/costs.rs crates/stack/src/flow.rs crates/stack/src/gro.rs crates/stack/src/host.rs crates/stack/src/skb.rs crates/stack/src/trace.rs crates/stack/src/world.rs
+
+/root/repo/target/debug/deps/libhns_stack-b3ac17b573e1bf6f.rmeta: crates/stack/src/lib.rs crates/stack/src/app.rs crates/stack/src/config.rs crates/stack/src/costs.rs crates/stack/src/flow.rs crates/stack/src/gro.rs crates/stack/src/host.rs crates/stack/src/skb.rs crates/stack/src/trace.rs crates/stack/src/world.rs
+
+crates/stack/src/lib.rs:
+crates/stack/src/app.rs:
+crates/stack/src/config.rs:
+crates/stack/src/costs.rs:
+crates/stack/src/flow.rs:
+crates/stack/src/gro.rs:
+crates/stack/src/host.rs:
+crates/stack/src/skb.rs:
+crates/stack/src/trace.rs:
+crates/stack/src/world.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/hns_stack-d8ba30152ab313e1.d: crates/stack/src/lib.rs crates/stack/src/app.rs crates/stack/src/config.rs crates/stack/src/costs.rs crates/stack/src/flow.rs crates/stack/src/gro.rs crates/stack/src/host.rs crates/stack/src/skb.rs crates/stack/src/trace.rs crates/stack/src/watchdog.rs crates/stack/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhns_stack-d8ba30152ab313e1.rmeta: crates/stack/src/lib.rs crates/stack/src/app.rs crates/stack/src/config.rs crates/stack/src/costs.rs crates/stack/src/flow.rs crates/stack/src/gro.rs crates/stack/src/host.rs crates/stack/src/skb.rs crates/stack/src/trace.rs crates/stack/src/watchdog.rs crates/stack/src/world.rs Cargo.toml
+
+crates/stack/src/lib.rs:
+crates/stack/src/app.rs:
+crates/stack/src/config.rs:
+crates/stack/src/costs.rs:
+crates/stack/src/flow.rs:
+crates/stack/src/gro.rs:
+crates/stack/src/host.rs:
+crates/stack/src/skb.rs:
+crates/stack/src/trace.rs:
+crates/stack/src/watchdog.rs:
+crates/stack/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hns_workload-47478cce47ca1de3.d: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/libhns_workload-47478cce47ca1de3.rlib: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/libhns_workload-47478cce47ca1de3.rmeta: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

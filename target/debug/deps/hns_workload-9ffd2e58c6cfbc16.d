@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hns_workload-9ffd2e58c6cfbc16.d: crates/workload/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhns_workload-9ffd2e58c6cfbc16.rmeta: crates/workload/src/lib.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hns_workload-ab46e62afd743c22.d: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/libhns_workload-ab46e62afd743c22.rlib: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/libhns_workload-ab46e62afd743c22.rmeta: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

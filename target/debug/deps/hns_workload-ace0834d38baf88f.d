@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hns_workload-ace0834d38baf88f.d: crates/workload/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhns_workload-ace0834d38baf88f.rmeta: crates/workload/src/lib.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hostnet-0e51a76d6f9bdde2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhostnet-0e51a76d6f9bdde2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhostnet-0e51a76d6f9bdde2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hostnet-1bf471987ce24970.d: src/lib.rs
+
+/root/repo/target/debug/deps/hostnet-1bf471987ce24970: src/lib.rs
+
+src/lib.rs:

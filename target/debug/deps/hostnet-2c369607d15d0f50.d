@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hostnet-2c369607d15d0f50.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhostnet-2c369607d15d0f50.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

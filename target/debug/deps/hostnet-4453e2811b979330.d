@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hostnet-4453e2811b979330.d: src/bin/hostnet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhostnet-4453e2811b979330.rmeta: src/bin/hostnet.rs Cargo.toml
+
+src/bin/hostnet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hostnet-4eab0aa1ad21788e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhostnet-4eab0aa1ad21788e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhostnet-4eab0aa1ad21788e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hostnet-5270ebba5ddb8749.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhostnet-5270ebba5ddb8749.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

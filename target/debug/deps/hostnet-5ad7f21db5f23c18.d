@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hostnet-5ad7f21db5f23c18.d: src/bin/hostnet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhostnet-5ad7f21db5f23c18.rmeta: src/bin/hostnet.rs Cargo.toml
+
+src/bin/hostnet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hostnet-f6286a8b9abbf7c0.d: src/bin/hostnet.rs
+
+/root/repo/target/debug/deps/hostnet-f6286a8b9abbf7c0: src/bin/hostnet.rs
+
+src/bin/hostnet.rs:

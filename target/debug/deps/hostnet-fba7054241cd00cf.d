@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hostnet-fba7054241cd00cf.d: src/bin/hostnet.rs
+
+/root/repo/target/debug/deps/hostnet-fba7054241cd00cf: src/bin/hostnet.rs
+
+src/bin/hostnet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_findings-53c2360beb3a0bdd.d: tests/paper_findings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_findings-53c2360beb3a0bdd.rmeta: tests/paper_findings.rs Cargo.toml
+
+tests/paper_findings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_findings-d673cdbf86443ede.d: tests/paper_findings.rs
+
+/root/repo/target/debug/deps/paper_findings-d673cdbf86443ede: tests/paper_findings.rs
+
+tests/paper_findings.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_mem-9b7f0a01b1106100.d: crates/mem/tests/prop_mem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_mem-9b7f0a01b1106100.rmeta: crates/mem/tests/prop_mem.rs Cargo.toml
+
+crates/mem/tests/prop_mem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_proto-b461985b17a724d9.d: crates/proto/tests/prop_proto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_proto-b461985b17a724d9.rmeta: crates/proto/tests/prop_proto.rs Cargo.toml
+
+crates/proto/tests/prop_proto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_sim-236466b4e7b88797.d: crates/sim/tests/prop_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_sim-236466b4e7b88797.rmeta: crates/sim/tests/prop_sim.rs Cargo.toml
+
+crates/sim/tests/prop_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

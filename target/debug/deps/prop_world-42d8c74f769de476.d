@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_world-42d8c74f769de476.d: crates/stack/tests/prop_world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_world-42d8c74f769de476.rmeta: crates/stack/tests/prop_world.rs Cargo.toml
+
+crates/stack/tests/prop_world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

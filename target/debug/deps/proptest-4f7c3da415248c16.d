@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/proptest-4f7c3da415248c16.d: crates/proptest/src/lib.rs crates/proptest/src/rng.rs crates/proptest/src/strategy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-4f7c3da415248c16.rmeta: crates/proptest/src/lib.rs crates/proptest/src/rng.rs crates/proptest/src/strategy.rs Cargo.toml
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/rng.rs:
+crates/proptest/src/strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

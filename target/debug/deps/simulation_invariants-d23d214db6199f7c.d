@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation_invariants-d23d214db6199f7c.d: tests/simulation_invariants.rs
+
+/root/repo/target/debug/deps/simulation_invariants-d23d214db6199f7c: tests/simulation_invariants.rs
+
+tests/simulation_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smoke-2643901f9891e7f4.d: crates/stack/tests/smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmoke-2643901f9891e7f4.rmeta: crates/stack/tests/smoke.rs Cargo.toml
+
+crates/stack/tests/smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/buffer_tuning-5576dde1b4f458ce.d: examples/buffer_tuning.rs
+
+/root/repo/target/debug/examples/buffer_tuning-5576dde1b4f458ce: examples/buffer_tuning.rs
+
+examples/buffer_tuning.rs:

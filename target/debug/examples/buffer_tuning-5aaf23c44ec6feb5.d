@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/buffer_tuning-5aaf23c44ec6feb5.d: examples/buffer_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbuffer_tuning-5aaf23c44ec6feb5.rmeta: examples/buffer_tuning.rs Cargo.toml
+
+examples/buffer_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

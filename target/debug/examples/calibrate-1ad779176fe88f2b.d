@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/calibrate-1ad779176fe88f2b.d: crates/core/examples/calibrate.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcalibrate-1ad779176fe88f2b.rmeta: crates/core/examples/calibrate.rs Cargo.toml
+
+crates/core/examples/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

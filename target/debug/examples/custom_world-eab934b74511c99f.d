@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_world-eab934b74511c99f.d: examples/custom_world.rs
+
+/root/repo/target/debug/examples/custom_world-eab934b74511c99f: examples/custom_world.rs
+
+examples/custom_world.rs:

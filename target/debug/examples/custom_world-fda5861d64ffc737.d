@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_world-fda5861d64ffc737.d: examples/custom_world.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_world-fda5861d64ffc737.rmeta: examples/custom_world.rs Cargo.toml
+
+examples/custom_world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

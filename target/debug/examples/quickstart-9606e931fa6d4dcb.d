@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9606e931fa6d4dcb.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9606e931fa6d4dcb: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_flow-9fc5a6168cc5b69d.d: examples/trace_flow.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_flow-9fc5a6168cc5b69d.rmeta: examples/trace_flow.rs Cargo.toml
+
+examples/trace_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_flow-f51d73b42a7d5067.d: examples/trace_flow.rs
+
+/root/repo/target/debug/examples/trace_flow-f51d73b42a7d5067: examples/trace_flow.rs
+
+examples/trace_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/traffic_patterns-3705916dabe07d4e.d: examples/traffic_patterns.rs
+
+/root/repo/target/debug/examples/traffic_patterns-3705916dabe07d4e: examples/traffic_patterns.rs
+
+examples/traffic_patterns.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/traffic_patterns-4c6bc5a1dfd63c41.d: examples/traffic_patterns.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtraffic_patterns-4c6bc5a1dfd63c41.rmeta: examples/traffic_patterns.rs Cargo.toml
+
+examples/traffic_patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_recovery-8f3fd88429f37c96.d: crates/stack/tests/fault_recovery.rs
+
+/root/repo/target/release/deps/fault_recovery-8f3fd88429f37c96: crates/stack/tests/fault_recovery.rs
+
+crates/stack/tests/fault_recovery.rs:

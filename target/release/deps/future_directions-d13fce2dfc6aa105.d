@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/future_directions-d13fce2dfc6aa105.d: tests/future_directions.rs
+
+/root/repo/target/release/deps/future_directions-d13fce2dfc6aa105: tests/future_directions.rs
+
+tests/future_directions.rs:

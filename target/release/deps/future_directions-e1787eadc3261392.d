@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/future_directions-e1787eadc3261392.d: tests/future_directions.rs
+
+/root/repo/target/release/deps/future_directions-e1787eadc3261392: tests/future_directions.rs
+
+tests/future_directions.rs:

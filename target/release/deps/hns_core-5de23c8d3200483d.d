@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hns_core-5de23c8d3200483d.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs
+
+/root/repo/target/release/deps/hns_core-5de23c8d3200483d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiment.rs:
+crates/core/src/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hns_core-7281db8b6e54b049.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs
+
+/root/repo/target/release/deps/libhns_core-7281db8b6e54b049.rlib: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs
+
+/root/repo/target/release/deps/libhns_core-7281db8b6e54b049.rmeta: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiment.rs:
+crates/core/src/figures.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hns_core-92109263ea90c6eb.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs
+
+/root/repo/target/release/deps/hns_core-92109263ea90c6eb: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiment.rs:
+crates/core/src/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hns_core-d81ef94d0e605f61.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs
+
+/root/repo/target/release/deps/libhns_core-d81ef94d0e605f61.rlib: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs
+
+/root/repo/target/release/deps/libhns_core-d81ef94d0e605f61.rmeta: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiment.rs:
+crates/core/src/figures.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/hns_faults-b718c27b17326232.d: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/loss.rs crates/faults/src/schedule.rs
+
+/root/repo/target/release/deps/hns_faults-b718c27b17326232: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/loss.rs crates/faults/src/schedule.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/config.rs:
+crates/faults/src/loss.rs:
+crates/faults/src/schedule.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hns_faults-e608b59cd0848631.d: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/loss.rs crates/faults/src/schedule.rs
+
+/root/repo/target/release/deps/libhns_faults-e608b59cd0848631.rlib: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/loss.rs crates/faults/src/schedule.rs
+
+/root/repo/target/release/deps/libhns_faults-e608b59cd0848631.rmeta: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/loss.rs crates/faults/src/schedule.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/config.rs:
+crates/faults/src/loss.rs:
+crates/faults/src/schedule.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hns_mem-42b70dd7b302ee8e.d: crates/mem/src/lib.rs crates/mem/src/dca.rs crates/mem/src/frame.rs crates/mem/src/iommu.rs crates/mem/src/numa.rs crates/mem/src/pagepool.rs crates/mem/src/sender_l3.rs
+
+/root/repo/target/release/deps/libhns_mem-42b70dd7b302ee8e.rlib: crates/mem/src/lib.rs crates/mem/src/dca.rs crates/mem/src/frame.rs crates/mem/src/iommu.rs crates/mem/src/numa.rs crates/mem/src/pagepool.rs crates/mem/src/sender_l3.rs
+
+/root/repo/target/release/deps/libhns_mem-42b70dd7b302ee8e.rmeta: crates/mem/src/lib.rs crates/mem/src/dca.rs crates/mem/src/frame.rs crates/mem/src/iommu.rs crates/mem/src/numa.rs crates/mem/src/pagepool.rs crates/mem/src/sender_l3.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/dca.rs:
+crates/mem/src/frame.rs:
+crates/mem/src/iommu.rs:
+crates/mem/src/numa.rs:
+crates/mem/src/pagepool.rs:
+crates/mem/src/sender_l3.rs:

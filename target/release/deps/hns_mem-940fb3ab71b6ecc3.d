@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hns_mem-940fb3ab71b6ecc3.d: crates/mem/src/lib.rs crates/mem/src/dca.rs crates/mem/src/frame.rs crates/mem/src/iommu.rs crates/mem/src/numa.rs crates/mem/src/pagepool.rs crates/mem/src/sender_l3.rs
+
+/root/repo/target/release/deps/hns_mem-940fb3ab71b6ecc3: crates/mem/src/lib.rs crates/mem/src/dca.rs crates/mem/src/frame.rs crates/mem/src/iommu.rs crates/mem/src/numa.rs crates/mem/src/pagepool.rs crates/mem/src/sender_l3.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/dca.rs:
+crates/mem/src/frame.rs:
+crates/mem/src/iommu.rs:
+crates/mem/src/numa.rs:
+crates/mem/src/pagepool.rs:
+crates/mem/src/sender_l3.rs:

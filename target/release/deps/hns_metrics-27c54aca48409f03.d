@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hns_metrics-27c54aca48409f03.d: crates/metrics/src/lib.rs crates/metrics/src/csv.rs crates/metrics/src/drops.rs crates/metrics/src/json.rs crates/metrics/src/report.rs crates/metrics/src/table.rs crates/metrics/src/taxonomy.rs crates/metrics/src/util.rs
+
+/root/repo/target/release/deps/hns_metrics-27c54aca48409f03: crates/metrics/src/lib.rs crates/metrics/src/csv.rs crates/metrics/src/drops.rs crates/metrics/src/json.rs crates/metrics/src/report.rs crates/metrics/src/table.rs crates/metrics/src/taxonomy.rs crates/metrics/src/util.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/csv.rs:
+crates/metrics/src/drops.rs:
+crates/metrics/src/json.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/table.rs:
+crates/metrics/src/taxonomy.rs:
+crates/metrics/src/util.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hns_metrics-8e19d7e192424713.d: crates/metrics/src/lib.rs crates/metrics/src/csv.rs crates/metrics/src/drops.rs crates/metrics/src/json.rs crates/metrics/src/report.rs crates/metrics/src/table.rs crates/metrics/src/taxonomy.rs crates/metrics/src/util.rs
+
+/root/repo/target/release/deps/libhns_metrics-8e19d7e192424713.rlib: crates/metrics/src/lib.rs crates/metrics/src/csv.rs crates/metrics/src/drops.rs crates/metrics/src/json.rs crates/metrics/src/report.rs crates/metrics/src/table.rs crates/metrics/src/taxonomy.rs crates/metrics/src/util.rs
+
+/root/repo/target/release/deps/libhns_metrics-8e19d7e192424713.rmeta: crates/metrics/src/lib.rs crates/metrics/src/csv.rs crates/metrics/src/drops.rs crates/metrics/src/json.rs crates/metrics/src/report.rs crates/metrics/src/table.rs crates/metrics/src/taxonomy.rs crates/metrics/src/util.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/csv.rs:
+crates/metrics/src/drops.rs:
+crates/metrics/src/json.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/table.rs:
+crates/metrics/src/taxonomy.rs:
+crates/metrics/src/util.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hns_nic-1350b624663600ef.d: crates/nic/src/lib.rs crates/nic/src/interrupts.rs crates/nic/src/link.rs crates/nic/src/rxring.rs crates/nic/src/steering.rs crates/nic/src/tso.rs crates/nic/src/txqueue.rs
+
+/root/repo/target/release/deps/libhns_nic-1350b624663600ef.rlib: crates/nic/src/lib.rs crates/nic/src/interrupts.rs crates/nic/src/link.rs crates/nic/src/rxring.rs crates/nic/src/steering.rs crates/nic/src/tso.rs crates/nic/src/txqueue.rs
+
+/root/repo/target/release/deps/libhns_nic-1350b624663600ef.rmeta: crates/nic/src/lib.rs crates/nic/src/interrupts.rs crates/nic/src/link.rs crates/nic/src/rxring.rs crates/nic/src/steering.rs crates/nic/src/tso.rs crates/nic/src/txqueue.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/interrupts.rs:
+crates/nic/src/link.rs:
+crates/nic/src/rxring.rs:
+crates/nic/src/steering.rs:
+crates/nic/src/tso.rs:
+crates/nic/src/txqueue.rs:

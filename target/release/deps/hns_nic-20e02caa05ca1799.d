@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hns_nic-20e02caa05ca1799.d: crates/nic/src/lib.rs crates/nic/src/interrupts.rs crates/nic/src/link.rs crates/nic/src/rxring.rs crates/nic/src/steering.rs crates/nic/src/tso.rs crates/nic/src/txqueue.rs
+
+/root/repo/target/release/deps/hns_nic-20e02caa05ca1799: crates/nic/src/lib.rs crates/nic/src/interrupts.rs crates/nic/src/link.rs crates/nic/src/rxring.rs crates/nic/src/steering.rs crates/nic/src/tso.rs crates/nic/src/txqueue.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/interrupts.rs:
+crates/nic/src/link.rs:
+crates/nic/src/rxring.rs:
+crates/nic/src/steering.rs:
+crates/nic/src/tso.rs:
+crates/nic/src/txqueue.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hns_nic-65240d89088ba5ff.d: crates/nic/src/lib.rs crates/nic/src/interrupts.rs crates/nic/src/link.rs crates/nic/src/rxring.rs crates/nic/src/steering.rs crates/nic/src/tso.rs crates/nic/src/txqueue.rs
+
+/root/repo/target/release/deps/hns_nic-65240d89088ba5ff: crates/nic/src/lib.rs crates/nic/src/interrupts.rs crates/nic/src/link.rs crates/nic/src/rxring.rs crates/nic/src/steering.rs crates/nic/src/tso.rs crates/nic/src/txqueue.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/interrupts.rs:
+crates/nic/src/link.rs:
+crates/nic/src/rxring.rs:
+crates/nic/src/steering.rs:
+crates/nic/src/tso.rs:
+crates/nic/src/txqueue.rs:

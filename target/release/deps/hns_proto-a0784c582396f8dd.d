@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/hns_proto-a0784c582396f8dd.d: crates/proto/src/lib.rs crates/proto/src/autotune.rs crates/proto/src/cc/mod.rs crates/proto/src/cc/bbr.rs crates/proto/src/cc/cubic.rs crates/proto/src/cc/dctcp.rs crates/proto/src/cc/reno.rs crates/proto/src/receiver.rs crates/proto/src/reassembly.rs crates/proto/src/sack.rs crates/proto/src/segment.rs crates/proto/src/sender.rs
+
+/root/repo/target/release/deps/libhns_proto-a0784c582396f8dd.rlib: crates/proto/src/lib.rs crates/proto/src/autotune.rs crates/proto/src/cc/mod.rs crates/proto/src/cc/bbr.rs crates/proto/src/cc/cubic.rs crates/proto/src/cc/dctcp.rs crates/proto/src/cc/reno.rs crates/proto/src/receiver.rs crates/proto/src/reassembly.rs crates/proto/src/sack.rs crates/proto/src/segment.rs crates/proto/src/sender.rs
+
+/root/repo/target/release/deps/libhns_proto-a0784c582396f8dd.rmeta: crates/proto/src/lib.rs crates/proto/src/autotune.rs crates/proto/src/cc/mod.rs crates/proto/src/cc/bbr.rs crates/proto/src/cc/cubic.rs crates/proto/src/cc/dctcp.rs crates/proto/src/cc/reno.rs crates/proto/src/receiver.rs crates/proto/src/reassembly.rs crates/proto/src/sack.rs crates/proto/src/segment.rs crates/proto/src/sender.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/autotune.rs:
+crates/proto/src/cc/mod.rs:
+crates/proto/src/cc/bbr.rs:
+crates/proto/src/cc/cubic.rs:
+crates/proto/src/cc/dctcp.rs:
+crates/proto/src/cc/reno.rs:
+crates/proto/src/receiver.rs:
+crates/proto/src/reassembly.rs:
+crates/proto/src/sack.rs:
+crates/proto/src/segment.rs:
+crates/proto/src/sender.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/hns_proto-e804a13fc77ac1b5.d: crates/proto/src/lib.rs crates/proto/src/autotune.rs crates/proto/src/cc/mod.rs crates/proto/src/cc/bbr.rs crates/proto/src/cc/cubic.rs crates/proto/src/cc/dctcp.rs crates/proto/src/cc/reno.rs crates/proto/src/receiver.rs crates/proto/src/reassembly.rs crates/proto/src/sack.rs crates/proto/src/segment.rs crates/proto/src/sender.rs
+
+/root/repo/target/release/deps/hns_proto-e804a13fc77ac1b5: crates/proto/src/lib.rs crates/proto/src/autotune.rs crates/proto/src/cc/mod.rs crates/proto/src/cc/bbr.rs crates/proto/src/cc/cubic.rs crates/proto/src/cc/dctcp.rs crates/proto/src/cc/reno.rs crates/proto/src/receiver.rs crates/proto/src/reassembly.rs crates/proto/src/sack.rs crates/proto/src/segment.rs crates/proto/src/sender.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/autotune.rs:
+crates/proto/src/cc/mod.rs:
+crates/proto/src/cc/bbr.rs:
+crates/proto/src/cc/cubic.rs:
+crates/proto/src/cc/dctcp.rs:
+crates/proto/src/cc/reno.rs:
+crates/proto/src/receiver.rs:
+crates/proto/src/reassembly.rs:
+crates/proto/src/sack.rs:
+crates/proto/src/segment.rs:
+crates/proto/src/sender.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hns_sched-0b110001ec09ccc2.d: crates/sched/src/lib.rs
+
+/root/repo/target/release/deps/hns_sched-0b110001ec09ccc2: crates/sched/src/lib.rs
+
+crates/sched/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hns_sched-0f81b622dde994c8.d: crates/sched/src/lib.rs
+
+/root/repo/target/release/deps/libhns_sched-0f81b622dde994c8.rlib: crates/sched/src/lib.rs
+
+/root/repo/target/release/deps/libhns_sched-0f81b622dde994c8.rmeta: crates/sched/src/lib.rs
+
+crates/sched/src/lib.rs:

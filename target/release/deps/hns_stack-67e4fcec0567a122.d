@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/hns_stack-67e4fcec0567a122.d: crates/stack/src/lib.rs crates/stack/src/app.rs crates/stack/src/config.rs crates/stack/src/costs.rs crates/stack/src/flow.rs crates/stack/src/gro.rs crates/stack/src/host.rs crates/stack/src/skb.rs crates/stack/src/trace.rs crates/stack/src/watchdog.rs crates/stack/src/world.rs
+
+/root/repo/target/release/deps/libhns_stack-67e4fcec0567a122.rlib: crates/stack/src/lib.rs crates/stack/src/app.rs crates/stack/src/config.rs crates/stack/src/costs.rs crates/stack/src/flow.rs crates/stack/src/gro.rs crates/stack/src/host.rs crates/stack/src/skb.rs crates/stack/src/trace.rs crates/stack/src/watchdog.rs crates/stack/src/world.rs
+
+/root/repo/target/release/deps/libhns_stack-67e4fcec0567a122.rmeta: crates/stack/src/lib.rs crates/stack/src/app.rs crates/stack/src/config.rs crates/stack/src/costs.rs crates/stack/src/flow.rs crates/stack/src/gro.rs crates/stack/src/host.rs crates/stack/src/skb.rs crates/stack/src/trace.rs crates/stack/src/watchdog.rs crates/stack/src/world.rs
+
+crates/stack/src/lib.rs:
+crates/stack/src/app.rs:
+crates/stack/src/config.rs:
+crates/stack/src/costs.rs:
+crates/stack/src/flow.rs:
+crates/stack/src/gro.rs:
+crates/stack/src/host.rs:
+crates/stack/src/skb.rs:
+crates/stack/src/trace.rs:
+crates/stack/src/watchdog.rs:
+crates/stack/src/world.rs:

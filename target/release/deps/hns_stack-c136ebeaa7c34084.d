@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hns_stack-c136ebeaa7c34084.d: crates/stack/src/lib.rs crates/stack/src/app.rs crates/stack/src/config.rs crates/stack/src/costs.rs crates/stack/src/flow.rs crates/stack/src/gro.rs crates/stack/src/host.rs crates/stack/src/skb.rs crates/stack/src/trace.rs crates/stack/src/world.rs
+
+/root/repo/target/release/deps/hns_stack-c136ebeaa7c34084: crates/stack/src/lib.rs crates/stack/src/app.rs crates/stack/src/config.rs crates/stack/src/costs.rs crates/stack/src/flow.rs crates/stack/src/gro.rs crates/stack/src/host.rs crates/stack/src/skb.rs crates/stack/src/trace.rs crates/stack/src/world.rs
+
+crates/stack/src/lib.rs:
+crates/stack/src/app.rs:
+crates/stack/src/config.rs:
+crates/stack/src/costs.rs:
+crates/stack/src/flow.rs:
+crates/stack/src/gro.rs:
+crates/stack/src/host.rs:
+crates/stack/src/skb.rs:
+crates/stack/src/trace.rs:
+crates/stack/src/world.rs:

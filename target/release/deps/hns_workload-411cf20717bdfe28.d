@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hns_workload-411cf20717bdfe28.d: crates/workload/src/lib.rs
+
+/root/repo/target/release/deps/hns_workload-411cf20717bdfe28: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

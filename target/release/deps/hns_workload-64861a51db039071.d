@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hns_workload-64861a51db039071.d: crates/workload/src/lib.rs
+
+/root/repo/target/release/deps/libhns_workload-64861a51db039071.rlib: crates/workload/src/lib.rs
+
+/root/repo/target/release/deps/libhns_workload-64861a51db039071.rmeta: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

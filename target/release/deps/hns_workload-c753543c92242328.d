@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hns_workload-c753543c92242328.d: crates/workload/src/lib.rs
+
+/root/repo/target/release/deps/hns_workload-c753543c92242328: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

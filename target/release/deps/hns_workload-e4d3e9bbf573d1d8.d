@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hns_workload-e4d3e9bbf573d1d8.d: crates/workload/src/lib.rs
+
+/root/repo/target/release/deps/libhns_workload-e4d3e9bbf573d1d8.rlib: crates/workload/src/lib.rs
+
+/root/repo/target/release/deps/libhns_workload-e4d3e9bbf573d1d8.rmeta: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hostnet-166ecc1cbb8c5d0b.d: src/bin/hostnet.rs
+
+/root/repo/target/release/deps/hostnet-166ecc1cbb8c5d0b: src/bin/hostnet.rs
+
+src/bin/hostnet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hostnet-1a914350efe748bd.d: src/lib.rs
+
+/root/repo/target/release/deps/hostnet-1a914350efe748bd: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hostnet-45e14e9f80733211.d: src/bin/hostnet.rs
+
+/root/repo/target/release/deps/hostnet-45e14e9f80733211: src/bin/hostnet.rs
+
+src/bin/hostnet.rs:

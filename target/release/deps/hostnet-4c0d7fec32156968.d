@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hostnet-4c0d7fec32156968.d: src/lib.rs
+
+/root/repo/target/release/deps/libhostnet-4c0d7fec32156968.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhostnet-4c0d7fec32156968.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hostnet-7452035785f589a6.d: src/bin/hostnet.rs
+
+/root/repo/target/release/deps/hostnet-7452035785f589a6: src/bin/hostnet.rs
+
+src/bin/hostnet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hostnet-7593631f57550f0b.d: src/lib.rs
+
+/root/repo/target/release/deps/hostnet-7593631f57550f0b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hostnet-824f3415c8609616.d: src/bin/hostnet.rs
+
+/root/repo/target/release/deps/hostnet-824f3415c8609616: src/bin/hostnet.rs
+
+src/bin/hostnet.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hostnet-d60e5f53babaff2f.d: src/lib.rs
+
+/root/repo/target/release/deps/libhostnet-d60e5f53babaff2f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhostnet-d60e5f53babaff2f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_findings-0587bd451e8e640a.d: tests/paper_findings.rs
+
+/root/repo/target/release/deps/paper_findings-0587bd451e8e640a: tests/paper_findings.rs
+
+tests/paper_findings.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_findings-96055e00e6de2c74.d: tests/paper_findings.rs
+
+/root/repo/target/release/deps/paper_findings-96055e00e6de2c74: tests/paper_findings.rs
+
+tests/paper_findings.rs:

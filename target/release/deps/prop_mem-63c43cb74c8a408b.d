@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_mem-63c43cb74c8a408b.d: crates/mem/tests/prop_mem.rs
+
+/root/repo/target/release/deps/prop_mem-63c43cb74c8a408b: crates/mem/tests/prop_mem.rs
+
+crates/mem/tests/prop_mem.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_proto-e982ff6b42fe472b.d: crates/proto/tests/prop_proto.rs
+
+/root/repo/target/release/deps/prop_proto-e982ff6b42fe472b: crates/proto/tests/prop_proto.rs
+
+crates/proto/tests/prop_proto.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_sim-4073d17143291676.d: crates/sim/tests/prop_sim.rs
+
+/root/repo/target/release/deps/prop_sim-4073d17143291676: crates/sim/tests/prop_sim.rs
+
+crates/sim/tests/prop_sim.rs:

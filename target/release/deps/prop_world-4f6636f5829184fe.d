@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_world-4f6636f5829184fe.d: crates/stack/tests/prop_world.rs
+
+/root/repo/target/release/deps/prop_world-4f6636f5829184fe: crates/stack/tests/prop_world.rs
+
+crates/stack/tests/prop_world.rs:

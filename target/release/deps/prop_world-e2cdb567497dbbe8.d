@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_world-e2cdb567497dbbe8.d: crates/stack/tests/prop_world.rs
+
+/root/repo/target/release/deps/prop_world-e2cdb567497dbbe8: crates/stack/tests/prop_world.rs
+
+crates/stack/tests/prop_world.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulation_invariants-07f1874e74bfbe8b.d: tests/simulation_invariants.rs
+
+/root/repo/target/release/deps/simulation_invariants-07f1874e74bfbe8b: tests/simulation_invariants.rs
+
+tests/simulation_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulation_invariants-5446a2db3f217be3.d: tests/simulation_invariants.rs
+
+/root/repo/target/release/deps/simulation_invariants-5446a2db3f217be3: tests/simulation_invariants.rs
+
+tests/simulation_invariants.rs:

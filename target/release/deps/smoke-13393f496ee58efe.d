@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smoke-13393f496ee58efe.d: crates/stack/tests/smoke.rs
+
+/root/repo/target/release/deps/smoke-13393f496ee58efe: crates/stack/tests/smoke.rs
+
+crates/stack/tests/smoke.rs:

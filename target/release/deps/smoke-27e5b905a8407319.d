@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smoke-27e5b905a8407319.d: crates/stack/tests/smoke.rs
+
+/root/repo/target/release/deps/smoke-27e5b905a8407319: crates/stack/tests/smoke.rs
+
+crates/stack/tests/smoke.rs:

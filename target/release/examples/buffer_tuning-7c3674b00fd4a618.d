@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/buffer_tuning-7c3674b00fd4a618.d: examples/buffer_tuning.rs
+
+/root/repo/target/release/examples/buffer_tuning-7c3674b00fd4a618: examples/buffer_tuning.rs
+
+examples/buffer_tuning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/buffer_tuning-da5339fa2de0dc61.d: examples/buffer_tuning.rs
+
+/root/repo/target/release/examples/buffer_tuning-da5339fa2de0dc61: examples/buffer_tuning.rs
+
+examples/buffer_tuning.rs:

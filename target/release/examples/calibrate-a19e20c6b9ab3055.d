@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/calibrate-a19e20c6b9ab3055.d: crates/core/examples/calibrate.rs
+
+/root/repo/target/release/examples/calibrate-a19e20c6b9ab3055: crates/core/examples/calibrate.rs
+
+crates/core/examples/calibrate.rs:

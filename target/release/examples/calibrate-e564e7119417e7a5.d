@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/calibrate-e564e7119417e7a5.d: crates/core/examples/calibrate.rs
+
+/root/repo/target/release/examples/calibrate-e564e7119417e7a5: crates/core/examples/calibrate.rs
+
+crates/core/examples/calibrate.rs:

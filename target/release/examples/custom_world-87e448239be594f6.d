@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_world-87e448239be594f6.d: examples/custom_world.rs
+
+/root/repo/target/release/examples/custom_world-87e448239be594f6: examples/custom_world.rs
+
+examples/custom_world.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_world-b158e03f472c12fe.d: examples/custom_world.rs
+
+/root/repo/target/release/examples/custom_world-b158e03f472c12fe: examples/custom_world.rs
+
+examples/custom_world.rs:

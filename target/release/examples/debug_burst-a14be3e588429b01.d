@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/debug_burst-a14be3e588429b01.d: examples/debug_burst.rs
+
+/root/repo/target/release/examples/debug_burst-a14be3e588429b01: examples/debug_burst.rs
+
+examples/debug_burst.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-6fd0aaabb9fd6aaa.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-6fd0aaabb9fd6aaa: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-a576c3cb0115f107.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-a576c3cb0115f107: examples/quickstart.rs
+
+examples/quickstart.rs:

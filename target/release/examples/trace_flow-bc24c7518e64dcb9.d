@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_flow-bc24c7518e64dcb9.d: examples/trace_flow.rs
+
+/root/repo/target/release/examples/trace_flow-bc24c7518e64dcb9: examples/trace_flow.rs
+
+examples/trace_flow.rs:

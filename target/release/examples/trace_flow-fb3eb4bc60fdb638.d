@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_flow-fb3eb4bc60fdb638.d: examples/trace_flow.rs
+
+/root/repo/target/release/examples/trace_flow-fb3eb4bc60fdb638: examples/trace_flow.rs
+
+examples/trace_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/traffic_patterns-49cdb156f68ea4fe.d: examples/traffic_patterns.rs
+
+/root/repo/target/release/examples/traffic_patterns-49cdb156f68ea4fe: examples/traffic_patterns.rs
+
+examples/traffic_patterns.rs:

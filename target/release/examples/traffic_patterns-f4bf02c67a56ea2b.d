@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/traffic_patterns-f4bf02c67a56ea2b.d: examples/traffic_patterns.rs
+
+/root/repo/target/release/examples/traffic_patterns-f4bf02c67a56ea2b: examples/traffic_patterns.rs
+
+examples/traffic_patterns.rs:

@@ -231,10 +231,10 @@ fn all_to_all_shrinks_skbs() {
 fn loss_effects() {
     let clean = quick(ScenarioKind::Single).run();
     let light = quick(ScenarioKind::Single)
-        .configure(|c| c.link.loss_rate = 1.5e-4)
+        .configure(|c| c.link.loss = hns_faults::LossModel::uniform(1.5e-4))
         .run();
     let heavy = quick(ScenarioKind::Single)
-        .configure(|c| c.link.loss_rate = 1.5e-2)
+        .configure(|c| c.link.loss = hns_faults::LossModel::uniform(1.5e-2))
         .run();
     assert!(heavy.retransmissions > 0);
     // SACK-assisted recovery keeps the throughput cost of 1.5% loss

@@ -1,7 +1,12 @@
 //! Cross-cutting invariants of the simulation itself: determinism,
 //! conservation, and sanity bounds that must hold for *every* scenario.
 
+use hostnet::building_blocks::faults::{
+    CoreStall, LossModel, PhaseSchedule, PoolPressure, RingExhaust,
+};
+use hostnet::building_blocks::sim::Duration;
 use hostnet::{Experiment, Report, ScenarioKind};
+use proptest::prelude::*;
 
 fn all_scenarios() -> Vec<ScenarioKind> {
     vec![
@@ -121,12 +126,149 @@ fn window_scaling_is_linear() {
     assert!(thpt_rel < 0.1, "throughput shifted {thpt_rel:.2}");
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Resilience: under bursty loss up to 5% — any seed, any burst
+    /// length — every flow in every scenario eventually completes data and
+    /// the run quiesces without tripping the watchdog. The window must
+    /// outlast the worst *legitimate* silence: a flow that loses its whole
+    /// initial flight waits out the 100ms initial RTO before its first
+    /// successful byte.
+    #[test]
+    fn flows_survive_bursty_loss(
+        seed in any::<u64>(),
+        rate_pm in 1u32..51,
+        burst in 1u32..17,
+    ) {
+        for kind in all_scenarios() {
+            let mut exp = Experiment::new(kind).configure(|c| {
+                c.seed = seed;
+                c.link.loss = LossModel::bursty(rate_pm as f64 / 1000.0, burst as f64);
+            });
+            exp.warmup = Duration::from_millis(5);
+            exp.measure = Duration::from_millis(120);
+            let r = exp
+                .try_run()
+                .unwrap_or_else(|e| panic!("{kind:?} seed={seed}: {e}"));
+            prop_assert!(r.delivered_bytes > 0, "{kind:?} seed={seed} moved no data");
+            for &(flow, bytes) in r.per_flow_bytes.iter() {
+                prop_assert!(
+                    bytes > 0,
+                    "{kind:?} seed={seed} rate={rate_pm}e-3 burst={burst}: flow {flow} wedged"
+                );
+            }
+        }
+    }
+}
+
+/// A fault plan is part of the deterministic state: the same seed and the
+/// same plan reproduce a byte-identical report.
+#[test]
+fn fault_plans_are_deterministic() {
+    let build = || {
+        let mut exp = Experiment::new(ScenarioKind::Incast { flows: 4 }).configure(|c| {
+            c.seed = 42;
+            c.link.loss = LossModel::bursty(0.02, 8.0);
+            c.link.flap = Some(PhaseSchedule::once(
+                Duration::from_millis(14),
+                Duration::from_micros(500),
+            ));
+            c.faults.ring_exhaust = Some(RingExhaust {
+                window: PhaseSchedule::once(Duration::from_millis(16), Duration::from_millis(2)),
+                host: 1,
+            });
+            c.faults.pool_pressure = Some(PoolPressure {
+                window: PhaseSchedule::once(Duration::from_millis(20), Duration::from_millis(2)),
+                host: 1,
+            });
+            c.faults.core_stall = Some(CoreStall {
+                window: PhaseSchedule::once(Duration::from_millis(24), Duration::from_millis(1)),
+                host: 1,
+                core: 0,
+            });
+            c.max_backlog = 2048;
+        });
+        exp.warmup = Duration::from_millis(10);
+        exp.measure = Duration::from_millis(20);
+        exp
+    };
+    let a = build().try_run().expect("faulted run quiesces");
+    let b = build().try_run().expect("faulted run quiesces");
+    assert_eq!(a.to_json(), b.to_json(), "fault plan broke determinism");
+    assert!(a.drops.total() > 0, "the plan must actually inject losses");
+}
+
+/// The watchdog never fires on healthy runs, even with a horizon far
+/// tighter than the default 5s.
+#[test]
+fn watchdog_never_fires_on_healthy_runs() {
+    for kind in all_scenarios() {
+        let r = Experiment::new(kind)
+            .configure(|c| {
+                c.seed = 5;
+                c.watchdog_horizon = Duration::from_millis(2);
+            })
+            .quick()
+            .try_run();
+        match r {
+            Ok(_) => {}
+            Err(e) => panic!("{kind:?}: watchdog fired on a healthy run: {e}"),
+        }
+    }
+}
+
+/// Drop taxonomy accounts for 100% of lost frames: the wire bucket matches
+/// the link's drop counters and the ring/pool buckets match the NIC's.
+#[test]
+fn drop_taxonomy_accounts_for_every_lost_frame() {
+    let mut exp = Experiment::new(ScenarioKind::Single).configure(|c| {
+        c.seed = 9;
+        // Periodic, interleaved fault windows over a long run: whatever
+        // the flow's recovery state, each fault catches traffic at full
+        // rate at least once, so every bucket gets populated.
+        c.faults.ring_exhaust = Some(RingExhaust {
+            window: PhaseSchedule::every(
+                Duration::from_millis(25),
+                Duration::from_millis(1),
+                Duration::from_millis(20),
+            ),
+            host: 1,
+        });
+        c.faults.pool_pressure = Some(PoolPressure {
+            window: PhaseSchedule::every(
+                Duration::from_millis(33),
+                Duration::from_millis(3),
+                Duration::from_millis(20),
+            ),
+            host: 1,
+        });
+        c.link.flap = Some(PhaseSchedule::every(
+            Duration::from_millis(41),
+            Duration::from_millis(1),
+            Duration::from_millis(20),
+        ));
+    });
+    exp.warmup = Duration::from_millis(20);
+    exp.measure = Duration::from_millis(100);
+    let r = exp.try_run().expect("faulted run quiesces");
+    assert!(r.drops.total() > 0, "faults must inject losses");
+    assert_eq!(r.drops.wire, r.wire_drops, "wire bucket != link drops");
+    assert_eq!(
+        r.drops.rx_ring + r.drops.pool,
+        r.ring_drops,
+        "NIC buckets != ring drops"
+    );
+    assert!(r.drops.rx_ring > 0, "ring exhaustion must be attributed");
+    assert!(r.drops.pool > 0, "pool pressure must be attributed");
+}
+
 /// Reports serialize to JSON and back without loss (EXPERIMENTS tooling).
 #[test]
 fn reports_round_trip_json() {
     let r = run(ScenarioKind::Single, 5);
     let json = r.to_json();
-    let back: Report = serde_json::from_str(&json).expect("parse");
+    let back = Report::from_json(&json).expect("parse");
     assert_eq!(back.delivered_bytes, r.delivered_bytes);
     assert_eq!(back.receiver.breakdown, r.receiver.breakdown);
 }
