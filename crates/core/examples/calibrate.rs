@@ -45,7 +45,9 @@ fn main() {
         for (kb, r) in figures::fig03f_latency() {
             println!(
                 "rcvbuf={kb:>6}KB avg={:8.1}us p99={:8.1}us thpt/core={:6.2} miss={:5.1}%",
-                r.napi_to_copy.avg_us, r.napi_to_copy.p99_us, r.thpt_per_core_gbps,
+                r.napi_to_copy.avg_us,
+                r.napi_to_copy.p99_us,
+                r.thpt_per_core_gbps,
                 r.receiver.cache.miss_rate() * 100.0
             );
         }

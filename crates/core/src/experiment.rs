@@ -66,9 +66,7 @@ impl ScenarioKind {
     fn build(self, topo: &Topology) -> Scenario {
         match self {
             ScenarioKind::Single => hns_workload::single_flow(topo, Placement::NicLocalFirst),
-            ScenarioKind::SingleNicRemote => {
-                hns_workload::single_flow(topo, Placement::NicRemote)
-            }
+            ScenarioKind::SingleNicRemote => hns_workload::single_flow(topo, Placement::NicRemote),
             ScenarioKind::OneToOne { flows } => hns_workload::one_to_one(topo, flows),
             ScenarioKind::Incast { flows } => hns_workload::incast(topo, flows),
             ScenarioKind::Outcast { flows } => hns_workload::outcast(topo, flows),
@@ -179,14 +177,18 @@ impl Experiment {
     /// storm, queue leak, invalid fault plan) returns the watchdog's
     /// [`RunError`] with a diagnostic snapshot instead of panicking.
     pub fn try_run(&self) -> Result<Report, RunError> {
+        self.try_run_traced().map(|(report, _)| report)
+    }
+
+    /// Like [`Experiment::try_run`] but also hands back the lifecycle-trace
+    /// collector so callers can export timelines (JSONL / Chrome JSON).
+    /// The collector is disabled (and empty) unless `cfg.trace.enabled`.
+    pub fn try_run_traced(&self) -> Result<(Report, hns_trace::TraceCollector), RunError> {
         let mut world = World::new(self.cfg);
-        world.set_label(
-            self.label
-                .clone()
-                .unwrap_or_else(|| self.scenario.label()),
-        );
+        world.set_label(self.label.clone().unwrap_or_else(|| self.scenario.label()));
         self.scenario.build(&self.cfg.topology).install(&mut world);
-        world.try_run(self.warmup, self.measure)
+        let report = world.try_run(self.warmup, self.measure)?;
+        Ok((report, world.take_trace()))
     }
 }
 
@@ -240,7 +242,9 @@ mod tests {
 
     #[test]
     fn incast_bottlenecks_receiver_core() {
-        let r = Experiment::new(ScenarioKind::Incast { flows: 4 }).quick().run();
+        let r = Experiment::new(ScenarioKind::Incast { flows: 4 })
+            .quick()
+            .run();
         // The single receiver core is pegged (paper: "receiver core is
         // bottlenecked in all cases"); four sender cores each run well
         // below saturation.

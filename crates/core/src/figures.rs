@@ -3,9 +3,9 @@
 //! renders; EXPERIMENTS.md records paper-vs-measured for all of them.
 
 use hns_metrics::Report;
+use hns_proto::cc::CcAlgo;
 use hns_stack::config::RcvBufPolicy;
 use hns_stack::OptLevel;
-use hns_proto::cc::CcAlgo;
 
 use crate::experiment::{Experiment, ScenarioKind};
 use crate::Placement;
@@ -65,6 +65,26 @@ pub fn fig03f_latency() -> Vec<(u64, Report)> {
                 .labeled(format!("rcvbuf/{kb}KB"))
                 .run();
             (kb, r)
+        })
+        .collect()
+}
+
+/// Fig. 3g (ours, beyond the paper): per-stage latency breakdown from the
+/// skb lifecycle tracer, swept over flow counts. Where the paper splits
+/// *cycles* by component, this splits *packet time* by pipeline stage —
+/// showing, e.g., socket-queue residency growing as receiver cores
+/// saturate. Returns `(flows, report)` rows; each report carries
+/// `stage_latency` percentiles and the end-to-end row.
+pub fn fig03g_latency_breakdown() -> Vec<(u16, Report)> {
+    FLOW_SWEEP
+        .into_iter()
+        .map(|flows| {
+            let kind = ScenarioKind::OneToOne { flows };
+            let r = Experiment::new(kind)
+                .configure(|c| c.trace = hns_trace::TraceConfig::enabled())
+                .labeled(format!("latency/{}", kind.label()))
+                .run();
+            (flows, r)
         })
         .collect()
 }
@@ -214,11 +234,7 @@ pub fn fig11_mixed() -> Vec<(u16, Report)> {
     [0u16, 1, 4, 16]
         .into_iter()
         .map(|shorts| {
-            let r = Experiment::new(ScenarioKind::Mixed {
-                shorts,
-                size: 4096,
-            })
-            .run();
+            let r = Experiment::new(ScenarioKind::Mixed { shorts, size: 4096 }).run();
             (shorts, r)
         })
         .collect()
@@ -227,7 +243,9 @@ pub fn fig11_mixed() -> Vec<(u16, Report)> {
 /// Fig. 12: DCA disabled and IOMMU enabled vs the default, single flow.
 pub fn fig12_dca_iommu() -> Vec<Report> {
     vec![
-        Experiment::new(ScenarioKind::Single).labeled("default").run(),
+        Experiment::new(ScenarioKind::Single)
+            .labeled("default")
+            .run(),
         Experiment::new(ScenarioKind::Single)
             .configure(|c| c.stack.dca = false)
             .labeled("dca-disabled")

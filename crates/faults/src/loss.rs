@@ -10,8 +10,7 @@
 use hns_sim::{Duration, SimRng, SimTime};
 
 /// Per-frame wire-loss process.
-#[derive(Clone, Copy, Debug, PartialEq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub enum LossModel {
     /// No in-network loss.
     #[default]
@@ -29,7 +28,6 @@ pub enum LossModel {
         mean_burst: f64,
     },
 }
-
 
 impl LossModel {
     /// Uniform loss; a non-positive rate means no loss.
@@ -215,7 +213,10 @@ mod tests {
     fn gilbert_elliott_hits_rate_and_burst_length() {
         let (rate, mean_burst) = observed(LossModel::bursty(0.02, 8.0), 400_000);
         assert!((0.015..0.025).contains(&rate), "rate = {rate}");
-        assert!((6.0..10.0).contains(&mean_burst), "mean burst = {mean_burst}");
+        assert!(
+            (6.0..10.0).contains(&mean_burst),
+            "mean burst = {mean_burst}"
+        );
     }
 
     #[test]
@@ -251,8 +252,14 @@ mod tests {
             }
         }
         let rate = lost as f64 / 20_000.0;
-        assert!(rate < 0.05, "sparse-traffic loss rate did not decay: {rate}");
-        assert!(rate > 0.005, "sparse traffic should still see some loss: {rate}");
+        assert!(
+            rate < 0.05,
+            "sparse-traffic loss rate did not decay: {rate}"
+        );
+        assert!(
+            rate > 0.005,
+            "sparse traffic should still see some loss: {rate}"
+        );
     }
 
     #[test]

@@ -167,7 +167,9 @@ mod tests {
 
     #[test]
     fn validation_rejects_overlapping_period() {
-        assert!(PhaseSchedule::every(ms(0), ms(5), ms(5)).validate().is_err());
+        assert!(PhaseSchedule::every(ms(0), ms(5), ms(5))
+            .validate()
+            .is_err());
         assert!(PhaseSchedule::every(ms(0), ms(5), ms(6)).validate().is_ok());
         assert!(PhaseSchedule::once(ms(0), ms(5)).validate().is_ok());
     }

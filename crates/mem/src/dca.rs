@@ -228,7 +228,10 @@ mod tests {
         c.set_descriptor_footprint(8192 * 9000);
         let large = c.conflict_mu();
         let p_large = c.survival_probability(0);
-        assert!(small < 0.08, "512-descriptor pool should barely conflict: {small}");
+        assert!(
+            small < 0.08,
+            "512-descriptor pool should barely conflict: {small}"
+        );
         assert!(large > 0.5, "8192-descriptor pool should conflict: {large}");
         assert!(p_large < p_small);
     }

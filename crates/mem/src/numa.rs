@@ -71,12 +71,7 @@ impl Topology {
     ///
     /// DCA residency only helps a copier on the NIC-local node — DDIO
     /// writes land in the NIC-local L3, which remote-node cores cannot hit.
-    pub fn classify(
-        &self,
-        copier_node: NodeId,
-        data_node: NodeId,
-        dca_resident: bool,
-    ) -> MemClass {
+    pub fn classify(&self, copier_node: NodeId, data_node: NodeId, dca_resident: bool) -> MemClass {
         if dca_resident && copier_node == self.nic_node && data_node == self.nic_node {
             MemClass::DcaHit
         } else if copier_node == data_node {
@@ -99,7 +94,10 @@ impl Topology {
     /// the application core").
     pub fn remote_core(&self, avoid_node: NodeId, i: u16) -> CoreId {
         let other_nodes: Vec<NodeId> = (0..self.nodes).filter(|&n| n != avoid_node).collect();
-        assert!(!other_nodes.is_empty(), "need ≥2 NUMA nodes for remote IRQ mapping");
+        assert!(
+            !other_nodes.is_empty(),
+            "need ≥2 NUMA nodes for remote IRQ mapping"
+        );
         let node = other_nodes[(i as usize / self.cores_per_node as usize) % other_nodes.len()];
         self.core_on_node(node, (i % self.cores_per_node as u16) as u8)
     }

@@ -14,7 +14,9 @@ fn escape(field: &str) -> String {
 }
 
 /// Render a series of reports as CSV: one row per report with the
-/// scalar metrics and both sides' per-category cycle fractions.
+/// scalar metrics and both sides' per-category cycle fractions. When any
+/// report carries lifecycle-trace data, per-stage p50/p99 residency
+/// columns are appended (untraced series keep the exact legacy shape).
 pub fn reports_to_csv(reports: &[Report]) -> String {
     let mut out = String::new();
     out.push_str(
@@ -28,6 +30,22 @@ pub fn reports_to_csv(reports: &[Report]) -> String {
     }
     for cat in ALL_CATEGORIES {
         out.push_str(&format!(",tx_{}", cat.label().replace('/', "_")));
+    }
+    // Union of stage labels across the series, first-appearance order
+    // (reports follow pipeline order, so the union does too).
+    let mut stages: Vec<&str> = Vec::new();
+    for r in reports {
+        for s in &r.stage_latency {
+            if !stages.contains(&s.stage.as_str()) {
+                stages.push(&s.stage);
+            }
+        }
+    }
+    for s in &stages {
+        out.push_str(&format!(",{s}_p50_ns,{s}_p99_ns"));
+    }
+    if !stages.is_empty() {
+        out.push_str(",trace_overflow");
     }
     out.push('\n');
 
@@ -58,6 +76,15 @@ pub fn reports_to_csv(reports: &[Report]) -> String {
         }
         for cat in ALL_CATEGORIES {
             out.push_str(&format!(",{:.4}", r.sender.breakdown.fraction(cat)));
+        }
+        for s in &stages {
+            match r.stage_latency.iter().find(|l| l.stage == *s) {
+                Some(l) => out.push_str(&format!(",{},{}", l.p50_ns, l.p99_ns)),
+                None => out.push_str(",,"),
+            }
+        }
+        if !stages.is_empty() {
+            out.push_str(&format!(",{}", r.trace_overflow));
         }
         out.push('\n');
     }
@@ -114,5 +141,52 @@ mod tests {
     fn empty_series_is_header_only() {
         let csv = reports_to_csv(&[]);
         assert_eq!(csv.lines().count(), 1);
+    }
+
+    #[test]
+    fn traced_series_appends_stage_columns() {
+        use crate::report::StageLatency;
+        let untraced = Report {
+            label: "off".into(),
+            ..Report::default()
+        };
+        let legacy_header = reports_to_csv(std::slice::from_ref(&untraced))
+            .lines()
+            .next()
+            .unwrap()
+            .to_string();
+
+        let traced = Report {
+            label: "on".into(),
+            stage_latency: vec![StageLatency {
+                stage: "wire".into(),
+                samples: 10,
+                mean_ns: 100.0,
+                p50_ns: 90,
+                p90_ns: 150,
+                p99_ns: 200,
+                p999_ns: 250,
+                max_ns: 300,
+            }],
+            trace_overflow: 1,
+            ..Report::default()
+        };
+        let csv = reports_to_csv(&[traced, untraced]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(
+            lines[0].starts_with(&legacy_header),
+            "legacy columns keep their positions"
+        );
+        assert!(lines[0].ends_with(",wire_p50_ns,wire_p99_ns,trace_overflow"));
+        assert!(lines[1].ends_with(",90,200,1"));
+        assert!(
+            lines[2].ends_with(",,,0"),
+            "untraced row gets empty stage cells"
+        );
+        // Untraced-only series keeps the exact legacy header.
+        assert_eq!(
+            reports_to_csv(&[Report::default()]).lines().next().unwrap(),
+            legacy_header
+        );
     }
 }

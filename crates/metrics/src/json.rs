@@ -244,10 +244,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            err(format!(
-                "expected `{}` at byte {}",
-                b as char, self.pos
-            ))
+            err(format!("expected `{}` at byte {}", b as char, self.pos))
         }
     }
 
@@ -353,15 +350,12 @@ impl<'a> Parser<'a> {
                             if self.pos + 4 > self.bytes.len() {
                                 return err("truncated \\u escape");
                             }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                    .map_err(|_| JsonError {
-                                        message: "non-utf8 \\u escape".into(),
-                                    })?;
-                            let code = u32::from_str_radix(hex, 16).map_err(|_| {
-                                JsonError {
-                                    message: format!("bad \\u escape `{hex}`"),
-                                }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| JsonError {
+                                    message: "non-utf8 \\u escape".into(),
+                                })?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| JsonError {
+                                message: format!("bad \\u escape `{hex}`"),
                             })?;
                             self.pos += 4;
                             // Surrogate pairs are not produced by this
@@ -379,11 +373,10 @@ impl<'a> Parser<'a> {
                     if end > self.bytes.len() {
                         return err("truncated utf-8 sequence");
                     }
-                    let s = std::str::from_utf8(&self.bytes[start..end]).map_err(|_| {
-                        JsonError {
+                    let s =
+                        std::str::from_utf8(&self.bytes[start..end]).map_err(|_| JsonError {
                             message: format!("invalid utf-8 at byte {start}"),
-                        }
-                    })?;
+                        })?;
                     out.push_str(s);
                     self.pos = end;
                 }
@@ -434,7 +427,12 @@ fn utf8_len(first: u8) -> usize {
 
 /// Build an object value from `(key, value)` pairs.
 pub fn obj(fields: Vec<(&str, Value)>) -> Value {
-    Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
 }
 
 /// Array of `(u64, u64)` pairs, each as a two-element array.

@@ -79,6 +79,58 @@ impl LatencyStats {
     }
 }
 
+/// Residency summary for one pipeline stage, produced by the per-skb
+/// lifecycle tracer (`hns-trace`). Times are nanoseconds a packet spent
+/// *in* the stage (stamp to next stamp); the synthetic `end_to_end` row
+/// covers the whole app-write→recv-copy path.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StageLatency {
+    /// Stage label (`tcp_tx`, `wire`, …, or `end_to_end`).
+    pub stage: String,
+    /// Number of residency samples.
+    pub samples: u64,
+    /// Mean residency in nanoseconds.
+    pub mean_ns: f64,
+    /// Median residency.
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
+    /// Maximum observed residency.
+    pub max_ns: u64,
+}
+
+impl StageLatency {
+    fn to_value(&self) -> Value {
+        json::obj(vec![
+            ("stage", Value::Str(self.stage.clone())),
+            ("samples", Value::UInt(self.samples)),
+            ("mean_ns", Value::Num(self.mean_ns)),
+            ("p50_ns", Value::UInt(self.p50_ns)),
+            ("p90_ns", Value::UInt(self.p90_ns)),
+            ("p99_ns", Value::UInt(self.p99_ns)),
+            ("p999_ns", Value::UInt(self.p999_ns)),
+            ("max_ns", Value::UInt(self.max_ns)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<StageLatency, JsonError> {
+        Ok(StageLatency {
+            stage: v.get("stage")?.as_str()?.to_string(),
+            samples: v.get("samples")?.as_u64()?,
+            mean_ns: v.get("mean_ns")?.as_f64()?,
+            p50_ns: v.get("p50_ns")?.as_u64()?,
+            p90_ns: v.get("p90_ns")?.as_u64()?,
+            p99_ns: v.get("p99_ns")?.as_u64()?,
+            p999_ns: v.get("p999_ns")?.as_u64()?,
+            max_ns: v.get("max_ns")?.as_u64()?,
+        })
+    }
+}
+
 /// Measurements for one side (sender or receiver) of the experiment.
 #[derive(Clone, Debug, Default)]
 pub struct SideReport {
@@ -154,6 +206,14 @@ pub struct Report {
     /// Aggregate throughput timeline: `(seconds_into_window, gbps)` sampled
     /// once per millisecond — convergence/stability diagnostics.
     pub gbps_timeline: Vec<(f64, f64)>,
+    /// Per-stage residency summaries from the lifecycle tracer, pipeline
+    /// order, plus an `end_to_end` row. Empty when tracing is off — and
+    /// then completely absent from the JSON/CSV output, so untraced
+    /// reports stay byte-identical to pre-tracing ones.
+    pub stage_latency: Vec<StageLatency>,
+    /// Stage stamps dropped because a trace ring filled up (0 when tracing
+    /// is off). Non-zero means the residency distributions are partial.
+    pub trace_overflow: u64,
 }
 
 impl Report {
@@ -179,11 +239,7 @@ impl Report {
     /// that saturated multi-flow patterns (one-to-one, all-to-all) share
     /// the link evenly.
     pub fn fairness_index(&self) -> f64 {
-        let xs: Vec<f64> = self
-            .per_flow_bytes
-            .iter()
-            .map(|&(_, b)| b as f64)
-            .collect();
+        let xs: Vec<f64> = self.per_flow_bytes.iter().map(|&(_, b)| b as f64).collect();
         if xs.is_empty() {
             return 1.0;
         }
@@ -207,7 +263,7 @@ impl Report {
     }
 
     fn to_value(&self) -> Value {
-        json::obj(vec![
+        let mut fields = vec![
             ("label", Value::Str(self.label.clone())),
             ("window_secs", Value::Num(self.window_secs)),
             ("delivered_bytes", Value::UInt(self.delivered_bytes)),
@@ -226,7 +282,17 @@ impl Report {
             ("rpcs_completed", Value::UInt(self.rpcs_completed)),
             ("per_flow_bytes", json::pairs_u64(&self.per_flow_bytes)),
             ("gbps_timeline", json::pairs_f64(&self.gbps_timeline)),
-        ])
+        ];
+        // Trace fields only exist when tracing ran: untraced reports keep
+        // the exact pre-tracing JSON shape (determinism tests diff bytes).
+        if !self.stage_latency.is_empty() {
+            fields.push((
+                "stage_latency",
+                Value::Arr(self.stage_latency.iter().map(|s| s.to_value()).collect()),
+            ));
+            fields.push(("trace_overflow", Value::UInt(self.trace_overflow)));
+        }
+        json::obj(fields)
     }
 
     fn from_value(v: &Value) -> Result<Report, JsonError> {
@@ -249,6 +315,18 @@ impl Report {
             rpcs_completed: v.get("rpcs_completed")?.as_u64()?,
             per_flow_bytes: json::parse_pairs_u64(v.get("per_flow_bytes")?)?,
             gbps_timeline: json::parse_pairs_f64(v.get("gbps_timeline")?)?,
+            stage_latency: match v.get("stage_latency") {
+                Ok(arr) => arr
+                    .as_arr()?
+                    .iter()
+                    .map(StageLatency::from_value)
+                    .collect::<Result<_, _>>()?,
+                Err(_) => Vec::new(),
+            },
+            trace_overflow: match v.get("trace_overflow") {
+                Ok(n) => n.as_u64()?,
+                Err(_) => 0,
+            },
         })
     }
 
@@ -340,6 +418,40 @@ mod tests {
         assert!(r.throughput_cv() < 1e-12, "steady timeline");
         r.gbps_timeline = vec![(0.001, 10.0), (0.002, 70.0)];
         assert!(r.throughput_cv() > 0.5, "bursty timeline");
+    }
+
+    #[test]
+    fn untraced_report_json_has_no_trace_keys() {
+        let r = Report::default();
+        let j = r.to_json();
+        assert!(!j.contains("stage_latency"));
+        assert!(!j.contains("trace_overflow"));
+        let back = Report::from_json(&j).unwrap();
+        assert!(back.stage_latency.is_empty());
+        assert_eq!(back.trace_overflow, 0);
+    }
+
+    #[test]
+    fn stage_latency_round_trips() {
+        let r = Report {
+            stage_latency: vec![StageLatency {
+                stage: "tcp_rx".into(),
+                samples: 100,
+                mean_ns: 512.5,
+                p50_ns: 400,
+                p90_ns: 900,
+                p99_ns: 1800,
+                p999_ns: 2500,
+                max_ns: 3000,
+            }],
+            trace_overflow: 7,
+            ..Report::default()
+        };
+        let j = r.to_json();
+        let back = Report::from_json(&j).unwrap();
+        assert_eq!(back.stage_latency, r.stage_latency);
+        assert_eq!(back.trace_overflow, 7);
+        assert_eq!(back.to_json(), j, "serialization is stable");
     }
 
     #[test]

@@ -55,6 +55,39 @@ pub fn format_series_table(reports: &[Report]) -> String {
     out
 }
 
+/// Render the per-stage residency table from a traced report: one row per
+/// pipeline stage with sample count and p50/p90/p99/p999 in microseconds.
+/// Empty string when the report carries no trace data.
+pub fn format_stage_table(report: &Report) -> String {
+    if report.stage_latency.is_empty() {
+        return String::new();
+    }
+    let us = |ns: u64| ns as f64 / 1e3;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "stage", "samples", "p50_us", "p90_us", "p99_us", "p999_us"
+    ));
+    for s in &report.stage_latency {
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>10.3} {:>10.3} {:>10.3} {:>10.3}\n",
+            s.stage,
+            s.samples,
+            us(s.p50_ns),
+            us(s.p90_ns),
+            us(s.p99_ns),
+            us(s.p999_ns),
+        ));
+    }
+    if report.trace_overflow > 0 {
+        out.push_str(&format!(
+            "warning: {} stamps lost to full trace rings (distributions are partial)\n",
+            report.trace_overflow
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,5 +121,33 @@ mod tests {
     #[test]
     fn gbps_formatting() {
         assert_eq!(format_gbps(42.0), " 42.00");
+    }
+
+    #[test]
+    fn stage_table_rows_and_overflow_warning() {
+        use crate::report::StageLatency;
+        let mut r = Report::default();
+        assert_eq!(
+            format_stage_table(&r),
+            "",
+            "untraced report renders nothing"
+        );
+        r.stage_latency = vec![StageLatency {
+            stage: "sock_queue".into(),
+            samples: 42,
+            mean_ns: 1500.0,
+            p50_ns: 1000,
+            p90_ns: 2000,
+            p99_ns: 5000,
+            p999_ns: 9000,
+            max_ns: 12000,
+        }];
+        let t = format_stage_table(&r);
+        assert!(t.contains("sock_queue"));
+        assert!(t.contains("1.000"));
+        assert!(t.contains("5.000"));
+        assert!(!t.contains("warning"));
+        r.trace_overflow = 3;
+        assert!(format_stage_table(&r).contains("3 stamps lost"));
     }
 }

@@ -153,7 +153,9 @@ impl CycleBreakdown {
 
     /// Iterate `(category, cycles)` in display order.
     pub fn iter(&self) -> impl Iterator<Item = (Category, u64)> + '_ {
-        ALL_CATEGORIES.into_iter().map(|c| (c, self.cycles[c.index()]))
+        ALL_CATEGORIES
+            .into_iter()
+            .map(|c| (c, self.cycles[c.index()]))
     }
 
     pub(crate) fn to_value(self) -> Value {

@@ -109,8 +109,7 @@ mod tests {
                 assert!(a.enqueue(q, 100, (q, i)));
             }
         }
-        let order: Vec<(usize, u32)> =
-            std::iter::from_fn(|| a.dequeue()).map(|(_, t)| t).collect();
+        let order: Vec<(usize, u32)> = std::iter::from_fn(|| a.dequeue()).map(|(_, t)| t).collect();
         // Frame-by-frame interleaving across queues.
         assert_eq!(
             order,

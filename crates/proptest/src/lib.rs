@@ -6,8 +6,9 @@
 //!
 //! - the [`proptest!`] macro (including `#![proptest_config(..)]`),
 //! - [`prop_assert!`] / [`prop_assert_eq!`],
-//! - strategies: integer and float ranges, [`Just`], [`any`], tuples,
-//!   [`collection::vec`], [`prop_oneof!`], and [`Strategy::prop_map`],
+//! - strategies: integer and float ranges, [`Just`](strategy::Just),
+//!   [`any`](strategy::any), tuples, [`collection::vec`], [`prop_oneof!`],
+//!   and [`prop_map`](strategy::Strategy::prop_map),
 //! - [`ProptestConfig::with_cases`].
 //!
 //! Semantics differ from the real crate in one deliberate way: there is no

@@ -104,7 +104,11 @@ mod tests {
     #[test]
     fn fixed_never_moves() {
         let mut t = RcvBufAutotune::fixed(3200 * 1024);
-        t.on_copied(100 << 20, Duration::from_millis(1), Duration::from_micros(100));
+        t.on_copied(
+            100 << 20,
+            Duration::from_millis(1),
+            Duration::from_micros(100),
+        );
         assert_eq!(t.rcvbuf(), 3200 * 1024);
         assert!(!t.is_auto());
     }
@@ -114,17 +118,29 @@ mod tests {
         let mut t = RcvBufAutotune::auto();
         // 5 GB/s copy rate, 100us RTT → per-RTT = 500KB → target 2MB
         // (2× window + 2× truesize).
-        t.on_copied(5_000_000, Duration::from_millis(1), Duration::from_micros(100));
+        t.on_copied(
+            5_000_000,
+            Duration::from_millis(1),
+            Duration::from_micros(100),
+        );
         assert_eq!(t.rcvbuf(), 2_000_000);
     }
 
     #[test]
     fn grow_only() {
         let mut t = RcvBufAutotune::auto();
-        t.on_copied(5_000_000, Duration::from_millis(1), Duration::from_micros(100));
+        t.on_copied(
+            5_000_000,
+            Duration::from_millis(1),
+            Duration::from_micros(100),
+        );
         let big = t.rcvbuf();
         // Slower copy later must not shrink the buffer.
-        t.on_copied(100_000, Duration::from_millis(1), Duration::from_micros(100));
+        t.on_copied(
+            100_000,
+            Duration::from_millis(1),
+            Duration::from_micros(100),
+        );
         assert_eq!(t.rcvbuf(), big);
     }
 

@@ -145,9 +145,7 @@ impl CongestionControl for Bbr {
         }
 
         let target = (CWND_GAIN * self.bdp()) as u64;
-        self.cwnd = target
-            .max(initial_cwnd(self.mss))
-            .min(MAX_CWND);
+        self.cwnd = target.max(initial_cwnd(self.mss)).min(MAX_CWND);
     }
 
     fn on_loss(&mut self, _now: SimTime) {

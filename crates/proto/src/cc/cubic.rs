@@ -57,7 +57,6 @@ impl Cubic {
         self.mss as f64
     }
 
-
     /// HyStart delay-based slow-start exit (Linux `tcp_cubic` hystart):
     /// when the RTT inflates well past the minimum observed, queues are
     /// building — leave slow start *before* overrunning them.
@@ -171,7 +170,12 @@ mod tests {
     fn loss_retains_70_percent() {
         let mut cc = Cubic::new(1448);
         for _ in 0..20 {
-            cc.on_ack(SimTime::ZERO, cc.cwnd(), Duration::from_micros(50), cc.cwnd());
+            cc.on_ack(
+                SimTime::ZERO,
+                cc.cwnd(),
+                Duration::from_micros(50),
+                cc.cwnd(),
+            );
         }
         let before = cc.cwnd();
         cc.on_loss(SimTime::from_nanos(1_000_000));
@@ -243,7 +247,12 @@ mod tests {
     fn rto_goes_to_one_mss() {
         let mut cc = Cubic::new(1448);
         for _ in 0..10 {
-            cc.on_ack(SimTime::ZERO, cc.cwnd(), Duration::from_micros(50), cc.cwnd());
+            cc.on_ack(
+                SimTime::ZERO,
+                cc.cwnd(),
+                Duration::from_micros(50),
+                cc.cwnd(),
+            );
         }
         cc.on_rto(SimTime::ZERO);
         assert_eq!(cc.cwnd(), 1448);

@@ -131,7 +131,12 @@ mod tests {
         assert_eq!(cc.ssthresh(), w);
         // One full window of ACKs should add ~1 MSS.
         cc.on_ack(SimTime::ZERO, w, rtt(), w);
-        assert!(cc.cwnd() >= w + 900 && cc.cwnd() <= w + 1100, "{} -> {}", w, cc.cwnd());
+        assert!(
+            cc.cwnd() >= w + 900 && cc.cwnd() <= w + 1100,
+            "{} -> {}",
+            w,
+            cc.cwnd()
+        );
     }
 
     #[test]

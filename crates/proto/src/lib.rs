@@ -33,16 +33,16 @@
 
 pub mod autotune;
 pub mod cc;
-pub mod receiver;
 pub mod reassembly;
+pub mod receiver;
 pub mod sack;
 pub mod segment;
 pub mod sender;
 
 pub use autotune::RcvBufAutotune;
 pub use cc::{make_cc, CcAlgo, CongestionControl};
-pub use receiver::{AckAction, TcpReceiver};
 pub use reassembly::ReassemblyQueue;
+pub use receiver::{AckAction, TcpReceiver};
 pub use sack::{SackBlocks, Scoreboard};
 pub use segment::{AckView, DataView, FlowId, Segment, SegmentKind};
 pub use sender::{SendAction, TcpSender};

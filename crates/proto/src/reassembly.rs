@@ -108,11 +108,10 @@ impl ReassemblyQueue {
             if e < start || s > end {
                 // Disjoint (not even adjacent): keep as-is, but insert our
                 // range in sorted position.
-                if s > end && !placed
-                    && start < end {
-                        merged.push((start, end));
-                        placed = true;
-                    }
+                if s > end && !placed && start < end {
+                    merged.push((start, end));
+                    placed = true;
+                }
                 merged.push((s, e));
             } else {
                 // Overlapping or adjacent: coalesce.

@@ -223,10 +223,7 @@ mod tests {
     #[test]
     fn lost_gap_walks_forward() {
         let mut sb = Scoreboard::new();
-        sb.merge(
-            &SackBlocks::from_ranges([(1000, 2000), (3000, 9000)]),
-            0,
-        );
+        sb.merge(&SackBlocks::from_ranges([(1000, 2000), (3000, 9000)]), 0);
         // First gap [0,1000).
         assert_eq!(sb.next_lost_gap(0, 0, 1000), Some((0, 1000)));
         // After retransmitting it, the cursor moves past: next gap
@@ -239,10 +236,7 @@ mod tests {
     #[test]
     fn gap_bytes_counts_holes() {
         let mut sb = Scoreboard::new();
-        sb.merge(
-            &SackBlocks::from_ranges([(1000, 2000), (3000, 5000)]),
-            0,
-        );
+        sb.merge(&SackBlocks::from_ranges([(1000, 2000), (3000, 5000)]), 0);
         // Holes: [0,1000) + [2000,3000) = 2000 bytes.
         assert_eq!(sb.gap_bytes(0), 2000);
         assert_eq!(sb.gap_bytes(500), 1500);

@@ -10,6 +10,11 @@ use crate::sack::SackBlocks;
 /// Flow identifier, unique per (sender app, receiver app) connection.
 pub type FlowId = u64;
 
+/// Sentinel for [`Segment::trace`]: the frame is not lifecycle-traced.
+/// Matches `hns_trace::NO_SKB` without making this crate depend on the
+/// tracing layer.
+pub const NO_TRACE: u64 = u64::MAX;
+
 /// What a segment carries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SegmentKind {
@@ -46,6 +51,10 @@ pub struct Segment {
     pub kind: SegmentKind,
     /// ECN Congestion-Experienced mark set by the network (DCTCP marking).
     pub ecn_ce: bool,
+    /// Lifecycle-trace id riding the frame across the wire so the receive
+    /// side can continue the same timeline ([`NO_TRACE`] when untraced —
+    /// the common case; ACKs and control segments are never traced).
+    pub trace: u64,
 }
 
 impl Segment {
@@ -59,6 +68,7 @@ impl Segment {
                 retransmit,
             },
             ecn_ce: false,
+            trace: NO_TRACE,
         }
     }
 
@@ -73,6 +83,7 @@ impl Segment {
                 sack,
             },
             ecn_ce: false,
+            trace: NO_TRACE,
         }
     }
 

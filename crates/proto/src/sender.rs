@@ -219,9 +219,11 @@ impl TcpSender {
     fn pipe(&self) -> u64 {
         let flight = self.in_flight();
         let sacked = self.scoreboard.sacked_bytes();
-        let lost_unresent = self
-            .scoreboard
-            .gap_bytes(self.snd_una.max(self.rtx_next).min(self.scoreboard.high_sacked()));
+        let lost_unresent = self.scoreboard.gap_bytes(
+            self.snd_una
+                .max(self.rtx_next)
+                .min(self.scoreboard.high_sacked()),
+        );
         flight
             .saturating_sub(sacked)
             .saturating_sub(lost_unresent)
@@ -275,14 +277,13 @@ impl TcpSender {
         // Scoreboard-driven recovery: resend lost gaps lowest-first,
         // clocked by the pipe.
         if self.recovery.is_some() {
-            if let Some((gap_start, gap_end)) =
-                self.scoreboard
-                    .next_lost_gap(self.rtx_next.max(self.snd_una), self.snd_una, self.mss)
-            {
+            if let Some((gap_start, gap_end)) = self.scoreboard.next_lost_gap(
+                self.rtx_next.max(self.snd_una),
+                self.snd_una,
+                self.mss,
+            ) {
                 let budget = self.cc.cwnd().saturating_sub(self.pipe());
-                let len = (gap_end - gap_start)
-                    .min(max_payload as u64)
-                    .min(budget) as u32;
+                let len = (gap_end - gap_start).min(max_payload as u64).min(budget) as u32;
                 if len > 0 {
                     self.rtx_next = gap_start + len as u64;
                     self.rtx_out += len as u64;
@@ -563,18 +564,36 @@ mod tests {
         let t = SimTime::from_nanos(100_000);
         let cwnd_before = s.cwnd();
         // First dup-ACK carries only 2 MSS of SACK — not yet proof.
-        let a1 = s.on_ack(t, 0, 1 << 20, false, &SackBlocks::from_ranges([(1000, 3000)]));
+        let a1 = s.on_ack(
+            t,
+            0,
+            1 << 20,
+            false,
+            &SackBlocks::from_ranges([(1000, 3000)]),
+        );
         assert!(!a1.fast_retransmit);
         // 3 MSS SACKed above the hole: recovery starts immediately
         // (RFC 6675), without waiting for the third duplicate.
-        let a2 = s.on_ack(t, 0, 1 << 20, false, &SackBlocks::from_ranges([(1000, 4000)]));
+        let a2 = s.on_ack(
+            t,
+            0,
+            1 << 20,
+            false,
+            &SackBlocks::from_ranges([(1000, 4000)]),
+        );
         assert!(a2.fast_retransmit);
         assert!(s.cwnd() < cwnd_before, "loss should shrink window");
         // Right after the window reduction the pipe still exceeds cwnd
         // (most of the flight is neither SACKed nor lost) — RFC 6675
         // withholds the retransmission until more SACKs drain the pipe.
         assert!(s.next_segment(t, 1000).is_none(), "pipe-limited");
-        s.on_ack(t, 0, 1 << 20, false, &SackBlocks::from_ranges([(1000, 9000)]));
+        s.on_ack(
+            t,
+            0,
+            1 << 20,
+            false,
+            &SackBlocks::from_ranges([(1000, 9000)]),
+        );
         // The retransmission covers exactly the hole [0, 1000).
         let seg = s.next_segment(t, 1000).expect("retransmission");
         let (start, end, rtx) = seg_range(&seg);
@@ -589,13 +608,25 @@ mod tests {
         s.app_write(50_000);
         while s.next_segment(SimTime::ZERO, 1000).is_some() {}
         let t = SimTime::from_nanos(100_000);
-        assert!(!s.on_ack(t, 0, 1 << 20, false, &SackBlocks::EMPTY).fast_retransmit);
-        assert!(!s.on_ack(t, 0, 1 << 20, false, &SackBlocks::EMPTY).fast_retransmit);
+        assert!(
+            !s.on_ack(t, 0, 1 << 20, false, &SackBlocks::EMPTY)
+                .fast_retransmit
+        );
+        assert!(
+            !s.on_ack(t, 0, 1 << 20, false, &SackBlocks::EMPTY)
+                .fast_retransmit
+        );
         let a3 = s.on_ack(t, 0, 1 << 20, false, &SackBlocks::EMPTY);
         assert!(a3.fast_retransmit, "third dup-ACK enters recovery");
         // With no scoreboard evidence there is no gap to resend yet; the
         // next SACKed dup-ACKs provide it (and drain the pipe estimate).
-        s.on_ack(t, 0, 1 << 20, false, &SackBlocks::from_ranges([(1000, 9000)]));
+        s.on_ack(
+            t,
+            0,
+            1 << 20,
+            false,
+            &SackBlocks::from_ranges([(1000, 9000)]),
+        );
         let seg = s.next_segment(t, 1000).expect("retransmission");
         let (start, _, rtx) = seg_range(&seg);
         assert_eq!(start, 0);
@@ -618,7 +649,13 @@ mod tests {
         assert_eq!(seg_range(&seg2).0, 3_000);
         assert!(seg_range(&seg2).2, "marked as retransmission");
         // Partial ACK past the first hole keeps recovery going.
-        let a = s.on_ack(t, 3_000, 1 << 20, false, &SackBlocks::from_ranges([(4000, 9000)]));
+        let a = s.on_ack(
+            t,
+            3_000,
+            1 << 20,
+            false,
+            &SackBlocks::from_ranges([(4000, 9000)]),
+        );
         assert!(a.fast_retransmit, "partial ack stays in recovery");
         assert_eq!(s.retransmissions, 2);
     }
@@ -681,7 +718,13 @@ mod tests {
         let t = SimTime::from_nanos(50_000);
         // SACK evidence → recovery → a retransmission happens (the near-
         // total SACK coverage also drains the pipe enough to permit it).
-        s.on_ack(t, 0, 1 << 20, false, &SackBlocks::from_ranges([(1000, 10_000)]));
+        s.on_ack(
+            t,
+            0,
+            1 << 20,
+            false,
+            &SackBlocks::from_ranges([(1000, 10_000)]),
+        );
         let seg = s.next_segment(t, 1000).expect("retransmission");
         assert!(seg_range(&seg).2);
         // ACK covering the probe after a retransmission: Karn discards it.
@@ -704,7 +747,13 @@ mod tests {
         while s.next_segment(SimTime::ZERO, 1000).is_some() {}
         // Buffer holds written-unacked bytes even after transmission.
         assert_eq!(s.write_capacity(10_000), 6_000);
-        s.on_ack(SimTime::from_nanos(1), 4_000, 1 << 20, false, &SackBlocks::EMPTY);
+        s.on_ack(
+            SimTime::from_nanos(1),
+            4_000,
+            1 << 20,
+            false,
+            &SackBlocks::EMPTY,
+        );
         assert_eq!(s.write_capacity(10_000), 10_000);
         assert!(s.all_acked());
     }

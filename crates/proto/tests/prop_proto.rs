@@ -23,7 +23,11 @@ fn run_transfer(total: u64, loss: f64, reorder: bool, seed: u64, algo: CcAlgo) -
 
     while rcv.rcv_nxt() < total {
         iterations += 1;
-        assert!(iterations < 2_000_000, "livelock: {} / {total}", rcv.rcv_nxt());
+        assert!(
+            iterations < 2_000_000,
+            "livelock: {} / {total}",
+            rcv.rcv_nxt()
+        );
         now += step;
 
         // Sender transmits whatever the window allows.

@@ -119,7 +119,11 @@ impl<E> EventQueue<E> {
     /// Scheduling in the past is a logic error; debug builds assert, release
     /// builds clamp to `now` so the simulation still makes progress.
     pub fn schedule(&mut self, at: SimTime, event: E) -> EventToken {
-        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;

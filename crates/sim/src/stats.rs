@@ -348,8 +348,16 @@ mod tests {
         }
         let p = h.percentiles();
         // Log-linear buckets have ~1.6% resolution.
-        assert!((p.p50 as f64 - 5_000.0).abs() / 5_000.0 < 0.05, "p50={}", p.p50);
-        assert!((p.p99 as f64 - 9_900.0).abs() / 9_900.0 < 0.05, "p99={}", p.p99);
+        assert!(
+            (p.p50 as f64 - 5_000.0).abs() / 5_000.0 < 0.05,
+            "p50={}",
+            p.p50
+        );
+        assert!(
+            (p.p99 as f64 - 9_900.0).abs() / 9_900.0 < 0.05,
+            "p99={}",
+            p.p99
+        );
         assert_eq!(p.max, 10_000);
     }
 

@@ -200,6 +200,9 @@ pub struct SimConfig {
     pub irq_coalesce: Duration,
     /// Record per-flow protocol traces ([`crate::trace::FlowTracer`]).
     pub trace_flows: bool,
+    /// Per-skb lifecycle tracing (stage stamps, `hns-trace`). Disabled by
+    /// default; when off every hook is a single dead branch.
+    pub trace: hns_trace::TraceConfig,
     /// Per-core softirq backlog cap in frames (`netdev_max_backlog`-style):
     /// arrivals beyond it are dropped before consuming a descriptor and
     /// attributed to the `gro_overflow` bucket. Zero (the default, matching
@@ -232,6 +235,7 @@ impl Default for SimConfig {
             irq_latency: Duration::from_micros(1),
             irq_coalesce: Duration::ZERO,
             trace_flows: false,
+            trace: hns_trace::TraceConfig::DISABLED,
             max_backlog: 0,
             faults: FaultConfig::default(),
             watchdog_horizon: Duration::from_secs(5),

@@ -283,7 +283,8 @@ mod tests {
         // Per 64KB skb made of 8 jumbo frames, ~50% DCA hit rate:
         let frames = 8u64;
         let per_frame = frames * (c.driver_rx_frame + c.skb_alloc + c.skb_build + c.gro_per_frame);
-        let per_skb = c.tcp_rx_cycles(65536) + c.ack_gen + c.sock_lock + c.skb_free + c.rx_queue_ops;
+        let per_skb =
+            c.tcp_rx_cycles(65536) + c.ack_gen + c.sock_lock + c.skb_free + c.rx_queue_ops;
         let copy = (c.copy_cycles(MemClass::DcaHit, 65536)
             + c.copy_cycles(MemClass::LocalDram, 65536))
             / 2;

@@ -108,6 +108,10 @@ pub struct Flow {
     pub rtx_baseline: u64,
     /// Optional protocol event trace.
     pub trace: FlowTracer,
+    /// When the application last issued a `write()` for this flow; lets the
+    /// lifecycle tracer stamp AppWrite/CopyIn retroactively when a wire
+    /// frame is later emitted from those bytes.
+    pub last_write_at: SimTime,
 }
 
 impl Flow {
@@ -141,6 +145,7 @@ impl Flow {
             pacer_armed: false,
             rtx_baseline: 0,
             trace: FlowTracer::new(cfg.trace_flows),
+            last_write_at: SimTime::ZERO,
         }
     }
 

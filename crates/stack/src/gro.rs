@@ -143,8 +143,12 @@ mod tests {
         let mut arena = FrameArena::new();
         let mut gro = GroEngine::new();
         for i in 0..3 {
-            assert!(gro.offer(mk(&mut arena, 1, i * 1500, 1500), 65536).is_empty());
-            assert!(gro.offer(mk(&mut arena, 2, i * 1500, 1500), 65536).is_empty());
+            assert!(gro
+                .offer(mk(&mut arena, 1, i * 1500, 1500), 65536)
+                .is_empty());
+            assert!(gro
+                .offer(mk(&mut arena, 2, i * 1500, 1500), 65536)
+                .is_empty());
         }
         let mut out = gro.flush_all();
         out.sort_by_key(|s| s.flow);

@@ -196,7 +196,10 @@ mod tests {
         let h = Host::new(0, &cfg);
         assert_eq!(h.cores.len(), 24);
         assert_eq!(h.rings.len(), 24, "one Rx ring per core");
-        assert!(h.rings.iter().all(|r| r.capacity() == cfg.stack.rx_descriptors));
+        assert!(h
+            .rings
+            .iter()
+            .all(|r| r.capacity() == cfg.stack.rx_descriptors));
         assert!(!h.iommu.enabled());
     }
 

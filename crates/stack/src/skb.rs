@@ -34,6 +34,10 @@ pub struct RxSkb {
     pub ce: bool,
     /// Any constituent frame was a retransmission (for accounting).
     pub retransmit: bool,
+    /// Lifecycle-trace id inherited from the wire frame
+    /// ([`hns_proto::segment::NO_TRACE`] when untraced). A GRO merge keeps
+    /// the head's id; merged frames' timelines end at their GRO stamp.
+    pub trace: u64,
 }
 
 impl RxSkb {
@@ -55,6 +59,7 @@ impl RxSkb {
             napi_ts,
             ce,
             retransmit,
+            trace: hns_proto::segment::NO_TRACE,
         }
     }
 

@@ -124,12 +124,7 @@ mod tests {
     fn samples_are_rate_limited() {
         let mut t = FlowTracer::new(true);
         for us in 0..1000u64 {
-            t.sample_cwnd(
-                SimTime::from_nanos(us * 1_000),
-                us,
-                0,
-                0,
-            );
+            t.sample_cwnd(SimTime::from_nanos(us * 1_000), us, 0, 0);
         }
         // 1ms of samples at a 100us interval → ~10 samples, not 1000.
         let n = t.cwnd_series().count();
@@ -143,6 +138,38 @@ mod tests {
             t.record(SimTime::ZERO, TraceEvent::Retransmit { seq: 0 });
         }
         assert_eq!(t.retransmit_count(), 50);
+    }
+
+    #[test]
+    fn window_stall_events_pair_up() {
+        // A zero-window stall is always a Closed→Reopened pair in time
+        // order; the stall duration is the gap between them.
+        let mut t = FlowTracer::new(true);
+        t.record(SimTime::from_nanos(10), TraceEvent::WindowClosed);
+        t.record(SimTime::from_nanos(250), TraceEvent::WindowReopened);
+        t.record(SimTime::from_nanos(900), TraceEvent::WindowClosed);
+        t.record(SimTime::from_nanos(1_400), TraceEvent::WindowReopened);
+
+        let mut open_since: Option<SimTime> = None;
+        let mut stalls = Vec::new();
+        for &(at, ev) in t.events() {
+            match ev {
+                TraceEvent::WindowClosed => {
+                    assert!(open_since.is_none(), "nested WindowClosed at {at:?}");
+                    open_since = Some(at);
+                }
+                TraceEvent::WindowReopened => {
+                    let start = open_since.take().expect("WindowReopened without Closed");
+                    stalls.push(at.since(start));
+                }
+                _ => {}
+            }
+        }
+        assert!(open_since.is_none(), "trace ends inside a stall");
+        assert_eq!(
+            stalls,
+            vec![Duration::from_nanos(240), Duration::from_nanos(500)]
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@ use hns_nic::{Link, TxArbiter};
 use hns_proto::{FlowId, Segment, SegmentKind, HEADER_BYTES};
 use hns_sched::Task;
 use hns_sim::{cycles_to_time, Duration, EventQueue, SimTime};
+use hns_trace::{StageId, TraceCollector};
 
 use crate::app::{AppInstance, AppSpec};
 use crate::config::SimConfig;
@@ -143,6 +144,10 @@ pub struct World {
     storm_count: u64,
     run_error: Option<RunError>,
     label: String,
+    /// Per-skb lifecycle tracer (`hns-trace`). Disabled by default; every
+    /// hook below is a single branch on `trace.enabled()` and stamps never
+    /// charge cycles, so behaviour is identical with tracing on or off.
+    trace: TraceCollector,
 }
 
 impl World {
@@ -178,8 +183,19 @@ impl World {
             storm_count: 0,
             run_error: None,
             label: String::new(),
+            trace: TraceCollector::new(cfg.trace, 2, cores),
             cfg,
         }
+    }
+
+    /// The lifecycle-trace collector (for export after a run).
+    pub fn trace(&self) -> &TraceCollector {
+        &self.trace
+    }
+
+    /// Take the collector out of the world, leaving a disabled one.
+    pub fn take_trace(&mut self) -> TraceCollector {
+        std::mem::replace(&mut self.trace, TraceCollector::disabled())
     }
 
     /// Label carried into the report.
@@ -599,11 +615,30 @@ impl World {
                         ch.add(Category::NetDevice, self.cost.steering_sw);
                     }
                     let frame = pf.frame.expect("data frames carry buffers");
-                    let skb =
-                        RxSkb::from_frame(pf.seg.flow, seq, len, frame, now, pf.seg.ecn_ce, retransmit);
+                    let mut skb = RxSkb::from_frame(
+                        pf.seg.flow,
+                        seq,
+                        len,
+                        frame,
+                        now,
+                        pf.seg.ecn_ce,
+                        retransmit,
+                    );
+                    if self.trace.enabled() {
+                        skb.trace = pf.seg.trace;
+                        self.trace
+                            .stamp(pf.seg.trace, pf.seg.flow, StageId::Napi, h, core, now);
+                    }
                     if self.cfg.stack.gro || self.cfg.stack.lro {
                         if !self.cfg.stack.lro {
                             ch.add(Category::NetDevice, self.cost.gro_per_frame);
+                        }
+                        if self.trace.enabled() {
+                            // A merged frame's timeline ends here (its skb is
+                            // absorbed); the aggregate continues under the
+                            // head frame's id.
+                            self.trace
+                                .stamp(pf.seg.trace, pf.seg.flow, StageId::Gro, h, core, now);
                         }
                         let flushed = self.hosts[h].cores[core]
                             .gro
@@ -668,6 +703,10 @@ impl World {
         if self.measuring {
             self.hosts[h].skb_sizes.record(skb.len as u64);
         }
+        if self.trace.enabled() {
+            self.trace
+                .stamp(skb.trace, skb.flow, StageId::TcpRx, h, core, now);
+        }
         ch.add(
             Category::TcpIp,
             self.cost.tcp_rx_cycles(skb.len) + self.cost.rx_queue_ops,
@@ -679,7 +718,12 @@ impl World {
         };
         ch.add(
             Category::Lock,
-            self.cost.sock_lock + if contended { self.cost.sock_lock_contended } else { 0 },
+            self.cost.sock_lock
+                + if contended {
+                    self.cost.sock_lock_contended
+                } else {
+                    0
+                },
         );
 
         let (delivered, duplicate, ooo, ack) = {
@@ -708,6 +752,10 @@ impl World {
             self.free_frags(h, core, &frags, ch);
         } else {
             // In-order or out-of-order: park the skb in sequence order.
+            if self.trace.enabled() {
+                self.trace
+                    .stamp(skb.trace, skb.flow, StageId::SockQueue, h, core, now);
+            }
             let f = &mut self.flows[fid];
             f.rx_queue.push_back(skb);
             f.rx_queue.make_contiguous().sort_by_key(|s| s.seq);
@@ -716,8 +764,7 @@ impl World {
                 // Track near-zero advertised window for later updates.
                 if f.receiver.advertised_window(f.rx_backlog) < 2 * self.cfg.stack.mss() as u64 {
                     if !f.window_closed {
-                        f.trace
-                            .record(now, crate::trace::TraceEvent::WindowClosed);
+                        f.trace.record(now, crate::trace::TraceEvent::WindowClosed);
                     }
                     f.window_closed = true;
                 }
@@ -760,14 +807,9 @@ impl World {
         if action.newly_acked > 0 {
             // Send-buffer space freed: update warm-buffer accounting and
             // wake a blocked writer.
-            let node = self
-                .cfg
-                .topology
-                .node_of(self.flows[fid].spec.src_core);
+            let node = self.cfg.topology.node_of(self.flows[fid].spec.src_core);
             self.hosts[h].adjust_send_active(node, -(action.newly_acked as i64));
-            let can_write = self.flows[fid]
-                .sender
-                .write_capacity(self.sndbuf_for(fid))
+            let can_write = self.flows[fid].sender.write_capacity(self.sndbuf_for(fid))
                 >= self.cfg.write_size as u64;
             if can_write {
                 if let Some(tid) = self.flows[fid].writer_tid {
@@ -815,8 +857,7 @@ impl World {
     /// dominated by buffer-fill copies that never reach the wire.
     fn sndbuf_for(&self, fid: usize) -> u64 {
         let floor = 2 * self.cfg.write_size as u64;
-        (2 * self.flows[fid].sender.cwnd())
-            .clamp(floor, self.cfg.stack.sndbuf)
+        (2 * self.flows[fid].sender.cwnd()).clamp(floor, self.cfg.stack.sndbuf)
     }
 
     fn step_long_sender(&mut self, fid: usize, ch: &mut Charges) -> bool {
@@ -851,6 +892,11 @@ impl World {
     /// the statistical sender L3 model, or — with `MSG_ZEROCOPY` (§4) —
     /// per-page pinning plus a completion notification.
     fn charge_sender_copy(&mut self, fid: usize, bytes: u64, ch: &mut Charges) {
+        if self.trace.enabled() {
+            // Remember the write instant so frames emitted from these bytes
+            // can stamp AppWrite/CopyIn retroactively.
+            self.flows[fid].last_write_at = self.queue.now();
+        }
         if self.cfg.stack.zerocopy_tx {
             let pages = pages_for(bytes);
             ch.add(Category::Memory, pages * self.cost.zc_tx_pin_page);
@@ -861,10 +907,12 @@ impl World {
         let h = f.spec.src_host;
         let node = self.cfg.topology.node_of(f.spec.src_core);
         let active = self.hosts[h].send_active(node)
-            + self.hosts[h].node_sender_flows[node as usize] as u64
-                * Self::SENDER_FLOW_FOOTPRINT;
+            + self.hosts[h].node_sender_flows[node as usize] as u64 * Self::SENDER_FLOW_FOOTPRINT;
         let miss = self.hosts[h].sender_l3.miss_rate(active);
-        ch.add(Category::DataCopy, self.cost.sender_copy_cycles(bytes, miss));
+        ch.add(
+            Category::DataCopy,
+            self.cost.sender_copy_cycles(bytes, miss),
+        );
         if self.measuring {
             let miss_bytes = (bytes as f64 * miss) as u64;
             self.hosts[h].tx_copy_cache.miss_bytes += miss_bytes;
@@ -924,6 +972,11 @@ impl World {
             if self.measuring {
                 self.hosts[h].napi_to_copy_ns.record(lat_sample.as_nanos());
             }
+            if self.trace.enabled() {
+                // End of life: the payload reached user space.
+                self.trace
+                    .stamp(skb.trace, skb.flow, StageId::RecvCopy, h, core, now);
+            }
             self.flows[fid].sample_host_latency(lat_sample);
             ch.add(Category::SkbMgmt, self.cost.skb_free);
             let frags = skb.frags.clone();
@@ -939,10 +992,11 @@ impl World {
                     let host = &mut self.hosts[h];
                     let bytes = host.arena.bytes(fr);
                     let resident = host.dca.probe_copy(&host.arena, fr);
-                    let class = self
-                        .cfg
-                        .topology
-                        .classify(app_node, self.hosts[h].arena.node(fr), resident);
+                    let class = self.cfg.topology.classify(
+                        app_node,
+                        self.hosts[h].arena.node(fr),
+                        resident,
+                    );
                     ch.add(Category::DataCopy, self.cost.copy_cycles(class, bytes));
                     if self.measuring {
                         if class == MemClass::DcaHit {
@@ -977,10 +1031,8 @@ impl World {
         if f.window_closed && f.receiver.advertised_window(f.rx_backlog) >= 2 * mss {
             f.window_closed = false;
             let upd = f.receiver.window_update(f.rx_backlog);
-            f.trace.record(
-                self.queue.now(),
-                crate::trace::TraceEvent::WindowReopened,
-            );
+            f.trace
+                .record(self.queue.now(), crate::trace::TraceEvent::WindowReopened);
             ch.add(Category::TcpIp, self.cost.ack_gen);
             self.enqueue_frames(h, core, upd, ch);
         }
@@ -993,7 +1045,9 @@ impl World {
             let node = self.hosts[h].arena.node(fr);
             let bytes = self.hosts[h].arena.release(fr);
             let pages = pages_for(bytes.max(1));
-            let out = self.hosts[h].pages.free(core as u16, pages, node == core_node);
+            let out = self.hosts[h]
+                .pages
+                .free(core as u16, pages, node == core_node);
             ch.add(
                 Category::Memory,
                 out.fast_pages * self.cost.page_free_fast
@@ -1177,9 +1231,7 @@ impl World {
         // Write one queued request per step (fine-grained fairness).
         if self.apps[app_idx].pending_arrivals > 0 {
             self.apps[app_idx].pending_arrivals -= 1;
-            self.apps[app_idx]
-                .outstanding
-                .push_back(self.queue.now());
+            self.apps[app_idx].outstanding.push_back(self.queue.now());
             ch.add(Category::Etc, self.cost.syscall_write);
             self.charge_sender_copy(tx, size as u64, ch);
             self.flows[tx].sender.app_write(size as u64);
@@ -1267,7 +1319,24 @@ impl World {
         let queue = self.flows[fid].spec.src_core as usize;
         let mut off = 0u64;
         for flen in tso::segment(len, mss) {
-            let frame_seg = Segment::data(fid as FlowId, seq0 + off, flen, rtx);
+            let mut frame_seg = Segment::data(fid as FlowId, seq0 + off, flen, rtx);
+            if self.trace.enabled() {
+                let tid = self.trace.alloc(fid as u64);
+                if tid != hns_trace::NO_SKB {
+                    frame_seg.trace = tid;
+                    let wrote = self.flows[fid].last_write_at;
+                    self.trace
+                        .stamp(tid, fid as u64, StageId::AppWrite, h, queue, wrote);
+                    self.trace
+                        .stamp(tid, fid as u64, StageId::CopyIn, h, queue, wrote);
+                    self.trace
+                        .stamp(tid, fid as u64, StageId::TcpTx, h, queue, now);
+                    self.trace
+                        .stamp(tid, fid as u64, StageId::Gso, h, queue, now);
+                    self.trace
+                        .stamp(tid, fid as u64, StageId::Qdisc, h, queue, now);
+                }
+            }
             let ok = self.arbiters[h].enqueue(queue, flen, frame_seg);
             debug_assert!(ok, "tx queues are unbounded");
             off += flen as u64;
@@ -1300,11 +1369,21 @@ impl World {
                 // the watchdog — even a dropped frame proves the sender's
                 // recovery machinery is still alive.
                 self.progress += 1;
+                if self.trace.enabled() {
+                    let core = self.flows[seg.flow as usize].spec.src_core as usize;
+                    self.trace
+                        .stamp(seg.trace, seg.flow, StageId::NicTx, h, core, now);
+                }
                 let wire = payload as u64 + HEADER_BYTES as u64;
                 match self.link.transmit(h, now, wire) {
                     TransmitOutcome::Delivered { arrives, ce } => {
                         let mut seg = seg;
                         seg.ecn_ce |= ce;
+                        if self.trace.enabled() {
+                            let core = self.flows[seg.flow as usize].spec.src_core as usize;
+                            self.trace
+                                .stamp(seg.trace, seg.flow, StageId::Wire, h, core, now);
+                        }
                         self.queue.schedule(
                             arrives,
                             Event::FrameArrive {
@@ -1378,6 +1457,11 @@ impl World {
             }
             SegmentKind::Ack { .. } => (self.flows[fid].ack_irq_core, None),
         };
+        if self.trace.enabled() {
+            // Descriptor accepted and DMA'd: the frame is in host memory.
+            self.trace
+                .stamp(seg.trace, seg.flow, StageId::RxDma, dst, core as usize, now);
+        }
         let host = &mut self.hosts[dst];
         host.cores[core as usize].backlog.push_back(PendingFrame {
             seg,
@@ -1386,13 +1470,21 @@ impl World {
         });
         if host.coalescer.frame_arrived(core as usize) {
             host.cores[core as usize].irqs_pending += 1;
+            let fires = now + self.cfg.irq_latency + self.cfg.irq_coalesce;
             self.queue.schedule(
-                now + self.cfg.irq_latency + self.cfg.irq_coalesce,
+                fires,
                 Event::Irq {
                     host: dst as u8,
                     core,
                 },
             );
+            if self.trace.enabled() {
+                // Only the frame that actually raised the interrupt gets an
+                // IRQ stamp; frames batched under NAPI masking wait in the
+                // backlog and their RxDma→Napi residency shows it.
+                self.trace
+                    .stamp(seg.trace, seg.flow, StageId::Irq, dst, core as usize, fires);
+            }
         }
     }
 
@@ -1503,8 +1595,7 @@ impl World {
     fn autotune_tick(&mut self) {
         if self.measuring {
             let t = self.queue.now().since(self.window_start).as_secs_f64();
-            let gbps =
-                self.tick_bytes as f64 * 8.0 / 1e9 / AUTOTUNE_INTERVAL.as_secs_f64();
+            let gbps = self.tick_bytes as f64 * 8.0 / 1e9 / AUTOTUNE_INTERVAL.as_secs_f64();
             self.gbps_timeline.push((t, gbps));
             self.tick_bytes = 0;
         }
@@ -1613,9 +1704,46 @@ impl World {
             samples: self.rpc_latency_ns.count(),
         };
 
+        let (stage_latency, trace_overflow) = if self.trace.enabled() {
+            let summary = self.trace.summary();
+            let mut rows: Vec<hns_metrics::StageLatency> = summary
+                .stages
+                .iter()
+                .map(|s| {
+                    let p = s.hist.percentiles();
+                    hns_metrics::StageLatency {
+                        stage: s.stage.label().to_string(),
+                        samples: s.hist.count(),
+                        mean_ns: s.hist.mean(),
+                        p50_ns: p.p50,
+                        p90_ns: p.p90,
+                        p99_ns: p.p99,
+                        p999_ns: p.p999,
+                        max_ns: p.max,
+                    }
+                })
+                .collect();
+            if summary.end_to_end.count() > 0 {
+                let p = summary.end_to_end.percentiles();
+                rows.push(hns_metrics::StageLatency {
+                    stage: "end_to_end".to_string(),
+                    samples: summary.end_to_end.count(),
+                    mean_ns: summary.end_to_end.mean(),
+                    p50_ns: p.p50,
+                    p90_ns: p.p90,
+                    p99_ns: p.p99,
+                    p999_ns: p.p999,
+                    max_ns: p.max,
+                });
+            }
+            (rows, summary.overflow)
+        } else {
+            (Vec::new(), 0)
+        };
+
         let wire_drops = self.link.drops(0) + self.link.drops(1) - self.wire_drop_baseline;
-        let ring_drops = self.hosts[0].ring_drops() + self.hosts[1].ring_drops()
-            - self.ring_drop_baseline;
+        let ring_drops =
+            self.hosts[0].ring_drops() + self.hosts[1].ring_drops() - self.ring_drop_baseline;
         // Attribution invariants: the world counts every drop exactly once,
         // so `drops.wire == wire_drops` and
         // `drops.rx_ring + drops.pool == ring_drops`.
@@ -1644,12 +1772,10 @@ impl World {
                 .map(|f| f.sender.retransmissions - f.rtx_baseline)
                 .sum(),
             rpcs_completed: self.apps.iter().map(|a| a.completions).sum(),
-            per_flow_bytes: self
-                .flows
-                .iter()
-                .map(|f| (f.id, f.app_bytes))
-                .collect(),
+            per_flow_bytes: self.flows.iter().map(|f| (f.id, f.app_bytes)).collect(),
             gbps_timeline: self.gbps_timeline.clone(),
+            stage_latency,
+            trace_overflow,
         }
     }
 

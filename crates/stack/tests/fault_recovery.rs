@@ -17,7 +17,10 @@ fn single_flow_world(cfg: SimConfig) -> World {
 
 /// Fault window in the middle of the 30ms measurement window (20ms warmup).
 fn mid_measure(duration_ms: u64) -> PhaseSchedule {
-    PhaseSchedule::once(Duration::from_millis(30), Duration::from_millis(duration_ms))
+    PhaseSchedule::once(
+        Duration::from_millis(30),
+        Duration::from_millis(duration_ms),
+    )
 }
 
 fn run(cfg: SimConfig) -> hns_metrics::Report {
@@ -34,9 +37,16 @@ fn ring_exhaustion_drops_at_the_nic_and_recovers() {
         host: 1,
     });
     let r = run(cfg);
-    assert!(r.drops.rx_ring > 0, "exhausted rings must drop: {:?}", r.drops);
+    assert!(
+        r.drops.rx_ring > 0,
+        "exhausted rings must drop: {:?}",
+        r.drops
+    );
     assert_eq!(r.drops.rx_ring + r.drops.pool, r.ring_drops);
-    assert!(r.retransmissions > 0, "the sender must have recovered the losses");
+    assert!(
+        r.retransmissions > 0,
+        "the sender must have recovered the losses"
+    );
     assert!(
         r.total_gbps > 1.0,
         "flow must recover after the window: {:.2} Gbps",
@@ -96,7 +106,11 @@ fn link_flap_is_attributed_to_the_wire() {
     let mut cfg = SimConfig::default();
     cfg.link.flap = Some(mid_measure(1));
     let r = run(cfg);
-    assert!(r.drops.wire > 0, "flapped frames die on the wire: {:?}", r.drops);
+    assert!(
+        r.drops.wire > 0,
+        "flapped frames die on the wire: {:?}",
+        r.drops
+    );
     assert_eq!(r.drops.wire, r.wire_drops);
     assert!(r.total_gbps > 1.0, "flow must survive a 1ms flap");
 }

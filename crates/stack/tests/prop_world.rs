@@ -12,7 +12,7 @@ use proptest::prelude::*;
 #[derive(Clone, Debug)]
 struct Cfg {
     seed: u64,
-    loss_milli: u32,   // loss = milli / 1000 / 10  (0..3%)
+    loss_milli: u32, // loss = milli / 1000 / 10  (0..3%)
     mtu: u32,
     tso_gro: bool,
     arfs: bool,
@@ -36,12 +36,25 @@ fn cfg_strategy() -> impl Strategy<Value = Cfg> {
         any::<bool>(),
         any::<bool>(),
         0u8..4,
-        7u32..13,            // ring = 2^shift (128..4096)
+        7u32..13, // ring = 2^shift (128..4096)
         prop_oneof![Just(0u32), 256u32..8192],
         1u16..6,
     )
         .prop_map(
-            |(seed, loss_milli, mtu, tso_gro, arfs, dca, iommu, zc_rx, cc, ring_shift, rcvbuf_kb, n_flows)| Cfg {
+            |(
+                seed,
+                loss_milli,
+                mtu,
+                tso_gro,
+                arfs,
+                dca,
+                iommu,
+                zc_rx,
+                cc,
+                ring_shift,
+                rcvbuf_kb,
+                n_flows,
+            )| Cfg {
                 seed,
                 loss_milli,
                 mtu,

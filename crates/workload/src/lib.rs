@@ -229,12 +229,7 @@ pub const MIXED_LONG_FLOW: u64 = 0;
 /// Open-loop RPC: `clients` Poisson sources (one per sender core) at
 /// `rate_rps` requests/second each against one server core — the
 /// latency-vs-load workload (a future-work direction the paper names).
-pub fn open_loop_rpc(
-    topo: &Topology,
-    clients: u16,
-    rpc_size: u32,
-    rate_rps: f64,
-) -> Scenario {
+pub fn open_loop_rpc(topo: &Topology, clients: u16, rpc_size: u32, rate_rps: f64) -> Scenario {
     let mut sc = Scenario::default();
     let server_core = topo.app_core(0);
     let mean_ns = (1e9 / rate_rps.max(1.0)) as u64;
@@ -307,8 +302,7 @@ mod tests {
     fn incast_converges_on_one_receiver_core() {
         let sc = incast(&topo(), 16);
         assert!(sc.flows.iter().all(|f| f.dst_core == 0));
-        let senders: std::collections::BTreeSet<_> =
-            sc.flows.iter().map(|f| f.src_core).collect();
+        let senders: std::collections::BTreeSet<_> = sc.flows.iter().map(|f| f.src_core).collect();
         assert_eq!(senders.len(), 16);
     }
 

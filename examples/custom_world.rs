@@ -54,7 +54,10 @@ fn main() {
     println!("{}", report.label);
     println!("  total throughput    {:.2} Gbps", report.total_gbps);
     for flow in 0..2u64 {
-        println!("  bulk flow {flow}        {:.2} Gbps", report.flow_gbps(flow));
+        println!(
+            "  bulk flow {flow}        {:.2} Gbps",
+            report.flow_gbps(flow)
+        );
     }
     println!(
         "  rpc round trips     {} ({:.0}/s)",

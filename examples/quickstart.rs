@@ -14,7 +14,10 @@ fn main() {
 
     println!("single flow, all optimizations:");
     println!("  throughput            {:.2} Gbps", report.total_gbps);
-    println!("  throughput-per-core   {:.2} Gbps", report.thpt_per_core_gbps);
+    println!(
+        "  throughput-per-core   {:.2} Gbps",
+        report.thpt_per_core_gbps
+    );
     println!(
         "  sender / receiver CPU {:.2} / {:.2} cores",
         report.sender.cores_used, report.receiver.cores_used

@@ -1,17 +1,29 @@
 //! Trace a flow through loss: run one TCP flow over a lossy link with
-//! per-flow tracing enabled and render the congestion-window timeline —
-//! the simulator's answer to `tcp_probe`.
+//! both tracers enabled and render what each sees.
+//!
+//! * The **protocol tracer** (`FlowTracer`, `cfg.trace_flows`) records
+//!   per-flow TCP events — cwnd samples, retransmissions, timer fires —
+//!   the simulator's answer to `tcp_probe`.
+//! * The **lifecycle tracer** (`hns-trace`, `cfg.trace`) stamps each skb
+//!   at every pipeline stage and reports per-stage residency — the
+//!   simulator's answer to a BPF tracepoint suite.
 //!
 //! Run with: `cargo run --release --example trace_flow`
 
 use hostnet::building_blocks::sim::Duration;
 use hostnet::building_blocks::stack::trace::TraceEvent;
 use hostnet::building_blocks::stack::{AppSpec, FlowSpec, SimConfig, World};
+use hostnet::building_blocks::trace::TraceConfig;
 
 fn main() {
     let mut cfg = SimConfig::default();
     cfg.link.loss = hns_faults::LossModel::uniform(1.5e-3);
     cfg.trace_flows = true;
+    // Lifecycle tracer: sample every 4th skb to keep the rings cheap.
+    cfg.trace = TraceConfig {
+        sample_every: 4,
+        ..TraceConfig::enabled()
+    };
 
     let mut world = World::new(cfg);
     let flow = world.add_flow(FlowSpec::forward(0, 0));
@@ -24,6 +36,7 @@ fn main() {
         report.total_gbps, report.retransmissions
     );
 
+    // ── Protocol view: the congestion-window timeline ───────────────────
     let trace = &world.flows[flow as usize].trace;
     let max_cwnd = trace
         .cwnd_series()
@@ -62,6 +75,20 @@ fn main() {
          decrease followed by CUBIC's recovery — at datacenter RTTs driven\n\
          by the TCP-friendly region, exactly as in the kernel)",
         max_cwnd as f64 / (1024.0 * 1024.0)
+    );
+
+    // ── Packet view: where each skb spent its time ──────────────────────
+    println!("\nstage residency (lifecycle tracer, every 4th skb):");
+    print!(
+        "{}",
+        hostnet::building_blocks::metrics::format_stage_table(&report)
+    );
+    let lifecycle = world.trace();
+    println!(
+        "({} stamps across {} skbs; the sock_queue row is the receive-side\n\
+         buffering the cwnd timeline above cannot see)",
+        lifecycle.events(),
+        lifecycle.summary().skbs
     );
 }
 

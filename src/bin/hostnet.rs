@@ -45,7 +45,9 @@ fn execute(cmd: cli::Command) -> ExitCode {
             println!("  incast       n sender cores → 1 receiver core (§3.3) [--flows]");
             println!("  outcast      1 sender core → n receiver cores (§3.4) [--flows]");
             println!("  all-to-all   x·x flows (§3.5)                       [--flows = x]");
-            println!("  rpc          ping-pong RPC incast (§3.7)  [--clients --size --remote-server]");
+            println!(
+                "  rpc          ping-pong RPC incast (§3.7)  [--clients --size --remote-server]"
+            );
             println!("  mixed        1 long + n short flows on one core (§3.7) [--shorts --size]");
             ExitCode::SUCCESS
         }
@@ -92,18 +94,43 @@ fn execute(cmd: cli::Command) -> ExitCode {
                 c.stack.iommu = run.iommu;
                 c.stack.zerocopy_tx = run.zerocopy_tx;
                 c.stack.zerocopy_rx = run.zerocopy_rx;
+                if run.trace {
+                    c.trace = hostnet::building_blocks::trace::TraceConfig {
+                        enabled: true,
+                        sample_every: run.trace_sample_every,
+                        flow: run.trace_flow,
+                        ..hostnet::building_blocks::trace::TraceConfig::DISABLED
+                    };
+                }
                 apply_faults(c, &run);
             });
             exp.warmup = Duration::from_millis(run.warmup_ms);
             exp.measure = Duration::from_millis(run.measure_ms);
 
-            let report = match exp.try_run() {
+            let (report, trace) = match exp.try_run_traced() {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("run did not quiesce: {e}");
                     return ExitCode::FAILURE;
                 }
             };
+            if let Some(path) = &run.trace_out {
+                use hostnet::building_blocks::trace::export;
+                let body = if run.trace_chrome {
+                    export::to_chrome(&trace)
+                } else {
+                    export::to_jsonl(&trace)
+                };
+                if let Err(e) = std::fs::write(path, body) {
+                    eprintln!("--trace-out: cannot write `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "trace: {} events ({} skbs) written to {path}",
+                    trace.events(),
+                    trace.summary().skbs
+                );
+            }
             if run.json {
                 println!("{}", report.to_json());
             } else {
@@ -146,6 +173,20 @@ fn execute(cmd: cli::Command) -> ExitCode {
                         parts.join(", "),
                         report.drops.total()
                     );
+                }
+                if run.trace {
+                    let table = hostnet::building_blocks::metrics::format_stage_table(&report);
+                    if table.is_empty() {
+                        println!("\ntrace: no stamped skbs (check --trace-flow / sampling)");
+                    } else {
+                        println!("\nstage residency (tracer):");
+                        print!("{table}");
+                        println!(
+                            "trace: {} events across {} skbs",
+                            trace.events(),
+                            trace.summary().skbs
+                        );
+                    }
                 }
             }
             ExitCode::SUCCESS
@@ -214,6 +255,13 @@ fn run_figures(names: &[String]) -> Vec<hostnet::Report> {
     if want("fig03f") {
         out.extend(figures::fig03f_latency().into_iter().map(|(_, r)| r));
     }
+    if want("fig03g") {
+        out.extend(
+            figures::fig03g_latency_breakdown()
+                .into_iter()
+                .map(|(_, r)| r),
+        );
+    }
     if want("fig04") {
         out.extend(figures::fig04_numa());
     }
@@ -263,8 +311,8 @@ pub mod cli {
     pub const USAGE: &str = "\
 usage:
   hostnet run <scenario> [options]
-  hostnet figures [fig03|fig03e|fig03f|fig04|fig05|fig06|fig07|fig08|
-                   fig09|fig09b|fig10|fig11|fig12|fig13]... [--csv]
+  hostnet figures [fig03|fig03e|fig03f|fig03g|fig04|fig05|fig06|fig07|
+                   fig08|fig09|fig09b|fig10|fig11|fig12|fig13]... [--csv]
   hostnet list
   hostnet help
 
@@ -291,6 +339,13 @@ options:
   --warmup-ms N      warmup window                        (default 20)
   --measure-ms N     measurement window                   (default 30)
   --json             emit the full report as JSON
+
+tracing (any --trace-* flag implies --trace):
+  --trace                  trace every skb through the 14 pipeline stages
+  --trace-sample-every N   trace every Nth skb                  (default 1)
+  --trace-flow F           only trace flow id F
+  --trace-out PATH         write the per-skb trace to PATH
+  --trace-format F         jsonl | chrome (Perfetto)       (default jsonl)
 
 fault injection (all deterministic; scheduled faults share one window):
   --fault-at-ms T        fault window start in ms             (default 30)
@@ -376,6 +431,16 @@ fault injection (all deterministic; scheduled faults share one window):
         pub watchdog_ms: u64,
         /// Softirq backlog cap in frames (0 disables).
         pub max_backlog: u32,
+        /// Enable the per-skb lifecycle tracer.
+        pub trace: bool,
+        /// Trace every Nth skb (1 = all).
+        pub trace_sample_every: u32,
+        /// Only trace this flow id.
+        pub trace_flow: Option<u64>,
+        /// Write the trace to this path.
+        pub trace_out: Option<String>,
+        /// Export format: JSONL records or Chrome trace_event JSON.
+        pub trace_chrome: bool,
     }
 
     /// Parse a full argument vector.
@@ -442,6 +507,11 @@ fault injection (all deterministic; scheduled faults share one window):
             stall_ms: 0.0,
             watchdog_ms: 5000,
             max_backlog: 0,
+            trace: false,
+            trace_sample_every: 1,
+            trace_flow: None,
+            trace_out: None,
+            trace_chrome: false,
         };
 
         let mut it = args[1..].iter();
@@ -494,8 +564,7 @@ fault injection (all deterministic; scheduled faults share one window):
                     out.fault_at_ms = parse_num(value("--fault-at-ms")?, "--fault-at-ms")?
                 }
                 "--fault-burst-loss" => {
-                    out.burst_loss =
-                        parse_num(value("--fault-burst-loss")?, "--fault-burst-loss")?;
+                    out.burst_loss = parse_num(value("--fault-burst-loss")?, "--fault-burst-loss")?;
                     if !(0.0..1.0).contains(&out.burst_loss) {
                         return Err("--fault-burst-loss: must be in [0, 1)".into());
                     }
@@ -523,6 +592,33 @@ fault injection (all deterministic; scheduled faults share one window):
                 }
                 "--max-backlog" => {
                     out.max_backlog = parse_num(value("--max-backlog")?, "--max-backlog")?
+                }
+                "--trace" => out.trace = true,
+                "--trace-sample-every" => {
+                    out.trace = true;
+                    out.trace_sample_every =
+                        parse_num(value("--trace-sample-every")?, "--trace-sample-every")?;
+                    if out.trace_sample_every == 0 {
+                        return Err("--trace-sample-every: must be at least 1".into());
+                    }
+                }
+                "--trace-flow" => {
+                    out.trace = true;
+                    out.trace_flow = Some(parse_num(value("--trace-flow")?, "--trace-flow")?);
+                }
+                "--trace-out" => {
+                    out.trace = true;
+                    out.trace_out = Some(value("--trace-out")?.clone());
+                }
+                "--trace-format" => {
+                    out.trace = true;
+                    out.trace_chrome = match value("--trace-format")?.as_str() {
+                        "jsonl" => false,
+                        "chrome" => true,
+                        x => {
+                            return Err(format!("--trace-format: expected jsonl|chrome, got `{x}`"))
+                        }
+                    };
                 }
                 "--seed" => out.seed = parse_num(value("--seed")?, "--seed")?,
                 "--warmup-ms" => out.warmup_ms = parse_num(value("--warmup-ms")?, "--warmup-ms")?,
@@ -684,6 +780,33 @@ fault injection (all deterministic; scheduled faults share one window):
         }
 
         #[test]
+        fn parses_trace_flags() {
+            let cmd = parse(&argv(
+                "run single --trace-sample-every 8 --trace-flow 0 \
+                 --trace-out t.json --trace-format chrome",
+            ))
+            .unwrap();
+            match cmd {
+                Command::Run(r) => {
+                    assert!(r.trace, "--trace-* flags imply --trace");
+                    assert_eq!(r.trace_sample_every, 8);
+                    assert_eq!(r.trace_flow, Some(0));
+                    assert_eq!(r.trace_out.as_deref(), Some("t.json"));
+                    assert!(r.trace_chrome);
+                }
+                _ => panic!("not a run"),
+            }
+            match parse(&argv("run single --trace")).unwrap() {
+                Command::Run(r) => {
+                    assert!(r.trace && !r.trace_chrome);
+                    assert_eq!(r.trace_sample_every, 1);
+                    assert_eq!(r.trace_out, None);
+                }
+                _ => panic!("not a run"),
+            }
+        }
+
+        #[test]
         fn rejects_bad_input() {
             assert!(parse(&argv("run single --fault-burst-loss 1.5")).is_err());
             assert!(parse(&argv("run single --fault-flap-ms")).is_err());
@@ -695,6 +818,8 @@ fault injection (all deterministic; scheduled faults share one window):
             assert!(parse(&argv("run single --loss 1.5")).is_err());
             assert!(parse(&argv("run single --flows")).is_err());
             assert!(parse(&argv("run single --mtu banana")).is_err());
+            assert!(parse(&argv("run single --trace-sample-every 0")).is_err());
+            assert!(parse(&argv("run single --trace-format xml")).is_err());
         }
 
         #[test]

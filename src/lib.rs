@@ -19,5 +19,6 @@ pub mod building_blocks {
     pub use hns_sched as sched;
     pub use hns_sim as sim;
     pub use hns_stack as stack;
+    pub use hns_trace as trace;
     pub use hns_workload as workload;
 }

@@ -15,7 +15,8 @@ fn zerocopy_rx_removes_copy_and_lifts_throughput() {
         .quick()
         .run();
     assert_eq!(
-        zc.receiver.breakdown[Category::DataCopy], 0,
+        zc.receiver.breakdown[Category::DataCopy],
+        0,
         "zero-copy receive must not copy"
     );
     assert!(

@@ -299,8 +299,8 @@ fn numa_placement_marginal_for_small_rpcs() {
         server: Placement::NicRemote,
     })
     .run();
-    let delta = (local.thpt_per_core_gbps - remote.thpt_per_core_gbps).abs()
-        / local.thpt_per_core_gbps;
+    let delta =
+        (local.thpt_per_core_gbps - remote.thpt_per_core_gbps).abs() / local.thpt_per_core_gbps;
     assert!(delta < 0.10, "4KB RPC NUMA delta = {delta:.2}");
     // But the *cache miss rate* is much higher remotely — the bytes just
     // don't matter at this size.
@@ -310,7 +310,11 @@ fn numa_placement_marginal_for_small_rpcs() {
 /// §3.7 / Fig. 11: mixing long and short flows on one core hurts both.
 #[test]
 fn mixing_long_and_short_is_harmful() {
-    let pure = quick(ScenarioKind::Mixed { shorts: 0, size: 4096 }).run();
+    let pure = quick(ScenarioKind::Mixed {
+        shorts: 0,
+        size: 4096,
+    })
+    .run();
     let mixed = quick(ScenarioKind::Mixed {
         shorts: 16,
         size: 4096,
@@ -365,8 +369,8 @@ fn congestion_control_is_not_the_bottleneck() {
         .configure(|c| c.stack.cc = CcAlgo::Dctcp)
         .run();
     for (name, r) in [("bbr", &bbr), ("dctcp", &dctcp)] {
-        let delta = (r.thpt_per_core_gbps - cubic.thpt_per_core_gbps).abs()
-            / cubic.thpt_per_core_gbps;
+        let delta =
+            (r.thpt_per_core_gbps - cubic.thpt_per_core_gbps).abs() / cubic.thpt_per_core_gbps;
         assert!(delta < 0.25, "{name} delta = {delta:.2}");
     }
     assert!(

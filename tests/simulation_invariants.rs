@@ -63,7 +63,11 @@ fn seed_changes_are_bounded() {
 fn physical_bounds_hold_everywhere() {
     for kind in all_scenarios() {
         let r = run(kind, 3);
-        assert!(r.total_gbps >= 0.0 && r.total_gbps < 100.0, "{kind:?}: {}", r.total_gbps);
+        assert!(
+            r.total_gbps >= 0.0 && r.total_gbps < 100.0,
+            "{kind:?}: {}",
+            r.total_gbps
+        );
         assert!(r.sender.cores_used <= 24.0 + 1e-6, "{kind:?}");
         assert!(r.receiver.cores_used <= 24.0 + 1e-6, "{kind:?}");
         for side in [&r.sender, &r.receiver] {
@@ -285,8 +289,7 @@ fn timeline_integrates_and_is_steady() {
         .iter()
         .map(|&(_, g)| g * 1e9 / 8.0 * 0.001)
         .sum();
-    let rel = (integrated_bytes - r.delivered_bytes as f64).abs()
-        / r.delivered_bytes as f64;
+    let rel = (integrated_bytes - r.delivered_bytes as f64).abs() / r.delivered_bytes as f64;
     assert!(rel < 0.05, "timeline does not integrate: rel {rel:.3}");
     // Post-warmup, a lossless single flow is steady.
     assert!(

@@ -1,0 +1,167 @@
+//! Integration tests for the skb lifecycle tracer (`hns-trace`).
+//!
+//! The contract under test: tracing is an *observer*. Stamps charge no
+//! simulated cycles, so enabling the tracer must not move a single
+//! number in the report — and the exports must be deterministic enough
+//! to diff across runs.
+
+use hostnet::building_blocks::trace::{export, TraceConfig};
+use hostnet::{Experiment, ScenarioKind};
+
+fn untraced() -> Experiment {
+    Experiment::new(ScenarioKind::Single).quick()
+}
+
+fn traced(sample_every: u32) -> Experiment {
+    untraced().configure(|c| {
+        c.trace = TraceConfig {
+            sample_every,
+            ..TraceConfig::enabled()
+        }
+    })
+}
+
+/// Satellite: record the tracing overhead honestly. The tracer stamps
+/// every skb (sample-every-1) and the throughput delta against the
+/// untraced run must stay under the stated bound — which is zero, not
+/// "small": stamps never charge cycles, so the simulated timeline is
+/// bit-identical by construction. Wall-clock overhead (ring pushes,
+/// hashing) exists but is not simulated time.
+#[test]
+fn full_tracing_has_zero_simulated_overhead() {
+    const BOUND_PCT: f64 = 0.1; // stated bound; measured delta must be 0
+    let off = untraced().run();
+    let on = traced(1).run();
+
+    let delta_pct = (on.total_gbps - off.total_gbps).abs() / off.total_gbps * 100.0;
+    println!(
+        "tracing overhead: {:.4}% throughput delta at sample-every-1 \
+         ({:.2} → {:.2} Gbps, bound {BOUND_PCT}%)",
+        delta_pct, off.total_gbps, on.total_gbps
+    );
+    assert!(
+        delta_pct < BOUND_PCT,
+        "tracing perturbed throughput by {delta_pct}%"
+    );
+    assert_eq!(
+        off.total_gbps, on.total_gbps,
+        "stamps must not charge simulated cycles"
+    );
+}
+
+/// With tracing off the report must be byte-identical to one from a
+/// traced run once the trace-only fields are cleared — i.e. tracing
+/// adds keys, it never perturbs existing ones.
+#[test]
+fn traced_report_differs_only_in_trace_fields() {
+    let off = untraced().run();
+    let mut on = traced(1).run();
+
+    assert!(!on.stage_latency.is_empty());
+    on.stage_latency.clear();
+    on.trace_overflow = 0;
+    assert_eq!(
+        off.to_json(),
+        on.to_json(),
+        "tracing must not drift any non-trace report field"
+    );
+}
+
+/// JSONL export: deterministic under a fixed seed (replay/diff-able)
+/// and honours sampling.
+#[test]
+fn jsonl_export_is_deterministic_and_sampled() {
+    let (_, t1) = traced(4).try_run_traced().unwrap();
+    let (_, t2) = traced(4).try_run_traced().unwrap();
+    let a = export::to_jsonl(&t1);
+    let b = export::to_jsonl(&t2);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same seed must give a byte-identical JSONL trace");
+
+    let (_, full) = traced(1).try_run_traced().unwrap();
+    assert!(
+        full.events() > t1.events() * 3,
+        "sample-every-4 should record ~1/4 of the events ({} vs {})",
+        t1.events(),
+        full.events()
+    );
+}
+
+/// Chrome export: parses as JSON, has per-core thread metadata for both
+/// hosts, and carries stage spans (the acceptance criterion behind
+/// "loads in Perfetto with one track per core").
+#[test]
+fn chrome_export_has_per_core_tracks_and_spans() {
+    use hostnet::building_blocks::metrics::json::Value;
+
+    let (_, trace) = traced(8).try_run_traced().unwrap();
+    let doc = Value::parse(&export::to_chrome(&trace)).expect("chrome export must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+
+    let mut process_names = Vec::new();
+    let mut tracks = std::collections::BTreeSet::new();
+    let mut spans = 0u64;
+    for ev in events {
+        let ph = ev.get("ph").and_then(|v| v.as_str()).unwrap();
+        match ph {
+            "M" if ev.get("name").and_then(|v| v.as_str()) == Ok("process_name") => {
+                process_names.push(
+                    ev.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(|v| v.as_str())
+                        .unwrap()
+                        .to_string(),
+                );
+            }
+            "X" => {
+                spans += 1;
+                let pid = ev.get("pid").and_then(|v| v.as_u64()).unwrap();
+                let tid = ev.get("tid").and_then(|v| v.as_u64()).unwrap();
+                tracks.insert((pid, tid));
+                assert!(ev.get("dur").is_ok(), "complete spans carry a duration");
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(process_names, vec!["host0", "host1"]);
+    assert!(spans > 0, "single flow must produce stage spans");
+    assert!(
+        tracks.iter().any(|&(pid, _)| pid == 0) && tracks.iter().any(|&(pid, _)| pid == 1),
+        "spans must land on both the sender and receiver tracks: {tracks:?}"
+    );
+}
+
+/// Per-stage residency percentiles surface in the report JSON and the
+/// CSV exporter, including the synthetic end-to-end row.
+#[test]
+fn stage_percentiles_reach_json_and_csv() {
+    use hostnet::building_blocks::metrics::json::Value;
+
+    let report = traced(1).run();
+    let doc = Value::parse(&report.to_json()).unwrap();
+    let stages = doc
+        .get("stage_latency")
+        .and_then(|v| v.as_arr())
+        .expect("traced report exports stage_latency");
+    let names: Vec<_> = stages
+        .iter()
+        .map(|s| s.get("stage").and_then(|v| v.as_str()).unwrap().to_string())
+        .collect();
+    for want in ["copy_in", "wire", "sock_queue", "end_to_end"] {
+        assert!(names.iter().any(|n| n == want), "missing stage {want}");
+    }
+    for s in stages {
+        for key in ["samples", "p50_ns", "p90_ns", "p99_ns", "p999_ns", "max_ns"] {
+            assert!(s.get(key).is_ok(), "stage row missing {key}");
+        }
+    }
+
+    let csv = hostnet::building_blocks::metrics::reports_to_csv(std::slice::from_ref(&report));
+    let header = csv.lines().next().unwrap();
+    assert!(header.contains("sock_queue_p50_ns"));
+    assert!(header.contains("end_to_end_p99_ns"));
+    assert!(header.contains("trace_overflow"));
+}
