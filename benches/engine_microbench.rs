@@ -1,0 +1,177 @@
+//! Perf-trajectory harness for the simulation engine and sweep runner.
+//!
+//! A plain `main()` bench (`harness = false`) so it runs fully offline —
+//! criterion lives on crates.io, which the build environment cannot
+//! reach. Measures the quantities the hot-path work targets:
+//!
+//! * **event-queue ops/sec** — schedule/cancel/pop churn on
+//!   [`hns_sim::EventQueue`] alone (the generation-stamped slot path);
+//! * **engine events/sec** — a full single-flow run, wall-clock divided
+//!   into [`World::events_processed`];
+//! * **allocs/skb** — heap allocations per delivered skb during that
+//!   run, counted by a wrapping global allocator (the frag-pool payoff);
+//! * **sweep wall-clock** — the fig. 3e 24-point grid at `--jobs 1`
+//!   vs `--jobs 4` through the same `run_sweep_with` path the CLI uses.
+//!
+//! Results are appended to a `BENCH_<n>.json` trajectory file at the
+//! repo root (n fixed per PR) so successive PRs have a recorded
+//! baseline. `-- --test` runs a seconds-scale smoke version and writes
+//! nothing: CI uses it to keep the bench compiling and the parallel
+//! path exercised.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use hns_core::figures;
+use hns_sim::{Duration, EventQueue, SimTime};
+use hns_stack::{SimConfig, World};
+use hns_workload::Placement;
+
+/// Counts every heap allocation (alloc + realloc) made by the process.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs_now() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Event-queue churn: keep ~1k events pending, cancel every 8th, pop one
+/// per schedule. Returns operations per second (schedule+pop pairs).
+fn bench_event_queue(target_pops: u64) -> f64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut tokens: VecDeque<hns_sim::event::EventToken> = VecDeque::new();
+    for i in 0..1024u64 {
+        tokens.push_back(q.schedule(SimTime::from_nanos(1 + i), i));
+    }
+    let t0 = Instant::now();
+    let mut popped = 0u64;
+    let mut i = 1024u64;
+    while popped < target_pops {
+        if i.is_multiple_of(8) {
+            if let Some(t) = tokens.pop_front() {
+                q.cancel(t);
+            }
+        }
+        // Schedule ahead of `now` so the queue depth stays steady.
+        let at = SimTime::from_nanos(q.now().as_nanos() + 1 + (i % 911));
+        tokens.push_back(q.schedule(at, i));
+        if tokens.len() > 2048 {
+            tokens.pop_front();
+        }
+        if q.pop().is_some() {
+            popped += 1;
+        }
+        i += 1;
+    }
+    popped as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// A full single-flow run; returns (events/sec, allocs/skb).
+fn bench_engine(warmup_ms: u64, measure_ms: u64) -> (f64, f64) {
+    let cfg = SimConfig::default();
+    let mut world = World::new(cfg);
+    hns_workload::single_flow(&cfg.topology, Placement::NicLocalFirst).install(&mut world);
+    let a0 = allocs_now();
+    let t0 = Instant::now();
+    let report = world
+        .try_run(
+            Duration::from_millis(warmup_ms),
+            Duration::from_millis(measure_ms),
+        )
+        .expect("single-flow bench run quiesces");
+    let wall = t0.elapsed().as_secs_f64();
+    let allocs = (allocs_now() - a0) as f64;
+    let events_per_sec = world.events_processed() as f64 / wall;
+    // Delivered skbs ≈ delivered bytes / mean skb size (the report's own
+    // aggregate); warmup skbs make this a mild overestimate of allocs/skb.
+    let skbs = if report.avg_skb_bytes > 0.0 {
+        report.delivered_bytes as f64 / report.avg_skb_bytes
+    } else {
+        1.0
+    };
+    (events_per_sec, allocs / skbs.max(1.0))
+}
+
+/// Wall-clock one full sweep of `points` at a given job count.
+fn bench_sweep(jobs: usize, points: &[figures::SweepPoint]) -> f64 {
+    let t0 = Instant::now();
+    let reports = figures::run_sweep_with(jobs, points);
+    assert_eq!(reports.len(), points.len());
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    // Cargo passes bench filters and flags like `--bench`; the only one
+    // we honor is `--test` (smoke mode), everything else is ignored.
+    let smoke = std::env::args().any(|a| a == "--test");
+
+    let host_cpus = hns_par::available_jobs();
+    println!("engine_microbench (smoke={smoke}, host_cpus={host_cpus})");
+
+    let queue_pops = if smoke { 200_000 } else { 2_000_000 };
+    let queue_ops_per_sec = bench_event_queue(queue_pops);
+    println!("  event-queue churn: {queue_ops_per_sec:.0} pops/sec ({queue_pops} pops)");
+
+    let (warmup_ms, measure_ms) = if smoke { (5, 8) } else { (20, 30) };
+    let (events_per_sec, allocs_per_skb) = bench_engine(warmup_ms, measure_ms);
+    println!(
+        "  engine single-flow: {events_per_sec:.0} events/sec, {allocs_per_skb:.2} allocs/skb"
+    );
+
+    // Smoke mode keeps the sweep tiny (fig. 13's 3 points, jobs 2) but
+    // still drives the parallel path; the real run times the fig. 3e
+    // 24-point grid at jobs 1 vs 4.
+    let (points, par_jobs) = if smoke {
+        (figures::fig13_points(), 2)
+    } else {
+        (figures::fig03e_points(), 4)
+    };
+    let seq_secs = bench_sweep(1, &points);
+    let par_secs = bench_sweep(par_jobs, &points);
+    let speedup = seq_secs / par_secs;
+    println!(
+        "  sweep {}pts: jobs=1 {seq_secs:.3}s, jobs={par_jobs} {par_secs:.3}s ({speedup:.2}x)",
+        points.len()
+    );
+
+    if smoke {
+        println!("  smoke mode: not writing BENCH json");
+        return;
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_3.json");
+    let json = format!(
+        "{{\n  \"bench\": \"engine_microbench\",\n  \"pr\": 3,\n  \"host_cpus\": {host_cpus},\n  \
+         \"event_queue_pops_per_sec\": {queue_ops_per_sec:.0},\n  \
+         \"engine_events_per_sec\": {events_per_sec:.0},\n  \
+         \"allocs_per_skb\": {allocs_per_skb:.3},\n  \
+         \"sweep\": {{\n    \"figure\": \"fig03e\",\n    \"points\": {},\n    \
+         \"jobs1_secs\": {seq_secs:.3},\n    \"jobs{par_jobs}_secs\": {par_secs:.3},\n    \
+         \"speedup\": {speedup:.3}\n  }}\n}}\n",
+        points.len()
+    );
+    std::fs::write(path, json).expect("write BENCH_3.json");
+    println!("  wrote {path}");
+}

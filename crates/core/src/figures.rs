@@ -1,11 +1,22 @@
 //! Every table and figure of the paper's evaluation (§3), as runnable
 //! experiment sets. Each function returns the reports a bench/binary
 //! renders; EXPERIMENTS.md records paper-vs-measured for all of them.
+//!
+//! Figures are declared as data — a list of [`SweepPoint`]s — and
+//! executed by [`run_sweep`] on `hns-par`'s work-stealing thread pool.
+//! Every point is an independent, deterministic run (its own world, its
+//! own RNG seeds), and results come back in declared order, so sweep
+//! output is byte-identical whatever the job count. The pool size
+//! defaults to 1 and is set once at startup from the CLI's `--jobs`
+//! flag via [`set_jobs`]; library callers that want explicit control
+//! (tests, benches) use [`run_sweep_with`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use hns_metrics::Report;
 use hns_proto::cc::CcAlgo;
 use hns_stack::config::RcvBufPolicy;
-use hns_stack::OptLevel;
+use hns_stack::{OptLevel, SimConfig};
 
 use crate::experiment::{Experiment, ScenarioKind};
 use crate::Placement;
@@ -13,58 +24,184 @@ use crate::Placement;
 /// Flow counts the multi-flow figures sweep (paper: 1, 8, 16, 24).
 pub const FLOW_SWEEP: [u16; 4] = [1, 8, 16, 24];
 
-/// Fig. 3a-d: single flow under incremental optimizations.
-pub fn fig03_single_flow() -> Vec<Report> {
+/// Worker threads figure sweeps use (process-wide; see [`set_jobs`]).
+static JOBS: AtomicUsize = AtomicUsize::new(1);
+
+/// Set the sweep thread-pool size for all subsequent [`run_sweep`]
+/// calls. Clamped to at least 1. The CLI calls this once at startup
+/// from `--jobs`; output is identical for every value.
+pub fn set_jobs(jobs: usize) {
+    JOBS.store(jobs.max(1), Ordering::SeqCst);
+}
+
+/// Current sweep thread-pool size.
+pub fn jobs() -> usize {
+    JOBS.load(Ordering::SeqCst)
+}
+
+type ConfigureFn = Box<dyn Fn(&mut SimConfig) + Send + Sync>;
+
+/// One data-declared point of a figure sweep: a scenario plus the
+/// configuration delta and label that distinguish it from its neighbors.
+/// Building is cheap; all the cost is in [`SweepPoint::run`].
+pub struct SweepPoint {
+    /// Report label.
+    pub label: String,
+    /// Traffic pattern.
+    pub scenario: ScenarioKind,
+    level: Option<OptLevel>,
+    configure: Option<ConfigureFn>,
+}
+
+impl SweepPoint {
+    /// A point running `scenario` at the default configuration.
+    pub fn new(scenario: ScenarioKind, label: impl Into<String>) -> Self {
+        SweepPoint {
+            label: label.into(),
+            scenario,
+            level: None,
+            configure: None,
+        }
+    }
+
+    /// Run at one of the paper's incremental optimization levels.
+    pub fn at_level(mut self, level: OptLevel) -> Self {
+        self.level = Some(level);
+        self
+    }
+
+    /// Apply a configuration delta on top of the (possibly leveled)
+    /// defaults. The closure must be `Send + Sync`: sweep points are
+    /// shared with pool workers.
+    pub fn configure(mut self, f: impl Fn(&mut SimConfig) + Send + Sync + 'static) -> Self {
+        self.configure = Some(Box::new(f));
+        self
+    }
+
+    /// Materialize the [`Experiment`] this point declares.
+    pub fn build(&self) -> Experiment {
+        let mut e = Experiment::new(self.scenario);
+        if let Some(level) = self.level {
+            e = e.at_level(level);
+        }
+        if let Some(f) = &self.configure {
+            f(&mut e.cfg);
+        }
+        e.labeled(self.label.clone())
+    }
+
+    /// Build and run, returning the report.
+    pub fn run(&self) -> Report {
+        self.build().run()
+    }
+}
+
+/// Run a sweep on the process-wide pool size ([`jobs`]), results in
+/// declared order.
+pub fn run_sweep(points: &[SweepPoint]) -> Vec<Report> {
+    run_sweep_with(jobs(), points)
+}
+
+/// Run a sweep on an explicit pool size. `jobs <= 1` is the plain
+/// sequential loop; any other value produces byte-identical reports in
+/// the same order (each run owns its world and RNGs, and `map_ordered`
+/// collects by declared index).
+pub fn run_sweep_with(jobs: usize, points: &[SweepPoint]) -> Vec<Report> {
+    hns_par::map_ordered(jobs, points, |p| p.run())
+}
+
+/// Fig. 3a-d points: single flow under incremental optimizations.
+pub fn fig03_points() -> Vec<SweepPoint> {
     OptLevel::ALL
         .into_iter()
         .map(|level| {
-            Experiment::new(ScenarioKind::Single)
+            SweepPoint::new(ScenarioKind::Single, format!("single/{}", level.label()))
                 .at_level(level)
-                .labeled(format!("single/{}", level.label()))
-                .run()
         })
         .collect()
 }
 
-/// Fig. 3e: cache miss rate and throughput vs NIC ring size × TCP Rx
-/// buffer size. Returns `(ring, buffer_label, report)` rows.
-pub fn fig03e_ring_buffer() -> Vec<(u32, &'static str, Report)> {
-    let rings = [128u32, 256, 512, 1024, 2048, 4096];
-    let buffers: [(&str, Option<u64>); 4] = [
-        ("default", None),
-        ("3200KB", Some(3200 * 1024)),
-        ("6400KB", Some(6400 * 1024)),
-        ("12800KB", Some(12800 * 1024)),
-    ];
+/// Fig. 3a-d: single flow under incremental optimizations.
+pub fn fig03_single_flow() -> Vec<Report> {
+    run_sweep(&fig03_points())
+}
+
+/// Ring sizes × buffer sizes fig. 3e sweeps.
+const FIG03E_RINGS: [u32; 6] = [128, 256, 512, 1024, 2048, 4096];
+const FIG03E_BUFFERS: [(&str, Option<u64>); 4] = [
+    ("default", None),
+    ("3200KB", Some(3200 * 1024)),
+    ("6400KB", Some(6400 * 1024)),
+    ("12800KB", Some(12800 * 1024)),
+];
+
+/// Fig. 3e points: the full ring × buffer grid (24 runs), declared in
+/// row-major order matching [`fig03e_ring_buffer`]'s rows.
+pub fn fig03e_points() -> Vec<SweepPoint> {
     let mut out = Vec::new();
-    for ring in rings {
-        for (label, buf) in buffers {
-            let r = Experiment::new(ScenarioKind::Single)
-                .configure(|c| {
-                    c.stack.rx_descriptors = ring;
-                    if let Some(b) = buf {
-                        c.stack.rcvbuf = RcvBufPolicy::Fixed(b);
-                    }
-                })
-                .labeled(format!("ring{ring}/{label}"))
-                .run();
-            out.push((ring, label, r));
+    for ring in FIG03E_RINGS {
+        for (label, buf) in FIG03E_BUFFERS {
+            out.push(
+                SweepPoint::new(ScenarioKind::Single, format!("ring{ring}/{label}")).configure(
+                    move |c| {
+                        c.stack.rx_descriptors = ring;
+                        if let Some(b) = buf {
+                            c.stack.rcvbuf = RcvBufPolicy::Fixed(b);
+                        }
+                    },
+                ),
+            );
         }
     }
     out
 }
 
+/// Fig. 3e: cache miss rate and throughput vs NIC ring size × TCP Rx
+/// buffer size. Returns `(ring, buffer_label, report)` rows.
+pub fn fig03e_ring_buffer() -> Vec<(u32, &'static str, Report)> {
+    let meta = FIG03E_RINGS.into_iter().flat_map(|ring| {
+        FIG03E_BUFFERS
+            .into_iter()
+            .map(move |(label, _)| (ring, label))
+    });
+    meta.zip(run_sweep(&fig03e_points()))
+        .map(|((ring, label), r)| (ring, label, r))
+        .collect()
+}
+
+/// Rx buffer sizes (KB) fig. 3f sweeps.
+const FIG03F_BUFFERS_KB: [u64; 8] = [100, 200, 400, 800, 1600, 3200, 6400, 12800];
+
+/// Fig. 3f points: one per Rx buffer size.
+pub fn fig03f_points() -> Vec<SweepPoint> {
+    FIG03F_BUFFERS_KB
+        .into_iter()
+        .map(|kb| {
+            SweepPoint::new(ScenarioKind::Single, format!("rcvbuf/{kb}KB"))
+                .configure(move |c| c.stack.rcvbuf = RcvBufPolicy::Fixed(kb * 1024))
+        })
+        .collect()
+}
+
 /// Fig. 3f: NAPI→start-of-copy latency vs TCP Rx buffer size.
 /// Returns `(buffer_kb, report)` rows.
 pub fn fig03f_latency() -> Vec<(u64, Report)> {
-    [100u64, 200, 400, 800, 1600, 3200, 6400, 12800]
+    FIG03F_BUFFERS_KB
         .into_iter()
-        .map(|kb| {
-            let r = Experiment::new(ScenarioKind::Single)
-                .configure(|c| c.stack.rcvbuf = RcvBufPolicy::Fixed(kb * 1024))
-                .labeled(format!("rcvbuf/{kb}KB"))
-                .run();
-            (kb, r)
+        .zip(run_sweep(&fig03f_points()))
+        .collect()
+}
+
+/// Fig. 3g points: traced one-to-one runs over the flow sweep. These
+/// carry `cfg.trace` enabled, so they double as the parallel-determinism
+/// check for traced runs.
+pub fn fig03g_points() -> Vec<SweepPoint> {
+    FLOW_SWEEP
+        .into_iter()
+        .map(|flows| {
+            let kind = ScenarioKind::OneToOne { flows };
+            SweepPoint::new(kind, format!("latency/{}", kind.label()))
+                .configure(|c| c.trace = hns_trace::TraceConfig::enabled())
         })
         .collect()
 }
@@ -78,27 +215,21 @@ pub fn fig03f_latency() -> Vec<(u64, Report)> {
 pub fn fig03g_latency_breakdown() -> Vec<(u16, Report)> {
     FLOW_SWEEP
         .into_iter()
-        .map(|flows| {
-            let kind = ScenarioKind::OneToOne { flows };
-            let r = Experiment::new(kind)
-                .configure(|c| c.trace = hns_trace::TraceConfig::enabled())
-                .labeled(format!("latency/{}", kind.label()))
-                .run();
-            (flows, r)
-        })
+        .zip(run_sweep(&fig03g_points()))
         .collect()
+}
+
+/// Fig. 4 points: single flow, NIC-local vs NIC-remote NUMA node.
+pub fn fig04_points() -> Vec<SweepPoint> {
+    vec![
+        SweepPoint::new(ScenarioKind::Single, "nic-local"),
+        SweepPoint::new(ScenarioKind::SingleNicRemote, "nic-remote"),
+    ]
 }
 
 /// Fig. 4: single flow on NIC-local vs NIC-remote NUMA node.
 pub fn fig04_numa() -> Vec<Report> {
-    vec![
-        Experiment::new(ScenarioKind::Single)
-            .labeled("nic-local")
-            .run(),
-        Experiment::new(ScenarioKind::SingleNicRemote)
-            .labeled("nic-remote")
-            .run(),
-    ]
+    run_sweep(&fig04_points())
 }
 
 /// Fig. 5: one-to-one. Returns `(flows, level, report)` for the
@@ -123,34 +254,83 @@ pub fn fig08_all_to_all() -> Vec<(u16, OptLevel, Report)> {
     sweep_levels(|x| ScenarioKind::AllToAll { x })
 }
 
-fn sweep_levels(mk: impl Fn(u16) -> ScenarioKind) -> Vec<(u16, OptLevel, Report)> {
+/// The flow × optimization-level grid figs. 5–8 share.
+fn level_sweep_points(mk: impl Fn(u16) -> ScenarioKind) -> Vec<SweepPoint> {
     let mut out = Vec::new();
     for flows in FLOW_SWEEP {
         for level in OptLevel::ALL {
             let kind = mk(flows);
-            let r = Experiment::new(kind)
-                .at_level(level)
-                .labeled(format!("{}/{}", kind.label(), level.label()))
-                .run();
-            out.push((flows, level, r));
+            out.push(
+                SweepPoint::new(kind, format!("{}/{}", kind.label(), level.label()))
+                    .at_level(level),
+            );
         }
     }
     out
 }
 
+fn sweep_levels(mk: impl Fn(u16) -> ScenarioKind) -> Vec<(u16, OptLevel, Report)> {
+    let meta = FLOW_SWEEP
+        .into_iter()
+        .flat_map(|flows| OptLevel::ALL.into_iter().map(move |level| (flows, level)));
+    meta.zip(run_sweep(&level_sweep_points(mk)))
+        .map(|((flows, level), r)| (flows, level, r))
+        .collect()
+}
+
+/// Loss rates fig. 9 sweeps.
+const FIG09_LOSS: [f64; 4] = [0.0, 1.5e-4, 1.5e-3, 1.5e-2];
+
+/// Fig. 9 points: one per in-network loss rate.
+pub fn fig09_points() -> Vec<SweepPoint> {
+    FIG09_LOSS
+        .into_iter()
+        .map(|loss| {
+            SweepPoint::new(ScenarioKind::Single, format!("loss/{loss}"))
+                .configure(move |c| c.link.loss = hns_faults::LossModel::uniform(loss))
+        })
+        .collect()
+}
+
 /// Fig. 9: single flow under in-network loss. Returns
 /// `(loss_rate, report)` rows at all optimizations.
 pub fn fig09_loss() -> Vec<(f64, Report)> {
-    [0.0, 1.5e-4, 1.5e-3, 1.5e-2]
+    FIG09_LOSS
         .into_iter()
-        .map(|loss| {
-            let r = Experiment::new(ScenarioKind::Single)
-                .configure(|c| c.link.loss = hns_faults::LossModel::uniform(loss))
-                .labeled(format!("loss/{loss}"))
-                .run();
-            (loss, r)
-        })
+        .zip(run_sweep(&fig09_points()))
         .collect()
+}
+
+/// Fig. 9 extension points: bursty loss then one-shot link flaps.
+pub fn fig09b_points() -> Vec<SweepPoint> {
+    use hns_faults::{LossModel, PhaseSchedule};
+    use hns_sim::Duration;
+
+    let mut out = Vec::new();
+    for mean_burst in [1.0, 8.0, 32.0] {
+        out.push(
+            SweepPoint::new(
+                ScenarioKind::Single,
+                format!("burst-loss/1.5e-3x{mean_burst:.0}"),
+            )
+            .configure(move |c| c.link.loss = LossModel::bursty(1.5e-3, mean_burst)),
+        );
+    }
+    for flap_us in [250u64, 1000, 4000] {
+        out.push(
+            SweepPoint::new(ScenarioKind::Single, format!("flap/{flap_us}us")).configure(
+                move |c| {
+                    // One outage in the middle of the default 30ms measurement
+                    // window (warmup is 20ms).
+                    c.link.flap = Some(PhaseSchedule::once(
+                        Duration::from_millis(30),
+                        Duration::from_micros(flap_us),
+                    ));
+                },
+            ),
+        );
+    }
+    out
 }
 
 /// Fig. 9 extension: resilience under *bursty* loss and link flaps.
@@ -163,122 +343,131 @@ pub fn fig09_loss() -> Vec<(f64, Report)> {
 /// drop taxonomy attributes every lost frame, so the rows show both the
 /// throughput cost of burstiness and where the losses landed.
 pub fn fig09b_resilience() -> Vec<(String, Report)> {
-    use hns_faults::{LossModel, PhaseSchedule};
-    use hns_sim::Duration;
+    let points = fig09b_points();
+    let labels: Vec<String> = points.iter().map(|p| p.label.clone()).collect();
+    labels.into_iter().zip(run_sweep(&points)).collect()
+}
 
-    let mut out = Vec::new();
-    for mean_burst in [1.0, 8.0, 32.0] {
-        let label = format!("burst-loss/1.5e-3x{mean_burst:.0}");
-        let r = Experiment::new(ScenarioKind::Single)
-            .configure(|c| c.link.loss = LossModel::bursty(1.5e-3, mean_burst))
-            .labeled(label.clone())
-            .run();
-        out.push((label, r));
-    }
-    for flap_us in [250u64, 1000, 4000] {
-        let label = format!("flap/{flap_us}us");
-        let r = Experiment::new(ScenarioKind::Single)
-            .configure(|c| {
-                // One outage in the middle of the default 30ms measurement
-                // window (warmup is 20ms).
-                c.link.flap = Some(PhaseSchedule::once(
-                    Duration::from_millis(30),
-                    Duration::from_micros(flap_us),
-                ));
-            })
-            .labeled(label.clone())
-            .run();
-        out.push((label, r));
-    }
-    out
+/// Request sizes (KB) fig. 10a/b sweeps.
+const FIG10_SIZES_KB: [u32; 4] = [4, 16, 32, 64];
+
+/// Fig. 10a/b points: one per request size.
+pub fn fig10_points() -> Vec<SweepPoint> {
+    FIG10_SIZES_KB
+        .into_iter()
+        .map(|kb| {
+            SweepPoint::new(
+                ScenarioKind::RpcIncast {
+                    clients: 16,
+                    size: kb * 1024,
+                    server: Placement::NicLocalFirst,
+                },
+                format!("rpc/{kb}KB"),
+            )
+        })
+        .collect()
 }
 
 /// Fig. 10a/b: 16:1 RPC incast across request sizes.
 pub fn fig10_short_flows() -> Vec<(u32, Report)> {
-    [4u32, 16, 32, 64]
+    FIG10_SIZES_KB
         .into_iter()
-        .map(|kb| {
-            let r = Experiment::new(ScenarioKind::RpcIncast {
-                clients: 16,
-                size: kb * 1024,
-                server: Placement::NicLocalFirst,
-            })
-            .labeled(format!("rpc/{kb}KB"))
-            .run();
-            (kb, r)
+        .zip(run_sweep(&fig10_points()))
+        .collect()
+}
+
+/// Fig. 10c points: 4KB RPC server NIC-local vs NIC-remote.
+pub fn fig10c_points() -> Vec<SweepPoint> {
+    [Placement::NicLocalFirst, Placement::NicRemote]
+        .into_iter()
+        .map(|server| {
+            SweepPoint::new(
+                ScenarioKind::RpcIncast {
+                    clients: 16,
+                    size: 4096,
+                    server,
+                },
+                match server {
+                    Placement::NicLocalFirst => "rpc-4KB/nic-local",
+                    Placement::NicRemote => "rpc-4KB/nic-remote",
+                },
+            )
         })
         .collect()
 }
 
 /// Fig. 10c: 4KB RPC server on NIC-local vs NIC-remote NUMA node.
 pub fn fig10c_rpc_numa() -> Vec<Report> {
-    [Placement::NicLocalFirst, Placement::NicRemote]
+    run_sweep(&fig10c_points())
+}
+
+/// Short-flow counts fig. 11 sweeps.
+const FIG11_SHORTS: [u16; 4] = [0, 1, 4, 16];
+
+/// Fig. 11 points: one long flow + n short flows.
+pub fn fig11_points() -> Vec<SweepPoint> {
+    FIG11_SHORTS
         .into_iter()
-        .map(|server| {
-            Experiment::new(ScenarioKind::RpcIncast {
-                clients: 16,
-                size: 4096,
-                server,
-            })
-            .labeled(match server {
-                Placement::NicLocalFirst => "rpc-4KB/nic-local",
-                Placement::NicRemote => "rpc-4KB/nic-remote",
-            })
-            .run()
+        .map(|shorts| {
+            let kind = ScenarioKind::Mixed { shorts, size: 4096 };
+            SweepPoint::new(kind, kind.label())
         })
         .collect()
 }
 
 /// Fig. 11: one long flow + n short flows on a single core pair.
 pub fn fig11_mixed() -> Vec<(u16, Report)> {
-    [0u16, 1, 4, 16]
+    FIG11_SHORTS
         .into_iter()
-        .map(|shorts| {
-            let r = Experiment::new(ScenarioKind::Mixed { shorts, size: 4096 }).run();
-            (shorts, r)
-        })
+        .zip(run_sweep(&fig11_points()))
         .collect()
+}
+
+/// Fig. 12 points: DCA disabled and IOMMU enabled vs the default.
+pub fn fig12_points() -> Vec<SweepPoint> {
+    vec![
+        SweepPoint::new(ScenarioKind::Single, "default"),
+        SweepPoint::new(ScenarioKind::Single, "dca-disabled").configure(|c| c.stack.dca = false),
+        SweepPoint::new(ScenarioKind::Single, "iommu-enabled").configure(|c| c.stack.iommu = true),
+    ]
 }
 
 /// Fig. 12: DCA disabled and IOMMU enabled vs the default, single flow.
 pub fn fig12_dca_iommu() -> Vec<Report> {
-    vec![
-        Experiment::new(ScenarioKind::Single)
-            .labeled("default")
-            .run(),
-        Experiment::new(ScenarioKind::Single)
-            .configure(|c| c.stack.dca = false)
-            .labeled("dca-disabled")
-            .run(),
-        Experiment::new(ScenarioKind::Single)
-            .configure(|c| c.stack.iommu = true)
-            .labeled("iommu-enabled")
-            .run(),
-    ]
+    run_sweep(&fig12_points())
+}
+
+/// Congestion-control algorithms fig. 13 compares.
+const FIG13_CCS: [(&str, CcAlgo); 3] = [
+    ("cubic", CcAlgo::Cubic),
+    ("bbr", CcAlgo::Bbr),
+    ("dctcp", CcAlgo::Dctcp),
+];
+
+/// Fig. 13 points: one per congestion-control algorithm.
+pub fn fig13_points() -> Vec<SweepPoint> {
+    FIG13_CCS
+        .into_iter()
+        .map(|(name, cc)| {
+            SweepPoint::new(ScenarioKind::Single, format!("cc/{name}"))
+                .configure(move |c| c.stack.cc = cc)
+        })
+        .collect()
 }
 
 /// Fig. 13: congestion control comparison, single flow.
 pub fn fig13_congestion_control() -> Vec<(&'static str, Report)> {
-    [
-        ("cubic", CcAlgo::Cubic),
-        ("bbr", CcAlgo::Bbr),
-        ("dctcp", CcAlgo::Dctcp),
-    ]
-    .into_iter()
-    .map(|(name, cc)| {
-        let r = Experiment::new(ScenarioKind::Single)
-            .configure(|c| c.stack.cc = cc)
-            .labeled(format!("cc/{name}"))
-            .run();
-        (name, r)
-    })
-    .collect()
+    FIG13_CCS
+        .into_iter()
+        .map(|(name, _)| name)
+        .zip(run_sweep(&fig13_points()))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     // Figure functions are exercised end-to-end by the integration tests
-    // and benches; here we only check cheap structural properties of one.
+    // and benches; here we only check cheap structural properties.
     use super::*;
 
     #[test]
@@ -292,5 +481,45 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].label, "nic-local");
         assert_eq!(rows[1].label, "nic-remote");
+    }
+
+    #[test]
+    fn point_grids_have_expected_shapes() {
+        assert_eq!(fig03_points().len(), OptLevel::ALL.len());
+        assert_eq!(fig03e_points().len(), 24);
+        assert_eq!(fig03e_points()[0].label, "ring128/default");
+        assert_eq!(fig03e_points()[23].label, "ring4096/12800KB");
+        assert_eq!(fig03f_points().len(), 8);
+        assert_eq!(fig03g_points().len(), FLOW_SWEEP.len());
+        assert_eq!(
+            level_sweep_points(|flows| ScenarioKind::OneToOne { flows }).len(),
+            FLOW_SWEEP.len() * OptLevel::ALL.len()
+        );
+        assert_eq!(fig09_points().len(), 4);
+        assert_eq!(fig09b_points().len(), 6);
+        assert_eq!(fig10_points().len(), 4);
+        assert_eq!(fig10c_points().len(), 2);
+        assert_eq!(fig11_points().len(), 4);
+        assert_eq!(fig12_points().len(), 3);
+        assert_eq!(fig13_points().len(), 3);
+    }
+
+    #[test]
+    fn sweep_point_build_applies_level_and_delta() {
+        let p = SweepPoint::new(ScenarioKind::Single, "x")
+            .at_level(OptLevel::TsoGro)
+            .configure(|c| c.stack.rx_descriptors = 77);
+        let e = p.build();
+        assert_eq!(e.cfg.stack.rx_descriptors, 77);
+        assert_eq!(e.label.as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn set_jobs_clamps_to_one() {
+        set_jobs(0);
+        assert_eq!(jobs(), 1);
+        set_jobs(4);
+        assert_eq!(jobs(), 4);
+        set_jobs(1);
     }
 }

@@ -1,0 +1,220 @@
+//! # hns-par — deterministic parallel sweeps
+//!
+//! Every paper figure is a sweep of *independent, deterministic*
+//! experiment runs: each run builds its own world, seeds its own RNGs,
+//! and shares no state with its neighbors. That independence makes the
+//! sweep embarrassingly parallel — and because each run is
+//! bit-reproducible on its own, executing the points on a thread pool
+//! and collecting the results *in declared order* yields output
+//! byte-identical to the sequential run, at a fraction of the
+//! wall-clock.
+//!
+//! [`map_ordered`] is the whole API: a work-stealing ordered parallel
+//! map over a slice. Work distribution is block-cyclic — each worker
+//! starts on its own contiguous block of indices and steals from the
+//! *tail* of the fullest victim when its block drains — so long-running
+//! points at one end of a sweep (e.g. the 24-flow end of a flow sweep)
+//! do not serialize the pool.
+//!
+//! The scheduling order in which points *execute* is nondeterministic;
+//! the order in which results are *returned* never is. Nothing here is
+//! async and nothing depends on crates outside `std`: workers are plain
+//! scoped OS threads, sized by [`map_ordered`]'s `jobs` argument.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Number of worker threads the host can usefully run, i.e.
+/// `std::thread::available_parallelism()` with a fallback of 1. The CLI
+/// uses this for `--jobs auto`.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Apply `f` to every item of `items` using up to `jobs` OS threads and
+/// return the results in item order.
+///
+/// Guarantees:
+///
+/// * Each item is processed exactly once.
+/// * `out[i] == f(&items[i])` — results land in declared order no matter
+///   which worker ran them, so for a pure `f` the output is identical to
+///   `items.iter().map(f).collect()`.
+/// * `jobs <= 1` (or a single item) short-circuits to the plain
+///   sequential map on the calling thread — zero threading overhead and
+///   trivially identical output, which is what the determinism tests
+///   compare the parallel path against.
+/// * A panic inside `f` is propagated to the caller after the pool winds
+///   down (no silently lost results).
+///
+/// `f` must be safe to call concurrently from multiple threads (`Sync`);
+/// experiment runs qualify because every run owns its world.
+pub fn map_ordered<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs.max(1).min(n);
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    // Block distribution: worker w owns indices [starts[w], starts[w+1]).
+    // Blocks keep neighboring (similarly sized) sweep points on one
+    // worker; stealing rebalances when blocks turn out uneven.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            let lo = w * n / workers;
+            let hi = (w + 1) * n / workers;
+            Mutex::new((lo..hi).collect())
+        })
+        .collect();
+
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queues = &queues;
+                let f = &f;
+                s.spawn(move || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    while let Some(i) = next_index(queues, w) {
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            // A panicking worker reaches the caller here; the remaining
+            // joins (and the scope itself) still wind the pool down.
+            match h.join() {
+                Ok(pairs) => {
+                    for (i, r) in pairs {
+                        debug_assert!(slots[i].is_none(), "item {i} ran twice");
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|o| o.expect("every item executed exactly once"))
+        .collect()
+}
+
+/// Pop the next index for worker `w`: front of its own deque, else steal
+/// from the *back* of the fullest victim. Returns `None` when every
+/// queue is empty (pool drained — items are claimed under a lock and
+/// never returned, so emptiness is final).
+fn next_index(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(i) = queues[w].lock().expect("sweep worker panicked").pop_front() {
+        return Some(i);
+    }
+    loop {
+        // Pick the victim with the most remaining work, then steal one
+        // index from its tail (the classic Cilk/Chase-Lev discipline:
+        // owners take the front, thieves the back).
+        let victim = (0..queues.len())
+            .filter(|&v| v != w)
+            .map(|v| (queues[v].lock().expect("sweep worker panicked").len(), v))
+            .max()
+            .filter(|&(len, _)| len > 0)
+            .map(|(_, v)| v)?;
+        // The victim may have drained between the scan and this lock;
+        // rescan rather than give up, in case others still hold work.
+        if let Some(i) = queues[victim]
+            .lock()
+            .expect("sweep worker panicked")
+            .pop_back()
+        {
+            return Some(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn matches_sequential_map() {
+        let items: Vec<u64> = (0..100).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let par = map_ordered(jobs, &items, |x| x * x);
+            assert_eq!(par, seq, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn preserves_order_under_skewed_durations() {
+        // Early items sleep longest so late items finish first; results
+        // must still come back in declared order.
+        let items: Vec<u64> = (0..16).collect();
+        let out = map_ordered(4, &items, |&x| {
+            std::thread::sleep(std::time::Duration::from_millis(16 - x));
+            x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counts: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..97).collect();
+        map_ordered(8, &items, |&i| counts[i].fetch_add(1, Ordering::SeqCst));
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn stealing_rebalances_a_skewed_block() {
+        // All the work lands in worker 0's block; with 4 workers the
+        // total must still be far below the sequential sum of sleeps.
+        let items: Vec<u64> = (0..12).collect();
+        let t0 = std::time::Instant::now();
+        let out = map_ordered(4, &items, |&x| {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            x
+        });
+        let elapsed = t0.elapsed();
+        assert_eq!(out, items);
+        // Sequential would be >= 120ms even on one core; stealing should
+        // not make it *worse* than sequential plus scheduling slop.
+        assert!(elapsed.as_millis() < 400, "took {elapsed:?}");
+    }
+
+    #[test]
+    fn handles_degenerate_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map_ordered(4, &empty, |x| *x).is_empty());
+        assert_eq!(map_ordered(0, &[7], |x| *x), vec![7]);
+        assert_eq!(map_ordered(16, &[1, 2], |x| x + 1), vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..8).collect();
+        map_ordered(4, &items, |&x| {
+            if x == 5 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn available_jobs_is_positive() {
+        assert!(available_jobs() >= 1);
+    }
+}

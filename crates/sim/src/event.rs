@@ -7,22 +7,47 @@
 //! keeps runs deterministic regardless of heap internals.
 //!
 //! Events also support *cancellation by token*: callers keep the
-//! [`EventToken`] returned by [`EventQueue::schedule`] and may lazily cancel
-//! it (e.g. a retransmission timer disarmed by an ACK). Cancelled events are
-//! skipped on pop.
+//! [`EventToken`] returned by [`EventQueue::schedule`] and may cancel it
+//! (e.g. a retransmission timer disarmed by an ACK).
+//!
+//! # Cancellation without the hot-path probe
+//!
+//! Cancellation is generation-stamped: every scheduled event carries a
+//! `(slot, generation)` pair into the heap, and a side table records each
+//! slot's current generation. Cancelling (or firing) an event bumps its
+//! slot's generation, so liveness is a single indexed compare — no hash-set
+//! probe on the pop path, which the sweep executor multiplies across every
+//! parallel run. Slots are freelisted and reused, so the table stays sized
+//! to the maximum number of *outstanding* events, not the run length.
+//!
+//! Cancelled events that sink below the heap head are popped lazily, but
+//! the head itself is pruned eagerly (on `cancel` and after each `pop`), so
+//! the queue upholds the invariant *the heap head is never cancelled*. That
+//! is what lets [`EventQueue::peek_time`] take `&self`, and it keeps
+//! [`EventQueue::len`] exact: a token cancelled after its event fired is a
+//! generation mismatch and a no-op, never a phantom entry.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
-/// Opaque handle identifying a scheduled event, for cancellation.
+/// Opaque handle identifying a scheduled event, for cancellation. Carries
+/// the event's slot index and the slot generation at scheduling time; the
+/// token is *dead* (cancel is a no-op) once the event fires or is
+/// cancelled, because either bumps the slot generation.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventToken(u64);
+pub struct EventToken {
+    slot: u32,
+    generation: u64,
+}
 
 impl EventToken {
     /// A token that never matches a real event.
-    pub const NONE: EventToken = EventToken(u64::MAX);
+    pub const NONE: EventToken = EventToken {
+        slot: u32::MAX,
+        generation: u64::MAX,
+    };
 }
 
 /// An event with its scheduled time and FIFO tie-break sequence.
@@ -31,7 +56,8 @@ pub struct ScheduledEvent<E> {
     /// When the event fires.
     pub time: SimTime,
     seq: u64,
-    cancelled: bool,
+    slot: u32,
+    generation: u64,
     /// The payload.
     pub event: E,
 }
@@ -65,10 +91,14 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<ScheduledEvent<E>>,
     next_seq: u64,
     now: SimTime,
-    /// Tokens cancelled before their event popped. Kept sorted-small via
-    /// retain-on-pop; in practice this set stays tiny because timers are
-    /// cancelled close to their firing time.
-    cancelled: std::collections::HashSet<u64>,
+    /// Current generation of each slot. An event in the heap is live iff
+    /// its stamped generation equals its slot's entry here.
+    generations: Vec<u64>,
+    /// Slots whose event has fired or been cancelled, available for reuse.
+    free_slots: Vec<u32>,
+    /// Cancelled events still physically in the heap (below the head).
+    /// `len()` subtracts this, so the count is exact at all times.
+    cancelled_in_heap: usize,
     popped: u64,
 }
 
@@ -85,7 +115,9 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
-            cancelled: std::collections::HashSet::new(),
+            generations: Vec::new(),
+            free_slots: Vec::new(),
+            cancelled_in_heap: 0,
             popped: 0,
         }
     }
@@ -97,11 +129,10 @@ impl<E> EventQueue<E> {
         self.now
     }
 
-    /// Number of pending (non-cancelled) events. Saturating: a token
-    /// cancelled after its event already fired sits in the cancelled set
-    /// until swept, briefly overcounting it.
+    /// Number of pending (non-cancelled) events. Exact: cancelling an
+    /// already-fired token is a generation mismatch and changes nothing.
     pub fn len(&self) -> usize {
-        self.heap.len().saturating_sub(self.cancelled.len())
+        self.heap.len() - self.cancelled_in_heap
     }
 
     /// True if no events are pending.
@@ -127,13 +158,22 @@ impl<E> EventQueue<E> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                self.generations.push(0);
+                (self.generations.len() - 1) as u32
+            }
+        };
+        let generation = self.generations[slot as usize];
         self.heap.push(ScheduledEvent {
             time: at,
             seq,
-            cancelled: false,
+            slot,
+            generation,
             event,
         });
-        EventToken(seq)
+        EventToken { slot, generation }
     }
 
     /// Schedule `event` after a delay relative to `now`.
@@ -141,41 +181,75 @@ impl<E> EventQueue<E> {
         self.schedule(self.now + delay, event)
     }
 
-    /// Lazily cancel a previously scheduled event. Safe to call with a token
-    /// that has already fired (no effect) or [`EventToken::NONE`].
+    /// Cancel a previously scheduled event. Safe to call with a token that
+    /// has already fired or been cancelled (generation mismatch, no effect)
+    /// or with [`EventToken::NONE`].
     pub fn cancel(&mut self, token: EventToken) {
-        if token != EventToken::NONE && token.0 < self.next_seq {
-            self.cancelled.insert(token.0);
+        let s = token.slot as usize;
+        if s >= self.generations.len() || self.generations[s] != token.generation {
+            return; // NONE, already fired, or already cancelled
+        }
+        // Bump the generation so the heap entry reads as dead, and free the
+        // slot immediately: a reusing event gets the bumped generation, so
+        // the stale heap entry can never be mistaken for it.
+        self.generations[s] = self.generations[s].wrapping_add(1);
+        self.free_slots.push(token.slot);
+        self.cancelled_in_heap += 1;
+        self.prune_cancelled_head();
+    }
+
+    /// True iff the event stamped `(slot, generation)` has neither fired
+    /// nor been cancelled.
+    #[inline]
+    fn is_live(&self, slot: u32, generation: u64) -> bool {
+        self.generations[slot as usize] == generation
+    }
+
+    /// Restore the invariant that the heap head is live, dropping any
+    /// cancelled events that surfaced. Amortized O(1): each cancelled
+    /// event is popped exactly once.
+    fn prune_cancelled_head(&mut self) {
+        while let Some(head) = self.heap.peek() {
+            if self.is_live(head.slot, head.generation) {
+                break;
+            }
+            self.heap.pop();
+            self.cancelled_in_heap -= 1;
         }
     }
 
     /// Pop the earliest pending event, advancing `now` to its timestamp.
     /// Returns `None` when the queue is exhausted.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        // The head-liveness invariant means the first pop is the answer;
+        // the loop is defense in depth (and self-healing in release).
         while let Some(ev) = self.heap.pop() {
-            if ev.cancelled || self.cancelled.remove(&ev.seq) {
+            if !self.is_live(ev.slot, ev.generation) {
+                debug_assert!(false, "cancelled event at heap head");
+                self.cancelled_in_heap -= 1;
                 continue;
             }
             debug_assert!(ev.time >= self.now, "time went backwards");
+            // Retire the slot: kill the token (late cancels become
+            // mismatches) and recycle it.
+            self.generations[ev.slot as usize] = self.generations[ev.slot as usize].wrapping_add(1);
+            self.free_slots.push(ev.slot);
             self.now = ev.time;
             self.popped += 1;
+            self.prune_cancelled_head();
             return Some((ev.time, ev.event));
         }
         None
     }
 
-    /// Peek at the timestamp of the next pending event without popping it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Drain cancelled heads first so the answer is accurate.
-        while let Some(head) = self.heap.peek() {
-            if head.cancelled || self.cancelled.contains(&head.seq) {
-                let ev = self.heap.pop().expect("peeked");
-                self.cancelled.remove(&ev.seq);
-            } else {
-                return Some(head.time);
-            }
-        }
-        None
+    /// Timestamp of the next pending event without popping it. `&self`:
+    /// the head is never cancelled (pruned eagerly on `cancel`/`pop`), so
+    /// no draining is needed to answer accurately.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|head| {
+            debug_assert!(self.is_live(head.slot, head.generation));
+            head.time
+        })
     }
 }
 
@@ -243,11 +317,42 @@ mod tests {
     }
 
     #[test]
+    fn cancel_fired_token_keeps_len_exact() {
+        // The old HashSet design overcounted here: a token cancelled after
+        // its event fired sat in the cancelled set forever.
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), ());
+        q.schedule(SimTime::from_nanos(2), ());
+        assert!(q.pop().is_some());
+        q.cancel(a); // fired; must not disturb the count
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        assert!(q.pop().is_some());
+        assert!(q.is_empty());
+        q.cancel(a); // double-cancel of a dead token: still a no-op
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
     fn cancel_none_is_noop() {
         let mut q: EventQueue<u8> = EventQueue::new();
         q.cancel(EventToken::NONE);
         q.schedule(SimTime::from_nanos(1), 7);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn slot_reuse_does_not_resurrect_cancelled_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(5), "old");
+        q.cancel(a);
+        // Reuses the slot a freed; its generation was bumped, so the new
+        // token must be distinct and the old event must stay dead.
+        let b = q.schedule(SimTime::from_nanos(1), "new");
+        assert_ne!(a, b);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("new"));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]
@@ -265,7 +370,23 @@ mod tests {
         let a = q.schedule(SimTime::from_nanos(1), ());
         q.schedule(SimTime::from_nanos(2), ());
         q.cancel(a);
+        // peek_time is &self now: the cancelled head was pruned eagerly.
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(2)));
+    }
+
+    #[test]
+    fn peek_time_sees_buried_cancellation() {
+        // Cancel an event that is NOT the head; it surfaces only after the
+        // head pops, and the post-pop prune must keep peek_time accurate.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(1), "head");
+        let buried = q.schedule(SimTime::from_nanos(2), "buried");
+        q.schedule(SimTime::from_nanos(3), "tail");
+        q.cancel(buried);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(1)));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("head"));
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(3)));
+        assert_eq!(q.len(), 1);
     }
 
     #[test]
@@ -277,5 +398,39 @@ mod tests {
         q.cancel(t);
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn heavy_cancel_churn_stays_consistent() {
+        // Timer-like workload: schedule, cancel half, fire the rest, reuse
+        // slots continuously. len() must track exactly throughout.
+        let mut q = EventQueue::new();
+        let mut live = 0usize;
+        let mut tokens = Vec::new();
+        for round in 0u64..50 {
+            for i in 0..20 {
+                let tok = q.schedule(SimTime::from_nanos(round * 100 + i + 1), (round, i));
+                tokens.push(tok);
+                live += 1;
+            }
+            // Cancel every other token from this round.
+            for tok in tokens.drain(..).step_by(2) {
+                q.cancel(tok);
+                live -= 1;
+            }
+            assert_eq!(q.len(), live);
+            // Fire half of what remains.
+            for _ in 0..5 {
+                if q.pop().is_some() {
+                    live -= 1;
+                }
+            }
+            assert_eq!(q.len(), live);
+        }
+        while q.pop().is_some() {
+            live -= 1;
+        }
+        assert_eq!(live, 0);
+        assert!(q.is_empty());
     }
 }

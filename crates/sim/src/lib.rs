@@ -12,9 +12,12 @@
 //! * [`stats`] — streaming counters, mean/variance accumulators, and
 //!   fixed-resolution histograms used to build the paper's figures.
 //!
-//! The engine is intentionally single-threaded: the paper's experiments are
-//! about *modeled* CPU parallelism (simulated cores), not host parallelism,
-//! and single-threaded execution keeps every run exactly reproducible.
+//! Each *run* of the engine is intentionally single-threaded: the paper's
+//! experiments are about *modeled* CPU parallelism (simulated cores), not
+//! host parallelism, and single-threaded execution keeps every run exactly
+//! reproducible. Host parallelism lives one level up — `hns-par` executes
+//! independent runs of a figure sweep concurrently, which preserves that
+//! reproducibility because no engine state is shared between runs.
 
 pub mod event;
 pub mod rng;

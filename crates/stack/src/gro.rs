@@ -12,7 +12,7 @@
 //! contiguous frames to merge, so upper layers see many small skbs — the
 //! paper's §3.5 and the Fig. 8c skb-size distribution.
 
-use crate::skb::RxSkb;
+use crate::skb::{FragPool, RxSkb};
 #[cfg(test)]
 use hns_proto::FlowId;
 
@@ -36,31 +36,37 @@ impl GroEngine {
         GroEngine::default()
     }
 
-    /// Offer one driver-built skb. Returns any aggregate(s) flushed by this
-    /// arrival (0, 1 or 2 — a gap flushes the old aggregate and an
-    /// overflow may flush another).
-    pub fn offer(&mut self, skb: RxSkb, max_aggregate: u32) -> Vec<RxSkb> {
-        let mut out = Vec::new();
+    /// Offer one driver-built skb, appending any aggregate(s) flushed by
+    /// this arrival to `out` (0, 1 or 2 — a gap flushes the old aggregate
+    /// and an overflow may flush another). A successful merge recycles the
+    /// absorbed skb's frag vector into `pool`; nothing here allocates.
+    pub fn offer_into(
+        &mut self,
+        skb: RxSkb,
+        max_aggregate: u32,
+        pool: &mut FragPool,
+        out: &mut Vec<RxSkb>,
+    ) {
         // Find this flow's slot.
         if let Some(idx) = self.table.iter().position(|s| s.flow == skb.flow) {
             let slot = &mut self.table[idx];
             match slot.try_merge(skb, max_aggregate) {
-                Ok(()) => {
+                Ok(spare) => {
+                    pool.put(spare);
                     self.merged += 1;
                     if self.table[idx].len >= max_aggregate {
                         self.flushed += 1;
                         out.push(self.table.remove(idx));
                     }
-                    return out;
                 }
                 Err(skb) => {
                     // Gap or size overflow: flush the old aggregate, start
                     // a new one.
                     self.flushed += 1;
                     out.push(std::mem::replace(&mut self.table[idx], skb));
-                    return out;
                 }
             }
+            return;
         }
         // New flow: claim a slot, evicting the oldest on overflow.
         if self.table.len() == GRO_TABLE_SLOTS {
@@ -68,13 +74,29 @@ impl GroEngine {
             out.push(self.table.remove(0));
         }
         self.table.push(skb);
+    }
+
+    /// Allocating convenience wrapper around [`GroEngine::offer_into`]
+    /// (tests and one-shot callers; the softirq hot path uses the `_into`
+    /// form with the world's pool and scratch buffer).
+    pub fn offer(&mut self, skb: RxSkb, max_aggregate: u32) -> Vec<RxSkb> {
+        let mut out = Vec::new();
+        let mut pool = FragPool::new();
+        self.offer_into(skb, max_aggregate, &mut pool, &mut out);
         out
     }
 
-    /// End of NAPI poll: flush everything.
-    pub fn flush_all(&mut self) -> Vec<RxSkb> {
+    /// End of NAPI poll: flush everything into `out`.
+    pub fn flush_all_into(&mut self, out: &mut Vec<RxSkb>) {
         self.flushed += self.table.len() as u64;
-        std::mem::take(&mut self.table)
+        out.append(&mut self.table);
+    }
+
+    /// Allocating convenience wrapper around [`GroEngine::flush_all_into`].
+    pub fn flush_all(&mut self) -> Vec<RxSkb> {
+        let mut out = Vec::new();
+        self.flush_all_into(&mut out);
+        out
     }
 
     /// Aggregates currently held.

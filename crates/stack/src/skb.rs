@@ -16,6 +16,52 @@ use hns_sim::SimTime;
 /// far over the limit — so at 1500B MTU aggregates cap out near 24KB.
 pub const MAX_SKB_FRAGS: usize = 17;
 
+/// Most retained frag vectors the pool will hold. Steady state needs one
+/// per in-flight skb (GRO table + socket queues); the cap only bounds the
+/// worst case after a queue-depth spike.
+const FRAG_POOL_CAP: usize = 4096;
+
+/// Freelist of frag vectors, the skb allocation cache.
+///
+/// Every received data frame builds an [`RxSkb`] whose only heap
+/// allocation is its `frags` vector; at line rate that is one allocation
+/// and one free per frame. The pool recycles the vectors instead —
+/// [`FragPool::get`] hands back a cleared vector with its capacity intact
+/// (grown once to [`MAX_SKB_FRAGS`] and never again), and consumed skbs
+/// return theirs via [`FragPool::put`]. The world owns one pool per run,
+/// so recycling is deterministic and free of synchronization.
+#[derive(Debug, Default)]
+pub struct FragPool {
+    free: Vec<Vec<FrameId>>,
+}
+
+impl FragPool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        FragPool::default()
+    }
+
+    /// A cleared frag vector, recycled when one is available.
+    pub fn get(&mut self) -> Vec<FrameId> {
+        self.free
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(MAX_SKB_FRAGS))
+    }
+
+    /// Return a vector to the pool (dropped if the pool is full).
+    pub fn put(&mut self, mut v: Vec<FrameId>) {
+        if self.free.len() < FRAG_POOL_CAP {
+            v.clear();
+            self.free.push(v);
+        }
+    }
+
+    /// Vectors currently cached (introspection for tests/benches).
+    pub fn cached(&self) -> usize {
+        self.free.len()
+    }
+}
+
 /// A receive-side skb, possibly GRO-aggregated from multiple frames.
 #[derive(Clone, Debug)]
 pub struct RxSkb {
@@ -63,6 +109,33 @@ impl RxSkb {
         }
     }
 
+    /// Like [`RxSkb::from_frame`] but recycling the frag vector from
+    /// `pool` — the allocation-free driver path.
+    #[allow(clippy::too_many_arguments)] // mirrors from_frame + pool
+    pub fn from_frame_pooled(
+        pool: &mut FragPool,
+        flow: FlowId,
+        seq: u64,
+        len: u32,
+        frame: FrameId,
+        napi_ts: SimTime,
+        ce: bool,
+        retransmit: bool,
+    ) -> Self {
+        let mut frags = pool.get();
+        frags.push(frame);
+        RxSkb {
+            flow,
+            seq,
+            len,
+            frags,
+            napi_ts,
+            ce,
+            retransmit,
+            trace: hns_proto::segment::NO_TRACE,
+        }
+    }
+
     /// Stream offset one past the last byte.
     pub fn end(&self) -> u64 {
         self.seq + self.len as u64
@@ -70,8 +143,9 @@ impl RxSkb {
 
     /// Try to append `other` (must be the immediately following bytes of
     /// the same flow and fit under `max_len`). Returns `other` back on
-    /// failure.
-    pub fn try_merge(&mut self, other: RxSkb, max_len: u32) -> Result<(), RxSkb> {
+    /// failure; on success returns `other`'s drained frag vector so the
+    /// caller can recycle it into a [`FragPool`].
+    pub fn try_merge(&mut self, mut other: RxSkb, max_len: u32) -> Result<Vec<FrameId>, RxSkb> {
         if other.flow != self.flow
             || other.seq != self.end()
             || self.len + other.len > max_len
@@ -80,10 +154,10 @@ impl RxSkb {
             return Err(other);
         }
         self.len += other.len;
-        self.frags.extend(other.frags);
+        self.frags.append(&mut other.frags);
         self.ce |= other.ce;
         self.retransmit |= other.retransmit;
-        Ok(())
+        Ok(other.frags)
     }
 }
 
@@ -152,6 +226,44 @@ mod tests {
         let mut a = skb(1, 0, 60_000);
         let b = skb(1, 60_000, 9_000);
         assert!(a.try_merge(b, 65_536).is_err(), "would exceed 64KB");
+    }
+
+    #[test]
+    fn merge_returns_recyclable_vec() {
+        let mut a = skb(1, 0, 9000);
+        let b = skb(1, 9000, 9000);
+        let spare = a.try_merge(b, 65536).unwrap();
+        assert!(spare.is_empty(), "merged skb's vec comes back drained");
+        assert!(spare.capacity() >= 1, "capacity survives for reuse");
+    }
+
+    #[test]
+    fn frag_pool_recycles_capacity() {
+        let mut pool = FragPool::new();
+        let mut v = pool.get();
+        assert_eq!(v.capacity(), MAX_SKB_FRAGS);
+        let mut arena = hns_mem::FrameArena::new();
+        v.push(arena.insert(100, 0));
+        let cap = v.capacity();
+        pool.put(v);
+        assert_eq!(pool.cached(), 1);
+        let v2 = pool.get();
+        assert!(v2.is_empty(), "recycled vectors come back cleared");
+        assert_eq!(v2.capacity(), cap);
+        assert_eq!(pool.cached(), 0);
+    }
+
+    #[test]
+    fn pooled_skb_matches_plain_constructor() {
+        let mut arena = hns_mem::FrameArena::new();
+        let f = arena.insert(9000, 0);
+        let mut pool = FragPool::new();
+        let a = RxSkb::from_frame(1, 0, 9000, f, SimTime::ZERO, false, false);
+        let b = RxSkb::from_frame_pooled(&mut pool, 1, 0, 9000, f, SimTime::ZERO, false, false);
+        assert_eq!(a.flow, b.flow);
+        assert_eq!(a.seq, b.seq);
+        assert_eq!(a.len, b.len);
+        assert_eq!(a.frags, b.frags);
     }
 
     #[test]

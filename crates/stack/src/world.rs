@@ -144,6 +144,12 @@ pub struct World {
     storm_count: u64,
     run_error: Option<RunError>,
     label: String,
+    /// Skb allocation cache: recycled frag vectors ([`FragPool`]). One per
+    /// world, so recycling is deterministic and unsynchronized.
+    frag_pool: crate::skb::FragPool,
+    /// Reusable output buffer for GRO offer/flush in the softirq loop
+    /// (avoids a `Vec` allocation per offered frame).
+    gro_scratch: Vec<RxSkb>,
     /// Per-skb lifecycle tracer (`hns-trace`). Disabled by default; every
     /// hook below is a single branch on `trace.enabled()` and stamps never
     /// charge cycles, so behaviour is identical with tracing on or off.
@@ -183,6 +189,8 @@ impl World {
             storm_count: 0,
             run_error: None,
             label: String::new(),
+            frag_pool: crate::skb::FragPool::new(),
+            gro_scratch: Vec::new(),
             trace: TraceCollector::new(cfg.trace, 2, cores),
             cfg,
         }
@@ -232,6 +240,18 @@ impl World {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.queue.now()
+    }
+
+    /// Total events the engine has processed (for benchmarking
+    /// events/sec; see `benches/engine_microbench.rs`).
+    pub fn events_processed(&self) -> u64 {
+        self.queue.popped()
+    }
+
+    /// Frag vectors currently cached in the skb allocation pool
+    /// (introspection for benches and tests).
+    pub fn frag_pool_cached(&self) -> usize {
+        self.frag_pool.cached()
     }
 
     /// Run the simulation: `warmup` to reach steady state (measurements
@@ -615,7 +635,8 @@ impl World {
                         ch.add(Category::NetDevice, self.cost.steering_sw);
                     }
                     let frame = pf.frame.expect("data frames carry buffers");
-                    let mut skb = RxSkb::from_frame(
+                    let mut skb = RxSkb::from_frame_pooled(
+                        &mut self.frag_pool,
                         pf.seg.flow,
                         seq,
                         len,
@@ -640,12 +661,17 @@ impl World {
                             self.trace
                                 .stamp(pf.seg.trace, pf.seg.flow, StageId::Gro, h, core, now);
                         }
-                        let flushed = self.hosts[h].cores[core]
-                            .gro
-                            .offer(skb, self.cfg.stack.max_aggregate);
-                        for skb in flushed {
+                        let mut flushed = std::mem::take(&mut self.gro_scratch);
+                        self.hosts[h].cores[core].gro.offer_into(
+                            skb,
+                            self.cfg.stack.max_aggregate,
+                            &mut self.frag_pool,
+                            &mut flushed,
+                        );
+                        for skb in flushed.drain(..) {
                             self.deliver_skb(h, core, skb, ch);
                         }
+                        self.gro_scratch = flushed;
                     } else {
                         self.deliver_skb(h, core, skb, ch);
                     }
@@ -686,10 +712,12 @@ impl World {
         let cd = &mut self.hosts[h].cores[core];
         if cd.backlog.is_empty() || cd.budget_used >= self.cfg.napi_budget {
             cd.budget_used = 0;
-            let flushed = cd.gro.flush_all();
-            for skb in flushed {
+            let mut flushed = std::mem::take(&mut self.gro_scratch);
+            cd.gro.flush_all_into(&mut flushed);
+            for skb in flushed.drain(..) {
                 self.deliver_skb(h, core, skb, ch);
             }
+            self.gro_scratch = flushed;
         }
 
         let cd = &self.hosts[h].cores[core];
@@ -747,18 +775,22 @@ impl World {
             // survived the wire and the NIC only to be discarded at the
             // socket — the `socket_queue` bucket of the drop taxonomy.
             self.drop_stats.socket_queue += skb.frags.len().max(1) as u64;
-            let frags = skb.frags.clone();
-            ch.add(Category::SkbMgmt, self.cost.skb_free);
-            self.free_frags(h, core, &frags, ch);
+            self.consume_skb(h, core, skb, 0, ch);
         } else {
             // In-order or out-of-order: park the skb in sequence order.
+            // The queue is kept sorted by seq, so a back-to-front scan
+            // finds the insertion point in O(1) for in-order traffic.
             if self.trace.enabled() {
                 self.trace
                     .stamp(skb.trace, skb.flow, StageId::SockQueue, h, core, now);
             }
             let f = &mut self.flows[fid];
-            f.rx_queue.push_back(skb);
-            f.rx_queue.make_contiguous().sort_by_key(|s| s.seq);
+            let pos = f
+                .rx_queue
+                .iter()
+                .rposition(|s| s.seq <= skb.seq)
+                .map_or(0, |p| p + 1);
+            f.rx_queue.insert(pos, skb);
             f.rx_backlog = f.receiver.rcv_nxt() - f.app_read_pos;
             if delivered > 0 {
                 // Track near-zero advertised window for later updates.
@@ -978,39 +1010,55 @@ impl World {
                     .stamp(skb.trace, skb.flow, StageId::RecvCopy, h, core, now);
             }
             self.flows[fid].sample_host_latency(lat_sample);
-            ch.add(Category::SkbMgmt, self.cost.skb_free);
-            let frags = skb.frags.clone();
-            if effective > 0 && self.cfg.stack.zerocopy_rx {
-                // TCP mmap receive (§4): remap the pages instead of
-                // copying the payload. Cache residency becomes moot.
-                let pages = pages_for(effective);
-                ch.add(Category::Memory, pages * self.cost.zc_rx_remap_page);
-            } else if effective > 0 {
-                // Copy cost per fragment, by where the bytes are.
-                let app_node = self.cfg.topology.node_of(core as u16);
-                for &fr in &frags {
-                    let host = &mut self.hosts[h];
-                    let bytes = host.arena.bytes(fr);
-                    let resident = host.dca.probe_copy(&host.arena, fr);
-                    let class = self.cfg.topology.classify(
-                        app_node,
-                        self.hosts[h].arena.node(fr),
-                        resident,
-                    );
-                    ch.add(Category::DataCopy, self.cost.copy_cycles(class, bytes));
-                    if self.measuring {
-                        if class == MemClass::DcaHit {
-                            self.hosts[h].rx_copy_cache.hit_bytes += bytes;
-                        } else {
-                            self.hosts[h].rx_copy_cache.miss_bytes += bytes;
-                        }
-                    }
-                }
-            }
-            self.free_frags(h, core, &frags, ch);
+            self.consume_skb(h, core, skb, effective, ch);
             copied += effective;
         }
         copied
+    }
+
+    /// Final act of an skb's life, shared by the duplicate-drop path in
+    /// [`World::deliver_skb`] and the application copy in
+    /// [`World::copy_from_socket`]: charge the skb free, account the data
+    /// copy (or zero-copy remap) for `effective` payload bytes, release
+    /// the DMA frames, and recycle the frag vector into the pool.
+    fn consume_skb(
+        &mut self,
+        h: usize,
+        core: usize,
+        mut skb: RxSkb,
+        effective: u64,
+        ch: &mut Charges,
+    ) {
+        ch.add(Category::SkbMgmt, self.cost.skb_free);
+        if effective > 0 && self.cfg.stack.zerocopy_rx {
+            // TCP mmap receive (§4): remap the pages instead of
+            // copying the payload. Cache residency becomes moot.
+            let pages = pages_for(effective);
+            ch.add(Category::Memory, pages * self.cost.zc_rx_remap_page);
+        } else if effective > 0 {
+            // Copy cost per fragment, by where the bytes are.
+            let app_node = self.cfg.topology.node_of(core as u16);
+            for &fr in &skb.frags {
+                let host = &mut self.hosts[h];
+                let bytes = host.arena.bytes(fr);
+                let resident = host.dca.probe_copy(&host.arena, fr);
+                let class =
+                    self.cfg
+                        .topology
+                        .classify(app_node, self.hosts[h].arena.node(fr), resident);
+                ch.add(Category::DataCopy, self.cost.copy_cycles(class, bytes));
+                if self.measuring {
+                    if class == MemClass::DcaHit {
+                        self.hosts[h].rx_copy_cache.hit_bytes += bytes;
+                    } else {
+                        self.hosts[h].rx_copy_cache.miss_bytes += bytes;
+                    }
+                }
+            }
+        }
+        let frags = std::mem::take(&mut skb.frags);
+        self.free_frags(h, core, &frags, ch);
+        self.frag_pool.put(frags);
     }
 
     /// Post-copy socket bookkeeping shared by all reading apps.
@@ -1521,8 +1569,9 @@ impl World {
         let now = self.queue.now();
         self.flows[fid].rto_scheduled_for = None;
         // The token just fired; forget it so a later `sync_rto` doesn't
-        // "cancel" a dead token (which would pollute the queue's cancelled
-        // set and skew its pending-event count).
+        // "cancel" a dead token. (Harmless since the queue's
+        // generation-stamped slots make stale cancels a no-op, but NONE
+        // documents that no timer is pending.)
         self.flows[fid].rto_token = hns_sim::event::EventToken::NONE;
         self.flows[fid].sender.on_rto(now);
         self.flows[fid]

@@ -51,7 +51,12 @@ fn execute(cmd: cli::Command) -> ExitCode {
             println!("  mixed        1 long + n short flows on one core (§3.7) [--shorts --size]");
             ExitCode::SUCCESS
         }
-        cli::Command::Figures { names, csv } => {
+        cli::Command::Figures { names, csv, jobs } => {
+            // Sweep points are independent deterministic runs collected in
+            // declared order, so any job count yields identical output.
+            hostnet::building_blocks::core_figures::set_jobs(
+                jobs.unwrap_or_else(hostnet::building_blocks::par::available_jobs),
+            );
             let reports = run_figures(&names);
             if reports.is_empty() {
                 eprintln!("no matching figures (try `hostnet help`)");
@@ -312,7 +317,8 @@ pub mod cli {
 usage:
   hostnet run <scenario> [options]
   hostnet figures [fig03|fig03e|fig03f|fig03g|fig04|fig05|fig06|fig07|
-                   fig08|fig09|fig09b|fig10|fig11|fig12|fig13]... [--csv]
+                   fig08|fig09|fig09b|fig10|fig11|fig12|fig13]...
+                  [--csv] [--jobs N|auto]
   hostnet list
   hostnet help
 
@@ -369,12 +375,15 @@ fault injection (all deterministic; scheduled faults share one window):
         List,
         /// `hostnet run …`.
         Run(RunArgs),
-        /// `hostnet figures [names…] [--csv]`.
+        /// `hostnet figures [names…] [--csv] [--jobs N]`.
         Figures {
             /// Which figures to run (empty = all).
             names: Vec<String>,
             /// Emit CSV instead of tables.
             csv: bool,
+            /// Sweep thread-pool size; `None` = auto (host parallelism).
+            /// Output is byte-identical for every value.
+            jobs: Option<usize>,
         },
     }
 
@@ -453,16 +462,27 @@ fault injection (all deterministic; scheduled faults share one window):
             Some("figures") => {
                 let mut names = Vec::new();
                 let mut csv = false;
-                for a in &args[1..] {
+                let mut jobs = None;
+                let mut it = args[1..].iter();
+                while let Some(a) = it.next() {
                     if a == "--csv" {
                         csv = true;
+                    } else if a == "--jobs" {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| "--jobs: missing value".to_string())?;
+                        jobs = if v == "auto" {
+                            None
+                        } else {
+                            Some(parse_num(v, "--jobs")?)
+                        };
                     } else if a.starts_with("--") {
                         return Err(format!("figures: unknown flag `{a}`"));
                     } else {
                         names.push(a.clone());
                     }
                 }
-                Ok(Command::Figures { names, csv })
+                Ok(Command::Figures { names, csv, jobs })
             }
             Some(other) => Err(format!("unknown command `{other}`")),
         }
@@ -825,20 +845,36 @@ fault injection (all deterministic; scheduled faults share one window):
         #[test]
         fn parses_figures_command() {
             match parse(&argv("figures fig06 fig12 --csv")).unwrap() {
-                Command::Figures { names, csv } => {
+                Command::Figures { names, csv, jobs } => {
                     assert_eq!(names, vec!["fig06", "fig12"]);
                     assert!(csv);
+                    assert_eq!(jobs, None);
                 }
                 _ => panic!("not figures"),
             }
             match parse(&argv("figures")).unwrap() {
-                Command::Figures { names, csv } => {
+                Command::Figures { names, csv, jobs } => {
                     assert!(names.is_empty());
                     assert!(!csv);
+                    assert_eq!(jobs, None);
                 }
                 _ => panic!("not figures"),
             }
             assert!(parse(&argv("figures --bogus")).is_err());
+        }
+
+        #[test]
+        fn parses_figures_jobs() {
+            match parse(&argv("figures fig13 --jobs 4")).unwrap() {
+                Command::Figures { jobs, .. } => assert_eq!(jobs, Some(4)),
+                _ => panic!("not figures"),
+            }
+            match parse(&argv("figures --jobs auto")).unwrap() {
+                Command::Figures { jobs, .. } => assert_eq!(jobs, None),
+                _ => panic!("not figures"),
+            }
+            assert!(parse(&argv("figures --jobs")).is_err());
+            assert!(parse(&argv("figures --jobs banana")).is_err());
         }
 
         #[test]

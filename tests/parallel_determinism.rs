@@ -1,0 +1,67 @@
+//! Parallel sweeps must be byte-identical to sequential ones.
+//!
+//! Every sweep point is an independent deterministic run and `hns-par`
+//! collects results in declared order, so the job count must never leak
+//! into any output: not the reports' JSON, not the traced stage tables,
+//! not the CLI's rendered bytes. These tests pin that contract for the
+//! sweeps the issue calls out (fig. 3e's ring × buffer grid, fig. 13's
+//! CC matrix, and the traced fig. 3g runs) and for the `hostnet
+//! figures --jobs N` surface end to end.
+
+use hostnet::building_blocks::core_figures as figures;
+
+/// JSON-serialize every report of a sweep at the given job count.
+fn sweep_json(jobs: usize, points: &[figures::SweepPoint]) -> Vec<String> {
+    figures::run_sweep_with(jobs, points)
+        .iter()
+        .map(|r| r.to_json())
+        .collect()
+}
+
+#[test]
+fn fig03e_grid_is_jobs_invariant() {
+    let seq = sweep_json(1, &figures::fig03e_points());
+    let par = sweep_json(8, &figures::fig03e_points());
+    assert_eq!(seq.len(), 24);
+    assert_eq!(seq, par, "fig03e reports differ between --jobs 1 and 8");
+}
+
+#[test]
+fn fig13_cc_matrix_is_jobs_invariant() {
+    let seq = sweep_json(1, &figures::fig13_points());
+    let par = sweep_json(8, &figures::fig13_points());
+    assert_eq!(seq, par, "fig13 reports differ between --jobs 1 and 8");
+}
+
+#[test]
+fn traced_fig03g_is_jobs_invariant() {
+    // fig. 3g runs with the lifecycle tracer enabled; its stage-latency
+    // percentiles ride in the report, so this also pins traced runs.
+    let seq = sweep_json(1, &figures::fig03g_points());
+    let par = sweep_json(8, &figures::fig03g_points());
+    assert!(
+        seq.iter().all(|j| j.contains("stage_latency")),
+        "fig03g reports should carry traced stage latencies"
+    );
+    assert_eq!(
+        seq, par,
+        "traced fig03g reports differ between jobs 1 and 8"
+    );
+}
+
+#[test]
+fn cli_figures_output_is_jobs_invariant() {
+    let bin = env!("CARGO_BIN_EXE_hostnet");
+    let run = |jobs: &str| {
+        let out = std::process::Command::new(bin)
+            .args(["figures", "fig13", "--csv", "--jobs", jobs])
+            .output()
+            .expect("spawn hostnet");
+        assert!(out.status.success(), "hostnet figures --jobs {jobs} failed");
+        out.stdout
+    };
+    let seq = run("1");
+    let par = run("8");
+    assert!(!seq.is_empty());
+    assert_eq!(seq, par, "CLI output differs between --jobs 1 and --jobs 8");
+}
