@@ -1,0 +1,164 @@
+//! Churn workload configuration.
+//!
+//! Lives here (rather than in the workload crate) so the stack engine can
+//! embed it in `SimConfig` without a dependency cycle. Everything is `Copy`
+//! because `SimConfig` is.
+
+use hns_sim::Duration;
+
+/// What each arriving connection does once established.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnMode {
+    /// Connect, complete the 3-way handshake, then immediately close.
+    /// Isolates pure per-connection overhead: no payload ever moves.
+    HandshakeOnly,
+    /// Connect, exchange one request/response RPC of `rpc_size` bytes each
+    /// way, then close — the paper's short-flow regime with the setup cost
+    /// the original figures omit.
+    ShortRpc,
+    /// A long-lived pool of `conns` pre-established connections with
+    /// partial churn: each arrival closes the oldest pool member and opens
+    /// a replacement through a full handshake. Models a busy front-end's
+    /// steady state ("Scouting the Path to a Million-Client Server").
+    Pool {
+        /// Pool size (pre-established at t = 0).
+        conns: u32,
+    },
+}
+
+impl ChurnMode {
+    /// Short label for CSV/CLI output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChurnMode::HandshakeOnly => "handshake",
+            ChurnMode::ShortRpc => "short-rpc",
+            ChurnMode::Pool { .. } => "pool",
+        }
+    }
+}
+
+/// Connection-churn knobs, carried inside `SimConfig`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnConfig {
+    /// Workload shape.
+    pub mode: ChurnMode,
+    /// Open-loop connection arrival rate (connections per second). Arrivals
+    /// are exponentially spaced (Poisson process) off the workload RNG.
+    pub rate_cps: f64,
+    /// Request and response payload size per connection, bytes
+    /// (ignored for [`ChurnMode::HandshakeOnly`]).
+    pub rpc_size: u32,
+    /// Initial SYN retransmission timeout. Linux uses 1s; the default here
+    /// is scaled down to suit millisecond-scale simulation horizons while
+    /// preserving the exponential-backoff shape.
+    pub syn_rto: Duration,
+    /// SYN retransmissions before the handshake is abandoned.
+    pub syn_retry_max: u32,
+    /// TIME_WAIT residence (the 2MSL stand-in, scaled like `syn_rto`).
+    pub time_wait: Duration,
+    /// How often the TIME_WAIT reaper runs (batch reaping, like the
+    /// kernel's timewait timer wheel cadence).
+    pub reap_interval: Duration,
+    /// Flow-table shard count (1..=256).
+    pub shards: u16,
+    /// Sample every Nth connection for lifecycle tracing (0 = never).
+    pub trace_sample: u32,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            mode: ChurnMode::ShortRpc,
+            rate_cps: 100_000.0,
+            rpc_size: 4096,
+            syn_rto: Duration::from_millis(5),
+            syn_retry_max: 6,
+            time_wait: Duration::from_millis(10),
+            reap_interval: Duration::from_millis(1),
+            shards: 64,
+            trace_sample: 0,
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// Validate the knobs, normalising out-of-range values is the caller's
+    /// job — this returns a human-readable error instead.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.rate_cps.is_finite() || self.rate_cps <= 0.0 {
+            return Err(format!(
+                "churn rate must be positive, got {}",
+                self.rate_cps
+            ));
+        }
+        if self.shards == 0 || self.shards > crate::table::MAX_SHARDS {
+            return Err(format!(
+                "churn shards must be in 1..={}, got {}",
+                crate::table::MAX_SHARDS,
+                self.shards
+            ));
+        }
+        if self.syn_rto.is_zero() {
+            return Err("syn_rto must be non-zero".into());
+        }
+        if let ChurnMode::Pool { conns } = self.mode {
+            if conns == 0 {
+                return Err("pool mode needs at least one connection".into());
+            }
+        }
+        if self.mode == ChurnMode::ShortRpc && self.rpc_size == 0 {
+            return Err("short-rpc mode needs rpc_size > 0".into());
+        }
+        Ok(())
+    }
+
+    /// Mean inter-arrival gap implied by `rate_cps`.
+    pub fn mean_interarrival(&self) -> Duration {
+        Duration::from_secs_f64(1.0 / self.rate_cps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        ChurnConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_knobs() {
+        let bad = |f: fn(&mut ChurnConfig)| {
+            let mut c = ChurnConfig::default();
+            f(&mut c);
+            c
+        };
+        assert!(bad(|c| c.rate_cps = 0.0).validate().is_err());
+        assert!(bad(|c| c.shards = 0).validate().is_err());
+        assert!(bad(|c| c.shards = 257).validate().is_err());
+        assert!(bad(|c| c.mode = ChurnMode::Pool { conns: 0 })
+            .validate()
+            .is_err());
+        let mut c = bad(|c| c.rpc_size = 0);
+        assert!(c.validate().is_err(), "short-rpc needs a payload");
+        c.mode = ChurnMode::HandshakeOnly;
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn interarrival_matches_rate() {
+        let c = ChurnConfig {
+            rate_cps: 1_000_000.0,
+            ..ChurnConfig::default()
+        };
+        assert_eq!(c.mean_interarrival(), Duration::from_micros(1));
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(ChurnMode::HandshakeOnly.label(), "handshake");
+        assert_eq!(ChurnMode::ShortRpc.label(), "short-rpc");
+        assert_eq!(ChurnMode::Pool { conns: 5 }.label(), "pool");
+    }
+}

@@ -1,0 +1,51 @@
+//! # hns-conn — connection lifecycle & million-flow scaling
+//!
+//! The paper's short-flow results (§3.7, Figs. 5–6) show the overhead
+//! profile inverting as flows shrink: data copy fades and TCP/IP + skb
+//! bookkeeping dominate, because every connection pays a fixed cycle tax —
+//! socket allocation, the 3-way handshake, accept/epoll dispatch, FIN
+//! teardown, and TIME_WAIT reaping — that is independent of how many bytes
+//! it ever moves. This crate models that per-connection tax as a
+//! first-class pipeline stage layered under `hns-stack`:
+//!
+//! * [`FlowTable`] — a sharded, slab-backed table of compact per-connection
+//!   records with generation-stamped [`ConnId`]s. Slots are recycled through
+//!   per-shard freelists, so memory stays flat under churn: a run that opens
+//!   and closes ten million connections with at most `N` concurrent only
+//!   ever allocates ~`N` slots. Sized (and tested) for ≥1M concurrent
+//!   connections.
+//! * [`Conn`] / [`HalfConn`] — the two half-connection state machines
+//!   (client: `SynSent → Established → FinWait → TimeWait`; server:
+//!   `SynRcvd → Established → Closed`), kept to a few dozen bytes so a
+//!   million of them fit comfortably in memory.
+//! * [`TimeWaitRing`] — FIFO deadline ring for 2MSL reaping (deadlines are
+//!   monotone because the TIME_WAIT duration is a constant, so a `VecDeque`
+//!   suffices — no heap needed).
+//! * [`ConnCostModel`] — calibrated cycle costs for each lifecycle
+//!   transition, charged into the paper's 8-category taxonomy by the engine.
+//! * [`EpollAccounting`] — wakeup/event counters so "how many epoll wakeups
+//!   did a million short RPCs cost" is a first-class output.
+//! * [`ChurnConfig`] / [`ChurnMode`] — the workload knobs (open-loop
+//!   connection arrivals at a target conn/s, short-RPC-with-handshake,
+//!   long-lived pools with partial churn).
+//!
+//! The engine integration lives in `hns-stack`: SYN/SYN-ACK/FIN control
+//! segments traverse the simulated wire (so fault-injected loss drops SYNs
+//! and exercises the retry path) and every transition's cycles land on a
+//! simulated core.
+
+pub mod config;
+pub mod costs;
+pub mod epoll;
+pub mod state;
+pub mod stats;
+pub mod table;
+pub mod timewait;
+
+pub use config::{ChurnConfig, ChurnMode};
+pub use costs::ConnCostModel;
+pub use epoll::EpollAccounting;
+pub use state::{Conn, HalfConn};
+pub use stats::ChurnStats;
+pub use table::{ConnId, FlowTable};
+pub use timewait::TimeWaitRing;

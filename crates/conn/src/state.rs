@@ -1,0 +1,151 @@
+//! Per-connection state: the two half-connection machines and the compact
+//! record the flow table stores.
+//!
+//! One [`Conn`] record models both ends of a simulated connection (the
+//! client on host 0, the server on host 1), which halves memory at the
+//! million-connection scale and keeps handshake bookkeeping in one place.
+//! The record is deliberately small (~48 bytes): at 1M concurrent
+//! connections, every field earns its keep.
+
+use hns_sim::SimTime;
+
+/// Sentinel for [`Conn::trace`]: the connection's lifecycle is not traced.
+pub const NO_TRACE: u64 = u64::MAX;
+
+/// State of one half-connection.
+///
+/// The client walks `Closed → SynSent → Established → FinWait → TimeWait →
+/// Closed` (the actively-closing side holds TIME_WAIT); the server walks
+/// `Closed → SynRcvd → Established → Closed`. This is the subset of the TCP
+/// state diagram the churn workloads exercise — simultaneous open/close and
+/// half-duplex shutdown are out of scope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum HalfConn {
+    /// No connection (initial and final state).
+    Closed,
+    /// Client sent SYN, awaiting SYN-ACK.
+    SynSent,
+    /// Server saw SYN, sent SYN-ACK, awaiting the completing ACK.
+    SynRcvd,
+    /// Handshake complete; data may flow.
+    Established,
+    /// Sent FIN, awaiting the peer's acknowledgment.
+    FinWait,
+    /// Actively-closed side draining 2MSL before the port is reusable.
+    TimeWait,
+}
+
+impl HalfConn {
+    /// True while the half occupies a socket (anything but `Closed`).
+    #[inline]
+    pub fn is_live(self) -> bool {
+        self != HalfConn::Closed
+    }
+
+    /// True while the handshake is still in flight.
+    #[inline]
+    pub fn in_handshake(self) -> bool {
+        matches!(self, HalfConn::SynSent | HalfConn::SynRcvd)
+    }
+}
+
+/// Compact per-connection record stored in the flow table.
+#[derive(Clone, Copy, Debug)]
+pub struct Conn {
+    /// Core running the client end (host 0).
+    pub client_core: u16,
+    /// Core handling the server end (host 1) — fixed RSS-style steering.
+    pub server_core: u16,
+    /// Client half state.
+    pub client: HalfConn,
+    /// Server half state.
+    pub server: HalfConn,
+    /// SYN retransmissions so far (handshake aborts past the retry cap).
+    pub syn_retries: u8,
+    /// Request bytes the server has received so far.
+    pub req_done: u32,
+    /// Response bytes the client has received so far.
+    pub resp_done: u32,
+    /// When the client initiated the connection (handshake latency base).
+    pub opened_at: SimTime,
+    /// Deadline of the pending handshake retransmit timer, or
+    /// [`SimTime::MAX`] when none is armed. Timer events carry their
+    /// deadline and compare against this on fire, so a superseded timer is
+    /// recognised as stale without a cancellation token.
+    pub timer_at: SimTime,
+    /// Lifecycle-trace id ([`NO_TRACE`] when the connection is unsampled).
+    pub trace: u64,
+}
+
+impl Conn {
+    /// Fresh (pre-SYN) connection record.
+    pub fn new(client_core: u16, server_core: u16, opened_at: SimTime) -> Self {
+        Conn {
+            client_core,
+            server_core,
+            client: HalfConn::Closed,
+            server: HalfConn::Closed,
+            syn_retries: 0,
+            req_done: 0,
+            resp_done: 0,
+            opened_at,
+            timer_at: SimTime::MAX,
+            trace: NO_TRACE,
+        }
+    }
+
+    /// Fully-established connection (used to seed long-lived pools without
+    /// simulating their historical handshakes).
+    pub fn established(client_core: u16, server_core: u16, opened_at: SimTime) -> Self {
+        let mut c = Conn::new(client_core, server_core, opened_at);
+        c.client = HalfConn::Established;
+        c.server = HalfConn::Established;
+        c
+    }
+
+    /// True once both halves have fully closed (record can be freed),
+    /// ignoring a client half still parked in TIME_WAIT (the reaper frees
+    /// the record).
+    #[inline]
+    pub fn both_closed(&self) -> bool {
+        self.client == HalfConn::Closed && self.server == HalfConn::Closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_stays_compact() {
+        // The million-connection budget: the record must not silently grow.
+        assert!(
+            std::mem::size_of::<Conn>() <= 48,
+            "Conn is {} bytes; keep it <= 48 for 1M-conn runs",
+            std::mem::size_of::<Conn>()
+        );
+    }
+
+    #[test]
+    fn half_state_predicates() {
+        assert!(!HalfConn::Closed.is_live());
+        assert!(HalfConn::SynSent.is_live());
+        assert!(HalfConn::TimeWait.is_live());
+        assert!(HalfConn::SynSent.in_handshake());
+        assert!(HalfConn::SynRcvd.in_handshake());
+        assert!(!HalfConn::Established.in_handshake());
+    }
+
+    #[test]
+    fn constructors() {
+        let c = Conn::new(1, 2, SimTime::from_nanos(5));
+        assert_eq!(c.client, HalfConn::Closed);
+        assert!(c.both_closed());
+        assert_eq!(c.timer_at, SimTime::MAX);
+        let e = Conn::established(1, 2, SimTime::ZERO);
+        assert_eq!(e.client, HalfConn::Established);
+        assert_eq!(e.server, HalfConn::Established);
+        assert!(!e.both_closed());
+    }
+}

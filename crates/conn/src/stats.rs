@@ -1,0 +1,66 @@
+//! Churn run statistics.
+//!
+//! Raw counters and histograms accumulated by the engine during a churn
+//! run; `hns-stack` converts them into the report schema at the end of the
+//! measurement window. Handshake latency is recorded in nanoseconds of
+//! simulated time from SYN transmit to the client seeing the SYN-ACK
+//! processed (connect() returning).
+
+use hns_sim::stats::Histogram;
+
+/// Counters for one churn run.
+#[derive(Default)]
+pub struct ChurnStats {
+    /// Connections initiated (SYN sent at least once).
+    pub opened: u64,
+    /// Handshakes completed (client reached Established).
+    pub established: u64,
+    /// Connections fully closed (record freed).
+    pub closed: u64,
+    /// Handshakes abandoned after exhausting SYN retries.
+    pub failed: u64,
+    /// SYN/SYN-ACK retransmissions.
+    pub syn_retransmits: u64,
+    /// RPC exchanges completed (request fully received and response fully
+    /// delivered back to the client).
+    pub rpcs_completed: u64,
+    /// Frames that arrived for a connection no longer in the table
+    /// (late retransmits after an abort) and were dropped.
+    pub stale_frames: u64,
+    /// Handshake latency samples, nanoseconds.
+    pub handshake_ns: Histogram,
+}
+
+impl ChurnStats {
+    /// Fresh stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reset at the warmup/measurement boundary so reported rates cover
+    /// only the measurement window. (Histogram resets too — latencies of
+    /// handshakes *completing* in the window are what's reported.)
+    pub fn reset(&mut self) {
+        *self = ChurnStats {
+            handshake_ns: Histogram::new(),
+            ..ChurnStats::default()
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut s = ChurnStats::new();
+        s.opened = 5;
+        s.established = 4;
+        s.handshake_ns.record(1_000);
+        s.reset();
+        assert_eq!(s.opened, 0);
+        assert_eq!(s.established, 0);
+        assert_eq!(s.handshake_ns.count(), 0);
+    }
+}

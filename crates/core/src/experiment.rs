@@ -1,5 +1,6 @@
 //! The experiment builder.
 
+use hns_conn::ChurnConfig;
 use hns_mem::numa::Topology;
 use hns_metrics::Report;
 use hns_sim::Duration;
@@ -60,6 +61,13 @@ pub enum ScenarioKind {
         /// Offered load per client, requests/second.
         rate_rps: f64,
     },
+    /// Connection-lifecycle churn (`hns-conn`): open-loop handshake /
+    /// short-RPC / pool workloads driven by `SimConfig::churn` — no long
+    /// flows, every byte moves over freshly opened connections.
+    Churn {
+        /// Churn workload knobs (mode, arrival rate, RPC size, pool size).
+        churn: ChurnConfig,
+    },
 }
 
 impl ScenarioKind {
@@ -84,6 +92,9 @@ impl ScenarioKind {
                 size,
                 rate_rps,
             } => hns_workload::open_loop_rpc(topo, clients, size, rate_rps),
+            // Churn installs no flows or apps: the engine drives the world
+            // from `SimConfig::churn` (applied in `try_run_traced`).
+            ScenarioKind::Churn { .. } => Scenario::default(),
         }
     }
 
@@ -103,6 +114,9 @@ impl ScenarioKind {
             ScenarioKind::OpenLoop {
                 clients, rate_rps, ..
             } => format!("open-loop/{clients}x{rate_rps:.0}rps"),
+            ScenarioKind::Churn { churn } => {
+                format!("churn/{}@{:.0}k", churn.mode.label(), churn.rate_cps / 1e3)
+            }
         }
     }
 }
@@ -184,9 +198,13 @@ impl Experiment {
     /// collector so callers can export timelines (JSONL / Chrome JSON).
     /// The collector is disabled (and empty) unless `cfg.trace.enabled`.
     pub fn try_run_traced(&self) -> Result<(Report, hns_trace::TraceCollector), RunError> {
-        let mut world = World::new(self.cfg);
+        let mut cfg = self.cfg;
+        if let ScenarioKind::Churn { churn } = self.scenario {
+            cfg.churn = Some(churn);
+        }
+        let mut world = World::new(cfg);
         world.set_label(self.label.clone().unwrap_or_else(|| self.scenario.label()));
-        self.scenario.build(&self.cfg.topology).install(&mut world);
+        self.scenario.build(&cfg.topology).install(&mut world);
         let report = world.try_run(self.warmup, self.measure)?;
         Ok((report, world.take_trace()))
     }
@@ -212,6 +230,16 @@ mod tests {
             .quick();
         let err = e.try_run().unwrap_err();
         assert_eq!(err.kind, hns_stack::RunErrorKind::BadFaultPlan);
+    }
+
+    #[test]
+    fn churn_scenario_runs_through_the_experiment_api() {
+        let churn = hns_workload::churn_open_loop(100_000.0);
+        let r = Experiment::new(ScenarioKind::Churn { churn }).quick().run();
+        assert_eq!(r.label, "churn/handshake@100k");
+        let c = r.conn.expect("churn runs must carry a conn summary");
+        assert!(c.established > 100, "got {}", c.established);
+        assert_eq!(c.failed, 0);
     }
 
     #[test]

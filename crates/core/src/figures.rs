@@ -238,6 +238,54 @@ pub fn fig05_one_to_one() -> Vec<(u16, OptLevel, Report)> {
     sweep_levels(|flows| ScenarioKind::OneToOne { flows })
 }
 
+/// Connection arrival rates (conn/s) the churn figure sweeps.
+pub const CONN_RATE_SWEEP: [f64; 4] = [50e3, 100e3, 200e3, 400e3];
+
+/// RPC payload sizes (bytes) the churn figure sweeps at a fixed rate.
+pub const CONN_RPC_SIZES: [u32; 4] = [65536, 16384, 4096, 1024];
+
+/// fig05_conn_rate points: handshake-only arrivals across the rate sweep,
+/// then short RPCs over fresh connections with shrinking payloads at a
+/// fixed 100k conn/s.
+pub fn fig05_conn_rate_points() -> Vec<SweepPoint> {
+    let mut out: Vec<SweepPoint> = CONN_RATE_SWEEP
+        .into_iter()
+        .map(|rate| {
+            SweepPoint::new(
+                ScenarioKind::Churn {
+                    churn: hns_workload::churn_open_loop(rate),
+                },
+                format!("conn-rate/handshake/{:.0}k", rate / 1e3),
+            )
+        })
+        .collect();
+    for size in CONN_RPC_SIZES {
+        out.push(SweepPoint::new(
+            ScenarioKind::Churn {
+                churn: hns_workload::churn_short_rpc(100e3, size),
+            },
+            format!("conn-rate/rpc/{size}B"),
+        ));
+    }
+    out
+}
+
+/// Fig. 5 extension: connection-rate scaling (`hns-conn`).
+///
+/// The paper's workloads reuse long-lived connections, so per-connection
+/// costs never show up in its breakdowns. This sweep drives open-loop
+/// connection arrivals — pure handshakes at growing rates, then one-RPC
+/// connections with shrinking payloads — so the reports expose where
+/// cycles go when the connection lifecycle itself is the workload:
+/// per-byte categories (data copy) fade and per-connection categories
+/// (memory management, locking, TCP/IP state) dominate as RPCs shrink.
+/// Returns `(label, report)` rows.
+pub fn fig05_conn_rate() -> Vec<(String, Report)> {
+    let points = fig05_conn_rate_points();
+    let labels: Vec<String> = points.iter().map(|p| p.label.clone()).collect();
+    labels.into_iter().zip(run_sweep(&points)).collect()
+}
+
 /// Fig. 6: incast.
 pub fn fig06_incast() -> Vec<(u16, OptLevel, Report)> {
     sweep_levels(|flows| ScenarioKind::Incast { flows })

@@ -47,6 +47,16 @@ pub fn reports_to_csv(reports: &[Report]) -> String {
     if !stages.is_empty() {
         out.push_str(",trace_overflow");
     }
+    // Churn columns only when some report carries a connection summary
+    // (non-churn series keep the exact legacy shape, like tracing).
+    let churn = reports.iter().any(|r| r.conn.is_some());
+    if churn {
+        out.push_str(
+            ",conn_opened,conn_established,conn_closed,conn_failed,\
+             conn_retransmits,conn_rate_cps,handshake_avg_us,handshake_p99_us,\
+             conn_live_hw,conn_table_capacity,epoll_evts_per_wakeup",
+        );
+    }
     out.push('\n');
 
     for r in reports {
@@ -85,6 +95,25 @@ pub fn reports_to_csv(reports: &[Report]) -> String {
         }
         if !stages.is_empty() {
             out.push_str(&format!(",{}", r.trace_overflow));
+        }
+        if churn {
+            match &r.conn {
+                Some(c) => out.push_str(&format!(
+                    ",{},{},{},{},{},{:.1},{:.2},{:.2},{},{},{:.2}",
+                    c.opened,
+                    c.established,
+                    c.closed,
+                    c.failed,
+                    c.retransmits,
+                    c.conn_rate_cps,
+                    c.handshake.avg_us,
+                    c.handshake.p99_us,
+                    c.established_high_water,
+                    c.table_capacity,
+                    c.epoll_events_per_wakeup(),
+                )),
+                None => out.push_str(",,,,,,,,,,,"),
+            }
         }
         out.push('\n');
     }
@@ -141,6 +170,48 @@ mod tests {
     fn empty_series_is_header_only() {
         let csv = reports_to_csv(&[]);
         assert_eq!(csv.lines().count(), 1);
+    }
+
+    #[test]
+    fn churn_series_appends_conn_columns() {
+        use crate::report::ConnSummary;
+        let plain = Report {
+            label: "plain".into(),
+            ..Report::default()
+        };
+        let legacy_header = reports_to_csv(std::slice::from_ref(&plain))
+            .lines()
+            .next()
+            .unwrap()
+            .to_string();
+        let churn = Report {
+            label: "churn".into(),
+            conn: Some(ConnSummary {
+                opened: 100,
+                established: 99,
+                conn_rate_cps: 1000.0,
+                ..ConnSummary::default()
+            }),
+            ..Report::default()
+        };
+        let csv = reports_to_csv(&[churn, plain]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with(&legacy_header));
+        assert!(lines[0].contains(",conn_opened,"));
+        assert_eq!(
+            lines[0].split(',').count(),
+            lines[1].split(',').count(),
+            "header/churn-row column mismatch"
+        );
+        assert_eq!(
+            lines[0].split(',').count(),
+            lines[2].split(',').count(),
+            "header/plain-row column mismatch"
+        );
+        assert!(
+            lines[2].ends_with(",,,,,,,,,,,"),
+            "non-churn row gets empty cells"
+        );
     }
 
     #[test]

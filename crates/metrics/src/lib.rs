@@ -23,7 +23,9 @@ pub mod util;
 
 pub use csv::reports_to_csv;
 pub use drops::DropStats;
-pub use report::{CacheStats, LatencyStats, Report, SideReport, StageLatency};
-pub use table::{format_breakdown_table, format_gbps, format_series_table, format_stage_table};
+pub use report::{CacheStats, ConnSummary, LatencyStats, Report, SideReport, StageLatency};
+pub use table::{
+    format_breakdown_table, format_conn_table, format_gbps, format_series_table, format_stage_table,
+};
 pub use taxonomy::{Category, CycleBreakdown, ALL_CATEGORIES};
 pub use util::CoreUsage;

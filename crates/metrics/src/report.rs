@@ -51,7 +51,7 @@ impl CacheStats {
 
 /// Latency distribution summary in microseconds (paper Fig. 3f reports the
 /// NAPI→start-of-data-copy delay).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct LatencyStats {
     /// Mean latency.
     pub avg_us: f64,
@@ -127,6 +127,105 @@ impl StageLatency {
             p99_ns: v.get("p99_ns")?.as_u64()?,
             p999_ns: v.get("p999_ns")?.as_u64()?,
             max_ns: v.get("max_ns")?.as_u64()?,
+        })
+    }
+}
+
+/// Connection-lifecycle summary from a churn run (`hns-conn`): how many
+/// connections moved through each lifecycle stage in the measurement
+/// window, what the handshake cost, and how flat the flow table stayed.
+/// Present only when the run had a churn workload — non-churn reports
+/// keep the exact pre-churn JSON shape.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ConnSummary {
+    /// Connections opened (SYN sent) in the window.
+    pub opened: u64,
+    /// Connections that completed the three-way handshake.
+    pub established: u64,
+    /// Connections fully closed (FIN exchange done and TIME_WAIT reaped).
+    pub closed: u64,
+    /// Connections aborted after exhausting handshake retries.
+    pub failed: u64,
+    /// Lifecycle-segment retransmissions (SYN, request, FIN resends).
+    pub retransmits: u64,
+    /// Short-RPC exchanges completed over churned connections.
+    pub rpcs: u64,
+    /// Frames that arrived for an already-torn-down connection (late
+    /// retransmits racing teardown) and were dropped at lookup.
+    pub stale_frames: u64,
+    /// Achieved connection-establishment rate (connections per second).
+    pub conn_rate_cps: f64,
+    /// Client-observed handshake latency (SYN sent → SYN-ACK processed),
+    /// reported in microseconds like the other latency stats.
+    pub handshake: LatencyStats,
+    /// Peak concurrent live connections in the flow table.
+    pub established_high_water: u64,
+    /// Peak TIME_WAIT ring occupancy.
+    pub time_wait_high_water: u64,
+    /// Flow-table slot capacity at end of run. Flat-memory churn keeps
+    /// this near the concurrency high-water mark, not the open count.
+    pub table_capacity: u64,
+    /// Installs that reused a freed slot instead of growing the table.
+    pub table_slot_reuse: u64,
+    /// Epoll wakeups charged (first ready event of each poll batch).
+    pub epoll_wakeups: u64,
+    /// Ready events delivered across all wakeups.
+    pub epoll_events: u64,
+}
+
+impl ConnSummary {
+    /// Mean ready events coalesced per epoll wakeup.
+    pub fn epoll_events_per_wakeup(&self) -> f64 {
+        if self.epoll_wakeups == 0 {
+            0.0
+        } else {
+            self.epoll_events as f64 / self.epoll_wakeups as f64
+        }
+    }
+
+    fn to_value(self) -> Value {
+        json::obj(vec![
+            ("opened", Value::UInt(self.opened)),
+            ("established", Value::UInt(self.established)),
+            ("closed", Value::UInt(self.closed)),
+            ("failed", Value::UInt(self.failed)),
+            ("retransmits", Value::UInt(self.retransmits)),
+            ("rpcs", Value::UInt(self.rpcs)),
+            ("stale_frames", Value::UInt(self.stale_frames)),
+            ("conn_rate_cps", Value::Num(self.conn_rate_cps)),
+            ("handshake", self.handshake.to_value()),
+            (
+                "established_high_water",
+                Value::UInt(self.established_high_water),
+            ),
+            (
+                "time_wait_high_water",
+                Value::UInt(self.time_wait_high_water),
+            ),
+            ("table_capacity", Value::UInt(self.table_capacity)),
+            ("table_slot_reuse", Value::UInt(self.table_slot_reuse)),
+            ("epoll_wakeups", Value::UInt(self.epoll_wakeups)),
+            ("epoll_events", Value::UInt(self.epoll_events)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<ConnSummary, JsonError> {
+        Ok(ConnSummary {
+            opened: v.get("opened")?.as_u64()?,
+            established: v.get("established")?.as_u64()?,
+            closed: v.get("closed")?.as_u64()?,
+            failed: v.get("failed")?.as_u64()?,
+            retransmits: v.get("retransmits")?.as_u64()?,
+            rpcs: v.get("rpcs")?.as_u64()?,
+            stale_frames: v.get("stale_frames")?.as_u64()?,
+            conn_rate_cps: v.get("conn_rate_cps")?.as_f64()?,
+            handshake: LatencyStats::from_value(v.get("handshake")?)?,
+            established_high_water: v.get("established_high_water")?.as_u64()?,
+            time_wait_high_water: v.get("time_wait_high_water")?.as_u64()?,
+            table_capacity: v.get("table_capacity")?.as_u64()?,
+            table_slot_reuse: v.get("table_slot_reuse")?.as_u64()?,
+            epoll_wakeups: v.get("epoll_wakeups")?.as_u64()?,
+            epoll_events: v.get("epoll_events")?.as_u64()?,
         })
     }
 }
@@ -214,6 +313,10 @@ pub struct Report {
     /// Stage stamps dropped because a trace ring filled up (0 when tracing
     /// is off). Non-zero means the residency distributions are partial.
     pub trace_overflow: u64,
+    /// Connection-lifecycle summary, churn workloads only. `None` (and
+    /// absent from the JSON) when the run had no churn, so non-churn
+    /// reports stay byte-identical to pre-churn ones.
+    pub conn: Option<ConnSummary>,
 }
 
 impl Report {
@@ -292,6 +395,10 @@ impl Report {
             ));
             fields.push(("trace_overflow", Value::UInt(self.trace_overflow)));
         }
+        // Likewise the churn summary: only present when churn ran.
+        if let Some(conn) = &self.conn {
+            fields.push(("conn", conn.to_value()));
+        }
         json::obj(fields)
     }
 
@@ -326,6 +433,10 @@ impl Report {
             trace_overflow: match v.get("trace_overflow") {
                 Ok(n) => n.as_u64()?,
                 Err(_) => 0,
+            },
+            conn: match v.get("conn") {
+                Ok(o) => Some(ConnSummary::from_value(o)?),
+                Err(_) => None,
             },
         })
     }
@@ -452,6 +563,50 @@ mod tests {
         assert_eq!(back.stage_latency, r.stage_latency);
         assert_eq!(back.trace_overflow, 7);
         assert_eq!(back.to_json(), j, "serialization is stable");
+    }
+
+    #[test]
+    fn non_churn_report_json_has_no_conn_key() {
+        let r = Report::default();
+        let j = r.to_json();
+        assert!(!j.contains("\"conn\""));
+        let back = Report::from_json(&j).unwrap();
+        assert!(back.conn.is_none());
+    }
+
+    #[test]
+    fn conn_summary_round_trips() {
+        let r = Report {
+            conn: Some(ConnSummary {
+                opened: 1000,
+                established: 990,
+                closed: 980,
+                failed: 2,
+                retransmits: 12,
+                rpcs: 970,
+                stale_frames: 1,
+                conn_rate_cps: 99_000.0,
+                handshake: LatencyStats {
+                    avg_us: 12.5,
+                    p99_us: 40.0,
+                    samples: 990,
+                },
+                established_high_water: 64,
+                time_wait_high_water: 32,
+                table_capacity: 80,
+                table_slot_reuse: 920,
+                epoll_wakeups: 100,
+                epoll_events: 990,
+            }),
+            ..Report::default()
+        };
+        let j = r.to_json();
+        let back = Report::from_json(&j).unwrap();
+        assert_eq!(back.conn, r.conn);
+        assert_eq!(back.to_json(), j, "serialization is stable");
+        let c = back.conn.unwrap();
+        assert!((c.epoll_events_per_wakeup() - 9.9).abs() < 1e-12);
+        assert_eq!(ConnSummary::default().epoll_events_per_wakeup(), 0.0);
     }
 
     #[test]

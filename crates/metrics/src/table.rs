@@ -88,6 +88,38 @@ pub fn format_stage_table(report: &Report) -> String {
     out
 }
 
+/// Render the connection-lifecycle summary from a churn report: lifecycle
+/// counters, handshake latency, flow-table footprint and epoll batching.
+/// Empty string when the report carries no churn data.
+pub fn format_conn_table(report: &Report) -> String {
+    let Some(c) = &report.conn else {
+        return String::new();
+    };
+    let mut out = String::new();
+    out.push_str(&format!("{:<24} {:>12}\n", "conn metric", "value"));
+    let rows: [(&str, String); 12] = [
+        ("opened", c.opened.to_string()),
+        ("established", c.established.to_string()),
+        ("closed", c.closed.to_string()),
+        ("failed", c.failed.to_string()),
+        ("retransmits", c.retransmits.to_string()),
+        ("rpcs", c.rpcs.to_string()),
+        ("conn_rate_cps", format!("{:.0}", c.conn_rate_cps)),
+        ("handshake_avg_us", format!("{:.2}", c.handshake.avg_us)),
+        ("handshake_p99_us", format!("{:.2}", c.handshake.p99_us)),
+        ("live_high_water", c.established_high_water.to_string()),
+        ("table_capacity", c.table_capacity.to_string()),
+        (
+            "epoll_evts_per_wakeup",
+            format!("{:.2}", c.epoll_events_per_wakeup()),
+        ),
+    ];
+    for (label, value) in rows {
+        out.push_str(&format!("{label:<24} {value:>12}\n"));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +181,34 @@ mod tests {
         assert!(!t.contains("warning"));
         r.trace_overflow = 3;
         assert!(format_stage_table(&r).contains("3 stamps lost"));
+    }
+
+    #[test]
+    fn conn_table_renders_only_for_churn_reports() {
+        use crate::report::{ConnSummary, LatencyStats};
+        let mut r = Report::default();
+        assert_eq!(
+            format_conn_table(&r),
+            "",
+            "non-churn report renders nothing"
+        );
+        r.conn = Some(ConnSummary {
+            opened: 500,
+            established: 495,
+            conn_rate_cps: 50_000.0,
+            handshake: LatencyStats {
+                avg_us: 10.0,
+                p99_us: 25.0,
+                samples: 495,
+            },
+            epoll_wakeups: 10,
+            epoll_events: 40,
+            ..ConnSummary::default()
+        });
+        let t = format_conn_table(&r);
+        assert!(t.contains("opened"));
+        assert!(t.contains("500"));
+        assert!(t.contains("50000"));
+        assert!(t.contains("4.00"), "epoll coalescing ratio");
     }
 }

@@ -44,7 +44,7 @@ pub use cc::{make_cc, CcAlgo, CongestionControl};
 pub use reassembly::ReassemblyQueue;
 pub use receiver::{AckAction, TcpReceiver};
 pub use sack::{SackBlocks, Scoreboard};
-pub use segment::{AckView, DataView, FlowId, Segment, SegmentKind};
+pub use segment::{AckView, ConnPhase, DataView, FlowId, Segment, SegmentKind};
 pub use sender::{SendAction, TcpSender};
 
 /// Default maximum segment size for standard Ethernet (1500 MTU minus

@@ -40,6 +40,54 @@ pub enum SegmentKind {
         /// loss recovery.
         sack: SackBlocks,
     },
+    /// A connection-lifecycle control segment (SYN/FIN family plus the
+    /// short-RPC payload frames churn workloads exchange). For these, the
+    /// segment's `flow` field carries a packed connection id from the
+    /// connection layer rather than an index into the long-flow table.
+    Conn {
+        /// Which lifecycle step this segment performs.
+        phase: ConnPhase,
+        /// True if this is a handshake retransmission (SYN/SYN-ACK resent
+        /// after loss).
+        retransmit: bool,
+    },
+}
+
+/// Lifecycle step carried by a [`SegmentKind::Conn`] segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnPhase {
+    /// Active open request (client → server).
+    Syn,
+    /// Passive-open reply (server → client).
+    SynAck,
+    /// Handshake-completing bare ACK (client → server, no payload).
+    HsAck,
+    /// Request payload chunk (client → server). The first request chunk
+    /// doubles as the handshake-completing ACK (piggybacked, as real
+    /// clients do).
+    Request {
+        /// Payload bytes in this chunk.
+        len: u32,
+    },
+    /// Response payload chunk (server → client).
+    Response {
+        /// Payload bytes in this chunk.
+        len: u32,
+    },
+    /// Active close (client → server).
+    Fin,
+    /// Close acknowledgment (server → client).
+    FinAck,
+}
+
+impl ConnPhase {
+    /// Payload bytes this phase carries on the wire.
+    pub fn payload_len(&self) -> u32 {
+        match *self {
+            ConnPhase::Request { len } | ConnPhase::Response { len } => len,
+            _ => 0,
+        }
+    }
 }
 
 /// A protocol segment travelling the simulated wire.
@@ -87,11 +135,23 @@ impl Segment {
         }
     }
 
-    /// Payload bytes carried (0 for ACKs).
+    /// Build a connection-lifecycle control segment. `conn` is the packed
+    /// connection id from the connection layer.
+    pub fn conn(conn: u64, phase: ConnPhase, retransmit: bool) -> Self {
+        Segment {
+            flow: conn,
+            kind: SegmentKind::Conn { phase, retransmit },
+            ecn_ce: false,
+            trace: NO_TRACE,
+        }
+    }
+
+    /// Payload bytes carried (0 for ACKs and payload-free control phases).
     pub fn payload_len(&self) -> u32 {
         match self.kind {
             SegmentKind::Data { len, .. } => len,
             SegmentKind::Ack { .. } => 0,
+            SegmentKind::Conn { phase, .. } => phase.payload_len(),
         }
     }
 
@@ -118,7 +178,7 @@ impl Segment {
                 len,
                 retransmit,
             }),
-            SegmentKind::Ack { .. } => None,
+            _ => None,
         }
     }
 
@@ -136,7 +196,16 @@ impl Segment {
                 ecn_echo,
                 sack,
             }),
-            SegmentKind::Data { .. } => None,
+            _ => None,
+        }
+    }
+
+    /// Typed accessor: the connection-control fields, or `None` for data
+    /// and ACK segments.
+    pub fn conn_view(&self) -> Option<(ConnPhase, bool)> {
+        match self.kind {
+            SegmentKind::Conn { phase, retransmit } => Some((phase, retransmit)),
+            _ => None,
         }
     }
 }
@@ -197,6 +266,23 @@ mod tests {
         assert_eq!(v.window, 65535);
         assert!(v.ecn_echo);
         assert_eq!(v.sack.as_slice(), &[(6000, 7000)]);
+    }
+
+    #[test]
+    fn conn_segment_fields() {
+        let s = Segment::conn(0xdead_beef, ConnPhase::Syn, false);
+        assert!(!s.is_data());
+        assert_eq!(s.payload_len(), 0);
+        assert_eq!(s.wire_bytes(), 78, "SYN is headers only");
+        assert_eq!(s.flow, 0xdead_beef);
+        assert_eq!(s.conn_view(), Some((ConnPhase::Syn, false)));
+        assert!(s.data_view().is_none());
+        assert!(s.ack_view().is_none());
+
+        let r = Segment::conn(7, ConnPhase::Request { len: 4096 }, false);
+        assert_eq!(r.payload_len(), 4096);
+        assert_eq!(r.wire_bytes(), 4096 + 78);
+        assert_eq!(ConnPhase::FinAck.payload_len(), 0);
     }
 
     #[test]

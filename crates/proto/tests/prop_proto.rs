@@ -75,7 +75,9 @@ fn run_transfer(total: u64, loss: f64, reorder: bool, seed: u64, algo: CcAlgo) -
                     }
                 }
             }
-            SegmentKind::Ack { .. } => unreachable!("pipe carries only data"),
+            SegmentKind::Ack { .. } | SegmentKind::Conn { .. } => {
+                unreachable!("pipe carries only data")
+            }
         }
     }
     (delivered, snd.retransmissions, drops)

@@ -401,6 +401,54 @@ mod tests {
     }
 
     #[test]
+    fn late_cancel_after_reuse_cannot_kill_the_new_event() {
+        // The nasty ordering: an event fires, its slot is reused by a new
+        // event, and only then does the stale token's cancel arrive. The
+        // fired pop bumped the generation, so the late cancel must miss
+        // the reused slot and len() must stay exact.
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), "a");
+        assert!(q.pop().is_some());
+        let b = q.schedule(SimTime::from_nanos(2), "b");
+        assert_eq!(b.slot, a.slot, "test premise: b reuses a's slot");
+        q.cancel(a);
+        assert_eq!(q.len(), 1, "late cancel must not touch the reused slot");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn generation_stamps_survive_slot_reuse_near_u64_boundary() {
+        // Generations bump with wrapping_add, so the interesting edge is
+        // the wrap itself: tokens stamped MAX-1 and MAX must die on
+        // fire/cancel, and the post-wrap stamp (0) must not resurrect
+        // them. Reaching u64::MAX takes 2^64 reuses organically; pin the
+        // side table directly (tests share the module, fields are ours).
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), "seed");
+        q.cancel(a); // slot 0 freed
+        q.generations[0] = u64::MAX - 1;
+        let b = q.schedule(SimTime::from_nanos(2), "near-max");
+        assert_eq!(b.generation, u64::MAX - 1);
+        q.cancel(b); // bumps to u64::MAX
+        assert!(q.is_empty());
+        let c = q.schedule(SimTime::from_nanos(3), "at-max");
+        assert_eq!(c.generation, u64::MAX);
+        q.cancel(b); // stale token from the previous generation: no-op
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("at-max"));
+        // c fired across the wrap (MAX -> 0); its token is dead and the
+        // recycled slot stamps the wrapped generation on the next event.
+        let d = q.schedule(SimTime::from_nanos(4), "wrapped");
+        assert_eq!(d.generation, 0);
+        assert_ne!(c, d);
+        q.cancel(c); // dead pre-wrap token: no-op on the live event
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("wrapped"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
     fn heavy_cancel_churn_stays_consistent() {
         // Timer-like workload: schedule, cancel half, fire the rest, reuse
         // slots continuously. len() must track exactly throughout.

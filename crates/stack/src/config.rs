@@ -212,6 +212,10 @@ pub struct SimConfig {
     /// Deterministic fault plan (resource faults; wire faults live in
     /// [`LinkConfig`]). Default injects nothing.
     pub faults: FaultConfig,
+    /// Connection-churn workload (`hns-conn`): open-loop connection
+    /// arrivals with full SYN/accept/FIN lifecycles. `None` (the default)
+    /// runs no churn and leaves the engine entirely out of the event loop.
+    pub churn: Option<hns_conn::ChurnConfig>,
     /// Run watchdog: declare the run wedged if nothing moves — no wire
     /// frames, no delivered bytes, no retransmissions — for this much
     /// sim time while flows still have outstanding data. Must exceed the
@@ -238,6 +242,7 @@ impl Default for SimConfig {
             trace: hns_trace::TraceConfig::DISABLED,
             max_backlog: 0,
             faults: FaultConfig::default(),
+            churn: None,
             watchdog_horizon: Duration::from_secs(5),
         }
     }

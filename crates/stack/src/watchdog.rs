@@ -17,6 +17,9 @@ pub enum RunErrorKind {
     /// The fault plan itself is inconsistent (bad schedule, core out of
     /// range); nothing was simulated.
     BadFaultPlan,
+    /// The churn plan is inconsistent (zero arrival rate, zero shards,
+    /// empty pool); nothing was simulated.
+    BadChurnPlan,
     /// No forward progress — no frame offered to the wire and no byte
     /// delivered to an application — for a full watchdog horizon while
     /// flows still had outstanding data.
@@ -34,6 +37,7 @@ impl RunErrorKind {
     pub fn name(&self) -> &'static str {
         match self {
             RunErrorKind::BadFaultPlan => "bad-fault-plan",
+            RunErrorKind::BadChurnPlan => "bad-churn-plan",
             RunErrorKind::Stalled => "stalled",
             RunErrorKind::EventStorm => "event-storm",
             RunErrorKind::QueueLeak => "queue-leak",

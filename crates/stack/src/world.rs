@@ -63,7 +63,16 @@ enum Event {
     EndRun,
     /// A fault schedule crosses a window boundary: reconcile its state.
     FaultTick { kind: FaultKind },
+    /// An open-loop connection arrival (churn workloads).
+    ConnArrival,
+    /// A connection's client-side retransmit timer fired. Stale unless
+    /// `deadline` still matches the record's armed deadline.
+    ConnTimer { conn: u64, deadline: SimTime },
+    /// Periodic TIME_WAIT reaper cadence (churn workloads).
+    TimeWaitTick,
 }
+
+mod churn;
 
 /// Which scheduled resource fault a `FaultTick` reconciles.
 #[derive(Clone, Copy, Debug)]
@@ -154,6 +163,9 @@ pub struct World {
     /// hook below is a single branch on `trace.enabled()` and stamps never
     /// charge cycles, so behaviour is identical with tracing on or off.
     trace: TraceCollector,
+    /// Connection-lifecycle engine (`hns-conn`), present when the config
+    /// carries a churn workload.
+    churn: Option<churn::ChurnEngine>,
 }
 
 impl World {
@@ -192,6 +204,7 @@ impl World {
             frag_pool: crate::skb::FragPool::new(),
             gro_scratch: Vec::new(),
             trace: TraceCollector::new(cfg.trace, 2, cores),
+            churn: cfg.churn.map(|c| churn::ChurnEngine::new(c, cores)),
             cfg,
         }
     }
@@ -269,6 +282,7 @@ impl World {
     /// hanging or panicking.
     pub fn try_run(&mut self, warmup: Duration, measure: Duration) -> Result<Report, RunError> {
         self.arm_faults()?;
+        self.arm_churn()?;
         self.queue
             .schedule(SimTime::ZERO + warmup, Event::EndWarmup);
         self.queue
@@ -426,6 +440,9 @@ impl World {
             Event::EndWarmup => self.end_warmup(),
             Event::EndRun => self.finished = true,
             Event::FaultTick { kind } => self.fault_tick(kind),
+            Event::ConnArrival => self.conn_arrival(),
+            Event::ConnTimer { conn, deadline } => self.conn_timer(conn, deadline),
+            Event::TimeWaitTick => self.time_wait_tick(),
         }
     }
 
@@ -676,6 +693,9 @@ impl World {
                         self.deliver_skb(h, core, skb, ch);
                     }
                 }
+                SegmentKind::Conn { phase, retransmit } => {
+                    self.conn_rx(h, core, pf.seg.flow, phase, retransmit, ch);
+                }
             }
             self.hosts[h].cores[core].budget_used += 1;
         }
@@ -708,7 +728,8 @@ impl World {
             }
         }
 
-        // End of a poll cycle: flush GRO state.
+        // End of a poll cycle: flush GRO state and close the simulated
+        // server thread's epoll_wait batch (churn workloads).
         let cd = &mut self.hosts[h].cores[core];
         if cd.backlog.is_empty() || cd.budget_used >= self.cfg.napi_budget {
             cd.budget_used = 0;
@@ -718,6 +739,7 @@ impl World {
                 self.deliver_skb(h, core, skb, ch);
             }
             self.gro_scratch = flushed;
+            self.conn_epoll_batch_end(h, core);
         }
 
         let cd = &self.hosts[h].cores[core];
@@ -1417,7 +1439,11 @@ impl World {
                 // the watchdog — even a dropped frame proves the sender's
                 // recovery machinery is still alive.
                 self.progress += 1;
-                if self.trace.enabled() {
+                // Conn segments carry a packed connection id in `flow`, not
+                // a flow-table index; their lifecycle stamps happen at the
+                // handshake stages instead.
+                let is_conn = matches!(seg.kind, SegmentKind::Conn { .. });
+                if self.trace.enabled() && !is_conn {
                     let core = self.flows[seg.flow as usize].spec.src_core as usize;
                     self.trace
                         .stamp(seg.trace, seg.flow, StageId::NicTx, h, core, now);
@@ -1427,7 +1453,7 @@ impl World {
                     TransmitOutcome::Delivered { arrives, ce } => {
                         let mut seg = seg;
                         seg.ecn_ce |= ce;
-                        if self.trace.enabled() {
+                        if self.trace.enabled() && !is_conn {
                             let core = self.flows[seg.flow as usize].spec.src_core as usize;
                             self.trace
                                 .stamp(seg.trace, seg.flow, StageId::Wire, h, core, now);
@@ -1469,6 +1495,15 @@ impl World {
         let target_core = match seg.kind {
             SegmentKind::Data { .. } => self.flows[fid].irq_core,
             SegmentKind::Ack { .. } => self.flows[fid].ack_irq_core,
+            SegmentKind::Conn { .. } => match self.conn_target_core(dst, seg.flow) {
+                Some(core) => core,
+                None => {
+                    // Connection torn down while the frame was in flight: a
+                    // late retransmit with no socket to land on.
+                    self.conn_stale_frame();
+                    return;
+                }
+            },
         };
         // Softirq backlog cap (netdev_max_backlog): shed load before even
         // consuming a descriptor when the polling core has fallen too far
@@ -1504,6 +1539,9 @@ impl World {
                 (core, Some(fr))
             }
             SegmentKind::Ack { .. } => (self.flows[fid].ack_irq_core, None),
+            // Lifecycle segments are header-sized (or small RPC payloads
+            // modeled inline): no page-arena buffer, no GRO, no DCA.
+            SegmentKind::Conn { .. } => (target_core, None),
         };
         if self.trace.enabled() {
             // Descriptor accepted and DMA'd: the frame is in host memory.
@@ -1713,6 +1751,9 @@ impl World {
         self.rpc_latency_ns.reset();
         self.tick_bytes = 0;
         self.gbps_timeline.clear();
+        if let Some(eng) = self.churn.as_mut() {
+            eng.start_window();
+        }
         self.wire_drop_baseline = self.link.drops(0) + self.link.drops(1);
         self.ring_drop_baseline = self.hosts[0].ring_drops() + self.hosts[1].ring_drops();
         self.drop_baseline = self.drop_stats;
@@ -1721,7 +1762,8 @@ impl World {
     fn build_report(&self) -> Report {
         let now = self.queue.now();
         let window = now.since(self.window_start).as_secs_f64();
-        let delivered: u64 = self.flows.iter().map(|f| f.app_bytes).sum();
+        let delivered: u64 = self.flows.iter().map(|f| f.app_bytes).sum::<u64>()
+            + self.churn.as_ref().map_or(0, |e| e.bytes_delivered);
         let total_gbps = if window > 0.0 {
             delivered as f64 * 8.0 / 1e9 / window
         } else {
@@ -1825,6 +1867,7 @@ impl World {
             gbps_timeline: self.gbps_timeline.clone(),
             stage_latency,
             trace_overflow,
+            conn: self.conn_summary(window),
         }
     }
 

@@ -1,0 +1,868 @@
+//! Connection-lifecycle engine: `hns-conn` wired into the world.
+//!
+//! A child module of `world` so it can reach the event loop's private state
+//! (queue, hosts, tracer) without widening visibility. The engine drives an
+//! open-loop Poisson process of connection arrivals; each connection walks
+//! the full SYN / SYN-ACK / accept / FIN / TIME_WAIT lifecycle with every
+//! transition priced into the paper's 8-category cycle taxonomy, and every
+//! lifecycle segment travels the simulated wire as a real frame — it is
+//! serialized by the link, subject to the loss model (so injected SYN drops
+//! exercise the retransmit path), and consumes an Rx descriptor at the
+//! receiving NIC.
+//!
+//! Execution contexts mirror the kernel's:
+//!
+//! * **Arrival / timer / reaper work** (connect(), retransmit timers, the
+//!   TIME_WAIT reaper) charges its cycles directly to the owning core, like
+//!   the RTO path — frequent enough to cost CPU, rare enough not to occupy
+//!   the scheduler.
+//! * **Segment receive work** runs inside the softirq step that polled the
+//!   frame, so handshake processing competes with data-path NAPI work for
+//!   the same cores.
+//!
+//! Reliability is client-driven: one deadline-stamped timer per connection
+//! covers SYN, request, and FIN retransmission with exponential backoff
+//! (stale timers are recognised by deadline comparison, the same discipline
+//! as the flow RTO). The server is duplicate-tolerant — a resent SYN gets
+//! the SYN-ACK again, a resent request gets the response again, a FIN to an
+//! already-closed half gets its FIN-ACK again — so any single loss heals.
+
+use std::collections::VecDeque;
+
+use hns_conn::{
+    ChurnConfig, ChurnMode, ChurnStats, Conn, ConnCostModel, ConnId, EpollAccounting, FlowTable,
+    HalfConn, TimeWaitRing,
+};
+use hns_mem::numa::MemClass;
+use hns_metrics::Category;
+use hns_proto::{ConnPhase, Segment};
+use hns_sim::{Duration, SimTime};
+use hns_trace::StageId;
+
+use super::{Charges, Event, World};
+use crate::watchdog::{RunError, RunErrorKind, Snapshot};
+
+/// Clients run on host 0, servers on host 1 (matching the long-flow world
+/// where host 0 sends and host 1 receives).
+const CLIENT_HOST: usize = 0;
+const SERVER_HOST: usize = 1;
+
+/// The churn engine's state, owned by the world when `SimConfig::churn` is
+/// set.
+pub(crate) struct ChurnEngine {
+    /// Per-transition cycle prices.
+    pub(crate) cost: ConnCostModel,
+    /// The sharded slab of live connections.
+    pub(crate) table: FlowTable,
+    /// TIME_WAIT deadline ring (client side; the active closer).
+    pub(crate) timewait: TimeWaitRing,
+    /// Per-server-core epoll accounting.
+    pub(crate) epoll: Vec<EpollAccounting>,
+    /// Lifecycle counters and the handshake-latency histogram.
+    pub(crate) stats: ChurnStats,
+    /// Pool mode: live members, oldest first (the next churn victim).
+    pub(crate) pool: VecDeque<u64>,
+    /// Connections initiated so far (round-robin core placement + trace
+    /// sampling index).
+    pub(crate) arrival_seq: u64,
+    /// RPC payload bytes delivered to applications during the measurement
+    /// window (feeds the report's throughput like long-flow app bytes).
+    pub(crate) bytes_delivered: u64,
+    /// Epoll counter snapshots at the warmup boundary, so the report covers
+    /// only the measurement window.
+    epoll_wakeup_base: u64,
+    epoll_event_base: u64,
+}
+
+impl ChurnEngine {
+    pub(crate) fn new(cfg: ChurnConfig, cores: usize) -> Self {
+        let mut table = FlowTable::new(cfg.shards);
+        if let ChurnMode::Pool { conns } = cfg.mode {
+            table.reserve(conns as usize);
+        }
+        ChurnEngine {
+            cost: ConnCostModel::calibrated(),
+            table,
+            timewait: TimeWaitRing::new(),
+            epoll: vec![EpollAccounting::new(); cores],
+            stats: ChurnStats::new(),
+            pool: VecDeque::new(),
+            arrival_seq: 0,
+            bytes_delivered: 0,
+            epoll_wakeup_base: 0,
+            epoll_event_base: 0,
+        }
+    }
+
+    /// Sum epoll wakeups/events across server cores.
+    fn epoll_totals(&self) -> (u64, u64) {
+        self.epoll
+            .iter()
+            .fold((0, 0), |(w, e), a| (w + a.wakeups(), e + a.events()))
+    }
+
+    /// Reset window-scoped counters at the warmup/measurement boundary.
+    pub(crate) fn start_window(&mut self) {
+        self.stats.reset();
+        self.bytes_delivered = 0;
+        let (w, e) = self.epoll_totals();
+        self.epoll_wakeup_base = w;
+        self.epoll_event_base = e;
+    }
+
+    /// Epoll wakeups/events within the measurement window.
+    fn epoll_window(&self) -> (u64, u64) {
+        let (w, e) = self.epoll_totals();
+        (w - self.epoll_wakeup_base, e - self.epoll_event_base)
+    }
+}
+
+impl World {
+    /// Validate the churn plan, pre-install the pool, and schedule the
+    /// first arrival and the TIME_WAIT reaper. Called from `try_run`.
+    pub(super) fn arm_churn(&mut self) -> Result<(), RunError> {
+        let Some(ccfg) = self.cfg.churn else {
+            return Ok(());
+        };
+        ccfg.validate().map_err(|detail| RunError {
+            kind: RunErrorKind::BadChurnPlan,
+            at: SimTime::ZERO,
+            detail,
+            snapshot: Snapshot::default(),
+        })?;
+        let ncores = self.cfg.topology.total_cores() as u64;
+        if let ChurnMode::Pool { conns } = ccfg.mode {
+            // Seed the pool fully established — the historical handshakes
+            // are not part of the experiment, only the steady-state churn.
+            let eng = self.churn.as_mut().expect("engine exists when churn set");
+            for i in 0..conns as u64 {
+                let c = Conn::established(
+                    (i % ncores) as u16,
+                    ((i + 1) % ncores) as u16,
+                    SimTime::ZERO,
+                );
+                let id = eng.table.install(c);
+                eng.pool.push_back(id.to_u64());
+            }
+        }
+        let first = self
+            .workload_rng
+            .exp(ccfg.mean_interarrival().as_nanos() as f64) as u64;
+        self.queue.schedule(
+            SimTime::ZERO + Duration::from_nanos(first.max(1)),
+            Event::ConnArrival,
+        );
+        self.queue
+            .schedule(SimTime::ZERO + ccfg.reap_interval, Event::TimeWaitTick);
+        Ok(())
+    }
+
+    /// Charge a one-off batch of cycles straight to (host, core), outside
+    /// any scheduled step (the RTO-path pattern).
+    fn charge_direct(&mut self, h: usize, core: usize, ch: Charges) {
+        let cd = &mut self.hosts[h].cores[core];
+        cd.breakdown += ch.0;
+        cd.usage.add_busy(hns_sim::cycles_to_time(ch.total()));
+    }
+
+    /// Steering for connection-lifecycle frames: the owning core from the
+    /// flow table (fixed RSS-style placement chosen at open). `None` means
+    /// the connection is gone — a late retransmit racing teardown.
+    pub(super) fn conn_target_core(&self, dst: usize, raw: u64) -> Option<u16> {
+        let eng = self.churn.as_ref()?;
+        let c = eng.table.get(ConnId::from_u64(raw))?;
+        Some(if dst == SERVER_HOST {
+            c.server_core
+        } else {
+            c.client_core
+        })
+    }
+
+    /// Count a frame that arrived for a connection no longer in the table.
+    pub(super) fn conn_stale_frame(&mut self) {
+        if let Some(eng) = self.churn.as_mut() {
+            eng.stats.stale_frames += 1;
+        }
+    }
+
+    /// End-of-poll-cycle hook: the simulated server thread drained its
+    /// `epoll_wait` batch and goes back to sleep.
+    pub(super) fn conn_epoll_batch_end(&mut self, h: usize, core: usize) {
+        if h != SERVER_HOST {
+            return;
+        }
+        if let Some(eng) = self.churn.as_mut() {
+            eng.epoll[core].end_batch();
+        }
+    }
+
+    /// Arm (or re-arm) the connection's single client-side timer. The
+    /// deadline is stored on the record; a fired event whose deadline no
+    /// longer matches is stale.
+    fn arm_conn_timer(&mut self, raw: u64, deadline: SimTime) {
+        let Some(eng) = self.churn.as_mut() else {
+            return;
+        };
+        if let Some(c) = eng.table.get_mut(ConnId::from_u64(raw)) {
+            c.timer_at = deadline;
+            self.queue.schedule(
+                deadline,
+                Event::ConnTimer {
+                    conn: raw,
+                    deadline,
+                },
+            );
+        }
+    }
+
+    /// An open-loop connection arrival: in pool mode retire the oldest
+    /// member, then open a new connection (socket alloc + SYN), and
+    /// schedule the next arrival.
+    pub(super) fn conn_arrival(&mut self) {
+        let Some(ccfg) = self.cfg.churn else {
+            return;
+        };
+        let now = self.queue.now();
+        // The Poisson process never stops; EndRun stops the loop.
+        let gap = self
+            .workload_rng
+            .exp(ccfg.mean_interarrival().as_nanos() as f64) as u64;
+        self.queue
+            .schedule_after(Duration::from_nanos(gap.max(1)), Event::ConnArrival);
+
+        if matches!(ccfg.mode, ChurnMode::Pool { .. }) {
+            let victim = self.churn.as_mut().and_then(|e| e.pool.pop_front());
+            if let Some(raw) = victim {
+                self.client_close(raw);
+            }
+        }
+
+        let ncores = self.cfg.topology.total_cores() as u64;
+        let (raw, client_core) = {
+            let eng = self.churn.as_mut().expect("churn engine");
+            let seq = eng.arrival_seq;
+            eng.arrival_seq += 1;
+            let client_core = (seq % ncores) as u16;
+            let server_core = ((seq + 1) % ncores) as u16;
+            let mut conn = Conn::new(client_core, server_core, now);
+            conn.client = HalfConn::SynSent;
+            eng.stats.opened += 1;
+            let id = eng.table.install(conn);
+            (id.to_u64(), client_core as usize)
+        };
+        // Lifecycle tracing: sample every Nth connection; the whole
+        // connection shares one timeline id (SynTx → … → TimeWaitReap).
+        let seq = self.churn.as_ref().expect("churn engine").arrival_seq - 1;
+        let tid = if self.trace.enabled()
+            && ccfg.trace_sample > 0
+            && seq.is_multiple_of(ccfg.trace_sample as u64)
+        {
+            let tid = self.trace.alloc(raw);
+            let eng = self.churn.as_mut().expect("churn engine");
+            eng.table
+                .get_mut(ConnId::from_u64(raw))
+                .expect("just installed")
+                .trace = tid;
+            tid
+        } else {
+            hns_trace::NO_SKB
+        };
+
+        let cc = self.churn.as_ref().expect("churn engine").cost;
+        let mut ch = Charges::default();
+        ch.add(Category::Memory, cc.socket_alloc);
+        ch.add(Category::TcpIp, cc.syn_tx);
+        ch.add(Category::SkbMgmt, cc.ctl_skb);
+        ch.add(Category::Lock, cc.conn_lock);
+        if self.trace.enabled() {
+            self.trace
+                .stamp(tid, raw, StageId::SynTx, CLIENT_HOST, client_core, now);
+        }
+        self.enqueue_frames(
+            CLIENT_HOST,
+            client_core,
+            Segment::conn(raw, ConnPhase::Syn, false),
+            &mut ch,
+        );
+        self.charge_direct(CLIENT_HOST, client_core, ch);
+        self.arm_conn_timer(raw, now + ccfg.syn_rto);
+    }
+
+    /// Initiate an active close from the client: FIN out, FinWait, timer
+    /// armed. Charged directly to the client core (application context).
+    fn client_close(&mut self, raw: u64) {
+        let Some(ccfg) = self.cfg.churn else {
+            return;
+        };
+        let now = self.queue.now();
+        let info = {
+            let eng = self.churn.as_mut().expect("churn engine");
+            match eng.table.get_mut(ConnId::from_u64(raw)) {
+                Some(c) if c.client == HalfConn::Established => {
+                    c.client = HalfConn::FinWait;
+                    c.syn_retries = 0;
+                    Some((c.client_core as usize, c.trace))
+                }
+                _ => None,
+            }
+        };
+        let Some((core, tid)) = info else {
+            return;
+        };
+        let cc = self.churn.as_ref().expect("churn engine").cost;
+        let mut ch = Charges::default();
+        ch.add(Category::TcpIp, cc.fin_tx);
+        ch.add(Category::SkbMgmt, cc.ctl_skb);
+        ch.add(Category::Lock, cc.conn_lock);
+        if self.trace.enabled() {
+            self.trace
+                .stamp(tid, raw, StageId::FinTx, CLIENT_HOST, core, now);
+        }
+        self.enqueue_frames(
+            CLIENT_HOST,
+            core,
+            Segment::conn(raw, ConnPhase::Fin, false),
+            &mut ch,
+        );
+        self.charge_direct(CLIENT_HOST, core, ch);
+        self.arm_conn_timer(raw, now + ccfg.syn_rto);
+    }
+
+    /// Server side of the handshake completing: promote the request sock,
+    /// `accept()` the connection, register it with epoll. Runs in the
+    /// softirq step that processed the completing segment.
+    fn server_accept(&mut self, core: usize, raw: u64, tid: u64, ch: &mut Charges) {
+        let cc = self.churn.as_ref().expect("churn engine").cost;
+        ch.add(Category::TcpIp, cc.establish);
+        ch.add(Category::Etc, cc.accept);
+        ch.add(Category::Etc, cc.epoll_ctl);
+        let woke = {
+            let eng = self.churn.as_mut().expect("churn engine");
+            eng.epoll[core].ctl();
+            eng.epoll[core].event()
+        };
+        if woke {
+            ch.add(Category::Sched, cc.epoll_wakeup);
+        }
+        ch.add(Category::Sched, cc.epoll_dispatch);
+        if self.trace.enabled() {
+            let now = self.queue.now();
+            self.trace
+                .stamp(tid, raw, StageId::ConnAccept, SERVER_HOST, core, now);
+        }
+    }
+
+    /// A connection-lifecycle segment was polled out of the softirq
+    /// backlog on (host `h`, `core`). The full per-phase state machine.
+    pub(super) fn conn_rx(
+        &mut self,
+        h: usize,
+        core: usize,
+        raw: u64,
+        phase: ConnPhase,
+        _retransmit: bool,
+        ch: &mut Charges,
+    ) {
+        let Some(ccfg) = self.cfg.churn else {
+            return;
+        };
+        let now = self.queue.now();
+        let id = ConnId::from_u64(raw);
+        let cc = self.churn.as_ref().expect("churn engine").cost;
+
+        // Driver receive + skb bookkeeping + ehash bucket lock: every
+        // lifecycle segment pays these regardless of phase.
+        ch.add(
+            Category::NetDevice,
+            if phase.payload_len() > 0 {
+                self.cost.driver_rx_frame
+            } else {
+                self.cost.driver_rx_ack
+            },
+        );
+        ch.add(Category::SkbMgmt, cc.ctl_skb);
+        ch.add(Category::Lock, cc.conn_lock);
+
+        if self
+            .churn
+            .as_ref()
+            .expect("churn engine")
+            .table
+            .get(id)
+            .is_none()
+        {
+            // Torn down between descriptor DMA and the poll: dropped at
+            // socket lookup, exactly like the kernel's ehash miss.
+            self.conn_stale_frame();
+            return;
+        }
+
+        match (h, phase) {
+            // ---------------- server side (host 1) ----------------
+            (SERVER_HOST, ConnPhase::Syn) => {
+                ch.add(Category::TcpIp, cc.syn_rx);
+                let (dup, tid) = {
+                    let eng = self.churn.as_mut().expect("churn engine");
+                    let c = eng.table.get_mut(id).expect("checked live");
+                    if c.server == HalfConn::Closed {
+                        c.server = HalfConn::SynRcvd;
+                        (false, c.trace)
+                    } else {
+                        (true, c.trace)
+                    }
+                };
+                if dup {
+                    // Duplicate SYN (client retransmitted): just resend the
+                    // SYN-ACK below.
+                    self.churn
+                        .as_mut()
+                        .expect("churn engine")
+                        .stats
+                        .syn_retransmits += 1;
+                } else {
+                    // Request minisock allocated on first SYN.
+                    ch.add(Category::Memory, cc.socket_alloc);
+                    if self.trace.enabled() {
+                        self.trace
+                            .stamp(tid, raw, StageId::SynRx, SERVER_HOST, core, now);
+                    }
+                }
+                ch.add(Category::TcpIp, cc.synack_tx);
+                ch.add(Category::SkbMgmt, cc.ctl_skb);
+                self.enqueue_frames(
+                    SERVER_HOST,
+                    core,
+                    Segment::conn(raw, ConnPhase::SynAck, dup),
+                    ch,
+                );
+            }
+            (SERVER_HOST, ConnPhase::HsAck) => {
+                let promote = {
+                    let eng = self.churn.as_mut().expect("churn engine");
+                    let c = eng.table.get_mut(id).expect("checked live");
+                    if c.server == HalfConn::SynRcvd {
+                        c.server = HalfConn::Established;
+                        Some(c.trace)
+                    } else {
+                        None
+                    }
+                };
+                if let Some(tid) = promote {
+                    self.server_accept(core, raw, tid, ch);
+                }
+            }
+            (SERVER_HOST, ConnPhase::Request { len }) => {
+                // First request chunk doubles as the handshake-completing
+                // ACK (piggybacked).
+                let promote = {
+                    let eng = self.churn.as_mut().expect("churn engine");
+                    let c = eng.table.get_mut(id).expect("checked live");
+                    if c.server == HalfConn::SynRcvd {
+                        c.server = HalfConn::Established;
+                        Some(c.trace)
+                    } else {
+                        None
+                    }
+                };
+                if let Some(tid) = promote {
+                    self.server_accept(core, raw, tid, ch);
+                }
+                ch.add(Category::TcpIp, self.cost.tcp_rx_cycles(len));
+                let first = {
+                    let eng = self.churn.as_mut().expect("churn engine");
+                    let c = eng.table.get_mut(id).expect("checked live");
+                    if c.req_done == 0 {
+                        c.req_done = len;
+                        c.resp_done = len;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if first {
+                    // Data-ready epoll event, server read, response write.
+                    let woke = {
+                        let eng = self.churn.as_mut().expect("churn engine");
+                        eng.epoll[core].event()
+                    };
+                    if woke {
+                        ch.add(Category::Sched, cc.epoll_wakeup);
+                    }
+                    ch.add(Category::Sched, cc.epoll_dispatch);
+                    ch.add(Category::Etc, self.cost.syscall_recv);
+                    ch.add(
+                        Category::DataCopy,
+                        self.cost.copy_cycles(MemClass::LocalDram, len as u64),
+                    );
+                    if self.measuring {
+                        self.churn.as_mut().expect("churn engine").bytes_delivered += len as u64;
+                        self.tick_bytes += len as u64;
+                    }
+                    ch.add(Category::Etc, self.cost.syscall_write);
+                    ch.add(
+                        Category::DataCopy,
+                        self.cost.sender_copy_cycles(len as u64, 0.0),
+                    );
+                    ch.add(Category::TcpIp, self.cost.tcp_tx_cycles(len));
+                    ch.add(Category::SkbMgmt, self.cost.skb_build_tx);
+                    self.enqueue_frames(
+                        SERVER_HOST,
+                        core,
+                        Segment::conn(raw, ConnPhase::Response { len }, false),
+                        ch,
+                    );
+                } else {
+                    // Duplicate request (client timer fired): resend the
+                    // response.
+                    self.churn
+                        .as_mut()
+                        .expect("churn engine")
+                        .stats
+                        .syn_retransmits += 1;
+                    ch.add(Category::TcpIp, self.cost.tcp_tx_cycles(len));
+                    self.enqueue_frames(
+                        SERVER_HOST,
+                        core,
+                        Segment::conn(raw, ConnPhase::Response { len }, true),
+                        ch,
+                    );
+                }
+            }
+            (SERVER_HOST, ConnPhase::Fin) => {
+                ch.add(Category::TcpIp, cc.fin_rx);
+                let dup = {
+                    let eng = self.churn.as_mut().expect("churn engine");
+                    let c = eng.table.get_mut(id).expect("checked live");
+                    if c.server.is_live() {
+                        c.server = HalfConn::Closed;
+                        false
+                    } else {
+                        true
+                    }
+                };
+                if dup {
+                    self.churn
+                        .as_mut()
+                        .expect("churn engine")
+                        .stats
+                        .syn_retransmits += 1;
+                } else {
+                    // Server sock freed and its fd dropped from epoll.
+                    ch.add(Category::Memory, cc.sock_free);
+                    ch.add(Category::Etc, cc.epoll_ctl);
+                    let eng = self.churn.as_mut().expect("churn engine");
+                    eng.epoll[core].ctl();
+                }
+                ch.add(Category::SkbMgmt, cc.ctl_skb);
+                self.enqueue_frames(
+                    SERVER_HOST,
+                    core,
+                    Segment::conn(raw, ConnPhase::FinAck, dup),
+                    ch,
+                );
+            }
+
+            // ---------------- client side (host 0) ----------------
+            (CLIENT_HOST, ConnPhase::SynAck) => {
+                ch.add(Category::TcpIp, cc.synack_rx);
+                let first = {
+                    let eng = self.churn.as_mut().expect("churn engine");
+                    let c = eng.table.get_mut(id).expect("checked live");
+                    if c.client == HalfConn::SynSent {
+                        c.client = HalfConn::Established;
+                        c.syn_retries = 0;
+                        c.timer_at = SimTime::MAX;
+                        Some((c.trace, c.opened_at))
+                    } else {
+                        None
+                    }
+                };
+                let Some((tid, opened_at)) = first else {
+                    return; // duplicate SYN-ACK: processing charge only
+                };
+                {
+                    let measuring = self.measuring;
+                    let eng = self.churn.as_mut().expect("churn engine");
+                    eng.stats.established += 1;
+                    if measuring {
+                        eng.stats
+                            .handshake_ns
+                            .record(now.since(opened_at).as_nanos());
+                    }
+                }
+                if self.trace.enabled() {
+                    self.trace
+                        .stamp(tid, raw, StageId::SynAckRx, CLIENT_HOST, core, now);
+                }
+                match ccfg.mode {
+                    ChurnMode::HandshakeOnly => {
+                        ch.add(Category::SkbMgmt, cc.ctl_skb);
+                        self.enqueue_frames(
+                            CLIENT_HOST,
+                            core,
+                            Segment::conn(raw, ConnPhase::HsAck, false),
+                            ch,
+                        );
+                        self.client_close(raw);
+                    }
+                    ChurnMode::Pool { .. } => {
+                        ch.add(Category::SkbMgmt, cc.ctl_skb);
+                        self.enqueue_frames(
+                            CLIENT_HOST,
+                            core,
+                            Segment::conn(raw, ConnPhase::HsAck, false),
+                            ch,
+                        );
+                        self.churn
+                            .as_mut()
+                            .expect("churn engine")
+                            .pool
+                            .push_back(raw);
+                    }
+                    ChurnMode::ShortRpc => {
+                        // The first request chunk piggybacks the completing
+                        // ACK, as real clients do.
+                        let len = ccfg.rpc_size;
+                        ch.add(Category::Etc, self.cost.syscall_write);
+                        ch.add(
+                            Category::DataCopy,
+                            self.cost.sender_copy_cycles(len as u64, 0.0),
+                        );
+                        ch.add(Category::TcpIp, self.cost.tcp_tx_cycles(len));
+                        ch.add(Category::SkbMgmt, self.cost.skb_build_tx);
+                        self.enqueue_frames(
+                            CLIENT_HOST,
+                            core,
+                            Segment::conn(raw, ConnPhase::Request { len }, false),
+                            ch,
+                        );
+                        self.arm_conn_timer(raw, now + ccfg.syn_rto);
+                    }
+                }
+            }
+            (CLIENT_HOST, ConnPhase::Response { len }) => {
+                ch.add(Category::TcpIp, self.cost.tcp_rx_cycles(len));
+                let first = {
+                    let eng = self.churn.as_mut().expect("churn engine");
+                    let c = eng.table.get_mut(id).expect("checked live");
+                    if c.client == HalfConn::Established {
+                        c.timer_at = SimTime::MAX;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if !first {
+                    return; // duplicate response while closing
+                }
+                ch.add(Category::Etc, self.cost.syscall_recv);
+                ch.add(
+                    Category::DataCopy,
+                    self.cost.copy_cycles(MemClass::LocalDram, len as u64),
+                );
+                {
+                    let measuring = self.measuring;
+                    let eng = self.churn.as_mut().expect("churn engine");
+                    eng.stats.rpcs_completed += 1;
+                    if measuring {
+                        eng.bytes_delivered += len as u64;
+                    }
+                }
+                if self.measuring {
+                    self.tick_bytes += len as u64;
+                }
+                self.client_close(raw);
+            }
+            (CLIENT_HOST, ConnPhase::FinAck) => {
+                let park = {
+                    let eng = self.churn.as_mut().expect("churn engine");
+                    let c = eng.table.get_mut(id).expect("checked live");
+                    if c.client == HalfConn::FinWait {
+                        c.client = HalfConn::TimeWait;
+                        c.timer_at = SimTime::MAX;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if park {
+                    ch.add(Category::TcpIp, cc.timewait_insert);
+                    let eng = self.churn.as_mut().expect("churn engine");
+                    eng.timewait.insert(now + ccfg.time_wait, raw);
+                }
+            }
+            // A phase arriving at the wrong host would be a routing bug;
+            // treat it like a stale frame rather than corrupting state.
+            _ => self.conn_stale_frame(),
+        }
+    }
+
+    /// The client's per-connection timer fired. Stale unless the carried
+    /// deadline matches the record's armed deadline. Retransmits whatever
+    /// segment the client half is waiting on, with exponential backoff;
+    /// aborts after the retry budget.
+    pub(super) fn conn_timer(&mut self, raw: u64, deadline: SimTime) {
+        let Some(ccfg) = self.cfg.churn else {
+            return;
+        };
+        let now = self.queue.now();
+        let id = ConnId::from_u64(raw);
+        let fired = {
+            let eng = self.churn.as_mut().expect("churn engine");
+            match eng.table.get_mut(id) {
+                Some(c) if c.timer_at == deadline => {
+                    c.syn_retries = c.syn_retries.saturating_add(1);
+                    c.timer_at = SimTime::MAX;
+                    Some((c.client, c.syn_retries, c.client_core as usize))
+                }
+                _ => None, // superseded or torn down
+            }
+        };
+        let Some((client, retries, core)) = fired else {
+            return;
+        };
+        let cc = self.churn.as_ref().expect("churn engine").cost;
+        let mut ch = Charges::default();
+
+        if retries as u32 > ccfg.syn_retry_max {
+            // Out of retries: free the record. A handshake that never
+            // completed is a failure; an established connection stuck in
+            // teardown closes unclean but still closes.
+            let c = self
+                .churn
+                .as_mut()
+                .expect("churn engine")
+                .table
+                .remove(id)
+                .expect("checked live");
+            let eng = self.churn.as_mut().expect("churn engine");
+            if c.client.in_handshake() {
+                eng.stats.failed += 1;
+            } else {
+                eng.stats.closed += 1;
+            }
+            ch.add(Category::Memory, cc.sock_free);
+            ch.add(Category::Lock, cc.conn_lock);
+            self.charge_direct(CLIENT_HOST, core, ch);
+            return;
+        }
+
+        let seg = match client {
+            HalfConn::SynSent => {
+                ch.add(Category::TcpIp, cc.syn_tx);
+                Some(Segment::conn(raw, ConnPhase::Syn, true))
+            }
+            HalfConn::Established if matches!(ccfg.mode, ChurnMode::ShortRpc) => {
+                let len = ccfg.rpc_size;
+                ch.add(Category::TcpIp, self.cost.tcp_tx_cycles(len));
+                Some(Segment::conn(raw, ConnPhase::Request { len }, true))
+            }
+            HalfConn::FinWait => {
+                ch.add(Category::TcpIp, cc.fin_tx);
+                Some(Segment::conn(raw, ConnPhase::Fin, true))
+            }
+            _ => None, // nothing pending (pool steady state, TIME_WAIT)
+        };
+        let Some(seg) = seg else {
+            return;
+        };
+        ch.add(Category::SkbMgmt, cc.ctl_skb);
+        self.churn
+            .as_mut()
+            .expect("churn engine")
+            .stats
+            .syn_retransmits += 1;
+        self.enqueue_frames(CLIENT_HOST, core, seg, &mut ch);
+        self.charge_direct(CLIENT_HOST, core, ch);
+        let backoff = ccfg.syn_rto * (1u64 << retries.min(10) as u32);
+        self.arm_conn_timer(raw, now + backoff);
+    }
+
+    /// Batch-reap expired TIME_WAIT entries (the kernel's timewait timer
+    /// wheel cadence) and reschedule.
+    pub(super) fn time_wait_tick(&mut self) {
+        let Some(ccfg) = self.cfg.churn else {
+            return;
+        };
+        let now = self.queue.now();
+        loop {
+            let raw = {
+                let eng = self.churn.as_mut().expect("churn engine");
+                eng.timewait.expire_one(now)
+            };
+            let Some(raw) = raw else {
+                break;
+            };
+            let cc = self.churn.as_ref().expect("churn engine").cost;
+            let removed = self
+                .churn
+                .as_mut()
+                .expect("churn engine")
+                .table
+                .remove(ConnId::from_u64(raw));
+            let Some(c) = removed else {
+                continue; // already force-removed (teardown abort)
+            };
+            let mut ch = Charges::default();
+            ch.add(Category::TcpIp, cc.timewait_reap);
+            ch.add(Category::Memory, cc.sock_free);
+            ch.add(Category::Lock, cc.conn_lock);
+            if self.trace.enabled() {
+                self.trace.stamp(
+                    c.trace,
+                    raw,
+                    StageId::TimeWaitReap,
+                    CLIENT_HOST,
+                    c.client_core as usize,
+                    now,
+                );
+            }
+            self.churn.as_mut().expect("churn engine").stats.closed += 1;
+            self.charge_direct(CLIENT_HOST, c.client_core as usize, ch);
+        }
+        self.queue
+            .schedule_after(ccfg.reap_interval, Event::TimeWaitTick);
+    }
+
+    /// The report's connection summary, measurement-window scoped.
+    pub(super) fn conn_summary(&self, window_secs: f64) -> Option<hns_metrics::ConnSummary> {
+        let eng = self.churn.as_ref()?;
+        let (wakeups, events) = eng.epoll_window();
+        let hs = &eng.stats.handshake_ns;
+        Some(hns_metrics::ConnSummary {
+            opened: eng.stats.opened,
+            established: eng.stats.established,
+            closed: eng.stats.closed,
+            failed: eng.stats.failed,
+            retransmits: eng.stats.syn_retransmits,
+            rpcs: eng.stats.rpcs_completed,
+            stale_frames: eng.stats.stale_frames,
+            conn_rate_cps: if window_secs > 0.0 {
+                eng.stats.established as f64 / window_secs
+            } else {
+                0.0
+            },
+            handshake: hns_metrics::LatencyStats {
+                avg_us: hs.mean() / 1e3,
+                p99_us: hs.quantile(0.99) as f64 / 1e3,
+                samples: hs.count(),
+            },
+            established_high_water: eng.table.high_water() as u64,
+            time_wait_high_water: eng.timewait.high_water() as u64,
+            table_capacity: eng.table.capacity() as u64,
+            table_slot_reuse: eng.table.reused_slots(),
+            epoll_wakeups: wakeups,
+            epoll_events: events,
+        })
+    }
+
+    /// Live-connection count (tests and the million-connection assertion).
+    pub fn live_connections(&self) -> usize {
+        self.churn.as_ref().map_or(0, |e| e.table.len())
+    }
+
+    /// Flow-table slot capacity (tests assert churn keeps it flat).
+    pub fn conn_table_capacity(&self) -> usize {
+        self.churn.as_ref().map_or(0, |e| e.table.capacity())
+    }
+}

@@ -1,0 +1,49 @@
+//! Million-flow scaling acceptance: a pool of 1,000,000 pre-established
+//! connections with partial churn runs to completion, and per-connection
+//! memory stays flat — the slab's capacity tracks the concurrency high
+//! water, not the number of connections ever opened (slot reuse).
+
+use hns_conn::{ChurnConfig, ChurnMode};
+use hns_sim::Duration;
+use hns_stack::{SimConfig, World};
+
+#[test]
+fn million_connection_pool_completes_with_flat_memory() {
+    const POOL: u32 = 1_000_000;
+    let cfg = SimConfig {
+        churn: Some(ChurnConfig {
+            mode: ChurnMode::Pool { conns: POOL },
+            rate_cps: 200_000.0,
+            ..ChurnConfig::default()
+        }),
+        ..SimConfig::default()
+    };
+    let mut w = World::new(cfg);
+    w.set_label("million-conn");
+    let r = w
+        .try_run(Duration::from_millis(5), Duration::from_millis(20))
+        .expect("million-connection run must quiesce");
+    let c = r.conn.expect("conn summary");
+
+    // The full population was live the whole run.
+    assert!(c.established_high_water >= POOL as u64);
+    assert!(w.live_connections() >= POOL as usize - c.failed as usize);
+
+    // Flat memory: capacity tracks the high water (pool + churn fringe),
+    // not total installs. A leaky table would grow by `opened` instead.
+    assert!(c.opened > 1_000, "the pool actually churned: {c:?}");
+    let fringe = c.established_high_water - POOL as u64;
+    // Slack: each of the 64 shards rounds its own high water up by at most
+    // one slot, so capacity may exceed the global high water by shard count.
+    assert!(
+        w.conn_table_capacity() as u64 <= POOL as u64 + fringe + 64,
+        "slab grew past the concurrency high water: capacity {} vs pool {} + fringe {}",
+        w.conn_table_capacity(),
+        POOL,
+        fringe
+    );
+    assert!(
+        c.table_slot_reuse > 0,
+        "churned slots must be recycled, not freshly allocated"
+    );
+}

@@ -72,10 +72,25 @@ pub enum StageId {
     SockQueue = 12,
     /// Application `recv()` copied the bytes out (end of life).
     RecvCopy = 13,
+    /// Connection lifecycle: client emitted the SYN (active open).
+    SynTx = 14,
+    /// Connection lifecycle: server processed the SYN (request sock made).
+    SynRx = 15,
+    /// Connection lifecycle: client processed the SYN-ACK — `connect()`
+    /// returns here, so SynTx→SynAckRx is the client handshake latency.
+    SynAckRx = 16,
+    /// Connection lifecycle: server promoted the request sock and the
+    /// `accept()`/epoll path dispatched the new connection.
+    ConnAccept = 17,
+    /// Connection lifecycle: client sent FIN (active close).
+    FinTx = 18,
+    /// Connection lifecycle: TIME_WAIT expired and the record was reaped
+    /// (true end of the connection's kernel footprint).
+    TimeWaitReap = 19,
 }
 
 /// Number of distinct stages.
-pub const N_STAGES: usize = 14;
+pub const N_STAGES: usize = 20;
 
 impl StageId {
     /// All stages in pipeline order.
@@ -94,6 +109,12 @@ impl StageId {
         StageId::TcpRx,
         StageId::SockQueue,
         StageId::RecvCopy,
+        StageId::SynTx,
+        StageId::SynRx,
+        StageId::SynAckRx,
+        StageId::ConnAccept,
+        StageId::FinTx,
+        StageId::TimeWaitReap,
     ];
 
     /// Stable machine-readable label (JSONL / CSV column names).
@@ -113,6 +134,12 @@ impl StageId {
             StageId::TcpRx => "tcp_rx",
             StageId::SockQueue => "sock_queue",
             StageId::RecvCopy => "recv_copy",
+            StageId::SynTx => "syn_tx",
+            StageId::SynRx => "syn_rx",
+            StageId::SynAckRx => "synack_rx",
+            StageId::ConnAccept => "conn_accept",
+            StageId::FinTx => "fin_tx",
+            StageId::TimeWaitReap => "timewait_reap",
         }
     }
 

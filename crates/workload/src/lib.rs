@@ -19,6 +19,7 @@
 //! ([`Topology::app_core`]); a [`Placement`] override pins everything to
 //! NIC-remote cores for the Fig. 4 / Fig. 10c experiments.
 
+use hns_conn::{ChurnConfig, ChurnMode};
 use hns_mem::numa::{CoreId, Topology};
 use hns_stack::{AppSpec, FlowSpec, World};
 
@@ -226,6 +227,45 @@ pub fn mixed_long_short(topo: &Topology, shorts: u16, rpc_size: u32) -> Scenario
 /// The long-flow id in a [`mixed_long_short`] scenario.
 pub const MIXED_LONG_FLOW: u64 = 0;
 
+// ----------------------------------------------------------------------
+// Churn workloads (connection lifecycle; `hns-conn`)
+// ----------------------------------------------------------------------
+
+/// Open-loop connection churn at `rate_cps`: each arrival performs a full
+/// 3-way handshake and immediately closes — pure per-connection overhead
+/// with no payload. The conn/s scaling workload (fig05_conn_rate).
+pub fn churn_open_loop(rate_cps: f64) -> ChurnConfig {
+    ChurnConfig {
+        mode: ChurnMode::HandshakeOnly,
+        rate_cps,
+        ..ChurnConfig::default()
+    }
+}
+
+/// Short-RPC-with-handshake churn: every arrival opens a connection,
+/// exchanges one `rpc_size`-byte request/response, and closes — the
+/// paper's short-flow regime *including* the setup cost its figures omit.
+pub fn churn_short_rpc(rate_cps: f64, rpc_size: u32) -> ChurnConfig {
+    ChurnConfig {
+        mode: ChurnMode::ShortRpc,
+        rate_cps,
+        rpc_size,
+        ..ChurnConfig::default()
+    }
+}
+
+/// A long-lived pool of `conns` pre-established connections with partial
+/// churn at `rate_cps` (each arrival closes the oldest member and opens a
+/// replacement) — a busy front-end's steady state, sized for million-flow
+/// scaling runs.
+pub fn churn_pool(conns: u32, rate_cps: f64) -> ChurnConfig {
+    ChurnConfig {
+        mode: ChurnMode::Pool { conns },
+        rate_cps,
+        ..ChurnConfig::default()
+    }
+}
+
 /// Open-loop RPC: `clients` Poisson sources (one per sender core) at
 /// `rate_rps` requests/second each against one server core — the
 /// latency-vs-load workload (a future-work direction the paper names).
@@ -363,6 +403,31 @@ mod tests {
             _ => None,
         });
         assert_eq!(mean, Some(100_000), "10k rps = 100us mean gap");
+    }
+
+    #[test]
+    fn churn_builders_produce_valid_plans() {
+        for cfg in [
+            churn_open_loop(250_000.0),
+            churn_short_rpc(100_000.0, 4096),
+            churn_pool(1_000_000, 200_000.0),
+        ] {
+            cfg.validate().expect("builder output must validate");
+        }
+        assert_eq!(churn_open_loop(250_000.0).mode, ChurnMode::HandshakeOnly);
+        assert_eq!(
+            churn_short_rpc(1.0, 512),
+            ChurnConfig {
+                mode: ChurnMode::ShortRpc,
+                rate_cps: 1.0,
+                rpc_size: 512,
+                ..ChurnConfig::default()
+            }
+        );
+        assert!(matches!(
+            churn_pool(42, 1.0).mode,
+            ChurnMode::Pool { conns: 42 }
+        ));
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Property tests for the churn workload builders: every builder must
+//! emit a plan that passes `ChurnConfig::validate` for any parameters a
+//! caller can express, so a sweep can never hand the engine an
+//! inconsistent plan.
+
+use hns_conn::ChurnMode;
+use proptest::prelude::*;
+
+proptest! {
+    /// Open-loop handshake plans validate at any positive rate and keep
+    /// the requested rate (the sweep label is derived from it).
+    #[test]
+    fn open_loop_builder_is_always_valid(rate in 1.0f64..10e6) {
+        let cfg = hns_workload::churn_open_loop(rate);
+        prop_assert!(cfg.validate().is_ok(), "{:?}", cfg.validate());
+        prop_assert_eq!(cfg.mode, ChurnMode::HandshakeOnly);
+        prop_assert!((cfg.rate_cps - rate).abs() < 1e-9);
+        // Mean interarrival must invert the rate (Poisson scheduling).
+        let ns = cfg.mean_interarrival().as_nanos() as f64;
+        prop_assert!((ns - 1e9 / rate).abs() <= 1.0, "interarrival {ns}ns at {rate}cps");
+    }
+
+    /// Short-RPC plans validate for any positive rate and payload.
+    #[test]
+    fn short_rpc_builder_is_always_valid(
+        rate in 1.0f64..10e6,
+        size in 1u32..(1 << 20),
+    ) {
+        let cfg = hns_workload::churn_short_rpc(rate, size);
+        prop_assert!(cfg.validate().is_ok(), "{:?}", cfg.validate());
+        prop_assert_eq!(cfg.mode, ChurnMode::ShortRpc);
+        prop_assert_eq!(cfg.rpc_size, size);
+    }
+
+    /// Pool plans validate for any non-empty population and positive
+    /// churn rate.
+    #[test]
+    fn pool_builder_is_always_valid(
+        conns in 1u32..2_000_000,
+        rate in 1.0f64..10e6,
+    ) {
+        let cfg = hns_workload::churn_pool(conns, rate);
+        prop_assert!(cfg.validate().is_ok(), "{:?}", cfg.validate());
+        prop_assert_eq!(cfg.mode, ChurnMode::Pool { conns });
+    }
+}

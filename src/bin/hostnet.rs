@@ -49,6 +49,9 @@ fn execute(cmd: cli::Command) -> ExitCode {
                 "  rpc          ping-pong RPC incast (§3.7)  [--clients --size --remote-server]"
             );
             println!("  mixed        1 long + n short flows on one core (§3.7) [--shorts --size]");
+            println!(
+                "  churn        connection-lifecycle churn (hns-conn)  [--churn-rate --churn-mode --churn-conns --size]"
+            );
             ExitCode::SUCCESS
         }
         cli::Command::Figures { names, csv, jobs } => {
@@ -179,6 +182,11 @@ fn execute(cmd: cli::Command) -> ExitCode {
                         report.drops.total()
                     );
                 }
+                let conn_table = hostnet::building_blocks::metrics::format_conn_table(&report);
+                if !conn_table.is_empty() {
+                    println!("\nconnection lifecycle:");
+                    print!("{conn_table}");
+                }
                 if run.trace {
                     let table = hostnet::building_blocks::metrics::format_stage_table(&report);
                     if table.is_empty() {
@@ -288,6 +296,9 @@ fn run_figures(names: &[String]) -> Vec<hostnet::Report> {
     if want("fig09b") {
         out.extend(figures::fig09b_resilience().into_iter().map(|(_, r)| r));
     }
+    if want("fig05c") {
+        out.extend(figures::fig05_conn_rate().into_iter().map(|(_, r)| r));
+    }
     if want("fig10") {
         out.extend(figures::fig10_short_flows().into_iter().map(|(_, r)| r));
         out.extend(figures::fig10c_rpc_numa());
@@ -316,14 +327,14 @@ pub mod cli {
     pub const USAGE: &str = "\
 usage:
   hostnet run <scenario> [options]
-  hostnet figures [fig03|fig03e|fig03f|fig03g|fig04|fig05|fig06|fig07|
-                   fig08|fig09|fig09b|fig10|fig11|fig12|fig13]...
+  hostnet figures [fig03|fig03e|fig03f|fig03g|fig04|fig05|fig05c|fig06|
+                   fig07|fig08|fig09|fig09b|fig10|fig11|fig12|fig13]...
                   [--csv] [--jobs N|auto]
   hostnet list
   hostnet help
 
 scenarios: single | numa-remote | one-to-one | incast | outcast |
-           all-to-all | rpc | mixed   (see `hostnet list`)
+           all-to-all | rpc | mixed | churn   (see `hostnet list`)
 
 options:
   --flows N          flow count / matrix dimension        (default 8)
@@ -341,6 +352,9 @@ options:
   --iommu            enable the IOMMU
   --zerocopy-tx      MSG_ZEROCOPY sender path (§4)
   --zerocopy-rx      TCP mmap receive path (§4)
+  --churn-rate CPS   connection arrivals per second       (default 100000)
+  --churn-mode M     handshake | rpc | pool               (default handshake)
+  --churn-conns N    pool population for --churn-mode pool (default 100000)
   --seed N           RNG seed                             (default 1)
   --warmup-ms N      warmup window                        (default 20)
   --measure-ms N     measurement window                   (default 30)
@@ -373,8 +387,8 @@ fault injection (all deterministic; scheduled faults share one window):
         Help,
         /// `hostnet list`.
         List,
-        /// `hostnet run …`.
-        Run(RunArgs),
+        /// `hostnet run …` (boxed: RunArgs dwarfs the other variants).
+        Run(Box<RunArgs>),
         /// `hostnet figures [names…] [--csv] [--jobs N]`.
         Figures {
             /// Which figures to run (empty = all).
@@ -458,7 +472,7 @@ fault injection (all deterministic; scheduled faults share one window):
         match it.next().map(String::as_str) {
             None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
             Some("list") => Ok(Command::List),
-            Some("run") => parse_run(&args[1..]).map(Command::Run),
+            Some("run") => parse_run(&args[1..]).map(|r| Command::Run(Box::new(r))),
             Some("figures") => {
                 let mut names = Vec::new();
                 let mut csv = false;
@@ -500,6 +514,9 @@ fault injection (all deterministic; scheduled faults share one window):
         let mut size = 4096u32;
         let mut shorts = 16u16;
         let mut remote_server = false;
+        let mut churn_rate = 100_000.0f64;
+        let mut churn_mode = String::from("handshake");
+        let mut churn_conns = 100_000u32;
 
         let mut out = RunArgs {
             scenario: ScenarioKind::Single, // placeholder, set at the end
@@ -545,6 +562,16 @@ fault injection (all deterministic; scheduled faults share one window):
                 "--size" => size = parse_num(value("--size")?, "--size")?,
                 "--shorts" => shorts = parse_num(value("--shorts")?, "--shorts")?,
                 "--remote-server" => remote_server = true,
+                "--churn-rate" => {
+                    churn_rate = parse_num(value("--churn-rate")?, "--churn-rate")?;
+                    if !churn_rate.is_finite() || churn_rate <= 0.0 {
+                        return Err("--churn-rate: must be a positive number".into());
+                    }
+                }
+                "--churn-mode" => churn_mode = value("--churn-mode")?.clone(),
+                "--churn-conns" => {
+                    churn_conns = parse_num(value("--churn-conns")?, "--churn-conns")?
+                }
                 "--level" => {
                     out.level = Some(match value("--level")?.as_str() {
                         "no-opt" => OptLevel::NoOpt,
@@ -667,6 +694,25 @@ fault injection (all deterministic; scheduled faults share one window):
                 },
             },
             "mixed" => ScenarioKind::Mixed { shorts, size },
+            "churn" => {
+                use hostnet::building_blocks::workload;
+                let mut churn = match churn_mode.as_str() {
+                    "handshake" => workload::churn_open_loop(churn_rate),
+                    "rpc" => workload::churn_short_rpc(churn_rate, size),
+                    "pool" => workload::churn_pool(churn_conns, churn_rate),
+                    x => {
+                        return Err(format!(
+                            "--churn-mode: expected handshake|rpc|pool, got `{x}`"
+                        ))
+                    }
+                };
+                // Sample handshakes into the lifecycle tracer at the same
+                // rate as data skbs.
+                if out.trace {
+                    churn.trace_sample = out.trace_sample_every;
+                }
+                ScenarioKind::Churn { churn }
+            }
             x => return Err(format!("unknown scenario `{x}` (see `hostnet list`)")),
         };
         for (v, flag) in [
@@ -736,6 +782,49 @@ fault injection (all deterministic; scheduled faults share one window):
                 },
                 _ => panic!("not a run"),
             }
+        }
+
+        #[test]
+        fn parses_churn_scenario() {
+            use hostnet::building_blocks::conn::ChurnMode;
+            let cmd = parse(&argv(
+                "run churn --churn-rate 250000 --churn-mode rpc --size 1024",
+            ))
+            .unwrap();
+            match cmd {
+                Command::Run(r) => match r.scenario {
+                    ScenarioKind::Churn { churn } => {
+                        assert_eq!(churn.mode, ChurnMode::ShortRpc);
+                        assert!((churn.rate_cps - 250_000.0).abs() < 1e-9);
+                        assert_eq!(churn.rpc_size, 1024);
+                        assert_eq!(churn.trace_sample, 0, "tracing off by default");
+                    }
+                    _ => panic!("wrong scenario"),
+                },
+                _ => panic!("not a run"),
+            }
+
+            let cmd = parse(&argv(
+                "run churn --churn-mode pool --churn-conns 5000 --trace --trace-sample-every 4",
+            ))
+            .unwrap();
+            match cmd {
+                Command::Run(r) => match r.scenario {
+                    ScenarioKind::Churn { churn } => {
+                        assert_eq!(churn.mode, ChurnMode::Pool { conns: 5000 });
+                        assert_eq!(churn.trace_sample, 4, "--trace wires the conn sampler");
+                    }
+                    _ => panic!("wrong scenario"),
+                },
+                _ => panic!("not a run"),
+            }
+        }
+
+        #[test]
+        fn rejects_bad_churn_flags() {
+            assert!(parse(&argv("run churn --churn-mode nope")).is_err());
+            assert!(parse(&argv("run churn --churn-rate 0")).is_err());
+            assert!(parse(&argv("run churn --churn-rate -5")).is_err());
         }
 
         #[test]

@@ -1,0 +1,101 @@
+//! Golden-figure regression suite.
+//!
+//! The simulator is deterministic end to end, so every figure's reports
+//! can be pinned byte-for-byte. These tests render three representative
+//! sweeps (fig. 3e's ring × buffer grid, the fig. 9b resilience
+//! extension, fig. 13's congestion-control matrix) to canonical JSONL
+//! and compare against the checked-in files under `tests/golden/`.
+//!
+//! Any intentional change to the engine, cost model, or report schema
+//! shows up here first. To accept new goldens (the `--bless` path):
+//!
+//! ```text
+//! HNS_BLESS=1 cargo test --test golden_figures
+//! ```
+//!
+//! then review the golden diff like any other code change.
+
+use hostnet::building_blocks::core_figures as figures;
+use hostnet::Report;
+use std::path::PathBuf;
+
+/// Canonical rendering: one report JSON object per line, sweep order.
+fn render(reports: &[Report]) -> String {
+    let mut out = String::new();
+    for r in reports {
+        out.push_str(&r.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compare `body` against the golden file, or rewrite it under
+/// `HNS_BLESS=1`. On mismatch, report the first differing line so the
+/// failure is readable without an external diff.
+fn check(name: &str, body: String) {
+    let path = golden_path(name);
+    if std::env::var_os("HNS_BLESS").is_some() {
+        std::fs::write(&path, body).expect("bless: cannot write golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {}: {e}\n(generate it with `HNS_BLESS=1 cargo test --test golden_figures`)",
+            path.display()
+        )
+    });
+    if want == body {
+        return;
+    }
+    let mismatch = want
+        .lines()
+        .zip(body.lines())
+        .enumerate()
+        .find(|(_, (w, g))| w != g);
+    match mismatch {
+        Some((i, (w, g))) => panic!(
+            "golden mismatch for {name} at line {}:\n  golden: {w}\n  got:    {g}\n\
+             (if intended, re-bless with `HNS_BLESS=1 cargo test --test golden_figures`)",
+            i + 1
+        ),
+        None => panic!(
+            "golden mismatch for {name}: line count {} vs {} (re-bless if intended)",
+            want.lines().count(),
+            body.lines().count()
+        ),
+    }
+}
+
+#[test]
+fn golden_fig03e_ring_buffer_grid() {
+    let reports: Vec<Report> = figures::fig03e_ring_buffer()
+        .into_iter()
+        .map(|(_, _, r)| r)
+        .collect();
+    assert_eq!(reports.len(), 24);
+    check("fig03e.jsonl", render(&reports));
+}
+
+#[test]
+fn golden_fig09b_resilience() {
+    let reports: Vec<Report> = figures::fig09b_resilience()
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect();
+    check("fig09b.jsonl", render(&reports));
+}
+
+#[test]
+fn golden_fig13_congestion_control() {
+    let reports: Vec<Report> = figures::fig13_congestion_control()
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect();
+    check("fig13.jsonl", render(&reports));
+}

@@ -50,6 +50,19 @@ fn traced_fig03g_is_jobs_invariant() {
 }
 
 #[test]
+fn fig05c_conn_rate_sweep_is_jobs_invariant() {
+    // The churn engine's conn summary (rates, handshake percentiles,
+    // epoll ratios) must not leak the job count either.
+    let seq = sweep_json(1, &figures::fig05_conn_rate_points());
+    let par = sweep_json(8, &figures::fig05_conn_rate_points());
+    assert!(
+        seq.iter().all(|j| j.contains("\"conn\"")),
+        "churn reports should carry a conn summary"
+    );
+    assert_eq!(seq, par, "fig05c reports differ between --jobs 1 and 8");
+}
+
+#[test]
 fn cli_figures_output_is_jobs_invariant() {
     let bin = env!("CARGO_BIN_EXE_hostnet");
     let run = |jobs: &str| {
