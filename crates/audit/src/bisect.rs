@@ -1,0 +1,88 @@
+//! Delta-debugging for failing fuzzer configs.
+//!
+//! The differential fuzzer perturbs the default `SimConfig` with a set of
+//! independent field deltas. When a drawn config fails, the interesting
+//! question is *which* deltas matter: a ten-field mutation that fails because
+//! of one field is a bad bug report. [`minimize`] shrinks the delta set to a
+//! locally minimal one — every remaining delta is necessary, because removing
+//! any single one makes the failure disappear.
+
+/// Shrink `deltas` to a 1-minimal subset that still satisfies `fails`.
+///
+/// `fails` must be deterministic and must hold for the full input set (if it
+/// does not, the full set is returned unchanged — there is nothing to
+/// minimize toward). The strategy is greedy single-removal to a fixed point:
+/// repeatedly drop one delta, keep the removal whenever the remainder still
+/// fails, and stop when no single removal preserves the failure. For the
+/// independent config deltas the fuzzer draws, this yields the minimal repro
+/// in O(n²) predicate calls worst case.
+pub fn minimize<T: Clone, F: FnMut(&[T]) -> bool>(deltas: &[T], mut fails: F) -> Vec<T> {
+    let mut current: Vec<T> = deltas.to_vec();
+    if !fails(&current) {
+        return current;
+    }
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < current.len() && current.len() > 1 {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            if fails(&candidate) {
+                current = candidate;
+                shrunk = true;
+                // Same index now names the next element.
+            } else {
+                i += 1;
+            }
+        }
+        if !shrunk {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_single_culprit() {
+        // Failure iff delta 3 is present; the other nine are noise.
+        let deltas: Vec<u32> = (0..10).collect();
+        let min = minimize(&deltas, |s| s.contains(&3));
+        assert_eq!(min, vec![3]);
+    }
+
+    #[test]
+    fn keeps_interacting_pair() {
+        // Failure needs both 2 and 5 — neither alone reproduces.
+        let deltas: Vec<u32> = (0..8).collect();
+        let min = minimize(&deltas, |s| s.contains(&2) && s.contains(&5));
+        assert_eq!(min, vec![2, 5]);
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let deltas = vec![1u32, 2, 3];
+        let min = minimize(&deltas, |_| false);
+        assert_eq!(min, deltas);
+    }
+
+    #[test]
+    fn counts_predicate_calls_quadratically_at_worst() {
+        let deltas: Vec<u32> = (0..12).collect();
+        let mut calls = 0usize;
+        let _ = minimize(&deltas, |s| {
+            calls += 1;
+            s.contains(&11)
+        });
+        assert!(calls <= 1 + 12 * 12, "calls = {calls}");
+    }
+
+    #[test]
+    fn always_failing_predicate_keeps_one_delta() {
+        let deltas: Vec<u32> = (0..5).collect();
+        let min = minimize(&deltas, |_| true);
+        assert_eq!(min.len(), 1);
+    }
+}

@@ -180,6 +180,15 @@ impl Experiment {
         self
     }
 
+    /// Run under the invariant auditor: conservation laws (`hns-audit`) are
+    /// checked at every quiesce point and at teardown, and the first
+    /// imbalance fails the run with
+    /// [`hns_stack::RunErrorKind::InvariantViolation`].
+    pub fn audited(mut self) -> Self {
+        self.cfg.audit = true;
+        self
+    }
+
     /// Build the world, run it, return the report. Panics if the run does
     /// not quiesce; fault experiments should prefer [`Experiment::try_run`].
     pub fn run(&self) -> Report {

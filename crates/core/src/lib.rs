@@ -19,9 +19,11 @@
 //! assert!(report.total_gbps > 1.0);
 //! ```
 
+pub mod audit;
 pub mod experiment;
 pub mod figures;
 
+pub use audit::{run_audit, AuditOptions, AuditOutcome, FieldDelta, Property};
 pub use experiment::{Experiment, ScenarioKind};
 pub use hns_metrics::{Category, CycleBreakdown, Report};
 pub use hns_stack::{OptLevel, SimConfig, StackConfig};

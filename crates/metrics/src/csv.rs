@@ -26,10 +26,16 @@ pub fn reports_to_csv(reports: &[Report]) -> String {
          ring_drops,retransmissions,rpcs_completed,fairness",
     );
     for cat in ALL_CATEGORIES {
-        out.push_str(&format!(",rx_{}", cat.label().replace('/', "_")));
+        out.push_str(&format!(
+            ",{}",
+            escape(&format!("rx_{}", cat.label().replace('/', "_")))
+        ));
     }
     for cat in ALL_CATEGORIES {
-        out.push_str(&format!(",tx_{}", cat.label().replace('/', "_")));
+        out.push_str(&format!(
+            ",{}",
+            escape(&format!("tx_{}", cat.label().replace('/', "_")))
+        ));
     }
     // Union of stage labels across the series, first-appearance order
     // (reports follow pipeline order, so the union does too).
@@ -41,8 +47,15 @@ pub fn reports_to_csv(reports: &[Report]) -> String {
             }
         }
     }
+    // Stage labels come from the trace pipeline but are still data: escape
+    // the assembled column names so a label containing a comma (or quote)
+    // cannot shear the header.
     for s in &stages {
-        out.push_str(&format!(",{s}_p50_ns,{s}_p99_ns"));
+        out.push_str(&format!(
+            ",{},{}",
+            escape(&format!("{s}_p50_ns")),
+            escape(&format!("{s}_p99_ns"))
+        ));
     }
     if !stages.is_empty() {
         out.push_str(",trace_overflow");
@@ -212,6 +225,42 @@ mod tests {
             lines[2].ends_with(",,,,,,,,,,,"),
             "non-churn row gets empty cells"
         );
+    }
+
+    #[test]
+    fn stage_labels_with_commas_are_quoted_in_header() {
+        use crate::report::StageLatency;
+        let traced = Report {
+            label: "on".into(),
+            stage_latency: vec![StageLatency {
+                stage: "weird,stage".into(),
+                samples: 1,
+                mean_ns: 10.0,
+                p50_ns: 10,
+                p90_ns: 10,
+                p99_ns: 10,
+                p999_ns: 10,
+                max_ns: 10,
+            }],
+            ..Report::default()
+        };
+        let csv = reports_to_csv(&[traced]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].contains("\"weird,stage_p50_ns\""));
+        assert!(lines[0].contains("\"weird,stage_p99_ns\""));
+        // Quote-aware column count still aligns between header and row.
+        let count = |line: &str| {
+            let (mut cols, mut quoted) = (1, false);
+            for ch in line.chars() {
+                match ch {
+                    '"' => quoted = !quoted,
+                    ',' if !quoted => cols += 1,
+                    _ => {}
+                }
+            }
+            cols
+        };
+        assert_eq!(count(lines[0]), count(lines[1]));
     }
 
     #[test]

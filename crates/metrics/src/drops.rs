@@ -11,6 +11,19 @@
 
 use crate::json::{obj, JsonError, Value};
 
+/// [`DropStats`] re-grouped by observing layer (see [`DropStats::by_layer`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LayerDrops {
+    /// Drops the link itself observed.
+    pub wire: u64,
+    /// Drops the NIC observed (descriptor or page-pool exhaustion).
+    pub nic: u64,
+    /// Drops the softirq backlog cap observed.
+    pub backlog: u64,
+    /// Drops the socket observed (duplicate data discarded).
+    pub socket: u64,
+}
+
 /// Frames dropped, attributed to the layer that dropped them.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DropStats {
@@ -65,6 +78,21 @@ impl DropStats {
             gro_overflow: self.gro_overflow.saturating_sub(baseline.gro_overflow),
             socket_queue: self.socket_queue.saturating_sub(baseline.socket_queue),
             pool: self.pool.saturating_sub(baseline.pool),
+        }
+    }
+
+    /// The taxonomy re-grouped by the *layer* that observed each drop: the
+    /// wire keeps its own counter, the NIC observes both descriptor and
+    /// page-pool failures, the softirq backlog observes its cap, and the
+    /// socket observes duplicate discards. The invariant auditor reconciles
+    /// each group against the corresponding layer-local counters, proving
+    /// every dropped frame was charged to exactly one bucket.
+    pub fn by_layer(&self) -> LayerDrops {
+        LayerDrops {
+            wire: self.wire,
+            nic: self.rx_ring + self.pool,
+            backlog: self.gro_overflow,
+            socket: self.socket_queue,
         }
     }
 
@@ -136,6 +164,23 @@ mod tests {
         assert_eq!(delta.wire, 10);
         assert_eq!(delta.rx_ring, 5);
         assert_eq!(delta.pool, 0);
+    }
+
+    #[test]
+    fn by_layer_partitions_every_bucket() {
+        let d = DropStats {
+            wire: 1,
+            rx_ring: 2,
+            gro_overflow: 3,
+            socket_queue: 4,
+            pool: 5,
+        };
+        let l = d.by_layer();
+        assert_eq!(l.wire, 1);
+        assert_eq!(l.nic, 7);
+        assert_eq!(l.backlog, 3);
+        assert_eq!(l.socket, 4);
+        assert_eq!(l.wire + l.nic + l.backlog + l.socket, d.total());
     }
 
     #[test]

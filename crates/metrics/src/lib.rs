@@ -22,7 +22,7 @@ pub mod taxonomy;
 pub mod util;
 
 pub use csv::reports_to_csv;
-pub use drops::DropStats;
+pub use drops::{DropStats, LayerDrops};
 pub use report::{CacheStats, ConnSummary, LatencyStats, Report, SideReport, StageLatency};
 pub use table::{
     format_breakdown_table, format_conn_table, format_gbps, format_series_table, format_stage_table,

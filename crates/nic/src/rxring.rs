@@ -56,6 +56,11 @@ impl RxRing {
         self.capacity - self.available - self.withheld
     }
 
+    /// Descriptors held out of service by fault injection.
+    pub fn withheld(&self) -> u32 {
+        self.withheld
+    }
+
     /// True while fault injection holds this ring's descriptors hostage.
     pub fn faulted(&self) -> bool {
         self.faulted

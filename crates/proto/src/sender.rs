@@ -186,6 +186,16 @@ impl TcpSender {
         self.stream_end - self.snd_una
     }
 
+    /// Bytes cumulatively acknowledged (`snd_una`).
+    pub fn acked(&self) -> u64 {
+        self.snd_una
+    }
+
+    /// Bytes the application has written into the stream (`stream_end`).
+    pub fn stream_written(&self) -> u64 {
+        self.stream_end
+    }
+
     /// Current congestion window (bytes).
     pub fn cwnd(&self) -> u64 {
         self.cc.cwnd()

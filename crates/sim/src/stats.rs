@@ -124,13 +124,22 @@ pub struct Percentiles {
 /// Values are bucketed with ~1.6% relative resolution (64 linear buckets per
 /// power of two), which is plenty for latency distributions spanning ns to
 /// seconds. Memory is lazily grown, so an idle histogram costs nothing.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
     sum: u128,
     max: u64,
     min: u64,
+}
+
+impl Default for Histogram {
+    /// Delegates to [`Histogram::new`]: a derived `Default` would zero
+    /// `min`, breaking the `min == u64::MAX` empty-state invariant that
+    /// [`Histogram::record`] relies on.
+    fn default() -> Self {
+        Histogram::new()
+    }
 }
 
 const SUB_BUCKET_BITS: u32 = 6; // 64 sub-buckets per octave
@@ -213,7 +222,8 @@ impl Histogram {
         self.max
     }
 
-    /// Value at quantile `q` in `[0, 1]` (bucket lower bound; 0 if empty).
+    /// Value at quantile `q` in `[0, 1]` (bucket lower bound, clamped to
+    /// the recorded `[min, max]` range; 0 if empty).
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -224,7 +234,10 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return bucket_lower_bound(i).min(self.max);
+                // The bucket floor can undershoot the smallest recorded
+                // value (record one 100 → the bucket holding it starts at
+                // 96), so clamp from below as well as above.
+                return bucket_lower_bound(i).min(self.max).max(self.min());
             }
         }
         self.max
@@ -369,6 +382,29 @@ mod tests {
         }
         assert!((h.mean() - 20.0).abs() < 1e-9);
         assert_eq!(h.min(), 10);
+    }
+
+    #[test]
+    fn histogram_default_keeps_empty_state_invariant() {
+        // Regression: `#[derive(Default)]` zeroed `min`, so a defaulted
+        // histogram reported `min() == 0` forever after the first record.
+        let mut h = Histogram::default();
+        h.record(100);
+        assert_eq!(h.min(), 100);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn quantile_never_undershoots_min() {
+        // Regression: a single value of 100 lands in the [96, 100) bucket's
+        // successor, whose lower bound is below 100; quantiles reported the
+        // bucket floor.
+        let mut h = Histogram::new();
+        h.record(100);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 100, "q={q}");
+        }
     }
 
     #[test]

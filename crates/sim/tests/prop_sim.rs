@@ -66,10 +66,9 @@ proptest! {
         for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
             let v = h.quantile(q);
             prop_assert!(v <= max, "quantile {q} = {v} above max {max}");
+            prop_assert!(v >= min, "quantile {q} = {v} below min {min}");
         }
-        // A bucket lower bound can sit below min by at most the bucket width
-        // (~1.6% relative), never more than min itself.
-        prop_assert!(h.quantile(0.0) <= min);
+        prop_assert_eq!(h.quantile(0.0), min);
         let exact_mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
         prop_assert!((h.mean() - exact_mean).abs() < 1e-6 * exact_mean.max(1.0));
     }

@@ -222,6 +222,16 @@ pub struct SimConfig {
     /// longest legitimate silence (deepest RTO backoff the fault plan can
     /// provoke). `Duration::ZERO` disables the stall check.
     pub watchdog_horizon: Duration,
+    /// Audit mode: check conservation laws (`hns-audit`) at every autotune
+    /// tick and at teardown, tripping
+    /// [`crate::RunErrorKind::InvariantViolation`] on the first imbalance.
+    /// Off by default — the ledgers cost a few counters per event.
+    pub audit: bool,
+    /// Audit self-test hook: consume one Rx descriptor on host 1 at the end
+    /// of warmup without delivering its frame, deliberately unbalancing the
+    /// frame ledgers. Exists so tests and the fuzzer's bisection can prove a
+    /// broken ledger is *caught*; never set outside audit tests.
+    pub inject_rx_leak: bool,
 }
 
 impl Default for SimConfig {
@@ -244,6 +254,8 @@ impl Default for SimConfig {
             faults: FaultConfig::default(),
             churn: None,
             watchdog_horizon: Duration::from_secs(5),
+            audit: false,
+            inject_rx_leak: false,
         }
     }
 }

@@ -103,6 +103,12 @@ impl GroEngine {
     pub fn pending(&self) -> usize {
         self.table.len()
     }
+
+    /// Total frames referenced by held aggregates (the audit ledger's view
+    /// of what GRO owns).
+    pub fn held_frags(&self) -> u64 {
+        self.table.iter().map(|s| s.frags.len() as u64).sum()
+    }
 }
 
 #[cfg(test)]

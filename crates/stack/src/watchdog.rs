@@ -30,6 +30,9 @@ pub enum RunErrorKind {
     /// The event queue grew past any plausible working size (events are
     /// being scheduled faster than they can ever drain).
     QueueLeak,
+    /// A conservation law failed under audit mode: a byte, frame, descriptor,
+    /// or cycle left the ledgers (see `hns-audit` for the invariant list).
+    InvariantViolation,
 }
 
 impl RunErrorKind {
@@ -41,6 +44,7 @@ impl RunErrorKind {
             RunErrorKind::Stalled => "stalled",
             RunErrorKind::EventStorm => "event-storm",
             RunErrorKind::QueueLeak => "queue-leak",
+            RunErrorKind::InvariantViolation => "invariant-violation",
         }
     }
 }
@@ -146,5 +150,9 @@ mod tests {
         assert_eq!(RunErrorKind::BadFaultPlan.name(), "bad-fault-plan");
         assert_eq!(RunErrorKind::EventStorm.name(), "event-storm");
         assert_eq!(RunErrorKind::QueueLeak.name(), "queue-leak");
+        assert_eq!(
+            RunErrorKind::InvariantViolation.name(),
+            "invariant-violation"
+        );
     }
 }

@@ -72,6 +72,7 @@ enum Event {
     TimeWaitTick,
 }
 
+mod audit;
 mod churn;
 
 /// Which scheduled resource fault a `FaultTick` reconciles.
@@ -166,6 +167,9 @@ pub struct World {
     /// Connection-lifecycle engine (`hns-conn`), present when the config
     /// carries a churn workload.
     churn: Option<churn::ChurnEngine>,
+    /// Invariant-auditor counters (`SimConfig::audit`); `None` keeps every
+    /// hook a single branch on the option.
+    audit: Option<Box<audit::AuditState>>,
 }
 
 impl World {
@@ -205,6 +209,7 @@ impl World {
             gro_scratch: Vec::new(),
             trace: TraceCollector::new(cfg.trace, 2, cores),
             churn: cfg.churn.map(|c| churn::ChurnEngine::new(c, cores)),
+            audit: cfg.audit.then(Box::default),
             cfg,
         }
     }
@@ -321,6 +326,10 @@ impl World {
         while !self.finished {
             match self.queue.pop() {
                 Some((t, ev)) => {
+                    self.audit_pop(t);
+                    if self.finished {
+                        break;
+                    }
                     if t == self.storm_at {
                         self.storm_count += 1;
                     } else {
@@ -345,6 +354,9 @@ impl World {
                 }
                 None => break, // deadlock-free exhaustion (tests)
             }
+        }
+        if self.run_error.is_none() {
+            self.audit_teardown();
         }
         match self.run_error.take() {
             Some(e) => Err(e),
@@ -541,6 +553,9 @@ impl World {
             let cd = &mut self.hosts[h].cores[core];
             cd.breakdown += ch.0;
             cd.usage.add_busy(cycles_to_time(ch.total()));
+            if let Some(a) = self.audit_mut() {
+                a.charge_calls[h] += 1;
+            }
         }
     }
 
@@ -568,6 +583,9 @@ impl World {
         cd.breakdown += charges.0;
         let span = cycles_to_time(charges.total());
         cd.usage.add_busy(span);
+        if let Some(a) = self.audit_mut() {
+            a.charge_calls[h] += 1;
+        }
         self.queue.schedule_after(
             span,
             Event::StepDone {
@@ -698,6 +716,11 @@ impl World {
                 }
             }
             self.hosts[h].cores[core].budget_used += 1;
+        }
+        if batch > 0 {
+            if let Some(a) = self.audit_mut() {
+                a.polled[h] += batch as u64;
+            }
         }
 
         // Driver replenishes this core's Rx ring for the descriptors we
@@ -1257,6 +1280,9 @@ impl World {
         let cd = &mut self.hosts[h].cores[core];
         cd.breakdown += ch.0;
         cd.usage.add_busy(cycles_to_time(ch.total()));
+        if let Some(a) = self.audit_mut() {
+            a.charge_calls[h] += 1;
+        }
         let gap = self.workload_rng.exp(mean as f64) as u64;
         self.queue.schedule_after(
             Duration::from_nanos(gap.max(1)),
@@ -1465,6 +1491,9 @@ impl World {
                                 seg,
                             },
                         );
+                        if let Some(a) = self.audit_mut() {
+                            a.wire_in_flight[1 - h] += 1;
+                        }
                     }
                     TransmitOutcome::Dropped => {
                         self.drop_stats.wire += 1;
@@ -1490,6 +1519,10 @@ impl World {
     fn frame_arrive(&mut self, dst: usize, seg: Segment) {
         let now = self.queue.now();
         let fid = seg.flow as usize;
+        if let Some(a) = self.audit_mut() {
+            a.arrived[dst] += 1;
+            a.wire_in_flight[dst] -= 1;
+        }
         // Steering decides the queue; the frame consumes a descriptor of
         // *that queue's* ring.
         let target_core = match seg.kind {
@@ -1501,6 +1534,9 @@ impl World {
                     // Connection torn down while the frame was in flight: a
                     // late retransmit with no socket to land on.
                     self.conn_stale_frame();
+                    if let Some(a) = self.audit_mut() {
+                        a.stale_frames[dst] += 1;
+                    }
                     return;
                 }
             },
@@ -1511,6 +1547,9 @@ impl World {
         let cap = self.cfg.max_backlog as usize;
         if cap > 0 && self.hosts[dst].cores[target_core as usize].backlog.len() >= cap {
             self.drop_stats.gro_overflow += 1;
+            if let Some(a) = self.audit_mut() {
+                a.backlog_drops[dst] += 1;
+            }
             return;
         }
         if !self.hosts[dst].rings[target_core as usize].try_receive() {
@@ -1626,6 +1665,9 @@ impl World {
         let cd = &mut self.hosts[h].cores[core];
         cd.breakdown += ch.0;
         cd.usage.add_busy(cycles_to_time(ch.total()));
+        if let Some(a) = self.audit_mut() {
+            a.charge_calls[h] += 1;
+        }
     }
 
     /// BBR pacing: arm the release timer if not armed.
@@ -1695,6 +1737,7 @@ impl World {
                 .on_copied(copied, AUTOTUNE_INTERVAL, hint);
         }
         self.check_watchdog();
+        self.audit_tick();
         self.queue
             .schedule_after(AUTOTUNE_INTERVAL, Event::AutotuneTick);
     }
@@ -1757,6 +1800,18 @@ impl World {
         self.wire_drop_baseline = self.link.drops(0) + self.link.drops(1);
         self.ring_drop_baseline = self.hosts[0].ring_drops() + self.hosts[1].ring_drops();
         self.drop_baseline = self.drop_stats;
+        if let Some(a) = self.audit_mut() {
+            // The cycle ledger's two sides (usage clocks, breakdowns) just
+            // reset with the measurement window; its rounding-slack bound
+            // restarts with them.
+            a.charge_calls = [0, 0];
+        }
+        if self.cfg.inject_rx_leak {
+            // Audit self-test hook: consume a descriptor whose frame never
+            // reaches a backlog. The frame ledgers can no longer balance and
+            // an audited run must trip InvariantViolation.
+            self.hosts[1].rings[0].try_receive();
+        }
     }
 
     fn build_report(&self) -> Report {

@@ -163,6 +163,9 @@ impl World {
         let cd = &mut self.hosts[h].cores[core];
         cd.breakdown += ch.0;
         cd.usage.add_busy(hns_sim::cycles_to_time(ch.total()));
+        if let Some(a) = self.audit_mut() {
+            a.charge_calls[h] += 1;
+        }
     }
 
     /// Steering for connection-lifecycle frames: the owning core from the

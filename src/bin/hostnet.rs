@@ -6,6 +6,7 @@
 //! hostnet run rpc --clients 16 --size 4096 --remote-server
 //! hostnet run mixed --shorts 16
 //! hostnet figures fig06 fig12 --csv
+//! hostnet audit --runs 200 --seed 1
 //! hostnet list
 //! ```
 //!
@@ -77,6 +78,44 @@ fn execute(cmd: cli::Command) -> ExitCode {
                 );
             }
             ExitCode::SUCCESS
+        }
+        cli::Command::Audit(opts) => {
+            let outcome = hostnet::run_audit(&opts);
+            if outcome.ok() {
+                println!(
+                    "audit: {} runs, 0 violations (seed {})",
+                    outcome.runs, opts.seed
+                );
+                ExitCode::SUCCESS
+            } else {
+                for f in &outcome.failures {
+                    eprintln!(
+                        "audit FAIL run {} [{}] {}: {}",
+                        f.run,
+                        f.scenario,
+                        f.property.name(),
+                        f.detail
+                    );
+                    eprintln!(
+                        "  minimal deltas: {}",
+                        f.minimal
+                            .iter()
+                            .map(|d| d.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    if let Some(p) = &f.repro {
+                        eprintln!("  repro written to {}", p.display());
+                    }
+                }
+                eprintln!(
+                    "audit: {} runs, {} violation(s) (seed {})",
+                    outcome.runs,
+                    outcome.failures.len(),
+                    opts.seed
+                );
+                ExitCode::FAILURE
+            }
         }
         cli::Command::Run(run) => {
             let mut exp = Experiment::new(run.scenario);
@@ -330,8 +369,17 @@ usage:
   hostnet figures [fig03|fig03e|fig03f|fig03g|fig04|fig05|fig05c|fig06|
                    fig07|fig08|fig09|fig09b|fig10|fig11|fig12|fig13]...
                   [--csv] [--jobs N|auto]
+  hostnet audit [--runs N] [--seed S] [--out DIR] [--quiet]
   hostnet list
   hostnet help
+
+audit (differential config fuzzer, every run under the invariant auditor):
+  --runs N           fuzz cases to run                    (default 200)
+  --seed S           master seed; case i derives from (S, i)  (default 1)
+  --out DIR          directory for minimal-repro files    (default .)
+  --quiet            suppress the per-case progress line
+  exits non-zero if any case fails; failures are bisected to a minimal
+  delta set and written to DIR/audit-repro-s<seed>-r<run>.txt
 
 scenarios: single | numa-remote | one-to-one | incast | outcast |
            all-to-all | rpc | mixed | churn   (see `hostnet list`)
@@ -399,6 +447,8 @@ fault injection (all deterministic; scheduled faults share one window):
             /// Output is byte-identical for every value.
             jobs: Option<usize>,
         },
+        /// `hostnet audit [--runs N] [--seed S] [--out DIR] [--quiet]`.
+        Audit(hostnet::AuditOptions),
     }
 
     /// Options of `hostnet run`.
@@ -497,6 +547,24 @@ fault injection (all deterministic; scheduled faults share one window):
                     }
                 }
                 Ok(Command::Figures { names, csv, jobs })
+            }
+            Some("audit") => {
+                let mut opts = hostnet::AuditOptions::new(200, 1);
+                opts.progress = true;
+                let mut it = args[1..].iter();
+                while let Some(a) = it.next() {
+                    let mut value = |name: &str| -> Result<&String, String> {
+                        it.next().ok_or_else(|| format!("{name}: missing value"))
+                    };
+                    match a.as_str() {
+                        "--runs" => opts.runs = parse_num(value("--runs")?, "--runs")?,
+                        "--seed" => opts.seed = parse_num(value("--seed")?, "--seed")?,
+                        "--out" => opts.out_dir = Some(std::path::PathBuf::from(value("--out")?)),
+                        "--quiet" => opts.progress = false,
+                        x => return Err(format!("audit: unknown flag `{x}`")),
+                    }
+                }
+                Ok(Command::Audit(opts))
             }
             Some(other) => Err(format!("unknown command `{other}`")),
         }
@@ -964,6 +1032,29 @@ fault injection (all deterministic; scheduled faults share one window):
             }
             assert!(parse(&argv("figures --jobs")).is_err());
             assert!(parse(&argv("figures --jobs banana")).is_err());
+        }
+
+        #[test]
+        fn parses_audit_command() {
+            match parse(&argv("audit --runs 25 --seed 7 --out repros --quiet")).unwrap() {
+                Command::Audit(o) => {
+                    assert_eq!(o.runs, 25);
+                    assert_eq!(o.seed, 7);
+                    assert_eq!(o.out_dir.as_deref(), Some(std::path::Path::new("repros")));
+                    assert!(!o.progress);
+                }
+                _ => panic!("not audit"),
+            }
+            match parse(&argv("audit")).unwrap() {
+                Command::Audit(o) => {
+                    assert_eq!(o.runs, 200);
+                    assert_eq!(o.seed, 1);
+                    assert!(o.progress);
+                }
+                _ => panic!("not audit"),
+            }
+            assert!(parse(&argv("audit --runs")).is_err());
+            assert!(parse(&argv("audit --bogus")).is_err());
         }
 
         #[test]

@@ -10,6 +10,7 @@ pub use hns_core::*;
 /// The building-block crates, re-exported for advanced users who want to
 /// compose their own hosts, NICs, or workloads.
 pub mod building_blocks {
+    pub use hns_audit as audit;
     pub use hns_conn as conn;
     pub use hns_core::figures as core_figures;
     pub use hns_faults as faults;
