@@ -350,6 +350,13 @@ pub struct ChurnLedger {
     pub table_len: u64,
     /// Flow-table slot capacity.
     pub table_capacity: u64,
+    /// Handshake aborts per the lifecycle counters (whole-run: aborts
+    /// before the measurement window plus aborts inside it).
+    pub lifecycle_aborts: u64,
+    /// Handshake aborts per the drop taxonomy's `handshake_abort` class —
+    /// charged on an independent path, so drift between the two means an
+    /// abort vanished from one set of books.
+    pub taxo_aborts: u64,
 }
 
 impl ChurnLedger {
@@ -370,6 +377,142 @@ impl ChurnLedger {
                 detail: format!(
                     "flow table holds {} records in {} slots",
                     self.table_len, self.table_capacity
+                ),
+            });
+        }
+        if self.lifecycle_aborts != self.taxo_aborts {
+            out.push(Violation {
+                invariant: "handshake-abort-taxonomy",
+                detail: format!(
+                    "lifecycle counted {} handshake aborts, drop taxonomy {}",
+                    self.lifecycle_aborts, self.taxo_aborts
+                ),
+            });
+        }
+    }
+}
+
+/// Accept-queue conservation for overload runs: every SYN that reached the
+/// accept path either took a queue slot (later drained by `accept()` or
+/// released by an abort) or overflowed into exactly one admission outcome,
+/// and occupancy never exceeded the configured depth.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AcceptLedger {
+    /// Configured queue depth.
+    pub depth: u64,
+    /// Occupancy at teardown.
+    pub len: u64,
+    /// Peak occupancy.
+    pub high_water: u64,
+    /// Slots taken in total.
+    pub enqueued: u64,
+    /// Slots drained by `accept()`.
+    pub dequeued: u64,
+    /// Slots released by handshake aborts before accept.
+    pub released: u64,
+    /// SYNs that found the queue full.
+    pub overflows: u64,
+    /// Overflows answered with SYN cookies.
+    pub cookies: u64,
+    /// Overflows silently dropped.
+    pub full_drops: u64,
+    /// Overflows refused with RST.
+    pub sheds: u64,
+    /// The drop taxonomy's `accept_queue` class (must equal `full_drops`:
+    /// cookies and sheds are answered, not dropped).
+    pub taxo_accept_drops: u64,
+}
+
+impl AcceptLedger {
+    /// Check accept-queue conservation, appending violations to `out`.
+    pub fn check(&self, out: &mut Vec<Violation>) {
+        if self.len > self.depth || self.high_water > self.depth {
+            out.push(Violation {
+                invariant: "accept-queue-bound",
+                detail: format!(
+                    "occupancy {} / high water {} exceeded depth {}",
+                    self.len, self.high_water, self.depth
+                ),
+            });
+        }
+        if self.enqueued != self.dequeued + self.released + self.len {
+            out.push(Violation {
+                invariant: "accept-queue-slots",
+                detail: format!(
+                    "enqueued {} != dequeued {} + released {} + len {}",
+                    self.enqueued, self.dequeued, self.released, self.len
+                ),
+            });
+        }
+        if self.overflows != self.cookies + self.full_drops + self.sheds {
+            out.push(Violation {
+                invariant: "accept-overflow-outcomes",
+                detail: format!(
+                    "overflows {} != cookies {} + drops {} + sheds {}",
+                    self.overflows, self.cookies, self.full_drops, self.sheds
+                ),
+            });
+        }
+        if self.taxo_accept_drops != self.full_drops {
+            out.push(Violation {
+                invariant: "accept-drop-taxonomy",
+                detail: format!(
+                    "drop taxonomy counted {} accept-queue drops, queue {}",
+                    self.taxo_accept_drops, self.full_drops
+                ),
+            });
+        }
+    }
+}
+
+/// Connection-memory conservation for overload runs: every byte charged
+/// against the budget was either freed or is still pinned, the budget was
+/// never exceeded, and every refusal landed in the drop taxonomy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConnMemLedger {
+    /// Configured budget in bytes (0 = unlimited).
+    pub budget: u64,
+    /// Bytes pinned at teardown.
+    pub in_use: u64,
+    /// Peak bytes pinned.
+    pub peak: u64,
+    /// Total bytes ever charged.
+    pub charged: u64,
+    /// Total bytes ever freed.
+    pub freed: u64,
+    /// Allocations refused by the budget.
+    pub alloc_fails: u64,
+    /// The drop taxonomy's `conn_memory` class (must equal `alloc_fails`).
+    pub taxo_mem_drops: u64,
+}
+
+impl ConnMemLedger {
+    /// Check memory conservation, appending violations to `out`.
+    pub fn check(&self, out: &mut Vec<Violation>) {
+        if self.charged != self.freed + self.in_use {
+            out.push(Violation {
+                invariant: "conn-mem-conservation",
+                detail: format!(
+                    "charged {} != freed {} + in_use {}",
+                    self.charged, self.freed, self.in_use
+                ),
+            });
+        }
+        if self.budget > 0 && (self.in_use > self.budget || self.peak > self.budget) {
+            out.push(Violation {
+                invariant: "conn-mem-budget",
+                detail: format!(
+                    "in_use {} / peak {} exceeded budget {}",
+                    self.in_use, self.peak, self.budget
+                ),
+            });
+        }
+        if self.taxo_mem_drops != self.alloc_fails {
+            out.push(Violation {
+                invariant: "conn-mem-taxonomy",
+                detail: format!(
+                    "drop taxonomy counted {} memory refusals, budget {}",
+                    self.taxo_mem_drops, self.alloc_fails
                 ),
             });
         }
@@ -535,10 +678,123 @@ mod tests {
             pool_live: 9,
             table_len: 50,
             table_capacity: 64,
+            ..ChurnLedger::default()
         };
         let v = checked(|o| l.check(o));
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].invariant, "conn-pool-liveness");
+    }
+
+    #[test]
+    fn churn_ledger_reconciles_handshake_aborts() {
+        let l = ChurnLedger {
+            pool_len: 0,
+            pool_live: 0,
+            table_len: 10,
+            table_capacity: 64,
+            lifecycle_aborts: 7,
+            taxo_aborts: 7,
+        };
+        assert!(checked(|o| l.check(o)).is_empty());
+        let bad = ChurnLedger {
+            taxo_aborts: 6,
+            ..l
+        };
+        let v = checked(|o| bad.check(o));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "handshake-abort-taxonomy");
+    }
+
+    #[test]
+    fn accept_ledger_balances() {
+        let l = AcceptLedger {
+            depth: 64,
+            len: 3,
+            high_water: 64,
+            enqueued: 100,
+            dequeued: 90,
+            released: 7,
+            overflows: 12,
+            cookies: 5,
+            full_drops: 4,
+            sheds: 3,
+            taxo_accept_drops: 4,
+        };
+        assert!(checked(|o| l.check(o)).is_empty());
+    }
+
+    #[test]
+    fn accept_ledger_catches_each_imbalance() {
+        let ok = AcceptLedger {
+            depth: 8,
+            len: 0,
+            high_water: 8,
+            enqueued: 20,
+            dequeued: 20,
+            overflows: 2,
+            cookies: 2,
+            ..AcceptLedger::default()
+        };
+        assert!(checked(|o| ok.check(o)).is_empty());
+        let over = AcceptLedger {
+            high_water: 9,
+            ..ok
+        };
+        assert!(checked(|o| over.check(o))
+            .iter()
+            .any(|v| v.invariant == "accept-queue-bound"));
+        let leak = AcceptLedger { dequeued: 19, ..ok };
+        assert!(checked(|o| leak.check(o))
+            .iter()
+            .any(|v| v.invariant == "accept-queue-slots"));
+        let outcome = AcceptLedger { cookies: 1, ..ok };
+        assert!(checked(|o| outcome.check(o))
+            .iter()
+            .any(|v| v.invariant == "accept-overflow-outcomes"));
+        let taxo = AcceptLedger {
+            full_drops: 1,
+            cookies: 1,
+            ..ok
+        };
+        assert!(checked(|o| taxo.check(o))
+            .iter()
+            .any(|v| v.invariant == "accept-drop-taxonomy"));
+    }
+
+    #[test]
+    fn conn_mem_ledger_balances_and_catches_leaks() {
+        let ok = ConnMemLedger {
+            budget: 1_000,
+            in_use: 200,
+            peak: 900,
+            charged: 5_000,
+            freed: 4_800,
+            alloc_fails: 3,
+            taxo_mem_drops: 3,
+        };
+        assert!(checked(|o| ok.check(o)).is_empty());
+        let leak = ConnMemLedger { freed: 4_700, ..ok };
+        assert!(checked(|o| leak.check(o))
+            .iter()
+            .any(|v| v.invariant == "conn-mem-conservation"));
+        let burst = ConnMemLedger { peak: 1_001, ..ok };
+        assert!(checked(|o| burst.check(o))
+            .iter()
+            .any(|v| v.invariant == "conn-mem-budget"));
+        let taxo = ConnMemLedger {
+            taxo_mem_drops: 2,
+            ..ok
+        };
+        assert!(checked(|o| taxo.check(o))
+            .iter()
+            .any(|v| v.invariant == "conn-mem-taxonomy"));
+        // Unlimited budget: conservation still checked, bound is not.
+        let unlimited = ConnMemLedger {
+            budget: 0,
+            peak: 1_000_000,
+            ..ok
+        };
+        assert!(checked(|o| unlimited.check(o)).is_empty());
     }
 
     #[test]

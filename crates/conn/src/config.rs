@@ -6,6 +6,8 @@
 
 use hns_sim::Duration;
 
+use crate::overload::OverloadConfig;
+
 /// What each arriving connection does once established.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ChurnMode {
@@ -63,6 +65,9 @@ pub struct ChurnConfig {
     pub shards: u16,
     /// Sample every Nth connection for lifecycle tracing (0 = never).
     pub trace_sample: u32,
+    /// Overload model (accept queue, admission control, memory budget,
+    /// slow clients). Inert by default.
+    pub overload: OverloadConfig,
 }
 
 impl Default for ChurnConfig {
@@ -77,6 +82,7 @@ impl Default for ChurnConfig {
             reap_interval: Duration::from_millis(1),
             shards: 64,
             trace_sample: 0,
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -108,6 +114,13 @@ impl ChurnConfig {
         }
         if self.mode == ChurnMode::ShortRpc && self.rpc_size == 0 {
             return Err("short-rpc mode needs rpc_size > 0".into());
+        }
+        self.overload.validate()?;
+        if self.overload.enabled && matches!(self.mode, ChurnMode::Pool { .. }) {
+            // Pool members are idle by design; the overload model's accept
+            // backpressure and idle reaping contradict a pre-established
+            // steady-state pool.
+            return Err("overload model does not support pool mode".into());
         }
         Ok(())
     }
@@ -144,6 +157,18 @@ mod tests {
         assert!(c.validate().is_err(), "short-rpc needs a payload");
         c.mode = ChurnMode::HandshakeOnly;
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn overload_knobs_validate_through_churn() {
+        let mut c = ChurnConfig::default();
+        c.overload.enabled = true;
+        c.validate().unwrap();
+        c.overload.accept_queue = 0;
+        assert!(c.validate().is_err(), "bad overload knobs must surface");
+        c.overload.accept_queue = 64;
+        c.mode = ChurnMode::Pool { conns: 100 };
+        assert!(c.validate().is_err(), "overload + pool is rejected");
     }
 
     #[test]

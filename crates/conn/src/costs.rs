@@ -53,6 +53,18 @@ pub struct ConnCostModel {
     pub epoll_ctl: u64,
     /// Dispatch one ready event from `epoll_wait`'s batch: Sched.
     pub epoll_dispatch: u64,
+    /// Encode a SYN cookie into the SYN-ACK (keyed hash over the 4-tuple)
+    /// when the accept queue overflows: TcpIp.
+    pub syn_cookie_tx: u64,
+    /// Validate a returning cookie and rebuild the connection it encodes
+    /// (the stateless-accept slow path): TcpIp.
+    pub syn_cookie_check: u64,
+    /// Build and send a RST refusing a connection (admission shed or
+    /// memory-pressure refusal): TcpIp.
+    pub rst_tx: u64,
+    /// Examine one connection in the idle-reaper scan and tear it down if
+    /// expired (keepalive-timer analogue): TcpIp.
+    pub idle_reap: u64,
 }
 
 impl ConnCostModel {
@@ -76,6 +88,10 @@ impl ConnCostModel {
             epoll_wakeup: 1_000,
             epoll_ctl: 750,
             epoll_dispatch: 350,
+            syn_cookie_tx: 450,
+            syn_cookie_check: 650,
+            rst_tx: 400,
+            idle_reap: 550,
         }
     }
 
@@ -130,6 +146,19 @@ mod tests {
             (250_000.0..450_000.0).contains(&rate),
             "passive-open rate {rate:.0}/s out of calibration band"
         );
+    }
+
+    /// A stateless cookie accept must be cheaper up front than the normal
+    /// queued path (that is the whole point of the fallback): the SYN-side
+    /// work skips the request-sock allocation entirely.
+    #[test]
+    fn cookie_syn_side_cheaper_than_queued() {
+        let c = ConnCostModel::calibrated();
+        let queued_syn = c.syn_rx + c.socket_alloc + c.synack_tx;
+        let cookie_syn = c.syn_rx + c.syn_cookie_tx + c.synack_tx;
+        assert!(cookie_syn < queued_syn);
+        // ...while the completing ACK pays the validation back.
+        assert!(c.syn_cookie_check > 0 && c.rst_tx > 0 && c.idle_reap > 0);
     }
 
     #[test]

@@ -28,6 +28,11 @@
 //! * [`ChurnConfig`] / [`ChurnMode`] — the workload knobs (open-loop
 //!   connection arrivals at a target conn/s, short-RPC-with-handshake,
 //!   long-lived pools with partial churn).
+//! * [`overload`] — the overload-survival model: a bounded accept queue
+//!   with pluggable [`AdmissionPolicy`]s (drop / SYN-cookie / shed), a
+//!   per-host connection [`MemBudget`], idle-client reaping, and
+//!   heavy-tailed slow-client think times ("Scouting the Path to a
+//!   Million-Client Server").
 //!
 //! The engine integration lives in `hns-stack`: SYN/SYN-ACK/FIN control
 //! segments traverse the simulated wire (so fault-injected loss drops SYNs
@@ -37,6 +42,7 @@
 pub mod config;
 pub mod costs;
 pub mod epoll;
+pub mod overload;
 pub mod state;
 pub mod stats;
 pub mod table;
@@ -45,6 +51,7 @@ pub mod timewait;
 pub use config::{ChurnConfig, ChurnMode};
 pub use costs::ConnCostModel;
 pub use epoll::EpollAccounting;
+pub use overload::{AcceptQueue, AdmissionPolicy, MemBudget, OverloadConfig};
 pub use state::{Conn, HalfConn};
 pub use stats::ChurnStats;
 pub use table::{ConnId, FlowTable};

@@ -63,6 +63,9 @@ pub struct Conn {
     pub server: HalfConn,
     /// SYN retransmissions so far (handshake aborts past the retry cap).
     pub syn_retries: u8,
+    /// Behavior flag bits ([`Conn::SLOW`] and friends); fits the padding
+    /// byte the pre-overload layout left free.
+    pub flags: u8,
     /// Request bytes the server has received so far.
     pub req_done: u32,
     /// Response bytes the client has received so far.
@@ -74,11 +77,25 @@ pub struct Conn {
     /// deadline and compare against this on fire, so a superseded timer is
     /// recognised as stale without a cancellation token.
     pub timer_at: SimTime,
+    /// Last time the server observed activity on this connection (the
+    /// idle-reaper's clock).
+    pub last_seen: SimTime,
     /// Lifecycle-trace id ([`NO_TRACE`] when the connection is unsampled).
     pub trace: u64,
 }
 
 impl Conn {
+    /// Flag: a slow client with heavy-tailed on/off think times.
+    pub const SLOW: u8 = 1 << 0;
+    /// Flag: admitted via the SYN-cookie fallback (no queue slot or
+    /// request sock was ever held server-side).
+    pub const COOKIE: u8 = 1 << 1;
+    /// Flag: the armed timer sends the deferred first request (slow
+    /// client thinking), not a retransmission.
+    pub const REQ_PENDING: u8 = 1 << 2;
+    /// Flag: the armed timer initiates the deferred close (slow client
+    /// lingering), not a retransmission.
+    pub const CLOSE_PENDING: u8 = 1 << 3;
     /// Fresh (pre-SYN) connection record.
     pub fn new(client_core: u16, server_core: u16, opened_at: SimTime) -> Self {
         Conn {
@@ -87,10 +104,12 @@ impl Conn {
             client: HalfConn::Closed,
             server: HalfConn::Closed,
             syn_retries: 0,
+            flags: 0,
             req_done: 0,
             resp_done: 0,
             opened_at,
             timer_at: SimTime::MAX,
+            last_seen: opened_at,
             trace: NO_TRACE,
         }
     }
@@ -147,5 +166,13 @@ mod tests {
         assert_eq!(e.client, HalfConn::Established);
         assert_eq!(e.server, HalfConn::Established);
         assert!(!e.both_closed());
+        assert_eq!(e.last_seen, SimTime::ZERO);
+    }
+
+    #[test]
+    fn flag_bits_are_distinct() {
+        let all = Conn::SLOW | Conn::COOKIE | Conn::REQ_PENDING | Conn::CLOSE_PENDING;
+        assert_eq!(all.count_ones(), 4, "flag bits must not overlap");
+        assert_eq!(Conn::new(0, 0, SimTime::ZERO).flags, 0);
     }
 }

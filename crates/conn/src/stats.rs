@@ -27,8 +27,18 @@ pub struct ChurnStats {
     /// Frames that arrived for a connection no longer in the table
     /// (late retransmits after an abort) and were dropped.
     pub stale_frames: u64,
+    /// Connections refused by the server with a RST (admission shed or
+    /// memory-pressure refusal) — distinct from `failed`, which is the
+    /// client giving up.
+    pub refused: u64,
+    /// Server-side established connections torn down by the idle reaper.
+    pub idle_reaped: u64,
+    /// Arrivals marked as slow (heavy-tailed on/off) clients.
+    pub slow_conns: u64,
     /// Handshake latency samples, nanoseconds.
     pub handshake_ns: Histogram,
+    /// RPC latency samples (request sent to response delivered), ns.
+    pub rpc_ns: Histogram,
 }
 
 impl ChurnStats {
@@ -43,6 +53,7 @@ impl ChurnStats {
     pub fn reset(&mut self) {
         *self = ChurnStats {
             handshake_ns: Histogram::new(),
+            rpc_ns: Histogram::new(),
             ..ChurnStats::default()
         };
     }
@@ -57,10 +68,16 @@ mod tests {
         let mut s = ChurnStats::new();
         s.opened = 5;
         s.established = 4;
+        s.refused = 2;
+        s.idle_reaped = 1;
         s.handshake_ns.record(1_000);
+        s.rpc_ns.record(2_000);
         s.reset();
         assert_eq!(s.opened, 0);
         assert_eq!(s.established, 0);
+        assert_eq!(s.refused, 0);
+        assert_eq!(s.idle_reaped, 0);
         assert_eq!(s.handshake_ns.count(), 0);
+        assert_eq!(s.rpc_ns.count(), 0);
     }
 }

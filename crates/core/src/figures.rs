@@ -13,6 +13,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use hns_conn::AdmissionPolicy;
 use hns_metrics::Report;
 use hns_proto::cc::CcAlgo;
 use hns_stack::config::RcvBufPolicy;
@@ -286,6 +287,49 @@ pub fn fig05_conn_rate() -> Vec<(String, Report)> {
     labels.into_iter().zip(run_sweep(&points)).collect()
 }
 
+/// Concurrent-client counts fig_capacity sweeps at fixed server cores
+/// (each contributes [`hns_workload::CAPACITY_CLIENT_CPS`] attempts/s).
+pub const CAPACITY_CLIENTS: [u32; 4] = [125, 250, 500, 1000];
+
+/// Admission policies fig_capacity compares at every client count.
+pub const CAPACITY_POLICIES: [AdmissionPolicy; 3] = [
+    AdmissionPolicy::Drop,
+    AdmissionPolicy::Queue,
+    AdmissionPolicy::Shed,
+];
+
+/// fig_capacity points: the policy × client-count grid, policies outermost
+/// so each policy's knee reads as four consecutive rows.
+pub fn fig_capacity_points() -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for policy in CAPACITY_POLICIES {
+        for clients in CAPACITY_CLIENTS {
+            out.push(SweepPoint::new(
+                ScenarioKind::Churn {
+                    churn: hns_workload::churn_capacity(clients, policy),
+                },
+                format!("capacity/{}/{}c", policy.label(), clients),
+            ));
+        }
+    }
+    out
+}
+
+/// Overload extension: server capacity under admission control.
+///
+/// Goodput and p99 handshake/RPC latency versus concurrent clients at
+/// fixed cores, once per admission policy. Slow clients pin accept-queue
+/// slots and socket memory for heavy-tailed think times, so past the knee
+/// the policies diverge: `drop` pushes retries (and handshake tail
+/// latency) onto clients, `queue` rides SYN cookies statelessly past the
+/// queue bound, and `shed` refuses fast to keep the tail flat at the cost
+/// of completed connections. Returns `(label, report)` rows.
+pub fn fig_capacity() -> Vec<(String, Report)> {
+    let points = fig_capacity_points();
+    let labels: Vec<String> = points.iter().map(|p| p.label.clone()).collect();
+    labels.into_iter().zip(run_sweep(&points)).collect()
+}
+
 /// Fig. 6: incast.
 pub fn fig06_incast() -> Vec<(u16, OptLevel, Report)> {
     sweep_levels(|flows| ScenarioKind::Incast { flows })
@@ -550,6 +594,10 @@ mod tests {
         assert_eq!(fig11_points().len(), 4);
         assert_eq!(fig12_points().len(), 3);
         assert_eq!(fig13_points().len(), 3);
+        let cap = fig_capacity_points();
+        assert_eq!(cap.len(), CAPACITY_POLICIES.len() * CAPACITY_CLIENTS.len());
+        assert_eq!(cap[0].label, "capacity/drop/125c");
+        assert_eq!(cap[11].label, "capacity/shed/1000c");
     }
 
     #[test]

@@ -70,6 +70,15 @@ pub fn reports_to_csv(reports: &[Report]) -> String {
              conn_live_hw,conn_table_capacity,epoll_evts_per_wakeup",
         );
     }
+    // Capacity columns only when some report ran the overload model.
+    let overload = reports.iter().any(|r| r.capacity.is_some());
+    if overload {
+        out.push_str(
+            ",policy,accept_hw,accept_overflows,syn_cookies,accept_drops,\
+             sheds,refused,mem_peak_bytes,alloc_fails,idle_reaped,slow_conns,\
+             conn_rpc_avg_us,conn_rpc_p99_us",
+        );
+    }
     out.push('\n');
 
     for r in reports {
@@ -126,6 +135,27 @@ pub fn reports_to_csv(reports: &[Report]) -> String {
                     c.epoll_events_per_wakeup(),
                 )),
                 None => out.push_str(",,,,,,,,,,,"),
+            }
+        }
+        if overload {
+            match &r.capacity {
+                Some(c) => out.push_str(&format!(
+                    ",{},{},{},{},{},{},{},{},{},{},{},{:.2},{:.2}",
+                    escape(&c.policy),
+                    c.accept_high_water,
+                    c.accept_overflows,
+                    c.syn_cookies,
+                    c.accept_drops,
+                    c.sheds,
+                    c.refused,
+                    c.mem_peak_bytes,
+                    c.alloc_fails,
+                    c.idle_reaped,
+                    c.slow_conns,
+                    c.rpc.avg_us,
+                    c.rpc.p99_us,
+                )),
+                None => out.push_str(",,,,,,,,,,,,,"),
             }
         }
         out.push('\n');
@@ -224,6 +254,52 @@ mod tests {
         assert!(
             lines[2].ends_with(",,,,,,,,,,,"),
             "non-churn row gets empty cells"
+        );
+    }
+
+    #[test]
+    fn overload_series_appends_capacity_columns() {
+        use crate::report::{CapacitySummary, ConnSummary};
+        let churn_only = Report {
+            label: "plain-churn".into(),
+            conn: Some(ConnSummary::default()),
+            ..Report::default()
+        };
+        let churn_header = reports_to_csv(std::slice::from_ref(&churn_only))
+            .lines()
+            .next()
+            .unwrap()
+            .to_string();
+        let overload = Report {
+            label: "overload".into(),
+            conn: Some(ConnSummary::default()),
+            capacity: Some(CapacitySummary {
+                policy: "shed".into(),
+                accept_high_water: 64,
+                sheds: 42,
+                refused: 42,
+                ..CapacitySummary::default()
+            }),
+            ..Report::default()
+        };
+        let csv = reports_to_csv(&[overload, churn_only]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(
+            lines[0].starts_with(&churn_header),
+            "churn columns keep their positions"
+        );
+        assert!(lines[0].contains(",policy,accept_hw,"));
+        assert!(lines[1].contains(",shed,"));
+        for row in &lines[1..] {
+            assert_eq!(
+                lines[0].split(',').count(),
+                row.split(',').count(),
+                "header/row column mismatch"
+            );
+        }
+        assert!(
+            lines[2].ends_with(",,,,,,,,,,,,,"),
+            "non-overload row gets empty capacity cells"
         );
     }
 

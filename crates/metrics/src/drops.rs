@@ -8,6 +8,12 @@
 //! replenish. Every dropped frame is charged to exactly one bucket, so
 //! `total()` equals the true number of frames lost end-to-end and resilience
 //! experiments can verify full accounting.
+//!
+//! Overload runs add connection-level classes: a handshake the client
+//! abandoned after `syn_retry_max`, a SYN discarded at a full accept queue,
+//! and an allocation refused by the connection-memory budget. These are
+//! connection-lifecycle losses rather than frame-layer ones; they serialize
+//! only when nonzero so pre-overload reports stay byte-identical.
 
 use crate::json::{obj, JsonError, Value};
 
@@ -22,6 +28,9 @@ pub struct LayerDrops {
     pub backlog: u64,
     /// Drops the socket observed (duplicate data discarded).
     pub socket: u64,
+    /// Connection-level losses the lifecycle engine observed (handshake
+    /// aborts, accept-queue discards, memory-budget refusals).
+    pub conn: u64,
 }
 
 /// Frames dropped, attributed to the layer that dropped them.
@@ -41,6 +50,15 @@ pub struct DropStats {
     /// Rx descriptor replenish failed because the page pool was exhausted
     /// (injected allocation-failure faults).
     pub pool: u64,
+    /// Handshake abandoned by the client after exhausting `syn_retry_max`
+    /// (the connection, not a single frame, is what was lost).
+    pub handshake_abort: u64,
+    /// SYN discarded because the accept queue was full and the admission
+    /// policy was `Drop`.
+    pub accept_queue: u64,
+    /// Connection-memory budget refused an allocation (request sock at
+    /// SYN, or full sock at establish — the latter surfaces as a RST).
+    pub conn_memory: u64,
 }
 
 impl DropStats {
@@ -52,12 +70,23 @@ impl DropStats {
             gro_overflow: 0,
             socket_queue: 0,
             pool: 0,
+            handshake_abort: 0,
+            accept_queue: 0,
+            conn_memory: 0,
         }
     }
 
-    /// Total frames lost across every attribution point.
+    /// Total losses across every attribution point (frame-layer and
+    /// connection-level classes alike).
     pub fn total(&self) -> u64 {
-        self.wire + self.rx_ring + self.gro_overflow + self.socket_queue + self.pool
+        self.wire
+            + self.rx_ring
+            + self.gro_overflow
+            + self.socket_queue
+            + self.pool
+            + self.handshake_abort
+            + self.accept_queue
+            + self.conn_memory
     }
 
     /// Merge another sample set into this one.
@@ -67,6 +96,9 @@ impl DropStats {
         self.gro_overflow += other.gro_overflow;
         self.socket_queue += other.socket_queue;
         self.pool += other.pool;
+        self.handshake_abort += other.handshake_abort;
+        self.accept_queue += other.accept_queue;
+        self.conn_memory += other.conn_memory;
     }
 
     /// Bucket-wise `self - baseline`, used to exclude warmup drops from the
@@ -78,6 +110,11 @@ impl DropStats {
             gro_overflow: self.gro_overflow.saturating_sub(baseline.gro_overflow),
             socket_queue: self.socket_queue.saturating_sub(baseline.socket_queue),
             pool: self.pool.saturating_sub(baseline.pool),
+            handshake_abort: self
+                .handshake_abort
+                .saturating_sub(baseline.handshake_abort),
+            accept_queue: self.accept_queue.saturating_sub(baseline.accept_queue),
+            conn_memory: self.conn_memory.saturating_sub(baseline.conn_memory),
         }
     }
 
@@ -93,37 +130,62 @@ impl DropStats {
             nic: self.rx_ring + self.pool,
             backlog: self.gro_overflow,
             socket: self.socket_queue,
+            conn: self.handshake_abort + self.accept_queue + self.conn_memory,
         }
     }
 
     /// Labelled `(bucket, count)` view in stable order.
-    pub fn buckets(&self) -> [(&'static str, u64); 5] {
+    pub fn buckets(&self) -> [(&'static str, u64); 8] {
         [
             ("wire", self.wire),
             ("rx_ring", self.rx_ring),
             ("gro_overflow", self.gro_overflow),
             ("socket_queue", self.socket_queue),
             ("pool", self.pool),
+            ("handshake_abort", self.handshake_abort),
+            ("accept_queue", self.accept_queue),
+            ("conn_memory", self.conn_memory),
         ]
     }
 
     pub(crate) fn to_value(self) -> Value {
-        obj(vec![
+        let mut fields = vec![
             ("wire", Value::UInt(self.wire)),
             ("rx_ring", Value::UInt(self.rx_ring)),
             ("gro_overflow", Value::UInt(self.gro_overflow)),
             ("socket_queue", Value::UInt(self.socket_queue)),
             ("pool", Value::UInt(self.pool)),
-        ])
+        ];
+        // Connection-level classes only appear when something was lost
+        // there, keeping pre-overload reports byte-identical.
+        if self.handshake_abort > 0 {
+            fields.push(("handshake_abort", Value::UInt(self.handshake_abort)));
+        }
+        if self.accept_queue > 0 {
+            fields.push(("accept_queue", Value::UInt(self.accept_queue)));
+        }
+        if self.conn_memory > 0 {
+            fields.push(("conn_memory", Value::UInt(self.conn_memory)));
+        }
+        obj(fields)
     }
 
     pub(crate) fn from_value(v: &Value) -> Result<DropStats, JsonError> {
+        let opt = |key: &str| -> Result<u64, JsonError> {
+            match v.get(key) {
+                Ok(x) => x.as_u64(),
+                Err(_) => Ok(0),
+            }
+        };
         Ok(DropStats {
             wire: v.get("wire")?.as_u64()?,
             rx_ring: v.get("rx_ring")?.as_u64()?,
             gro_overflow: v.get("gro_overflow")?.as_u64()?,
             socket_queue: v.get("socket_queue")?.as_u64()?,
             pool: v.get("pool")?.as_u64()?,
+            handshake_abort: opt("handshake_abort")?,
+            accept_queue: opt("accept_queue")?,
+            conn_memory: opt("conn_memory")?,
         })
     }
 }
@@ -140,9 +202,12 @@ mod tests {
             gro_overflow: 3,
             socket_queue: 4,
             pool: 5,
+            handshake_abort: 6,
+            accept_queue: 7,
+            conn_memory: 8,
         };
-        assert_eq!(d.total(), 15);
-        assert_eq!(d.buckets().iter().map(|&(_, n)| n).sum::<u64>(), 15);
+        assert_eq!(d.total(), 36);
+        assert_eq!(d.buckets().iter().map(|&(_, n)| n).sum::<u64>(), 36);
     }
 
     #[test]
@@ -174,13 +239,17 @@ mod tests {
             gro_overflow: 3,
             socket_queue: 4,
             pool: 5,
+            handshake_abort: 6,
+            accept_queue: 7,
+            conn_memory: 8,
         };
         let l = d.by_layer();
         assert_eq!(l.wire, 1);
         assert_eq!(l.nic, 7);
         assert_eq!(l.backlog, 3);
         assert_eq!(l.socket, 4);
-        assert_eq!(l.wire + l.nic + l.backlog + l.socket, d.total());
+        assert_eq!(l.conn, 21);
+        assert_eq!(l.wire + l.nic + l.backlog + l.socket + l.conn, d.total());
     }
 
     #[test]
@@ -193,5 +262,23 @@ mod tests {
         };
         let v = d.to_value();
         assert_eq!(DropStats::from_value(&v).unwrap(), d);
+        let o = DropStats {
+            handshake_abort: 3,
+            accept_queue: 4,
+            conn_memory: 5,
+            ..d
+        };
+        assert_eq!(DropStats::from_value(&o.to_value()).unwrap(), o);
+    }
+
+    /// Pre-overload reports must not grow keys: connection-level classes
+    /// serialize only when nonzero.
+    #[test]
+    fn zero_conn_classes_stay_invisible() {
+        let json = DropStats::new().to_value().compact();
+        assert!(!json.contains("handshake_abort"));
+        assert!(!json.contains("accept_queue"));
+        assert!(!json.contains("conn_memory"));
+        assert!(json.contains("socket_queue"), "legacy keys always present");
     }
 }

@@ -230,6 +230,90 @@ impl ConnSummary {
     }
 }
 
+/// Overload/capacity summary from a churn run with the overload model
+/// enabled: accept-queue pressure, admission-policy outcomes, connection
+/// memory, slow-client reaping, and the client-observed RPC latency tail.
+/// Absent from non-overload reports, so their JSON shape is unchanged.
+///
+/// Queue/memory counters are whole-run (they describe pressure and peaks,
+/// not rates); `refused`/`idle_reaped`/`slow_conns` and the RPC latency are
+/// measurement-window scoped like the rest of the report.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CapacitySummary {
+    /// Admission policy label (`drop` / `queue` / `shed`).
+    pub policy: String,
+    /// Configured accept-queue depth.
+    pub accept_depth: u64,
+    /// Peak accept-queue occupancy (never exceeds the depth).
+    pub accept_high_water: u64,
+    /// SYNs that found the accept queue full.
+    pub accept_overflows: u64,
+    /// Overflows answered with a stateless SYN cookie.
+    pub syn_cookies: u64,
+    /// Overflows silently dropped (client retries on RTO).
+    pub accept_drops: u64,
+    /// Overflows refused with an immediate RST.
+    pub sheds: u64,
+    /// Connections the server refused with a RST in the window (sheds
+    /// plus memory-pressure refusals, as the client observed them).
+    pub refused: u64,
+    /// Connection-memory budget in bytes (0 = unlimited).
+    pub mem_budget_bytes: u64,
+    /// Peak connection memory pinned, bytes.
+    pub mem_peak_bytes: u64,
+    /// Allocations refused by the memory budget.
+    pub alloc_fails: u64,
+    /// Server-side established connections torn down by the idle reaper
+    /// in the window.
+    pub idle_reaped: u64,
+    /// Arrivals marked as slow (heavy-tailed on/off) clients in the
+    /// window.
+    pub slow_conns: u64,
+    /// Client-observed RPC latency (request sent → response delivered)
+    /// over churned connections, microseconds.
+    pub rpc: LatencyStats,
+}
+
+impl CapacitySummary {
+    fn to_value(&self) -> Value {
+        json::obj(vec![
+            ("policy", Value::Str(self.policy.clone())),
+            ("accept_depth", Value::UInt(self.accept_depth)),
+            ("accept_high_water", Value::UInt(self.accept_high_water)),
+            ("accept_overflows", Value::UInt(self.accept_overflows)),
+            ("syn_cookies", Value::UInt(self.syn_cookies)),
+            ("accept_drops", Value::UInt(self.accept_drops)),
+            ("sheds", Value::UInt(self.sheds)),
+            ("refused", Value::UInt(self.refused)),
+            ("mem_budget_bytes", Value::UInt(self.mem_budget_bytes)),
+            ("mem_peak_bytes", Value::UInt(self.mem_peak_bytes)),
+            ("alloc_fails", Value::UInt(self.alloc_fails)),
+            ("idle_reaped", Value::UInt(self.idle_reaped)),
+            ("slow_conns", Value::UInt(self.slow_conns)),
+            ("rpc", self.rpc.to_value()),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<CapacitySummary, JsonError> {
+        Ok(CapacitySummary {
+            policy: v.get("policy")?.as_str()?.to_string(),
+            accept_depth: v.get("accept_depth")?.as_u64()?,
+            accept_high_water: v.get("accept_high_water")?.as_u64()?,
+            accept_overflows: v.get("accept_overflows")?.as_u64()?,
+            syn_cookies: v.get("syn_cookies")?.as_u64()?,
+            accept_drops: v.get("accept_drops")?.as_u64()?,
+            sheds: v.get("sheds")?.as_u64()?,
+            refused: v.get("refused")?.as_u64()?,
+            mem_budget_bytes: v.get("mem_budget_bytes")?.as_u64()?,
+            mem_peak_bytes: v.get("mem_peak_bytes")?.as_u64()?,
+            alloc_fails: v.get("alloc_fails")?.as_u64()?,
+            idle_reaped: v.get("idle_reaped")?.as_u64()?,
+            slow_conns: v.get("slow_conns")?.as_u64()?,
+            rpc: LatencyStats::from_value(v.get("rpc")?)?,
+        })
+    }
+}
+
 /// Measurements for one side (sender or receiver) of the experiment.
 #[derive(Clone, Debug, Default)]
 pub struct SideReport {
@@ -317,6 +401,9 @@ pub struct Report {
     /// absent from the JSON) when the run had no churn, so non-churn
     /// reports stay byte-identical to pre-churn ones.
     pub conn: Option<ConnSummary>,
+    /// Overload/capacity summary, present only when the churn run had the
+    /// overload model enabled (same absent-when-unused discipline).
+    pub capacity: Option<CapacitySummary>,
 }
 
 impl Report {
@@ -399,6 +486,10 @@ impl Report {
         if let Some(conn) = &self.conn {
             fields.push(("conn", conn.to_value()));
         }
+        // And the overload summary: only when the overload model ran.
+        if let Some(capacity) = &self.capacity {
+            fields.push(("capacity", capacity.to_value()));
+        }
         json::obj(fields)
     }
 
@@ -436,6 +527,10 @@ impl Report {
             },
             conn: match v.get("conn") {
                 Ok(o) => Some(ConnSummary::from_value(o)?),
+                Err(_) => None,
+            },
+            capacity: match v.get("capacity") {
+                Ok(o) => Some(CapacitySummary::from_value(o)?),
                 Err(_) => None,
             },
         })
@@ -607,6 +702,52 @@ mod tests {
         let c = back.conn.unwrap();
         assert!((c.epoll_events_per_wakeup() - 9.9).abs() < 1e-12);
         assert_eq!(ConnSummary::default().epoll_events_per_wakeup(), 0.0);
+    }
+
+    #[test]
+    fn non_overload_report_json_has_no_capacity_key() {
+        let r = Report {
+            conn: Some(ConnSummary::default()),
+            ..Report::default()
+        };
+        let j = r.to_json();
+        assert!(
+            !j.contains("\"capacity\""),
+            "churn without overload stays capacity-free"
+        );
+        assert!(Report::from_json(&j).unwrap().capacity.is_none());
+    }
+
+    #[test]
+    fn capacity_summary_round_trips() {
+        let r = Report {
+            conn: Some(ConnSummary::default()),
+            capacity: Some(CapacitySummary {
+                policy: "queue".into(),
+                accept_depth: 64,
+                accept_high_water: 64,
+                accept_overflows: 123,
+                syn_cookies: 123,
+                accept_drops: 0,
+                sheds: 0,
+                refused: 5,
+                mem_budget_bytes: 2 << 20,
+                mem_peak_bytes: 1_900_000,
+                alloc_fails: 7,
+                idle_reaped: 11,
+                slow_conns: 40,
+                rpc: LatencyStats {
+                    avg_us: 80.0,
+                    p99_us: 900.0,
+                    samples: 400,
+                },
+            }),
+            ..Report::default()
+        };
+        let j = r.to_json();
+        let back = Report::from_json(&j).unwrap();
+        assert_eq!(back.capacity, r.capacity);
+        assert_eq!(back.to_json(), j, "serialization is stable");
     }
 
     #[test]

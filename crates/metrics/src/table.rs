@@ -120,6 +120,38 @@ pub fn format_conn_table(report: &Report) -> String {
     out
 }
 
+/// Render the overload/capacity summary from an overload-enabled churn
+/// report: accept-queue pressure, admission outcomes, memory pinning, and
+/// the RPC latency tail. Empty string when the report carries no capacity
+/// data.
+pub fn format_capacity_table(report: &Report) -> String {
+    let Some(c) = &report.capacity else {
+        return String::new();
+    };
+    let mut out = String::new();
+    out.push_str(&format!("{:<24} {:>12}\n", "capacity metric", "value"));
+    let rows: [(&str, String); 14] = [
+        ("policy", c.policy.clone()),
+        ("accept_depth", c.accept_depth.to_string()),
+        ("accept_high_water", c.accept_high_water.to_string()),
+        ("accept_overflows", c.accept_overflows.to_string()),
+        ("syn_cookies", c.syn_cookies.to_string()),
+        ("accept_drops", c.accept_drops.to_string()),
+        ("sheds", c.sheds.to_string()),
+        ("refused", c.refused.to_string()),
+        ("mem_peak_bytes", c.mem_peak_bytes.to_string()),
+        ("alloc_fails", c.alloc_fails.to_string()),
+        ("idle_reaped", c.idle_reaped.to_string()),
+        ("slow_conns", c.slow_conns.to_string()),
+        ("rpc_avg_us", format!("{:.2}", c.rpc.avg_us)),
+        ("rpc_p99_us", format!("{:.2}", c.rpc.p99_us)),
+    ];
+    for (label, value) in rows {
+        out.push_str(&format!("{label:<24} {value:>12}\n"));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,5 +242,34 @@ mod tests {
         assert!(t.contains("500"));
         assert!(t.contains("50000"));
         assert!(t.contains("4.00"), "epoll coalescing ratio");
+    }
+
+    #[test]
+    fn capacity_table_renders_only_for_overload_reports() {
+        use crate::report::{CapacitySummary, LatencyStats};
+        let mut r = Report::default();
+        assert_eq!(
+            format_capacity_table(&r),
+            "",
+            "non-overload report renders nothing"
+        );
+        r.capacity = Some(CapacitySummary {
+            policy: "queue".into(),
+            accept_depth: 64,
+            accept_high_water: 64,
+            accept_overflows: 250,
+            syn_cookies: 250,
+            rpc: LatencyStats {
+                avg_us: 75.0,
+                p99_us: 640.0,
+                samples: 900,
+            },
+            ..CapacitySummary::default()
+        });
+        let t = format_capacity_table(&r);
+        assert!(t.contains("policy"));
+        assert!(t.contains("queue"));
+        assert!(t.contains("250"));
+        assert!(t.contains("640.00"));
     }
 }

@@ -60,8 +60,20 @@ pub enum ConnPhase {
     Syn,
     /// Passive-open reply (server → client).
     SynAck,
+    /// Stateless passive-open reply carrying a SYN cookie (server →
+    /// client): sent instead of [`ConnPhase::SynAck`] when the accept
+    /// queue is full and the admission policy is `Queue`. The server
+    /// holds no request sock for this connection yet.
+    SynAckCookie,
     /// Handshake-completing bare ACK (client → server, no payload).
     HsAck,
+    /// Handshake-completing ACK echoing a SYN cookie (client → server):
+    /// the server validates the cookie and materialises the connection
+    /// from it — the first state it ever holds for this peer.
+    CookieAck,
+    /// Connection refused (server → client): admission shed or
+    /// memory-pressure refusal. The client aborts immediately.
+    Reset,
     /// Request payload chunk (client → server). The first request chunk
     /// doubles as the handshake-completing ACK (piggybacked, as real
     /// clients do).
@@ -283,6 +295,20 @@ mod tests {
         assert_eq!(r.payload_len(), 4096);
         assert_eq!(r.wire_bytes(), 4096 + 78);
         assert_eq!(ConnPhase::FinAck.payload_len(), 0);
+    }
+
+    #[test]
+    fn overload_phases_are_header_only() {
+        for phase in [
+            ConnPhase::SynAckCookie,
+            ConnPhase::CookieAck,
+            ConnPhase::Reset,
+        ] {
+            let s = Segment::conn(1, phase, false);
+            assert_eq!(s.payload_len(), 0);
+            assert_eq!(s.wire_bytes(), 78);
+            assert_eq!(s.conn_view(), Some((phase, false)));
+        }
     }
 
     #[test]

@@ -70,6 +70,8 @@ enum Event {
     ConnTimer { conn: u64, deadline: SimTime },
     /// Periodic TIME_WAIT reaper cadence (churn workloads).
     TimeWaitTick,
+    /// Periodic idle-connection reaper cadence (overload model).
+    IdleReapTick,
 }
 
 mod audit;
@@ -208,7 +210,9 @@ impl World {
             frag_pool: crate::skb::FragPool::new(),
             gro_scratch: Vec::new(),
             trace: TraceCollector::new(cfg.trace, 2, cores),
-            churn: cfg.churn.map(|c| churn::ChurnEngine::new(c, cores)),
+            churn: cfg
+                .churn
+                .map(|c| churn::ChurnEngine::new(c, cores, cfg.seed)),
             audit: cfg.audit.then(Box::default),
             cfg,
         }
@@ -455,6 +459,7 @@ impl World {
             Event::ConnArrival => self.conn_arrival(),
             Event::ConnTimer { conn, deadline } => self.conn_timer(conn, deadline),
             Event::TimeWaitTick => self.time_wait_tick(),
+            Event::IdleReapTick => self.idle_reap_tick(),
         }
     }
 
@@ -1923,6 +1928,7 @@ impl World {
             stage_latency,
             trace_overflow,
             conn: self.conn_summary(window),
+            capacity: self.capacity_summary(),
         }
     }
 

@@ -27,8 +27,8 @@
 //! run reports *what* broke and the world state it broke in.
 
 use hns_audit::{
-    ArenaLedger, ChurnLedger, CycleLedger, DropLedger, FlowLedger, HostFrameLedger, RingLedger,
-    Violation,
+    AcceptLedger, ArenaLedger, ChurnLedger, ConnMemLedger, CycleLedger, DropLedger, FlowLedger,
+    HostFrameLedger, RingLedger, Violation,
 };
 use hns_conn::ConnId;
 use hns_sim::{cycles_to_time, SimTime};
@@ -226,6 +226,10 @@ impl World {
             if let Some(ledger) = self.audit_churn_ledger() {
                 ledger.check(&mut out);
             }
+            if let Some((accept, mem)) = self.audit_overload_ledgers() {
+                accept.check(&mut out);
+                mem.check(&mut out);
+            }
         }
         out
     }
@@ -243,6 +247,41 @@ impl World {
             pool_live,
             table_len: eng.table.len() as u64,
             table_capacity: eng.table.capacity() as u64,
+            lifecycle_aborts: eng.aborts_prewindow + eng.stats.failed,
+            taxo_aborts: self.drop_stats.handshake_abort,
         })
+    }
+
+    /// Accept-queue and connection-memory conservation snapshots, `None`
+    /// unless the overload model ran.
+    fn audit_overload_ledgers(&self) -> Option<(AcceptLedger, ConnMemLedger)> {
+        let ccfg = self.cfg.churn?;
+        if !ccfg.overload.enabled {
+            return None;
+        }
+        let eng = self.churn.as_ref()?;
+        let accept = AcceptLedger {
+            depth: eng.accept.depth() as u64,
+            len: eng.accept.len() as u64,
+            high_water: eng.accept.high_water() as u64,
+            enqueued: eng.accept.enqueued(),
+            dequeued: eng.accept.dequeued(),
+            released: eng.accept.released(),
+            overflows: eng.accept.overflows(),
+            cookies: eng.accept.cookies(),
+            full_drops: eng.accept.full_drops(),
+            sheds: eng.accept.sheds(),
+            taxo_accept_drops: self.drop_stats.accept_queue,
+        };
+        let mem = ConnMemLedger {
+            budget: eng.mem.budget(),
+            in_use: eng.mem.in_use(),
+            peak: eng.mem.peak(),
+            charged: eng.mem.charged(),
+            freed: eng.mem.freed(),
+            alloc_fails: eng.mem.alloc_fails(),
+            taxo_mem_drops: self.drop_stats.conn_memory,
+        };
+        Some((accept, mem))
     }
 }

@@ -29,9 +29,10 @@
 
 use std::collections::VecDeque;
 
+use hns_conn::overload::{reap_scan, syn_cookie, think_time_ns};
 use hns_conn::{
-    ChurnConfig, ChurnMode, ChurnStats, Conn, ConnCostModel, ConnId, EpollAccounting, FlowTable,
-    HalfConn, TimeWaitRing,
+    AcceptQueue, AdmissionPolicy, ChurnConfig, ChurnMode, ChurnStats, Conn, ConnCostModel, ConnId,
+    EpollAccounting, FlowTable, HalfConn, MemBudget, TimeWaitRing,
 };
 use hns_mem::numa::MemClass;
 use hns_metrics::Category;
@@ -46,6 +47,17 @@ use crate::watchdog::{RunError, RunErrorKind, Snapshot};
 /// where host 0 sends and host 1 receives).
 const CLIENT_HOST: usize = 0;
 const SERVER_HOST: usize = 1;
+
+/// Outcome of the server-side establish attempt for a handshake-completing
+/// segment (plain ACK, piggybacked first request, or cookie-bearing ACK).
+enum Establish {
+    /// Newly promoted to Established (`accept()` ran).
+    Promoted,
+    /// Already established — a duplicate completing segment.
+    AlreadyUp,
+    /// Admission or memory said no; a RST is on its way to the client.
+    Refused,
+}
 
 /// The churn engine's state, owned by the world when `SimConfig::churn` is
 /// set.
@@ -72,10 +84,20 @@ pub(crate) struct ChurnEngine {
     /// only the measurement window.
     epoll_wakeup_base: u64,
     epoll_event_base: u64,
+    /// Bounded listen/accept queue (overload model; inert otherwise).
+    pub(crate) accept: AcceptQueue,
+    /// Server-side connection-memory budget (overload model).
+    pub(crate) mem: MemBudget,
+    /// Keyed SYN-cookie secret, derived from the run seed so cookies are
+    /// reproducible per (seed, connection) regardless of interleaving.
+    pub(crate) cookie_secret: u64,
+    /// Handshake aborts before the measurement window opened (`stats.failed`
+    /// resets there; the audit ledger reconciles the whole-run count).
+    pub(crate) aborts_prewindow: u64,
 }
 
 impl ChurnEngine {
-    pub(crate) fn new(cfg: ChurnConfig, cores: usize) -> Self {
+    pub(crate) fn new(cfg: ChurnConfig, cores: usize, seed: u64) -> Self {
         let mut table = FlowTable::new(cfg.shards);
         if let ChurnMode::Pool { conns } = cfg.mode {
             table.reserve(conns as usize);
@@ -91,6 +113,10 @@ impl ChurnEngine {
             bytes_delivered: 0,
             epoll_wakeup_base: 0,
             epoll_event_base: 0,
+            accept: AcceptQueue::new(cfg.overload.accept_queue),
+            mem: MemBudget::new(cfg.overload.mem_budget),
+            cookie_secret: seed ^ 0x9e37_79b9_7f4a_7c15,
+            aborts_prewindow: 0,
         }
     }
 
@@ -103,6 +129,7 @@ impl ChurnEngine {
 
     /// Reset window-scoped counters at the warmup/measurement boundary.
     pub(crate) fn start_window(&mut self) {
+        self.aborts_prewindow += self.stats.failed;
         self.stats.reset();
         self.bytes_delivered = 0;
         let (w, e) = self.epoll_totals();
@@ -154,6 +181,10 @@ impl World {
         );
         self.queue
             .schedule(SimTime::ZERO + ccfg.reap_interval, Event::TimeWaitTick);
+        if ccfg.overload.enabled && !ccfg.overload.idle_timeout.is_zero() {
+            self.queue
+                .schedule(SimTime::ZERO + ccfg.reap_interval, Event::IdleReapTick);
+        }
         Ok(())
     }
 
@@ -241,6 +272,11 @@ impl World {
         }
 
         let ncores = self.cfg.topology.total_cores() as u64;
+        // Heavy-tailed slow-client marking. The draw count per arrival
+        // depends only on (overload.enabled, slow_prob), never on the
+        // admission policy, so the arrival process is identical across
+        // policies at fixed workload knobs.
+        let slow = ccfg.overload.enabled && self.workload_rng.chance(ccfg.overload.slow_prob);
         let (raw, client_core) = {
             let eng = self.churn.as_mut().expect("churn engine");
             let seq = eng.arrival_seq;
@@ -249,6 +285,10 @@ impl World {
             let server_core = ((seq + 1) % ncores) as u16;
             let mut conn = Conn::new(client_core, server_core, now);
             conn.client = HalfConn::SynSent;
+            if slow {
+                conn.flags |= Conn::SLOW;
+                eng.stats.slow_conns += 1;
+            }
             eng.stats.opened += 1;
             let id = eng.table.install(conn);
             (id.to_u64(), client_core as usize)
@@ -355,6 +395,274 @@ impl World {
         }
     }
 
+    /// Try to promote the server half to Established on a handshake-
+    /// completing segment: pop the listen-queue slot and convert the
+    /// minisock into a full socket (queued path), or validate the echoed
+    /// cookie and build the socket from scratch (stateless path). A memory
+    /// refusal answers with a RST so the client fails instead of hanging.
+    fn conn_server_establish(&mut self, core: usize, raw: u64, ch: &mut Charges) -> Establish {
+        let Some(ccfg) = self.cfg.churn else {
+            return Establish::AlreadyUp;
+        };
+        let ov = ccfg.overload;
+        let now = self.queue.now();
+        let id = ConnId::from_u64(raw);
+        let cc = self.churn.as_ref().expect("churn engine").cost;
+        let (server, flags) = {
+            let eng = self.churn.as_ref().expect("churn engine");
+            let c = eng.table.get(id).expect("checked live");
+            (c.server, c.flags)
+        };
+        match server {
+            HalfConn::SynRcvd => {
+                if ov.enabled {
+                    // The minisock converts into a full socket: its bytes
+                    // come back before the socket's are charged.
+                    let ok = {
+                        let eng = self.churn.as_mut().expect("churn engine");
+                        eng.mem.free(ov.minisock_bytes);
+                        if eng.mem.try_charge(ov.sock_bytes) {
+                            eng.accept.pop();
+                            true
+                        } else {
+                            eng.accept.release();
+                            false
+                        }
+                    };
+                    if !ok {
+                        self.drop_stats.conn_memory += 1;
+                        {
+                            let eng = self.churn.as_mut().expect("churn engine");
+                            let c = eng.table.get_mut(id).expect("checked live");
+                            c.server = HalfConn::Closed;
+                        }
+                        ch.add(Category::TcpIp, cc.rst_tx);
+                        ch.add(Category::SkbMgmt, cc.ctl_skb);
+                        self.enqueue_frames(
+                            SERVER_HOST,
+                            core,
+                            Segment::conn(raw, ConnPhase::Reset, false),
+                            ch,
+                        );
+                        return Establish::Refused;
+                    }
+                }
+                let tid = {
+                    let eng = self.churn.as_mut().expect("churn engine");
+                    let c = eng.table.get_mut(id).expect("checked live");
+                    c.server = HalfConn::Established;
+                    c.last_seen = now;
+                    c.trace
+                };
+                self.server_accept(core, raw, tid, ch);
+                Establish::Promoted
+            }
+            HalfConn::Closed if ov.enabled && flags & Conn::COOKIE != 0 => {
+                // Stateless path: the completing segment echoes the cookie.
+                // The cookie is a pure keyed function of the connection id,
+                // so an honest echo always validates (forgery is out of
+                // scope); only its verification cost is modelled.
+                ch.add(Category::TcpIp, cc.syn_cookie_check);
+                ch.add(Category::Memory, cc.socket_alloc);
+                let ok = {
+                    let eng = self.churn.as_mut().expect("churn engine");
+                    eng.mem.try_charge(ov.sock_bytes)
+                };
+                if !ok {
+                    self.drop_stats.conn_memory += 1;
+                    {
+                        let eng = self.churn.as_mut().expect("churn engine");
+                        let c = eng.table.get_mut(id).expect("checked live");
+                        c.flags &= !Conn::COOKIE;
+                    }
+                    ch.add(Category::TcpIp, cc.rst_tx);
+                    ch.add(Category::SkbMgmt, cc.ctl_skb);
+                    self.enqueue_frames(
+                        SERVER_HOST,
+                        core,
+                        Segment::conn(raw, ConnPhase::Reset, false),
+                        ch,
+                    );
+                    return Establish::Refused;
+                }
+                let tid = {
+                    let eng = self.churn.as_mut().expect("churn engine");
+                    let c = eng.table.get_mut(id).expect("checked live");
+                    c.flags &= !Conn::COOKIE;
+                    c.server = HalfConn::Established;
+                    c.last_seen = now;
+                    c.trace
+                };
+                self.server_accept(core, raw, tid, ch);
+                Establish::Promoted
+            }
+            HalfConn::Established => Establish::AlreadyUp,
+            _ => {
+                if ov.enabled {
+                    // Closed without a cookie: this connection was refused
+                    // or reaped earlier. Re-refuse so a retransmitting
+                    // client stops (duplicate-tolerant refusal).
+                    ch.add(Category::TcpIp, cc.rst_tx);
+                    ch.add(Category::SkbMgmt, cc.ctl_skb);
+                    self.enqueue_frames(
+                        SERVER_HOST,
+                        core,
+                        Segment::conn(raw, ConnPhase::Reset, true),
+                        ch,
+                    );
+                    Establish::Refused
+                } else {
+                    Establish::AlreadyUp
+                }
+            }
+        }
+    }
+
+    /// Deterministic bounded-Pareto think time for a slow client. Derived
+    /// by hashing the connection id under the run-seeded secret rather than
+    /// drawing from `workload_rng`, so slow-client pacing never perturbs
+    /// the shared arrival stream (policies stay comparable at a seed).
+    fn think_delay(&self, raw: u64, salt: u64) -> Duration {
+        let ov = self.cfg.churn.expect("churn config").overload;
+        let eng = self.churn.as_ref().expect("churn engine");
+        let x = syn_cookie(eng.cookie_secret.rotate_left(29) ^ salt, raw);
+        let u = x as f64 / (u32::MAX as f64 + 1.0);
+        Duration::from_nanos(think_time_ns(u, ov.think_min, ov.think_shape, ov.think_cap))
+    }
+
+    /// The client half just reached Established (first SYN-ACK, cookie or
+    /// not): record handshake latency, then continue per churn mode. Slow
+    /// clients defer their next move by a think time instead of acting
+    /// inline.
+    fn conn_client_established(&mut self, core: usize, raw: u64, cookie: bool, ch: &mut Charges) {
+        let Some(ccfg) = self.cfg.churn else {
+            return;
+        };
+        let ov = ccfg.overload;
+        let now = self.queue.now();
+        let id = ConnId::from_u64(raw);
+        let cc = self.churn.as_ref().expect("churn engine").cost;
+        let first = {
+            let eng = self.churn.as_mut().expect("churn engine");
+            let c = eng.table.get_mut(id).expect("checked live");
+            if c.client == HalfConn::SynSent {
+                c.client = HalfConn::Established;
+                c.syn_retries = 0;
+                c.timer_at = SimTime::MAX;
+                Some((c.trace, c.opened_at, c.flags))
+            } else {
+                None
+            }
+        };
+        let Some((tid, opened_at, flags)) = first else {
+            return; // duplicate SYN-ACK: processing charge only
+        };
+        {
+            let measuring = self.measuring;
+            let eng = self.churn.as_mut().expect("churn engine");
+            eng.stats.established += 1;
+            if measuring {
+                eng.stats
+                    .handshake_ns
+                    .record(now.since(opened_at).as_nanos());
+            }
+        }
+        if self.trace.enabled() {
+            self.trace
+                .stamp(tid, raw, StageId::SynAckRx, CLIENT_HOST, core, now);
+        }
+        let slow = ov.enabled && flags & Conn::SLOW != 0;
+        match ccfg.mode {
+            ChurnMode::HandshakeOnly => {
+                ch.add(Category::SkbMgmt, cc.ctl_skb);
+                let phase = if cookie {
+                    ConnPhase::CookieAck
+                } else {
+                    ConnPhase::HsAck
+                };
+                self.enqueue_frames(CLIENT_HOST, core, Segment::conn(raw, phase, false), ch);
+                if slow {
+                    {
+                        let eng = self.churn.as_mut().expect("churn engine");
+                        let c = eng.table.get_mut(id).expect("checked live");
+                        c.flags |= Conn::CLOSE_PENDING;
+                    }
+                    let delay = self.think_delay(raw, 2);
+                    self.arm_conn_timer(raw, now + delay);
+                } else {
+                    self.client_close(raw);
+                }
+            }
+            ChurnMode::Pool { .. } => {
+                // Overload + pool is rejected at validation, so `cookie`
+                // can never be set on this path.
+                ch.add(Category::SkbMgmt, cc.ctl_skb);
+                self.enqueue_frames(
+                    CLIENT_HOST,
+                    core,
+                    Segment::conn(raw, ConnPhase::HsAck, false),
+                    ch,
+                );
+                self.churn
+                    .as_mut()
+                    .expect("churn engine")
+                    .pool
+                    .push_back(raw);
+            }
+            ChurnMode::ShortRpc => {
+                if slow {
+                    // Think before the first request; for cookie
+                    // connections the echoed cookie rides on the deferred
+                    // request, so the server keeps no state while we think.
+                    {
+                        let eng = self.churn.as_mut().expect("churn engine");
+                        let c = eng.table.get_mut(id).expect("checked live");
+                        c.flags |= Conn::REQ_PENDING;
+                    }
+                    let delay = self.think_delay(raw, 1);
+                    self.arm_conn_timer(raw, now + delay);
+                } else {
+                    // The first request chunk piggybacks the completing
+                    // ACK, as real clients do.
+                    self.conn_send_request(core, raw, ch);
+                    self.arm_conn_timer(raw, now + ccfg.syn_rto);
+                }
+            }
+        }
+    }
+
+    /// Write the single request of a short-RPC exchange (syscall, copy, TCP
+    /// tx) and stamp the RPC-latency base when the overload model samples
+    /// it.
+    fn conn_send_request(&mut self, core: usize, raw: u64, ch: &mut Charges) {
+        let Some(ccfg) = self.cfg.churn else {
+            return;
+        };
+        let now = self.queue.now();
+        let len = ccfg.rpc_size;
+        if ccfg.overload.enabled {
+            let eng = self.churn.as_mut().expect("churn engine");
+            if let Some(c) = eng.table.get_mut(ConnId::from_u64(raw)) {
+                // Handshake latency was sampled at establish; from here on
+                // the field is the request-send time (RPC-latency base).
+                c.opened_at = now;
+            }
+        }
+        ch.add(Category::Etc, self.cost.syscall_write);
+        ch.add(
+            Category::DataCopy,
+            self.cost.sender_copy_cycles(len as u64, 0.0),
+        );
+        ch.add(Category::TcpIp, self.cost.tcp_tx_cycles(len));
+        ch.add(Category::SkbMgmt, self.cost.skb_build_tx);
+        self.enqueue_frames(
+            CLIENT_HOST,
+            core,
+            Segment::conn(raw, ConnPhase::Request { len }, false),
+            ch,
+        );
+    }
+
     /// A connection-lifecycle segment was polled out of the softirq
     /// backlog on (host `h`, `core`). The full per-phase state machine.
     pub(super) fn conn_rx(
@@ -404,76 +712,211 @@ impl World {
             // ---------------- server side (host 1) ----------------
             (SERVER_HOST, ConnPhase::Syn) => {
                 ch.add(Category::TcpIp, cc.syn_rx);
-                let (dup, tid) = {
+                let ov = ccfg.overload;
+                // Classify the SYN against server-half state before touching
+                // any resources.
+                #[derive(PartialEq)]
+                enum SynKind {
+                    First,
+                    DupSynRcvd,
+                    DupCookie,
+                }
+                let (kind, tid) = {
                     let eng = self.churn.as_mut().expect("churn engine");
                     let c = eng.table.get_mut(id).expect("checked live");
-                    if c.server == HalfConn::Closed {
-                        c.server = HalfConn::SynRcvd;
-                        (false, c.trace)
+                    let kind = if c.server != HalfConn::Closed {
+                        SynKind::DupSynRcvd
+                    } else if ov.enabled && c.flags & Conn::COOKIE != 0 {
+                        SynKind::DupCookie
                     } else {
-                        (true, c.trace)
-                    }
+                        SynKind::First
+                    };
+                    (kind, c.trace)
                 };
-                if dup {
-                    // Duplicate SYN (client retransmitted): just resend the
-                    // SYN-ACK below.
-                    self.churn
-                        .as_mut()
-                        .expect("churn engine")
-                        .stats
-                        .syn_retransmits += 1;
-                } else {
-                    // Request minisock allocated on first SYN.
-                    ch.add(Category::Memory, cc.socket_alloc);
-                    if self.trace.enabled() {
-                        self.trace
-                            .stamp(tid, raw, StageId::SynRx, SERVER_HOST, core, now);
+                match kind {
+                    SynKind::DupSynRcvd => {
+                        // Duplicate SYN (client retransmitted): resend the
+                        // SYN-ACK.
+                        self.churn
+                            .as_mut()
+                            .expect("churn engine")
+                            .stats
+                            .syn_retransmits += 1;
+                        ch.add(Category::TcpIp, cc.synack_tx);
+                        ch.add(Category::SkbMgmt, cc.ctl_skb);
+                        self.enqueue_frames(
+                            SERVER_HOST,
+                            core,
+                            Segment::conn(raw, ConnPhase::SynAck, true),
+                            ch,
+                        );
+                    }
+                    SynKind::DupCookie => {
+                        // Cookie already issued: recompute and resend it —
+                        // the whole point is that no state was kept.
+                        self.churn
+                            .as_mut()
+                            .expect("churn engine")
+                            .stats
+                            .syn_retransmits += 1;
+                        ch.add(Category::TcpIp, cc.syn_cookie_tx);
+                        ch.add(Category::SkbMgmt, cc.ctl_skb);
+                        self.enqueue_frames(
+                            SERVER_HOST,
+                            core,
+                            Segment::conn(raw, ConnPhase::SynAckCookie, true),
+                            ch,
+                        );
+                    }
+                    SynKind::First if !ov.enabled => {
+                        // Pre-overload path, byte-for-byte: minisock
+                        // allocated, SYN-ACK out.
+                        {
+                            let eng = self.churn.as_mut().expect("churn engine");
+                            let c = eng.table.get_mut(id).expect("checked live");
+                            c.server = HalfConn::SynRcvd;
+                        }
+                        ch.add(Category::Memory, cc.socket_alloc);
+                        if self.trace.enabled() {
+                            self.trace
+                                .stamp(tid, raw, StageId::SynRx, SERVER_HOST, core, now);
+                        }
+                        ch.add(Category::TcpIp, cc.synack_tx);
+                        ch.add(Category::SkbMgmt, cc.ctl_skb);
+                        self.enqueue_frames(
+                            SERVER_HOST,
+                            core,
+                            Segment::conn(raw, ConnPhase::SynAck, false),
+                            ch,
+                        );
+                    }
+                    SynKind::First => {
+                        // Admission: a fresh SYN must win a listen-queue
+                        // slot and a request-sock allocation before the
+                        // server keeps any state for it.
+                        let admitted = {
+                            let eng = self.churn.as_mut().expect("churn engine");
+                            if eng.accept.push() {
+                                if eng.mem.try_charge(ov.minisock_bytes) {
+                                    Ok(())
+                                } else {
+                                    eng.accept.release();
+                                    Err(None)
+                                }
+                            } else {
+                                Err(Some(ov.policy))
+                            }
+                        };
+                        match admitted {
+                            Ok(()) => {
+                                {
+                                    let eng = self.churn.as_mut().expect("churn engine");
+                                    let c = eng.table.get_mut(id).expect("checked live");
+                                    c.server = HalfConn::SynRcvd;
+                                    c.last_seen = now;
+                                }
+                                ch.add(Category::Memory, cc.socket_alloc);
+                                if self.trace.enabled() {
+                                    self.trace.stamp(
+                                        tid,
+                                        raw,
+                                        StageId::SynRx,
+                                        SERVER_HOST,
+                                        core,
+                                        now,
+                                    );
+                                }
+                                ch.add(Category::TcpIp, cc.synack_tx);
+                                ch.add(Category::SkbMgmt, cc.ctl_skb);
+                                self.enqueue_frames(
+                                    SERVER_HOST,
+                                    core,
+                                    Segment::conn(raw, ConnPhase::SynAck, false),
+                                    ch,
+                                );
+                            }
+                            Err(None) => {
+                                // Minisock allocation refused by the memory
+                                // budget: silent drop, client RTO retries.
+                                self.drop_stats.conn_memory += 1;
+                            }
+                            Err(Some(AdmissionPolicy::Drop)) => {
+                                // Listen queue full, syncookies off: the SYN
+                                // vanishes and the client's RTO carries the
+                                // cost.
+                                self.churn
+                                    .as_mut()
+                                    .expect("churn engine")
+                                    .accept
+                                    .note_full_drop();
+                                self.drop_stats.accept_queue += 1;
+                            }
+                            Err(Some(AdmissionPolicy::Queue)) => {
+                                // Stateless fallback: answer with a SYN
+                                // cookie, keep no queue slot and no minisock.
+                                {
+                                    let eng = self.churn.as_mut().expect("churn engine");
+                                    eng.accept.note_cookie();
+                                    let c = eng.table.get_mut(id).expect("checked live");
+                                    c.flags |= Conn::COOKIE;
+                                }
+                                // The cookie value itself (keyed hash of the
+                                // connection id) is folded into the SYN-ACK;
+                                // only its cost is modelled on this side.
+                                ch.add(Category::TcpIp, cc.syn_cookie_tx);
+                                ch.add(Category::SkbMgmt, cc.ctl_skb);
+                                self.enqueue_frames(
+                                    SERVER_HOST,
+                                    core,
+                                    Segment::conn(raw, ConnPhase::SynAckCookie, false),
+                                    ch,
+                                );
+                            }
+                            Err(Some(AdmissionPolicy::Shed)) => {
+                                // Fail fast: refuse with a RST so the client
+                                // stops retrying into a saturated host.
+                                self.churn
+                                    .as_mut()
+                                    .expect("churn engine")
+                                    .accept
+                                    .note_shed();
+                                ch.add(Category::TcpIp, cc.rst_tx);
+                                ch.add(Category::SkbMgmt, cc.ctl_skb);
+                                self.enqueue_frames(
+                                    SERVER_HOST,
+                                    core,
+                                    Segment::conn(raw, ConnPhase::Reset, false),
+                                    ch,
+                                );
+                            }
+                        }
                     }
                 }
-                ch.add(Category::TcpIp, cc.synack_tx);
-                ch.add(Category::SkbMgmt, cc.ctl_skb);
-                self.enqueue_frames(
-                    SERVER_HOST,
-                    core,
-                    Segment::conn(raw, ConnPhase::SynAck, dup),
-                    ch,
-                );
             }
             (SERVER_HOST, ConnPhase::HsAck) => {
-                let promote = {
-                    let eng = self.churn.as_mut().expect("churn engine");
-                    let c = eng.table.get_mut(id).expect("checked live");
-                    if c.server == HalfConn::SynRcvd {
-                        c.server = HalfConn::Established;
-                        Some(c.trace)
-                    } else {
-                        None
-                    }
-                };
-                if let Some(tid) = promote {
-                    self.server_accept(core, raw, tid, ch);
-                }
+                let _ = self.conn_server_establish(core, raw, ch);
+            }
+            (SERVER_HOST, ConnPhase::CookieAck) => {
+                // The cookie-bearing ACK a stateless SYN-cookie exchange
+                // completes with (handshake-only clients; short-RPC clients
+                // piggyback the cookie on the first request instead).
+                let _ = self.conn_server_establish(core, raw, ch);
             }
             (SERVER_HOST, ConnPhase::Request { len }) => {
                 // First request chunk doubles as the handshake-completing
-                // ACK (piggybacked).
-                let promote = {
-                    let eng = self.churn.as_mut().expect("churn engine");
-                    let c = eng.table.get_mut(id).expect("checked live");
-                    if c.server == HalfConn::SynRcvd {
-                        c.server = HalfConn::Established;
-                        Some(c.trace)
-                    } else {
-                        None
-                    }
-                };
-                if let Some(tid) = promote {
-                    self.server_accept(core, raw, tid, ch);
+                // ACK (piggybacked) — and, for cookie connections, carries
+                // the echoed cookie.
+                if matches!(
+                    self.conn_server_establish(core, raw, ch),
+                    Establish::Refused
+                ) {
+                    return;
                 }
                 ch.add(Category::TcpIp, self.cost.tcp_rx_cycles(len));
                 let first = {
                     let eng = self.churn.as_mut().expect("churn engine");
                     let c = eng.table.get_mut(id).expect("checked live");
+                    c.last_seen = now;
                     if c.req_done == 0 {
                         c.req_done = len;
                         c.resp_done = len;
@@ -533,17 +976,16 @@ impl World {
             }
             (SERVER_HOST, ConnPhase::Fin) => {
                 ch.add(Category::TcpIp, cc.fin_rx);
-                let dup = {
+                let was = {
                     let eng = self.churn.as_mut().expect("churn engine");
                     let c = eng.table.get_mut(id).expect("checked live");
-                    if c.server.is_live() {
+                    let was = c.server;
+                    if was.is_live() {
                         c.server = HalfConn::Closed;
-                        false
-                    } else {
-                        true
                     }
+                    was
                 };
-                if dup {
+                if !was.is_live() {
                     self.churn
                         .as_mut()
                         .expect("churn engine")
@@ -553,9 +995,25 @@ impl World {
                     // Server sock freed and its fd dropped from epoll.
                     ch.add(Category::Memory, cc.sock_free);
                     ch.add(Category::Etc, cc.epoll_ctl);
+                    let ov = ccfg.overload;
                     let eng = self.churn.as_mut().expect("churn engine");
                     eng.epoll[core].ctl();
+                    if ov.enabled {
+                        match was {
+                            // Established socket gives its bytes back.
+                            HalfConn::Established => eng.mem.free(ov.sock_bytes),
+                            // Client closed before completing the handshake
+                            // (lost completing ACK): the pending minisock
+                            // and its listen-queue slot are released.
+                            HalfConn::SynRcvd => {
+                                eng.mem.free(ov.minisock_bytes);
+                                eng.accept.release();
+                            }
+                            _ => {}
+                        }
+                    }
                 }
+                let dup = !was.is_live();
                 ch.add(Category::SkbMgmt, cc.ctl_skb);
                 self.enqueue_frames(
                     SERVER_HOST,
@@ -568,80 +1026,24 @@ impl World {
             // ---------------- client side (host 0) ----------------
             (CLIENT_HOST, ConnPhase::SynAck) => {
                 ch.add(Category::TcpIp, cc.synack_rx);
-                let first = {
-                    let eng = self.churn.as_mut().expect("churn engine");
-                    let c = eng.table.get_mut(id).expect("checked live");
-                    if c.client == HalfConn::SynSent {
-                        c.client = HalfConn::Established;
-                        c.syn_retries = 0;
-                        c.timer_at = SimTime::MAX;
-                        Some((c.trace, c.opened_at))
-                    } else {
-                        None
-                    }
-                };
-                let Some((tid, opened_at)) = first else {
-                    return; // duplicate SYN-ACK: processing charge only
-                };
-                {
-                    let measuring = self.measuring;
-                    let eng = self.churn.as_mut().expect("churn engine");
-                    eng.stats.established += 1;
-                    if measuring {
-                        eng.stats
-                            .handshake_ns
-                            .record(now.since(opened_at).as_nanos());
-                    }
-                }
-                if self.trace.enabled() {
-                    self.trace
-                        .stamp(tid, raw, StageId::SynAckRx, CLIENT_HOST, core, now);
-                }
-                match ccfg.mode {
-                    ChurnMode::HandshakeOnly => {
-                        ch.add(Category::SkbMgmt, cc.ctl_skb);
-                        self.enqueue_frames(
-                            CLIENT_HOST,
-                            core,
-                            Segment::conn(raw, ConnPhase::HsAck, false),
-                            ch,
-                        );
-                        self.client_close(raw);
-                    }
-                    ChurnMode::Pool { .. } => {
-                        ch.add(Category::SkbMgmt, cc.ctl_skb);
-                        self.enqueue_frames(
-                            CLIENT_HOST,
-                            core,
-                            Segment::conn(raw, ConnPhase::HsAck, false),
-                            ch,
-                        );
-                        self.churn
-                            .as_mut()
-                            .expect("churn engine")
-                            .pool
-                            .push_back(raw);
-                    }
-                    ChurnMode::ShortRpc => {
-                        // The first request chunk piggybacks the completing
-                        // ACK, as real clients do.
-                        let len = ccfg.rpc_size;
-                        ch.add(Category::Etc, self.cost.syscall_write);
-                        ch.add(
-                            Category::DataCopy,
-                            self.cost.sender_copy_cycles(len as u64, 0.0),
-                        );
-                        ch.add(Category::TcpIp, self.cost.tcp_tx_cycles(len));
-                        ch.add(Category::SkbMgmt, self.cost.skb_build_tx);
-                        self.enqueue_frames(
-                            CLIENT_HOST,
-                            core,
-                            Segment::conn(raw, ConnPhase::Request { len }, false),
-                            ch,
-                        );
-                        self.arm_conn_timer(raw, now + ccfg.syn_rto);
-                    }
-                }
+                self.conn_client_established(core, raw, false, ch);
+            }
+            (CLIENT_HOST, ConnPhase::SynAckCookie) => {
+                // Stateless admission: same handshake from the client's
+                // point of view, but the completing segment must echo the
+                // cookie.
+                ch.add(Category::TcpIp, cc.synack_rx);
+                self.conn_client_established(core, raw, true, ch);
+            }
+            (CLIENT_HOST, ConnPhase::Reset) => {
+                // Actively refused (shed or out of server memory): tear
+                // down instantly — no retries, no TIME_WAIT. This is the
+                // fail-fast half of the shed policy's bargain.
+                ch.add(Category::TcpIp, cc.rst_tx);
+                ch.add(Category::Memory, cc.sock_free);
+                let eng = self.churn.as_mut().expect("churn engine");
+                eng.table.remove(id);
+                eng.stats.refused += 1;
             }
             (CLIENT_HOST, ConnPhase::Response { len }) => {
                 ch.add(Category::TcpIp, self.cost.tcp_rx_cycles(len));
@@ -650,14 +1052,14 @@ impl World {
                     let c = eng.table.get_mut(id).expect("checked live");
                     if c.client == HalfConn::Established {
                         c.timer_at = SimTime::MAX;
-                        true
+                        Some((c.opened_at, c.flags))
                     } else {
-                        false
+                        None
                     }
                 };
-                if !first {
+                let Some((req_at, flags)) = first else {
                     return; // duplicate response while closing
-                }
+                };
                 ch.add(Category::Etc, self.cost.syscall_recv);
                 ch.add(
                     Category::DataCopy,
@@ -665,16 +1067,35 @@ impl World {
                 );
                 {
                     let measuring = self.measuring;
+                    let ov = ccfg.overload;
                     let eng = self.churn.as_mut().expect("churn engine");
                     eng.stats.rpcs_completed += 1;
                     if measuring {
                         eng.bytes_delivered += len as u64;
+                        if ov.enabled {
+                            // `opened_at` was re-stamped at request send, so
+                            // this is request→response latency.
+                            eng.stats.rpc_ns.record(now.since(req_at).as_nanos());
+                        }
                     }
                 }
                 if self.measuring {
                     self.tick_bytes += len as u64;
                 }
-                self.client_close(raw);
+                if ccfg.overload.enabled && flags & Conn::SLOW != 0 {
+                    // Slow client lingers (pinning the server sock) before
+                    // closing — the resource-hogging half of the on/off
+                    // behavior the idle reaper exists for.
+                    {
+                        let eng = self.churn.as_mut().expect("churn engine");
+                        let c = eng.table.get_mut(id).expect("checked live");
+                        c.flags |= Conn::CLOSE_PENDING;
+                    }
+                    let delay = self.think_delay(raw, 2);
+                    self.arm_conn_timer(raw, now + delay);
+                } else {
+                    self.client_close(raw);
+                }
             }
             (CLIENT_HOST, ConnPhase::FinAck) => {
                 let park = {
@@ -710,6 +1131,35 @@ impl World {
         };
         let now = self.queue.now();
         let id = ConnId::from_u64(raw);
+        // A fired timer is either a slow client's think deadline (the
+        // deferred-action flags say which move it makes) or a retransmit
+        // deadline; think fires never count against the retry budget.
+        let pending = {
+            let eng = self.churn.as_mut().expect("churn engine");
+            match eng.table.get_mut(id) {
+                Some(c)
+                    if c.timer_at == deadline
+                        && c.flags & (Conn::REQ_PENDING | Conn::CLOSE_PENDING) != 0 =>
+                {
+                    let f = c.flags;
+                    c.flags &= !(Conn::REQ_PENDING | Conn::CLOSE_PENDING);
+                    c.timer_at = SimTime::MAX;
+                    Some((f, c.client_core as usize))
+                }
+                _ => None,
+            }
+        };
+        if let Some((flags, core)) = pending {
+            if flags & Conn::REQ_PENDING != 0 {
+                let mut ch = Charges::default();
+                self.conn_send_request(core, raw, &mut ch);
+                self.charge_direct(CLIENT_HOST, core, ch);
+                self.arm_conn_timer(raw, now + ccfg.syn_rto);
+            } else {
+                self.client_close(raw);
+            }
+            return;
+        }
         let fired = {
             let eng = self.churn.as_mut().expect("churn engine");
             match eng.table.get_mut(id) {
@@ -738,11 +1188,30 @@ impl World {
                 .table
                 .remove(id)
                 .expect("checked live");
-            let eng = self.churn.as_mut().expect("churn engine");
-            if c.client.in_handshake() {
-                eng.stats.failed += 1;
-            } else {
-                eng.stats.closed += 1;
+            let ov = ccfg.overload;
+            let aborted_handshake = c.client.in_handshake();
+            {
+                let eng = self.churn.as_mut().expect("churn engine");
+                if aborted_handshake {
+                    eng.stats.failed += 1;
+                } else {
+                    eng.stats.closed += 1;
+                }
+                if ov.enabled {
+                    // Whatever the server half still pins dies with the
+                    // record.
+                    match c.server {
+                        HalfConn::SynRcvd => {
+                            eng.mem.free(ov.minisock_bytes);
+                            eng.accept.release();
+                        }
+                        HalfConn::Established => eng.mem.free(ov.sock_bytes),
+                        _ => {}
+                    }
+                }
+            }
+            if aborted_handshake {
+                self.drop_stats.handshake_abort += 1;
             }
             ch.add(Category::Memory, cc.sock_free);
             ch.add(Category::Lock, cc.conn_lock);
@@ -825,6 +1294,83 @@ impl World {
         }
         self.queue
             .schedule_after(ccfg.reap_interval, Event::TimeWaitTick);
+    }
+
+    /// Reap server-side established connections idle past the timeout (the
+    /// defense against slow clients pinning sockets). Scan order is the
+    /// flow table's deterministic (shard, slot) order, so the reap sequence
+    /// is a pure function of table state.
+    pub(super) fn idle_reap_tick(&mut self) {
+        let Some(ccfg) = self.cfg.churn else {
+            return;
+        };
+        let ov = ccfg.overload;
+        if !ov.enabled || ov.idle_timeout.is_zero() {
+            return;
+        }
+        let now = self.queue.now();
+        let victims = {
+            let eng = self.churn.as_ref().expect("churn engine");
+            reap_scan(&eng.table, now, ov.idle_timeout)
+        };
+        for id in victims {
+            let cc = self.churn.as_ref().expect("churn engine").cost;
+            let removed = {
+                let eng = self.churn.as_mut().expect("churn engine");
+                eng.table.remove(id)
+            };
+            let Some(c) = removed else {
+                continue;
+            };
+            {
+                let eng = self.churn.as_mut().expect("churn engine");
+                eng.mem.free(ov.sock_bytes);
+                eng.stats.idle_reaped += 1;
+                // An unclean close: the peer finds out when its next
+                // segment comes back stale.
+                eng.stats.closed += 1;
+                eng.epoll[c.server_core as usize].ctl();
+            }
+            let mut ch = Charges::default();
+            ch.add(Category::TcpIp, cc.idle_reap);
+            ch.add(Category::Memory, cc.sock_free);
+            ch.add(Category::Etc, cc.epoll_ctl);
+            ch.add(Category::Lock, cc.conn_lock);
+            self.charge_direct(SERVER_HOST, c.server_core as usize, ch);
+        }
+        self.queue
+            .schedule_after(ccfg.reap_interval, Event::IdleReapTick);
+    }
+
+    /// The report's overload/capacity summary; `None` unless the overload
+    /// model ran (keeps non-overload reports byte-identical).
+    pub(super) fn capacity_summary(&self) -> Option<hns_metrics::CapacitySummary> {
+        let ccfg = self.cfg.churn?;
+        if !ccfg.overload.enabled {
+            return None;
+        }
+        let eng = self.churn.as_ref()?;
+        let rpc = &eng.stats.rpc_ns;
+        Some(hns_metrics::CapacitySummary {
+            policy: ccfg.overload.policy.label().to_string(),
+            accept_depth: eng.accept.depth() as u64,
+            accept_high_water: eng.accept.high_water() as u64,
+            accept_overflows: eng.accept.overflows(),
+            syn_cookies: eng.accept.cookies(),
+            accept_drops: eng.accept.full_drops(),
+            sheds: eng.accept.sheds(),
+            refused: eng.stats.refused,
+            mem_budget_bytes: eng.mem.budget(),
+            mem_peak_bytes: eng.mem.peak(),
+            alloc_fails: eng.mem.alloc_fails(),
+            idle_reaped: eng.stats.idle_reaped,
+            slow_conns: eng.stats.slow_conns,
+            rpc: hns_metrics::LatencyStats {
+                avg_us: rpc.mean() / 1e3,
+                p99_us: rpc.quantile(0.99) as f64 / 1e3,
+                samples: rpc.count(),
+            },
+        })
     }
 
     /// The report's connection summary, measurement-window scoped.

@@ -19,8 +19,9 @@
 //! ([`Topology::app_core`]); a [`Placement`] override pins everything to
 //! NIC-remote cores for the Fig. 4 / Fig. 10c experiments.
 
-use hns_conn::{ChurnConfig, ChurnMode};
+use hns_conn::{AdmissionPolicy, ChurnConfig, ChurnMode, OverloadConfig};
 use hns_mem::numa::{CoreId, Topology};
+use hns_sim::Duration;
 use hns_stack::{AppSpec, FlowSpec, World};
 
 /// Where application threads are placed relative to the NIC.
@@ -262,6 +263,34 @@ pub fn churn_pool(conns: u32, rate_cps: f64) -> ChurnConfig {
     ChurnConfig {
         mode: ChurnMode::Pool { conns },
         rate_cps,
+        ..ChurnConfig::default()
+    }
+}
+
+/// Connection attempts per second each simulated capacity client issues.
+pub const CAPACITY_CLIENT_CPS: f64 = 400.0;
+
+/// Overload capacity probe: `clients` concurrent short-RPC clients (at
+/// [`CAPACITY_CLIENT_CPS`] attempts/s each) against a server with a finite
+/// listen queue, a connection-memory budget, and an idle reaper — under the
+/// given admission `policy`. A quarter of the clients are heavy-tailed slow
+/// thinkers, so accept-queue slots and sockets get pinned for milliseconds
+/// at a time; that pinning, not raw packet rate, is what bends the goodput
+/// and tail-latency curves at the capacity knee (fig_capacity).
+pub fn churn_capacity(clients: u32, policy: AdmissionPolicy) -> ChurnConfig {
+    ChurnConfig {
+        mode: ChurnMode::ShortRpc,
+        rate_cps: clients as f64 * CAPACITY_CLIENT_CPS,
+        rpc_size: 4096,
+        overload: OverloadConfig {
+            enabled: true,
+            policy,
+            accept_queue: 128,
+            mem_budget: 4 << 20,
+            idle_timeout: Duration::from_millis(12),
+            slow_prob: 0.25,
+            ..OverloadConfig::default()
+        },
         ..ChurnConfig::default()
     }
 }

@@ -5,7 +5,9 @@
 //! hostnet run incast --flows 8
 //! hostnet run rpc --clients 16 --size 4096 --remote-server
 //! hostnet run mixed --shorts 16
+//! hostnet run churn --admission shed --accept-queue 64 --slow-prob 0.25
 //! hostnet figures fig06 fig12 --csv
+//! hostnet capacity --quick --audited
 //! hostnet audit --runs 200 --seed 1
 //! hostnet list
 //! ```
@@ -76,6 +78,57 @@ fn execute(cmd: cli::Command) -> ExitCode {
                     "{}",
                     hostnet::building_blocks::metrics::format_series_table(&reports)
                 );
+            }
+            ExitCode::SUCCESS
+        }
+        cli::Command::Capacity(cap) => {
+            use hostnet::building_blocks::core_figures as figures;
+            figures::set_jobs(
+                cap.jobs
+                    .unwrap_or_else(hostnet::building_blocks::par::available_jobs),
+            );
+            let points = figures::fig_capacity_points();
+            let results = hostnet::building_blocks::par::map_ordered(
+                figures::jobs(),
+                &points,
+                |p: &figures::SweepPoint| {
+                    let mut e = p.build();
+                    if cap.quick {
+                        e = e.quick();
+                    }
+                    if cap.audited {
+                        e = e.audited();
+                    }
+                    e.try_run().map_err(|err| format!("{}: {err}", p.label))
+                },
+            );
+            let mut reports = Vec::new();
+            for r in results {
+                match r {
+                    Ok(r) => reports.push(r),
+                    Err(e) => {
+                        eprintln!("capacity: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if cap.csv {
+                print!(
+                    "{}",
+                    hostnet::building_blocks::metrics::reports_to_csv(&reports)
+                );
+            } else {
+                print!(
+                    "{}",
+                    hostnet::building_blocks::metrics::format_series_table(&reports)
+                );
+                for r in &reports {
+                    println!("\n{}:", r.label);
+                    print!(
+                        "{}",
+                        hostnet::building_blocks::metrics::format_capacity_table(r)
+                    );
+                }
             }
             ExitCode::SUCCESS
         }
@@ -226,6 +279,11 @@ fn execute(cmd: cli::Command) -> ExitCode {
                     println!("\nconnection lifecycle:");
                     print!("{conn_table}");
                 }
+                let cap_table = hostnet::building_blocks::metrics::format_capacity_table(&report);
+                if !cap_table.is_empty() {
+                    println!("\noverload model:");
+                    print!("{cap_table}");
+                }
                 if run.trace {
                     let table = hostnet::building_blocks::metrics::format_stage_table(&report);
                     if table.is_empty() {
@@ -355,6 +413,9 @@ fn run_figures(names: &[String]) -> Vec<hostnet::Report> {
                 .map(|(_, r)| r),
         );
     }
+    if want("figcap") {
+        out.extend(figures::fig_capacity().into_iter().map(|(_, r)| r));
+    }
     out
 }
 
@@ -367,11 +428,18 @@ pub mod cli {
 usage:
   hostnet run <scenario> [options]
   hostnet figures [fig03|fig03e|fig03f|fig03g|fig04|fig05|fig05c|fig06|
-                   fig07|fig08|fig09|fig09b|fig10|fig11|fig12|fig13]...
+                   fig07|fig08|fig09|fig09b|fig10|fig11|fig12|fig13|figcap]...
                   [--csv] [--jobs N|auto]
+  hostnet capacity [--csv] [--jobs N|auto] [--quick] [--audited]
   hostnet audit [--runs N] [--seed S] [--out DIR] [--quiet]
   hostnet list
   hostnet help
+
+capacity (fig_capacity: admission policy x concurrent clients at fixed cores):
+  --csv              emit CSV instead of tables
+  --jobs N|auto      sweep thread-pool size (output identical for any value)
+  --quick            short windows (5ms + 8ms) for smoke runs
+  --audited          run every point under the invariant auditor
 
 audit (differential config fuzzer, every run under the invariant auditor):
   --runs N           fuzz cases to run                    (default 200)
@@ -403,6 +471,13 @@ options:
   --churn-rate CPS   connection arrivals per second       (default 100000)
   --churn-mode M     handshake | rpc | pool               (default handshake)
   --churn-conns N    pool population for --churn-mode pool (default 100000)
+
+overload model (churn scenario only; any flag enables it):
+  --admission P      accept-path policy: drop | queue | shed  (default drop)
+  --accept-queue N   listen/accept queue depth            (default 128)
+  --mem-budget-kb N  connection memory budget (0 = unlimited, default 0)
+  --idle-timeout-ms T  reap established conns idle longer than T (0 = off)
+  --slow-prob P      fraction of clients with heavy-tailed think times
   --seed N           RNG seed                             (default 1)
   --warmup-ms N      warmup window                        (default 20)
   --measure-ms N     measurement window                   (default 30)
@@ -447,8 +522,24 @@ fault injection (all deterministic; scheduled faults share one window):
             /// Output is byte-identical for every value.
             jobs: Option<usize>,
         },
+        /// `hostnet capacity [--csv] [--jobs N] [--quick] [--audited]`.
+        Capacity(CapacityArgs),
         /// `hostnet audit [--runs N] [--seed S] [--out DIR] [--quiet]`.
         Audit(hostnet::AuditOptions),
+    }
+
+    /// Options of `hostnet capacity` (the fig_capacity overload sweep).
+    #[derive(Debug)]
+    pub struct CapacityArgs {
+        /// Emit CSV instead of tables.
+        pub csv: bool,
+        /// Sweep thread-pool size; `None` = auto. Output is byte-identical
+        /// for every value.
+        pub jobs: Option<usize>,
+        /// Short windows (5ms + 8ms) for smoke runs.
+        pub quick: bool,
+        /// Run every point under the invariant auditor.
+        pub audited: bool,
     }
 
     /// Options of `hostnet run`.
@@ -548,6 +639,34 @@ fault injection (all deterministic; scheduled faults share one window):
                 }
                 Ok(Command::Figures { names, csv, jobs })
             }
+            Some("capacity") => {
+                let mut cap = CapacityArgs {
+                    csv: false,
+                    jobs: None,
+                    quick: false,
+                    audited: false,
+                };
+                let mut it = args[1..].iter();
+                while let Some(a) = it.next() {
+                    match a.as_str() {
+                        "--csv" => cap.csv = true,
+                        "--quick" => cap.quick = true,
+                        "--audited" => cap.audited = true,
+                        "--jobs" => {
+                            let v = it
+                                .next()
+                                .ok_or_else(|| "--jobs: missing value".to_string())?;
+                            cap.jobs = if v == "auto" {
+                                None
+                            } else {
+                                Some(parse_num(v, "--jobs")?)
+                            };
+                        }
+                        x => return Err(format!("capacity: unknown flag `{x}`")),
+                    }
+                }
+                Ok(Command::Capacity(cap))
+            }
             Some("audit") => {
                 let mut opts = hostnet::AuditOptions::new(200, 1);
                 opts.progress = true;
@@ -585,6 +704,14 @@ fault injection (all deterministic; scheduled faults share one window):
         let mut churn_rate = 100_000.0f64;
         let mut churn_mode = String::from("handshake");
         let mut churn_conns = 100_000u32;
+        let mut admission: Option<String> = None;
+        let mut accept_queue: Option<u32> = None;
+        let mut mem_budget_kb: Option<u64> = None;
+        let mut idle_timeout_ms: Option<f64> = None;
+        let mut slow_prob: Option<f64> = None;
+        // Churn-only flags actually given, so a non-churn scenario can
+        // reject them instead of silently ignoring them.
+        let mut churn_flags: Vec<&'static str> = Vec::new();
 
         let mut out = RunArgs {
             scenario: ScenarioKind::Single, // placeholder, set at the end
@@ -631,14 +758,47 @@ fault injection (all deterministic; scheduled faults share one window):
                 "--shorts" => shorts = parse_num(value("--shorts")?, "--shorts")?,
                 "--remote-server" => remote_server = true,
                 "--churn-rate" => {
+                    churn_flags.push("--churn-rate");
                     churn_rate = parse_num(value("--churn-rate")?, "--churn-rate")?;
                     if !churn_rate.is_finite() || churn_rate <= 0.0 {
                         return Err("--churn-rate: must be a positive number".into());
                     }
                 }
-                "--churn-mode" => churn_mode = value("--churn-mode")?.clone(),
+                "--churn-mode" => {
+                    churn_flags.push("--churn-mode");
+                    churn_mode = value("--churn-mode")?.clone();
+                }
                 "--churn-conns" => {
-                    churn_conns = parse_num(value("--churn-conns")?, "--churn-conns")?
+                    churn_flags.push("--churn-conns");
+                    churn_conns = parse_num(value("--churn-conns")?, "--churn-conns")?;
+                }
+                "--admission" => {
+                    churn_flags.push("--admission");
+                    admission = Some(value("--admission")?.clone());
+                }
+                "--accept-queue" => {
+                    churn_flags.push("--accept-queue");
+                    accept_queue = Some(parse_num(value("--accept-queue")?, "--accept-queue")?);
+                }
+                "--mem-budget-kb" => {
+                    churn_flags.push("--mem-budget-kb");
+                    mem_budget_kb = Some(parse_num(value("--mem-budget-kb")?, "--mem-budget-kb")?);
+                }
+                "--idle-timeout-ms" => {
+                    churn_flags.push("--idle-timeout-ms");
+                    let ms: f64 = parse_num(value("--idle-timeout-ms")?, "--idle-timeout-ms")?;
+                    if !ms.is_finite() || ms < 0.0 {
+                        return Err("--idle-timeout-ms: must be a non-negative number".into());
+                    }
+                    idle_timeout_ms = Some(ms);
+                }
+                "--slow-prob" => {
+                    churn_flags.push("--slow-prob");
+                    let p: f64 = parse_num(value("--slow-prob")?, "--slow-prob")?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err("--slow-prob: must be in [0, 1]".into());
+                    }
+                    slow_prob = Some(p);
                 }
                 "--level" => {
                     out.level = Some(match value("--level")?.as_str() {
@@ -779,10 +939,44 @@ fault injection (all deterministic; scheduled faults share one window):
                 if out.trace {
                     churn.trace_sample = out.trace_sample_every;
                 }
+                // Any overload flag switches the overload model on.
+                if admission.is_some()
+                    || accept_queue.is_some()
+                    || mem_budget_kb.is_some()
+                    || idle_timeout_ms.is_some()
+                    || slow_prob.is_some()
+                {
+                    use hostnet::building_blocks::conn::AdmissionPolicy;
+                    churn.overload.enabled = true;
+                    if let Some(p) = &admission {
+                        churn.overload.policy = AdmissionPolicy::parse(p).ok_or_else(|| {
+                            format!("--admission: expected drop|queue|shed, got `{p}`")
+                        })?;
+                    }
+                    if let Some(n) = accept_queue {
+                        churn.overload.accept_queue = n;
+                    }
+                    if let Some(kb) = mem_budget_kb {
+                        churn.overload.mem_budget = kb * 1024;
+                    }
+                    if let Some(ms) = idle_timeout_ms {
+                        churn.overload.idle_timeout = Duration::from_nanos((ms * 1e6) as u64);
+                    }
+                    if let Some(p) = slow_prob {
+                        churn.overload.slow_prob = p;
+                    }
+                    churn.validate().map_err(|e| format!("run churn: {e}"))?;
+                }
                 ScenarioKind::Churn { churn }
             }
             x => return Err(format!("unknown scenario `{x}` (see `hostnet list`)")),
         };
+        if !matches!(out.scenario, ScenarioKind::Churn { .. }) && !churn_flags.is_empty() {
+            return Err(format!(
+                "{}: only valid with the churn scenario (got `{scenario_name}`)",
+                churn_flags.join(", ")
+            ));
+        }
         for (v, flag) in [
             (out.fault_at_ms, "--fault-at-ms"),
             (out.burst_len, "--fault-burst-len"),
@@ -893,6 +1087,99 @@ fault injection (all deterministic; scheduled faults share one window):
             assert!(parse(&argv("run churn --churn-mode nope")).is_err());
             assert!(parse(&argv("run churn --churn-rate 0")).is_err());
             assert!(parse(&argv("run churn --churn-rate -5")).is_err());
+        }
+
+        #[test]
+        fn parses_overload_flags() {
+            use hostnet::building_blocks::conn::AdmissionPolicy;
+            let cmd = parse(&argv(
+                "run churn --churn-mode rpc --admission shed --accept-queue 64 \
+                 --mem-budget-kb 2048 --idle-timeout-ms 8 --slow-prob 0.25",
+            ))
+            .unwrap();
+            match cmd {
+                Command::Run(r) => match r.scenario {
+                    ScenarioKind::Churn { churn } => {
+                        let ov = churn.overload;
+                        assert!(ov.enabled, "any overload flag enables the model");
+                        assert_eq!(ov.policy, AdmissionPolicy::Shed);
+                        assert_eq!(ov.accept_queue, 64);
+                        assert_eq!(ov.mem_budget, 2048 * 1024);
+                        assert_eq!(ov.idle_timeout, Duration::from_millis(8));
+                        assert!((ov.slow_prob - 0.25).abs() < 1e-12);
+                    }
+                    _ => panic!("wrong scenario"),
+                },
+                _ => panic!("not a run"),
+            }
+            // Overload stays off when no flag is given.
+            match parse(&argv("run churn")).unwrap() {
+                Command::Run(r) => match r.scenario {
+                    ScenarioKind::Churn { churn } => assert!(!churn.overload.enabled),
+                    _ => panic!("wrong scenario"),
+                },
+                _ => panic!("not a run"),
+            }
+        }
+
+        #[test]
+        fn rejects_bad_overload_flags() {
+            assert!(parse(&argv("run churn --admission fifo")).is_err());
+            assert!(parse(&argv("run churn --slow-prob 1.5")).is_err());
+            assert!(parse(&argv("run churn --slow-prob -0.1")).is_err());
+            assert!(parse(&argv("run churn --idle-timeout-ms -2")).is_err());
+            assert!(parse(&argv("run churn --accept-queue banana")).is_err());
+            // accept_queue = 0 fails OverloadConfig::validate.
+            assert!(parse(&argv("run churn --accept-queue 0")).is_err());
+            // The overload model rejects pool mode.
+            assert!(parse(&argv("run churn --churn-mode pool --admission drop")).is_err());
+        }
+
+        #[test]
+        fn rejects_churn_flags_on_other_scenarios() {
+            for flags in [
+                "--churn-rate 50000",
+                "--churn-mode rpc",
+                "--churn-conns 100",
+                "--admission drop",
+                "--accept-queue 64",
+                "--mem-budget-kb 1024",
+                "--idle-timeout-ms 5",
+                "--slow-prob 0.1",
+            ] {
+                let args = argv(&format!("run single {flags}"));
+                let err = parse(&args).unwrap_err();
+                assert!(
+                    err.contains("only valid with the churn scenario"),
+                    "`{flags}` on a non-churn scenario must error, got: {err}"
+                );
+            }
+            // ...but the same flags are accepted by the churn scenario.
+            assert!(parse(&argv("run churn --churn-rate 50000 --admission drop")).is_ok());
+        }
+
+        #[test]
+        fn parses_capacity_command() {
+            match parse(&argv("capacity --csv --jobs 4 --quick --audited")).unwrap() {
+                Command::Capacity(c) => {
+                    assert!(c.csv && c.quick && c.audited);
+                    assert_eq!(c.jobs, Some(4));
+                }
+                _ => panic!("not capacity"),
+            }
+            match parse(&argv("capacity")).unwrap() {
+                Command::Capacity(c) => {
+                    assert!(!c.csv && !c.quick && !c.audited);
+                    assert_eq!(c.jobs, None);
+                }
+                _ => panic!("not capacity"),
+            }
+            match parse(&argv("capacity --jobs auto")).unwrap() {
+                Command::Capacity(c) => assert_eq!(c.jobs, None),
+                _ => panic!("not capacity"),
+            }
+            assert!(parse(&argv("capacity --bogus")).is_err());
+            assert!(parse(&argv("capacity --jobs")).is_err());
         }
 
         #[test]

@@ -55,6 +55,49 @@ fn audited_scenarios_stay_silent() {
 }
 
 #[test]
+fn audited_capacity_runs_stay_silent() {
+    // Every admission policy under real overload (250 clients push the
+    // depth-128 accept queue past its bound at quick windows): the
+    // accept-queue, connection-memory, and abort-reconciliation ledgers
+    // must all balance at teardown.
+    use hostnet::building_blocks::conn::AdmissionPolicy;
+    for policy in [
+        AdmissionPolicy::Drop,
+        AdmissionPolicy::Queue,
+        AdmissionPolicy::Shed,
+    ] {
+        let churn = hostnet::building_blocks::workload::churn_capacity(250, policy);
+        let r = audited(ScenarioKind::Churn { churn })
+            .try_run()
+            .unwrap_or_else(|e| panic!("audited capacity/{} tripped: {e}", policy.label()));
+        let cap = r
+            .capacity
+            .expect("overload runs must carry a capacity summary");
+        assert_eq!(cap.policy, policy.label());
+        assert!(
+            cap.accept_overflows > 0,
+            "capacity/{}: 250 clients should overflow the depth-128 queue",
+            policy.label()
+        );
+    }
+}
+
+#[test]
+fn audited_overload_composes_with_wire_loss() {
+    // Overload + lossy handshakes: SYN retransmissions interleave with
+    // admission drops/cookies/sheds, and the ledgers must still close.
+    use hostnet::building_blocks::conn::AdmissionPolicy;
+    let churn = hostnet::building_blocks::workload::churn_capacity(250, AdmissionPolicy::Queue);
+    let r = audited(ScenarioKind::Churn { churn })
+        .configure(|c| c.link.loss = LossModel::uniform(0.002))
+        .try_run()
+        .expect("lossy overload run must still balance its ledgers");
+    let c = r.conn.expect("churn runs carry a conn summary");
+    assert!(c.retransmits > 0, "the loss should hit some handshakes");
+    assert!(r.capacity.is_some());
+}
+
+#[test]
 fn audited_run_tolerates_loss_drops_and_faults() {
     // Wire loss + a tight backlog cap + an Rx-ring exhaustion window: every
     // drop bucket gets exercised, and the teardown reconciliation against

@@ -99,3 +99,16 @@ fn golden_fig13_congestion_control() {
         .collect();
     check("fig13.jsonl", render(&reports));
 }
+
+#[test]
+fn golden_fig_capacity() {
+    // The overload sweep: admission policy × concurrent clients. Pins
+    // the whole capacity summary (queue books, cookies, sheds, memory
+    // peaks, RPC tail) byte-for-byte, on top of the usual report fields.
+    let reports: Vec<Report> = figures::fig_capacity()
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect();
+    assert_eq!(reports.len(), 12);
+    check("fig_capacity.jsonl", render(&reports));
+}

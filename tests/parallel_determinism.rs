@@ -63,6 +63,23 @@ fn fig05c_conn_rate_sweep_is_jobs_invariant() {
 }
 
 #[test]
+fn fig_capacity_sweep_is_jobs_invariant() {
+    // The overload sweep's admission outcomes (cookies, sheds, accept
+    // drops) and capacity summary must not leak the job count: think
+    // times hash off connection ids, never a shared RNG stream.
+    let seq = sweep_json(1, &figures::fig_capacity_points());
+    let par = sweep_json(8, &figures::fig_capacity_points());
+    assert!(
+        seq.iter().all(|j| j.contains("\"capacity\"")),
+        "overload reports should carry a capacity summary"
+    );
+    assert_eq!(
+        seq, par,
+        "fig_capacity reports differ between --jobs 1 and 8"
+    );
+}
+
+#[test]
 fn cli_figures_output_is_jobs_invariant() {
     let bin = env!("CARGO_BIN_EXE_hostnet");
     let run = |jobs: &str| {
@@ -77,4 +94,27 @@ fn cli_figures_output_is_jobs_invariant() {
     let par = run("8");
     assert!(!seq.is_empty());
     assert_eq!(seq, par, "CLI output differs between --jobs 1 and --jobs 8");
+}
+
+#[test]
+fn cli_capacity_output_is_jobs_invariant() {
+    let bin = env!("CARGO_BIN_EXE_hostnet");
+    let run = |jobs: &str| {
+        let out = std::process::Command::new(bin)
+            .args(["capacity", "--quick", "--csv", "--jobs", jobs])
+            .output()
+            .expect("spawn hostnet");
+        assert!(
+            out.status.success(),
+            "hostnet capacity --jobs {jobs} failed"
+        );
+        out.stdout
+    };
+    let seq = run("1");
+    let par = run("8");
+    assert!(!seq.is_empty());
+    assert_eq!(
+        seq, par,
+        "capacity CLI output differs between --jobs 1 and --jobs 8"
+    );
 }
