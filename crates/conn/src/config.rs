@@ -39,6 +39,58 @@ impl ChurnMode {
     }
 }
 
+/// Per-request payload size distribution for [`ChurnMode::ShortRpc`].
+///
+/// Like think times, sizes are hashed off connection ids — a pure function
+/// of `(seed, conn)` — so the draw is policy-invariant: admission decisions
+/// and job counts can never perturb which connection gets which request
+/// size, and a retransmitted request resends exactly the bytes it first
+/// sent.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RpcSizeDist {
+    /// Every request/response carries exactly `rpc_size` bytes (the
+    /// pre-existing behaviour, and the default).
+    Fixed,
+    /// Bounded Pareto: heavy-tailed sizes in `[min, cap]` with tail index
+    /// `shape` (smaller = heavier tail). Models real RPC fan-out where
+    /// most requests are small and a few drag megabytes.
+    Pareto {
+        /// Smallest request size, bytes (> 0).
+        min: u32,
+        /// Pareto tail index (finite, > 0).
+        shape: f64,
+        /// Largest request size, bytes (>= `min`).
+        cap: u32,
+    },
+}
+
+impl RpcSizeDist {
+    /// Short label for CSV/CLI output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RpcSizeDist::Fixed => "fixed",
+            RpcSizeDist::Pareto { .. } => "pareto",
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if let RpcSizeDist::Pareto { min, shape, cap } = *self {
+            if min == 0 {
+                return Err("rpc size dist needs min > 0".into());
+            }
+            if !shape.is_finite() || shape <= 0.0 {
+                return Err(format!(
+                    "rpc size dist needs a positive finite shape, got {shape}"
+                ));
+            }
+            if cap < min {
+                return Err(format!("rpc size dist cap ({cap}) must be >= min ({min})"));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Connection-churn knobs, carried inside `SimConfig`.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ChurnConfig {
@@ -50,6 +102,9 @@ pub struct ChurnConfig {
     /// Request and response payload size per connection, bytes
     /// (ignored for [`ChurnMode::HandshakeOnly`]).
     pub rpc_size: u32,
+    /// Per-request size distribution (short-RPC mode). [`RpcSizeDist::
+    /// Fixed`] reproduces the constant `rpc_size` behaviour exactly.
+    pub rpc_size_dist: RpcSizeDist,
     /// Initial SYN retransmission timeout. Linux uses 1s; the default here
     /// is scaled down to suit millisecond-scale simulation horizons while
     /// preserving the exponential-backoff shape.
@@ -76,6 +131,7 @@ impl Default for ChurnConfig {
             mode: ChurnMode::ShortRpc,
             rate_cps: 100_000.0,
             rpc_size: 4096,
+            rpc_size_dist: RpcSizeDist::Fixed,
             syn_rto: Duration::from_millis(5),
             syn_retry_max: 6,
             time_wait: Duration::from_millis(10),
@@ -114,6 +170,13 @@ impl ChurnConfig {
         }
         if self.mode == ChurnMode::ShortRpc && self.rpc_size == 0 {
             return Err("short-rpc mode needs rpc_size > 0".into());
+        }
+        self.rpc_size_dist.validate()?;
+        if self.rpc_size_dist != RpcSizeDist::Fixed && self.mode != ChurnMode::ShortRpc {
+            return Err(format!(
+                "rpc size distribution only applies to short-rpc mode, not {}",
+                self.mode.label()
+            ));
         }
         self.overload.validate()?;
         if self.overload.enabled && matches!(self.mode, ChurnMode::Pool { .. }) {
@@ -157,6 +220,59 @@ mod tests {
         assert!(c.validate().is_err(), "short-rpc needs a payload");
         c.mode = ChurnMode::HandshakeOnly;
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn rpc_size_dist_knobs_validate() {
+        let mut c = ChurnConfig {
+            rpc_size_dist: RpcSizeDist::Pareto {
+                min: 64,
+                shape: 1.2,
+                cap: 1 << 20,
+            },
+            ..ChurnConfig::default()
+        };
+        c.validate().unwrap();
+        c.rpc_size_dist = RpcSizeDist::Pareto {
+            min: 0,
+            shape: 1.2,
+            cap: 100,
+        };
+        assert!(c.validate().is_err(), "zero min");
+        c.rpc_size_dist = RpcSizeDist::Pareto {
+            min: 64,
+            shape: 0.0,
+            cap: 100,
+        };
+        assert!(c.validate().is_err(), "zero shape");
+        c.rpc_size_dist = RpcSizeDist::Pareto {
+            min: 64,
+            shape: 1.2,
+            cap: 63,
+        };
+        assert!(c.validate().is_err(), "cap below min");
+        c.rpc_size_dist = RpcSizeDist::Pareto {
+            min: 64,
+            shape: 1.2,
+            cap: 4096,
+        };
+        c.mode = ChurnMode::HandshakeOnly;
+        assert!(
+            c.validate().is_err(),
+            "sized requests need a mode that sends requests"
+        );
+        c.rpc_size_dist = RpcSizeDist::Fixed;
+        c.validate().unwrap();
+        assert_eq!(RpcSizeDist::Fixed.label(), "fixed");
+        assert_eq!(
+            RpcSizeDist::Pareto {
+                min: 1,
+                shape: 1.0,
+                cap: 2
+            }
+            .label(),
+            "pareto"
+        );
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod stats;
 pub mod table;
 pub mod timewait;
 
-pub use config::{ChurnConfig, ChurnMode};
+pub use config::{ChurnConfig, ChurnMode, RpcSizeDist};
 pub use costs::ConnCostModel;
 pub use epoll::EpollAccounting;
 pub use overload::{AcceptQueue, AdmissionPolicy, MemBudget, OverloadConfig};

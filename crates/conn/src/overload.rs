@@ -360,13 +360,19 @@ pub fn syn_cookie(secret: u64, conn: u64) -> u32 {
     (z >> 32) as u32
 }
 
+/// Bounded-Pareto inverse-CDF sample: `min * (1-u)^(-1/shape)` clamped to
+/// `[min, cap]`. `u` must be in `[0, 1)` (a raw uniform draw). Shared by
+/// think times and per-request RPC sizes so both tails come from the same
+/// well-tested transform.
+pub fn bounded_pareto(u: f64, min: f64, shape: f64, cap: f64) -> f64 {
+    let raw = min * (1.0 - u).powf(-1.0 / shape);
+    raw.min(cap).max(min)
+}
+
 /// Bounded-Pareto think time in nanoseconds: `min * (1-u)^(-1/shape)`
 /// clamped to `cap`. `u` must be in `[0, 1)` (a raw uniform draw).
 pub fn think_time_ns(u: f64, min: Duration, shape: f64, cap: Duration) -> u64 {
-    let min_ns = min.as_nanos() as f64;
-    let raw = min_ns * (1.0 - u).powf(-1.0 / shape);
-    let capped = raw.min(cap.as_nanos() as f64);
-    capped.max(min_ns) as u64
+    bounded_pareto(u, min.as_nanos() as f64, shape, cap.as_nanos() as f64) as u64
 }
 
 /// Scan the flow table for server-side established connections idle for at

@@ -79,6 +79,14 @@ pub fn reports_to_csv(reports: &[Report]) -> String {
              conn_rpc_avg_us,conn_rpc_p99_us",
         );
     }
+    // Monitor columns only when some report ran with streaming telemetry.
+    let monitored = reports.iter().any(|r| r.monitor.is_some());
+    if monitored {
+        out.push_str(
+            ",mon_snapshots,mon_interval_secs,mon_goodput_avg_gbps,\
+             mon_goodput_min_gbps,mon_goodput_max_gbps",
+        );
+    }
     out.push('\n');
 
     for r in reports {
@@ -156,6 +164,19 @@ pub fn reports_to_csv(reports: &[Report]) -> String {
                     c.rpc.p99_us,
                 )),
                 None => out.push_str(",,,,,,,,,,,,,"),
+            }
+        }
+        if monitored {
+            match &r.monitor {
+                Some(m) => out.push_str(&format!(
+                    ",{},{:.6},{:.4},{:.4},{:.4}",
+                    m.snapshots,
+                    m.interval_secs,
+                    m.goodput_avg_gbps,
+                    m.goodput_min_gbps,
+                    m.goodput_max_gbps,
+                )),
+                None => out.push_str(",,,,,"),
             }
         }
         out.push('\n');
@@ -300,6 +321,62 @@ mod tests {
         assert!(
             lines[2].ends_with(",,,,,,,,,,,,,"),
             "non-overload row gets empty capacity cells"
+        );
+    }
+
+    #[test]
+    fn monitored_series_appends_monitor_columns() {
+        use crate::report::MonitorSummary;
+        let plain = Report {
+            label: "plain".into(),
+            ..Report::default()
+        };
+        let legacy_header = reports_to_csv(std::slice::from_ref(&plain))
+            .lines()
+            .next()
+            .unwrap()
+            .to_string();
+        let monitored = Report {
+            label: "monitored".into(),
+            monitor: Some(MonitorSummary {
+                snapshots: 10,
+                interval_secs: 0.01,
+                sketch_alpha: 0.01,
+                goodput_avg_gbps: 40.0,
+                goodput_min_gbps: 35.0,
+                goodput_max_gbps: 45.0,
+                stages: Vec::new(),
+            }),
+            ..Report::default()
+        };
+        let csv = reports_to_csv(&[monitored, plain.clone()]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(
+            lines[0].starts_with(&legacy_header),
+            "legacy columns keep their positions"
+        );
+        assert!(lines[0].ends_with(
+            ",mon_snapshots,mon_interval_secs,mon_goodput_avg_gbps,\
+             mon_goodput_min_gbps,mon_goodput_max_gbps"
+        ));
+        for row in &lines[1..] {
+            assert_eq!(
+                lines[0].split(',').count(),
+                row.split(',').count(),
+                "header/row column mismatch"
+            );
+        }
+        assert!(
+            lines[2].ends_with(",,,,,"),
+            "unmonitored row gets empty monitor cells"
+        );
+        // Unmonitored-only series keeps the exact legacy header.
+        assert_eq!(
+            reports_to_csv(std::slice::from_ref(&plain))
+                .lines()
+                .next()
+                .unwrap(),
+            legacy_header
         );
     }
 

@@ -24,11 +24,12 @@ pub mod util;
 pub use csv::reports_to_csv;
 pub use drops::{DropStats, LayerDrops};
 pub use report::{
-    CacheStats, CapacitySummary, ConnSummary, LatencyStats, Report, SideReport, StageLatency,
+    CacheStats, CapacitySummary, ConnSummary, LatencyStats, MonitorStage, MonitorSummary, Report,
+    SideReport, StageLatency,
 };
 pub use table::{
     format_breakdown_table, format_capacity_table, format_conn_table, format_gbps,
-    format_series_table, format_stage_table,
+    format_monitor_table, format_series_table, format_stage_table,
 };
 pub use taxonomy::{Category, CycleBreakdown, ALL_CATEGORIES};
 pub use util::CoreUsage;

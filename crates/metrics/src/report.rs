@@ -314,6 +314,101 @@ impl CapacitySummary {
     }
 }
 
+/// Whole-window roll-up of the streaming monitor (`hns-monitor`): how many
+/// interval snapshots were emitted, the goodput envelope they observed, and
+/// per-stage residency quantiles from the cumulative (merged-interval)
+/// DDSketches. Present only when `SimConfig::monitor` was set — unmonitored
+/// reports keep the exact pre-monitor JSON shape.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MonitorSummary {
+    /// Interval snapshots emitted during the measurement window.
+    pub snapshots: u64,
+    /// Configured snapshot interval, seconds.
+    pub interval_secs: f64,
+    /// DDSketch relative-error bound the quantiles are good to.
+    pub sketch_alpha: f64,
+    /// Mean per-interval goodput, Gbit/s (0 when no snapshots).
+    pub goodput_avg_gbps: f64,
+    /// Quietest interval's goodput, Gbit/s.
+    pub goodput_min_gbps: f64,
+    /// Busiest interval's goodput, Gbit/s.
+    pub goodput_max_gbps: f64,
+    /// Cumulative per-stage residency quantiles, pipeline order.
+    pub stages: Vec<MonitorStage>,
+}
+
+/// One stage row of a [`MonitorSummary`]: sketch-estimated residency
+/// quantiles over every sample the monitor folded in the window.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MonitorStage {
+    /// Stage label (`tcp_rx`, `sock_queue`, …).
+    pub stage: String,
+    /// Residency samples folded into the sketch.
+    pub samples: u64,
+    /// Median residency, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile residency, nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th-percentile residency, nanoseconds.
+    pub p999_ns: u64,
+}
+
+impl MonitorStage {
+    fn to_value(&self) -> Value {
+        json::obj(vec![
+            ("stage", Value::Str(self.stage.clone())),
+            ("samples", Value::UInt(self.samples)),
+            ("p50_ns", Value::UInt(self.p50_ns)),
+            ("p99_ns", Value::UInt(self.p99_ns)),
+            ("p999_ns", Value::UInt(self.p999_ns)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<MonitorStage, JsonError> {
+        Ok(MonitorStage {
+            stage: v.get("stage")?.as_str()?.to_string(),
+            samples: v.get("samples")?.as_u64()?,
+            p50_ns: v.get("p50_ns")?.as_u64()?,
+            p99_ns: v.get("p99_ns")?.as_u64()?,
+            p999_ns: v.get("p999_ns")?.as_u64()?,
+        })
+    }
+}
+
+impl MonitorSummary {
+    fn to_value(&self) -> Value {
+        json::obj(vec![
+            ("snapshots", Value::UInt(self.snapshots)),
+            ("interval_secs", Value::Num(self.interval_secs)),
+            ("sketch_alpha", Value::Num(self.sketch_alpha)),
+            ("goodput_avg_gbps", Value::Num(self.goodput_avg_gbps)),
+            ("goodput_min_gbps", Value::Num(self.goodput_min_gbps)),
+            ("goodput_max_gbps", Value::Num(self.goodput_max_gbps)),
+            (
+                "stages",
+                Value::Arr(self.stages.iter().map(|s| s.to_value()).collect()),
+            ),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<MonitorSummary, JsonError> {
+        Ok(MonitorSummary {
+            snapshots: v.get("snapshots")?.as_u64()?,
+            interval_secs: v.get("interval_secs")?.as_f64()?,
+            sketch_alpha: v.get("sketch_alpha")?.as_f64()?,
+            goodput_avg_gbps: v.get("goodput_avg_gbps")?.as_f64()?,
+            goodput_min_gbps: v.get("goodput_min_gbps")?.as_f64()?,
+            goodput_max_gbps: v.get("goodput_max_gbps")?.as_f64()?,
+            stages: v
+                .get("stages")?
+                .as_arr()?
+                .iter()
+                .map(MonitorStage::from_value)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
 /// Measurements for one side (sender or receiver) of the experiment.
 #[derive(Clone, Debug, Default)]
 pub struct SideReport {
@@ -404,6 +499,9 @@ pub struct Report {
     /// Overload/capacity summary, present only when the churn run had the
     /// overload model enabled (same absent-when-unused discipline).
     pub capacity: Option<CapacitySummary>,
+    /// Streaming-monitor roll-up, present only when `SimConfig::monitor`
+    /// was set (same absent-when-unused discipline).
+    pub monitor: Option<MonitorSummary>,
 }
 
 impl Report {
@@ -490,6 +588,10 @@ impl Report {
         if let Some(capacity) = &self.capacity {
             fields.push(("capacity", capacity.to_value()));
         }
+        // And the monitor roll-up: only when the monitor streamed.
+        if let Some(monitor) = &self.monitor {
+            fields.push(("monitor", monitor.to_value()));
+        }
         json::obj(fields)
     }
 
@@ -531,6 +633,10 @@ impl Report {
             },
             capacity: match v.get("capacity") {
                 Ok(o) => Some(CapacitySummary::from_value(o)?),
+                Err(_) => None,
+            },
+            monitor: match v.get("monitor") {
+                Ok(o) => Some(MonitorSummary::from_value(o)?),
                 Err(_) => None,
             },
         })
@@ -747,6 +853,47 @@ mod tests {
         let j = r.to_json();
         let back = Report::from_json(&j).unwrap();
         assert_eq!(back.capacity, r.capacity);
+        assert_eq!(back.to_json(), j, "serialization is stable");
+    }
+
+    #[test]
+    fn unmonitored_report_json_has_no_monitor_key() {
+        let r = Report {
+            conn: Some(ConnSummary::default()),
+            capacity: Some(CapacitySummary::default()),
+            ..Report::default()
+        };
+        let j = r.to_json();
+        assert!(
+            !j.contains("\"monitor\""),
+            "monitor-off reports stay monitor-free"
+        );
+        assert!(Report::from_json(&j).unwrap().monitor.is_none());
+    }
+
+    #[test]
+    fn monitor_summary_round_trips() {
+        let r = Report {
+            monitor: Some(MonitorSummary {
+                snapshots: 30,
+                interval_secs: 0.01,
+                sketch_alpha: 0.01,
+                goodput_avg_gbps: 21.5,
+                goodput_min_gbps: 18.0,
+                goodput_max_gbps: 24.25,
+                stages: vec![MonitorStage {
+                    stage: "sock_queue".into(),
+                    samples: 4000,
+                    p50_ns: 900,
+                    p99_ns: 8200,
+                    p999_ns: 15000,
+                }],
+            }),
+            ..Report::default()
+        };
+        let j = r.to_json();
+        let back = Report::from_json(&j).unwrap();
+        assert_eq!(back.monitor, r.monitor);
         assert_eq!(back.to_json(), j, "serialization is stable");
     }
 

@@ -152,6 +152,47 @@ pub fn format_capacity_table(report: &Report) -> String {
     out
 }
 
+/// Render the streaming-telemetry summary from a monitored report: snapshot
+/// cadence, goodput envelope across intervals, and the per-stage sketch
+/// quantiles accumulated over the whole measurement window. Empty string
+/// when the report carries no monitor data.
+pub fn format_monitor_table(report: &Report) -> String {
+    let Some(m) = &report.monitor else {
+        return String::new();
+    };
+    let mut out = String::new();
+    out.push_str(&format!("{:<24} {:>12}\n", "monitor metric", "value"));
+    let rows: [(&str, String); 6] = [
+        ("snapshots", m.snapshots.to_string()),
+        ("interval_ms", format!("{:.3}", m.interval_secs * 1e3)),
+        ("sketch_alpha", format!("{:.4}", m.sketch_alpha)),
+        ("goodput_avg_gbps", format!("{:.3}", m.goodput_avg_gbps)),
+        ("goodput_min_gbps", format!("{:.3}", m.goodput_min_gbps)),
+        ("goodput_max_gbps", format!("{:.3}", m.goodput_max_gbps)),
+    ];
+    for (label, value) in rows {
+        out.push_str(&format!("{label:<24} {value:>12}\n"));
+    }
+    if !m.stages.is_empty() {
+        let us = |ns: u64| ns as f64 / 1e3;
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>10} {:>10} {:>10}\n",
+            "stage", "samples", "p50_us", "p99_us", "p999_us"
+        ));
+        for s in &m.stages {
+            out.push_str(&format!(
+                "{:<12} {:>10} {:>10.3} {:>10.3} {:>10.3}\n",
+                s.stage,
+                s.samples,
+                us(s.p50_ns),
+                us(s.p99_ns),
+                us(s.p999_ns),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,5 +312,37 @@ mod tests {
         assert!(t.contains("queue"));
         assert!(t.contains("250"));
         assert!(t.contains("640.00"));
+    }
+
+    #[test]
+    fn monitor_table_renders_only_for_monitored_reports() {
+        use crate::report::{MonitorStage, MonitorSummary};
+        let mut r = Report::default();
+        assert_eq!(
+            format_monitor_table(&r),
+            "",
+            "unmonitored report renders nothing"
+        );
+        r.monitor = Some(MonitorSummary {
+            snapshots: 12,
+            interval_secs: 0.01,
+            sketch_alpha: 0.01,
+            goodput_avg_gbps: 38.5,
+            goodput_min_gbps: 30.0,
+            goodput_max_gbps: 42.0,
+            stages: vec![MonitorStage {
+                stage: "sock_queue".into(),
+                samples: 400,
+                p50_ns: 1000,
+                p99_ns: 5000,
+                p999_ns: 9000,
+            }],
+        });
+        let t = format_monitor_table(&r);
+        assert!(t.contains("snapshots"));
+        assert!(t.contains("12"));
+        assert!(t.contains("38.500"));
+        assert!(t.contains("sock_queue"));
+        assert!(t.contains("5.000"), "p99 rendered in microseconds");
     }
 }

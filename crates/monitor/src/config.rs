@@ -1,0 +1,67 @@
+//! Monitor configuration. `Copy` plain data so it can ride inside the
+//! simulation's `SimConfig` without breaking its `Copy` derive.
+
+use hns_sim::Duration;
+
+/// Streaming-telemetry knobs. Absent from `SimConfig` (i.e. `None`) the
+/// monitor costs nothing and every report stays byte-identical.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MonitorConfig {
+    /// Sim-time spacing between snapshot emissions. Snapshots are cut at
+    /// the first autotune tick at or past each interval boundary, so the
+    /// effective spacing is `interval` rounded up to the 1 ms tick.
+    pub interval: Duration,
+    /// DDSketch relative-error bound for every stage-residency quantile.
+    pub alpha: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            interval: Duration::from_millis(10),
+            alpha: 0.01,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// Reject configurations the sketch or scheduler cannot honor.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.interval == Duration::ZERO {
+            return Err("monitor interval must be positive".into());
+        }
+        if !(self.alpha > 0.0 && self.alpha < 0.5) {
+            return Err(format!(
+                "monitor sketch alpha must be in (0, 0.5), got {}",
+                self.alpha
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        assert_eq!(MonitorConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn rejects_bad_knobs() {
+        let mut c = MonitorConfig {
+            interval: Duration::ZERO,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        c.interval = Duration::from_millis(5);
+        c.alpha = 0.0;
+        assert!(c.validate().is_err());
+        c.alpha = 0.5;
+        assert!(c.validate().is_err());
+        c.alpha = 0.25;
+        assert_eq!(c.validate(), Ok(()));
+    }
+}

@@ -216,6 +216,12 @@ pub struct SimConfig {
     /// arrivals with full SYN/accept/FIN lifecycles. `None` (the default)
     /// runs no churn and leaves the engine entirely out of the event loop.
     pub churn: Option<hns_conn::ChurnConfig>,
+    /// Streaming telemetry (`hns-monitor`): fold sampled stage residencies,
+    /// goodput, drop deltas and churn counters into quantile sketches at
+    /// every autotune tick and emit interval snapshots. `None` (the
+    /// default) keeps the monitor entirely out of the loop, so every
+    /// report stays byte-identical to an unmonitored run.
+    pub monitor: Option<hns_monitor::MonitorConfig>,
     /// Run watchdog: declare the run wedged if nothing moves — no wire
     /// frames, no delivered bytes, no retransmissions — for this much
     /// sim time while flows still have outstanding data. Must exceed the
@@ -253,6 +259,7 @@ impl Default for SimConfig {
             max_backlog: 0,
             faults: FaultConfig::default(),
             churn: None,
+            monitor: None,
             watchdog_horizon: Duration::from_secs(5),
             audit: false,
             inject_rx_leak: false,

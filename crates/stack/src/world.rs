@@ -115,6 +115,24 @@ impl Charges {
     }
 }
 
+/// The socket pair and message size one RPC-style app step works on —
+/// the syscall surface the client builders share, minus the execution
+/// context (host/core/charges), which stays in the argument list.
+#[derive(Clone, Copy)]
+struct RpcIo {
+    /// Index into `World::apps`.
+    app_idx: usize,
+    /// Request-direction flow (client → server).
+    tx: usize,
+    /// Response-direction flow (server → client).
+    rx: usize,
+    /// Request/response payload size, bytes.
+    size: u32,
+}
+
+/// Live-snapshot subscriber callback (see [`World::set_monitor_emit`]).
+pub type MonitorEmit = Box<dyn FnMut(&hns_monitor::MonitorSnapshot)>;
+
 /// The assembled simulation.
 pub struct World {
     /// Experiment configuration.
@@ -172,13 +190,20 @@ pub struct World {
     /// Invariant-auditor counters (`SimConfig::audit`); `None` keeps every
     /// hook a single branch on the option.
     audit: Option<Box<audit::AuditState>>,
+    /// Streaming-telemetry fold (`SimConfig::monitor`); `None` keeps the
+    /// whole monitor path to one branch per autotune tick.
+    monitor: Option<Box<hns_monitor::MonitorState>>,
+    /// Live snapshot subscriber (the `hostnet monitor` CLI). Called with
+    /// each emitted interval snapshot; absent for batch runs, which read
+    /// the roll-up from the report instead.
+    monitor_emit: Option<MonitorEmit>,
 }
 
 impl World {
     /// Build an empty world from a configuration.
     pub fn new(cfg: SimConfig) -> Self {
         let cores = cfg.topology.total_cores() as usize;
-        World {
+        let mut world = World {
             cost: CostModel::calibrated(),
             queue: EventQueue::new(),
             hosts: vec![Host::new(0, &cfg), Host::new(1, &cfg)],
@@ -214,8 +239,26 @@ impl World {
                 .churn
                 .map(|c| churn::ChurnEngine::new(c, cores, cfg.seed)),
             audit: cfg.audit.then(Box::default),
+            monitor: cfg
+                .monitor
+                .map(|m| Box::new(hns_monitor::MonitorState::new(m))),
+            monitor_emit: None,
             cfg,
+        };
+        // The monitor rides the sampled lifecycle tracer: subscribe its
+        // residency sink only when both are on (the sink sees exactly what
+        // the sampler already picks, so this adds no instrumentation).
+        if world.monitor.is_some() {
+            world.trace.enable_sink();
         }
+        world
+    }
+
+    /// Subscribe to live monitor snapshots (the streaming CLI). The
+    /// callback fires at each emission interval during `run`; without a
+    /// monitor config it never fires.
+    pub fn set_monitor_emit(&mut self, f: MonitorEmit) {
+        self.monitor_emit = Some(f);
     }
 
     /// The lifecycle-trace collector (for export after a run).
@@ -921,13 +964,25 @@ impl World {
             AppSpec::LongSender { flow } => self.step_long_sender(flow as usize, ch),
             AppSpec::LongReceiver { flow } => self.step_long_receiver(h, core, flow as usize, ch),
             AppSpec::RpcClient { tx, rx, size } => {
-                self.step_rpc_client(h, core, app_idx, tx as usize, rx as usize, size, ch)
+                let io = RpcIo {
+                    app_idx,
+                    tx: tx as usize,
+                    rx: rx as usize,
+                    size,
+                };
+                self.step_rpc_client(h, core, io, ch)
             }
             AppSpec::RpcServer { conns, size } => {
                 self.step_rpc_server(h, core, app_idx, &conns, size, ch)
             }
             AppSpec::OpenLoopClient { tx, rx, size, .. } => {
-                self.step_open_loop_client(h, core, app_idx, tx as usize, rx as usize, size, ch)
+                let io = RpcIo {
+                    app_idx,
+                    tx: tx as usize,
+                    rx: rx as usize,
+                    size,
+                };
+                self.step_open_loop_client(h, core, io, ch)
             }
         }
     }
@@ -1156,17 +1211,13 @@ impl World {
         }
     }
 
-    #[allow(clippy::too_many_arguments)] // mirrors the syscall surface
-    fn step_rpc_client(
-        &mut self,
-        h: usize,
-        core: usize,
-        app_idx: usize,
-        tx: usize,
-        rx: usize,
-        size: u32,
-        ch: &mut Charges,
-    ) -> bool {
+    fn step_rpc_client(&mut self, h: usize, core: usize, io: RpcIo, ch: &mut Charges) -> bool {
+        let RpcIo {
+            app_idx,
+            tx,
+            rx,
+            size,
+        } = io;
         if self.apps[app_idx].awaiting_response {
             // Drain whatever response bytes have arrived.
             if !self.readable(rx) {
@@ -1297,17 +1348,19 @@ impl World {
         );
     }
 
-    #[allow(clippy::too_many_arguments)] // mirrors the syscall surface
     fn step_open_loop_client(
         &mut self,
         h: usize,
         core: usize,
-        app_idx: usize,
-        tx: usize,
-        rx: usize,
-        size: u32,
+        io: RpcIo,
         ch: &mut Charges,
     ) -> bool {
+        let RpcIo {
+            app_idx,
+            tx,
+            rx,
+            size,
+        } = io;
         let mut progressed = false;
         // Drain any response bytes first.
         if self.readable(rx) {
@@ -1731,7 +1784,12 @@ impl World {
             let t = self.queue.now().since(self.window_start).as_secs_f64();
             let gbps = self.tick_bytes as f64 * 8.0 / 1e9 / AUTOTUNE_INTERVAL.as_secs_f64();
             self.gbps_timeline.push((t, gbps));
+            if self.monitor.is_some() {
+                self.monitor_tick(self.tick_bytes);
+            }
             self.tick_bytes = 0;
+        } else if self.monitor.is_some() {
+            self.monitor_tick(0);
         }
         let prop = self.cfg.link.propagation;
         for f in &mut self.flows {
@@ -1745,6 +1803,33 @@ impl World {
         self.audit_tick();
         self.queue
             .schedule_after(AUTOTUNE_INTERVAL, Event::AutotuneTick);
+    }
+
+    /// Fold one autotune tick into the streaming monitor: drain sampled
+    /// residencies from the trace sink, account delivered bytes and the
+    /// drop/conn counter samples, and cut a snapshot when an emission
+    /// interval has elapsed. During warmup the sink is drained and
+    /// discarded so the window's sketches hold only window samples (and
+    /// the sink's pending buffer stays bounded).
+    fn monitor_tick(&mut self, tick_bytes: u64) {
+        let now = self.queue.now();
+        if !self.measuring {
+            self.trace.drain_residencies(now, |_, _| {});
+            return;
+        }
+        let drops = self.drop_stats.since(self.drop_baseline);
+        let conn = self.monitor_counters();
+        let Some(mon) = self.monitor.as_deref_mut() else {
+            return;
+        };
+        self.trace
+            .drain_residencies(now, |stage, ns| mon.record_residency(stage, ns));
+        mon.record_bytes(tick_bytes);
+        if let Some(snapshot) = mon.on_tick(now, drops, conn) {
+            if let Some(emit) = self.monitor_emit.as_mut() {
+                emit(&snapshot);
+            }
+        }
     }
 
     /// Stall tripwire, evaluated once per autotune tick: if the progress
@@ -1805,6 +1890,18 @@ impl World {
         self.wire_drop_baseline = self.link.drops(0) + self.link.drops(1);
         self.ring_drop_baseline = self.hosts[0].ring_drops() + self.hosts[1].ring_drops();
         self.drop_baseline = self.drop_stats;
+        if self.monitor.is_some() {
+            // Discard warmup residencies still queued in the sink, then
+            // open the monitor's window with baselines pinned at "now":
+            // drops are reported window-relative (zero here) and conn
+            // counters are sampled so the first interval's deltas start
+            // from this instant.
+            self.trace.drain_residencies(now, |_, _| {});
+            let conn = self.monitor_counters();
+            if let Some(mon) = self.monitor.as_deref_mut() {
+                mon.begin_window(now, DropStats::new(), conn);
+            }
+        }
         if let Some(a) = self.audit_mut() {
             // The cycle ledger's two sides (usage clocks, breakdowns) just
             // reset with the measurement window; its rounding-slack bound
@@ -1929,6 +2026,7 @@ impl World {
             trace_overflow,
             conn: self.conn_summary(window),
             capacity: self.capacity_summary(),
+            monitor: self.monitor.as_ref().map(|m| m.summary()),
         }
     }
 

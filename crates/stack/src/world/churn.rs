@@ -29,10 +29,10 @@
 
 use std::collections::VecDeque;
 
-use hns_conn::overload::{reap_scan, syn_cookie, think_time_ns};
+use hns_conn::overload::{bounded_pareto, reap_scan, syn_cookie, think_time_ns};
 use hns_conn::{
     AcceptQueue, AdmissionPolicy, ChurnConfig, ChurnMode, ChurnStats, Conn, ConnCostModel, ConnId,
-    EpollAccounting, FlowTable, HalfConn, MemBudget, TimeWaitRing,
+    EpollAccounting, FlowTable, HalfConn, MemBudget, RpcSizeDist, TimeWaitRing,
 };
 use hns_mem::numa::MemClass;
 use hns_metrics::Category;
@@ -530,6 +530,24 @@ impl World {
         Duration::from_nanos(think_time_ns(u, ov.think_min, ov.think_shape, ov.think_cap))
     }
 
+    /// Deterministic per-request payload size. Like think times, the draw
+    /// hashes the connection id under the run-seeded secret (salt 3) rather
+    /// than consuming `workload_rng`, so sizes are policy- and
+    /// jobs-invariant and a retransmitted request resends exactly the
+    /// length it first sent.
+    fn conn_rpc_len(&self, raw: u64) -> u32 {
+        let ccfg = self.cfg.churn.expect("churn config");
+        match ccfg.rpc_size_dist {
+            RpcSizeDist::Fixed => ccfg.rpc_size,
+            RpcSizeDist::Pareto { min, shape, cap } => {
+                let eng = self.churn.as_ref().expect("churn engine");
+                let x = syn_cookie(eng.cookie_secret.rotate_left(43) ^ 3, raw);
+                let u = x as f64 / (u32::MAX as f64 + 1.0);
+                bounded_pareto(u, min as f64, shape, cap as f64) as u32
+            }
+        }
+    }
+
     /// The client half just reached Established (first SYN-ACK, cookie or
     /// not): record handshake latency, then continue per churn mode. Slow
     /// clients defer their next move by a think time instead of acting
@@ -639,7 +657,7 @@ impl World {
             return;
         };
         let now = self.queue.now();
-        let len = ccfg.rpc_size;
+        let len = self.conn_rpc_len(raw);
         if ccfg.overload.enabled {
             let eng = self.churn.as_mut().expect("churn engine");
             if let Some(c) = eng.table.get_mut(ConnId::from_u64(raw)) {
@@ -1225,7 +1243,9 @@ impl World {
                 Some(Segment::conn(raw, ConnPhase::Syn, true))
             }
             HalfConn::Established if matches!(ccfg.mode, ChurnMode::ShortRpc) => {
-                let len = ccfg.rpc_size;
+                // Same hash-derived length as the original send: a
+                // retransmit resends identical bytes.
+                let len = self.conn_rpc_len(raw);
                 ch.add(Category::TcpIp, self.cost.tcp_tx_cycles(len));
                 Some(Segment::conn(raw, ConnPhase::Request { len }, true))
             }
@@ -1402,6 +1422,25 @@ impl World {
             table_slot_reuse: eng.table.reused_slots(),
             epoll_wakeups: wakeups,
             epoll_events: events,
+        })
+    }
+
+    /// Cumulative churn/overload counters for the streaming monitor, which
+    /// turns consecutive tick samples into per-interval deltas. Cheap: a
+    /// struct of counter reads, no iteration.
+    pub(super) fn monitor_counters(&self) -> Option<hns_monitor::ConnCounters> {
+        let eng = self.churn.as_ref()?;
+        Some(hns_monitor::ConnCounters {
+            opened: eng.stats.opened,
+            established: eng.stats.established,
+            closed: eng.stats.closed,
+            failed: eng.stats.failed,
+            rpcs: eng.stats.rpcs_completed,
+            refused: eng.stats.refused,
+            accept_overflows: eng.accept.overflows(),
+            syn_cookies: eng.accept.cookies(),
+            sheds: eng.accept.sheds(),
+            live: eng.table.len() as u64,
         })
     }
 

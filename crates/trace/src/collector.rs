@@ -59,6 +59,30 @@ impl Ring {
     }
 }
 
+/// How long a sink entry for an in-flight skb may sit without a new stamp
+/// before the pruner drops it. Data-path residencies are microseconds and
+/// the longest lifecycle stages (TIME_WAIT, SYN RTO backoff) are tens of
+/// milliseconds, so anything older is a timeline that ended without a
+/// terminal stamp (e.g. GRO-merged frames) and would otherwise leak.
+const SINK_PRUNE_AFTER_NS: u64 = 100_000_000;
+
+/// Live residency feed for the streaming monitor (`hns-monitor`).
+///
+/// The rings above are bounded — on a long run they fill once and then
+/// only count overflow. The sink instead computes each sampled residency
+/// the moment the *next* stamp lands (previous stamp → this stamp on the
+/// same skb) and parks it in a small pending buffer that the simulation
+/// drains every housekeeping tick. Live telemetry therefore keeps flowing
+/// at the configured sampling rate for the whole run, no matter how long,
+/// while ring-derived post-hoc summaries stay exactly as they were.
+#[derive(Debug, Default)]
+struct ResidencySink {
+    /// Last stamp seen per in-flight traced skb.
+    last: HashMap<SkbId, (StageId, SimTime)>,
+    /// Residencies computed since the last drain: `(stage, nanoseconds)`.
+    pending: Vec<(StageId, u64)>,
+}
+
 /// Per-stage residency summary derived from the raw timelines.
 #[derive(Clone, Debug)]
 pub struct StageResidency {
@@ -97,6 +121,8 @@ pub struct TraceCollector {
     seen: u64,
     /// Next id to hand out.
     next_id: SkbId,
+    /// Streaming residency feed, present only when a monitor subscribed.
+    sink: Option<ResidencySink>,
 }
 
 impl TraceCollector {
@@ -115,6 +141,7 @@ impl TraceCollector {
             cores_per_host: cores_per_host.max(1),
             seen: 0,
             next_id: 0,
+            sink: None,
         }
     }
 
@@ -132,6 +159,28 @@ impl TraceCollector {
     /// The configuration this collector was built with.
     pub fn config(&self) -> TraceConfig {
         self.cfg
+    }
+
+    /// Subscribe a live residency sink. No-op when tracing is disabled —
+    /// the sink sees only what the sampler already picks, so it adds no
+    /// second instrumentation layer and cannot perturb the simulation.
+    pub fn enable_sink(&mut self) {
+        if self.cfg.enabled {
+            self.sink = Some(ResidencySink::default());
+        }
+    }
+
+    /// Hand every residency computed since the last drain to `f`, in stamp
+    /// order, then prune sink entries whose timelines went quiet (ended
+    /// without a terminal stamp) so in-flight state stays bounded.
+    pub fn drain_residencies(&mut self, now: SimTime, mut f: impl FnMut(StageId, u64)) {
+        if let Some(sink) = &mut self.sink {
+            for (stage, ns) in sink.pending.drain(..) {
+                f(stage, ns);
+            }
+            sink.last
+                .retain(|_, (_, t0)| now.since(*t0).as_nanos() < SINK_PRUNE_AFTER_NS);
+        }
     }
 
     /// Decide whether to trace the next emitted skb of `flow`, and hand out
@@ -183,6 +232,19 @@ impl TraceCollector {
                 stage,
                 t,
             });
+        }
+        // Feed the live sink even when the ring overflowed: the monitor's
+        // stream must keep flowing on runs long enough to fill the rings.
+        if let Some(sink) = &mut self.sink {
+            let prev = if stage == StageId::RecvCopy {
+                // Terminal stamp: the skb's life ends here.
+                sink.last.remove(&skb)
+            } else {
+                sink.last.insert(skb, (stage, t))
+            };
+            if let Some((prev_stage, prev_t)) = prev {
+                sink.pending.push((prev_stage, t.since(prev_t).as_nanos()));
+            }
         }
     }
 
@@ -369,6 +431,76 @@ mod tests {
         let s = c.summary();
         assert_eq!(s.end_to_end.count(), 0);
         assert_eq!(s.stages.len(), 1);
+    }
+
+    #[test]
+    fn sink_streams_residencies_matching_summary() {
+        let mut c = TraceCollector::new(TraceConfig::enabled(), 2, 1);
+        c.enable_sink();
+        let id = c.alloc(1);
+        c.stamp(id, 1, StageId::AppWrite, 0, 0, t(100));
+        c.stamp(id, 1, StageId::TcpTx, 0, 0, t(150));
+        c.stamp(id, 1, StageId::RecvCopy, 1, 0, t(400));
+        let mut got = Vec::new();
+        c.drain_residencies(t(1000), |s, ns| got.push((s, ns)));
+        assert_eq!(
+            got,
+            vec![(StageId::AppWrite, 50), (StageId::TcpTx, 250)],
+            "sink residencies must equal the ring-derived ones"
+        );
+        // Drained means drained.
+        let mut again = Vec::new();
+        c.drain_residencies(t(1001), |s, ns| again.push((s, ns)));
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn sink_keeps_flowing_after_ring_overflow() {
+        let cfg = TraceConfig {
+            enabled: true,
+            ring_capacity: 1,
+            ..TraceConfig::DISABLED
+        };
+        let mut c = TraceCollector::new(cfg, 1, 1);
+        c.enable_sink();
+        let id = c.alloc(0);
+        c.stamp(id, 0, StageId::AppWrite, 0, 0, t(0));
+        c.stamp(id, 0, StageId::TcpTx, 0, 0, t(10));
+        c.stamp(id, 0, StageId::Qdisc, 0, 0, t(30));
+        assert_eq!(c.overflows(), 2, "ring is saturated");
+        let mut got = Vec::new();
+        c.drain_residencies(t(100), |s, ns| got.push((s, ns)));
+        assert_eq!(
+            got,
+            vec![(StageId::AppWrite, 10), (StageId::TcpTx, 20)],
+            "overflowed rings must not stall the live stream"
+        );
+    }
+
+    #[test]
+    fn sink_prunes_abandoned_timelines() {
+        let mut c = TraceCollector::new(TraceConfig::enabled(), 2, 1);
+        c.enable_sink();
+        let id = c.alloc(1);
+        // A GRO-merged frame: timeline ends without a terminal stamp.
+        c.stamp(id, 1, StageId::Gro, 1, 0, t(100));
+        c.drain_residencies(t(SINK_PRUNE_AFTER_NS + 200), |_, _| {});
+        // A much later stamp on the same id must not pair with the stale
+        // entry (it was pruned), so no bogus residency appears.
+        c.stamp(id, 1, StageId::TcpRx, 1, 0, t(SINK_PRUNE_AFTER_NS + 500));
+        let mut got = Vec::new();
+        c.drain_residencies(t(SINK_PRUNE_AFTER_NS + 1000), |s, ns| got.push((s, ns)));
+        assert!(got.is_empty(), "pruned entry paired anyway: {got:?}");
+    }
+
+    #[test]
+    fn sink_on_disabled_collector_is_inert() {
+        let mut c = TraceCollector::disabled();
+        c.enable_sink();
+        c.stamp(NO_SKB, 0, StageId::TcpTx, 0, 0, t(1));
+        let mut got = Vec::new();
+        c.drain_residencies(t(10), |s, ns| got.push((s, ns)));
+        assert!(got.is_empty());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! hostnet run churn --admission shed --accept-queue 64 --slow-prob 0.25
 //! hostnet figures fig06 fig12 --csv
 //! hostnet capacity --quick --audited
+//! hostnet monitor --clients 250 --policy queue --metrics-out metrics.jsonl
 //! hostnet audit --runs 200 --seed 1
 //! hostnet list
 //! ```
@@ -132,6 +133,7 @@ fn execute(cmd: cli::Command) -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        cli::Command::Monitor(m) => run_monitor(*m),
         cli::Command::Audit(opts) => {
             let outcome = hostnet::run_audit(&opts);
             if outcome.ok() {
@@ -304,6 +306,113 @@ fn execute(cmd: cli::Command) -> ExitCode {
     }
 }
 
+/// `hostnet monitor`: run a monitored churn/capacity scenario, printing a
+/// live interval line per snapshot (and streaming snapshot JSONL to
+/// `--metrics-out`), then the end-of-run summary tables.
+///
+/// Builds the [`hostnet::building_blocks::stack::World`] directly rather
+/// than going through [`Experiment`]: the emit callback is a closure, which
+/// an `Experiment` (being `Clone`) cannot carry. Churn scenarios install no
+/// flows or apps, so nothing else from the scenario builder is needed.
+fn run_monitor(m: cli::MonitorArgs) -> ExitCode {
+    use hostnet::building_blocks::{metrics, monitor, stack, trace};
+    use std::cell::{Cell, RefCell};
+    use std::io::Write as _;
+    use std::rc::Rc;
+
+    let warmup_ms = m.warmup_ms.unwrap_or(if m.quick { 5 } else { 20 });
+    let duration_ms = m.duration_ms.unwrap_or(if m.quick { 30 } else { 100 });
+    let interval_ms = m.interval_ms.unwrap_or(if m.quick { 5 } else { 10 });
+
+    // The sketches ride the lifecycle tracer's sampler — one instrumentation
+    // layer, sampled, not a second one.
+    let cfg = stack::SimConfig {
+        seed: m.seed,
+        churn: Some(m.churn),
+        monitor: Some(monitor::MonitorConfig {
+            interval: Duration::from_millis(interval_ms),
+            ..monitor::MonitorConfig::default()
+        }),
+        trace: trace::TraceConfig {
+            enabled: true,
+            sample_every: m.trace_sample,
+            ..trace::TraceConfig::DISABLED
+        },
+        ..stack::SimConfig::default()
+    };
+
+    let writer: Option<Rc<RefCell<std::io::BufWriter<std::fs::File>>>> = match &m.metrics_out {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Some(Rc::new(RefCell::new(std::io::BufWriter::new(f)))),
+            Err(e) => {
+                eprintln!("--metrics-out: cannot create `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let write_failed = Rc::new(Cell::new(false));
+
+    let mut world = stack::World::new(cfg);
+    world.set_label(m.label.clone());
+    {
+        let writer = writer.clone();
+        let write_failed = Rc::clone(&write_failed);
+        let live = !m.json;
+        world.set_monitor_emit(Box::new(move |s| {
+            if live {
+                println!("{}", s.human_line());
+            }
+            if let Some(w) = &writer {
+                let mut w = w.borrow_mut();
+                // Flush per line so the file is a live stream, not a
+                // buffered batch that appears at exit.
+                if writeln!(w, "{}", s.to_jsonl())
+                    .and_then(|()| w.flush())
+                    .is_err()
+                {
+                    write_failed.set(true);
+                }
+            }
+        }));
+    }
+
+    let report = match world.try_run(
+        Duration::from_millis(warmup_ms),
+        Duration::from_millis(duration_ms),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("monitor run did not quiesce: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if write_failed.get() {
+        eprintln!(
+            "--metrics-out: write to `{}` failed",
+            m.metrics_out.as_deref().unwrap_or("?")
+        );
+        return ExitCode::FAILURE;
+    }
+    if m.json {
+        println!("{}", report.to_json());
+    } else {
+        println!("\nmonitor summary ({}):", m.label);
+        print!("{}", metrics::format_monitor_table(&report));
+        let conn_table = metrics::format_conn_table(&report);
+        if !conn_table.is_empty() {
+            println!("\nconnection lifecycle:");
+            print!("{conn_table}");
+        }
+        let cap_table = metrics::format_capacity_table(&report);
+        if !cap_table.is_empty() {
+            println!("\noverload model:");
+            print!("{cap_table}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 /// Translate the CLI's `--fault-*` flags into the simulation's fault plan.
 /// Scheduled faults (flap, spike, ring, pool, stall) share one window
 /// starting at `--fault-at-ms`; resource faults target the receiver host.
@@ -431,6 +540,7 @@ usage:
                    fig07|fig08|fig09|fig09b|fig10|fig11|fig12|fig13|figcap]...
                   [--csv] [--jobs N|auto]
   hostnet capacity [--csv] [--jobs N|auto] [--quick] [--audited]
+  hostnet monitor [options]
   hostnet audit [--runs N] [--seed S] [--out DIR] [--quiet]
   hostnet list
   hostnet help
@@ -440,6 +550,24 @@ capacity (fig_capacity: admission policy x concurrent clients at fixed cores):
   --jobs N|auto      sweep thread-pool size (output identical for any value)
   --quick            short windows (5ms + 8ms) for smoke runs
   --audited          run every point under the invariant auditor
+
+monitor (streaming telemetry: live interval lines + JSONL snapshots,
+         quantile sketches fed by the sampled lifecycle tracer):
+  --scenario S       capacity | churn                     (default capacity)
+  --clients N        capacity clients (400 conn/s each)   (default 250)
+  --policy P         capacity admission: drop|queue|shed  (default queue)
+  --rate CPS         churn connection arrivals per second (default 100000)
+  --rpc-size BYTES   RPC request/response size            (default 4096)
+  --rpc-size-dist D  fixed | pareto:<min>:<shape>:<cap>   (default fixed)
+  --seed N           RNG seed                             (default 1)
+  --warmup-ms N      warmup window                        (default 20)
+  --duration-ms N    measured window                      (default 100)
+  --interval-ms N    snapshot interval                    (default 10)
+  --trace-sample-every N  tracer sampling period feeding the sketches
+                          (default 8)
+  --metrics-out PATH stream snapshot JSONL to PATH
+  --quick            smoke windows (5ms + 30ms, 5ms snapshots)
+  --json             emit the final report as JSON (no live lines)
 
 audit (differential config fuzzer, every run under the invariant auditor):
   --runs N           fuzz cases to run                    (default 200)
@@ -471,6 +599,8 @@ options:
   --churn-rate CPS   connection arrivals per second       (default 100000)
   --churn-mode M     handshake | rpc | pool               (default handshake)
   --churn-conns N    pool population for --churn-mode pool (default 100000)
+  --rpc-size-dist D  per-request size for --churn-mode rpc:
+                     fixed | pareto:<min>:<shape>:<cap>   (default fixed)
 
 overload model (churn scenario only; any flag enables it):
   --admission P      accept-path policy: drop | queue | shed  (default drop)
@@ -524,8 +654,36 @@ fault injection (all deterministic; scheduled faults share one window):
         },
         /// `hostnet capacity [--csv] [--jobs N] [--quick] [--audited]`.
         Capacity(CapacityArgs),
+        /// `hostnet monitor [options]` (boxed: MonitorArgs carries a full
+        /// churn config).
+        Monitor(Box<MonitorArgs>),
         /// `hostnet audit [--runs N] [--seed S] [--out DIR] [--quiet]`.
         Audit(hostnet::AuditOptions),
+    }
+
+    /// Options of `hostnet monitor` (streaming telemetry over a churn run).
+    #[derive(Debug)]
+    pub struct MonitorArgs {
+        /// Fully built and validated churn workload.
+        pub churn: hostnet::building_blocks::conn::ChurnConfig,
+        /// Display label for the run.
+        pub label: String,
+        /// RNG seed.
+        pub seed: u64,
+        /// Warmup window, ms; `None` = default (20, or 5 with `--quick`).
+        pub warmup_ms: Option<u64>,
+        /// Measured window, ms; `None` = default (100, or 30 with `--quick`).
+        pub duration_ms: Option<u64>,
+        /// Snapshot interval, ms; `None` = default (10, or 5 with `--quick`).
+        pub interval_ms: Option<u64>,
+        /// Lifecycle-tracer sampling period feeding the sketches.
+        pub trace_sample: u32,
+        /// Stream snapshot JSONL to this path.
+        pub metrics_out: Option<String>,
+        /// Smoke windows (5ms warmup + 30ms measure, 5ms snapshots).
+        pub quick: bool,
+        /// Emit the final report as JSON and suppress the live lines.
+        pub json: bool,
     }
 
     /// Options of `hostnet capacity` (the fig_capacity overload sweep).
@@ -667,6 +825,7 @@ fault injection (all deterministic; scheduled faults share one window):
                 }
                 Ok(Command::Capacity(cap))
             }
+            Some("monitor") => parse_monitor(&args[1..]).map(|m| Command::Monitor(Box::new(m))),
             Some("audit") => {
                 let mut opts = hostnet::AuditOptions::new(200, 1);
                 opts.progress = true;
@@ -704,6 +863,7 @@ fault injection (all deterministic; scheduled faults share one window):
         let mut churn_rate = 100_000.0f64;
         let mut churn_mode = String::from("handshake");
         let mut churn_conns = 100_000u32;
+        let mut rpc_size_dist: Option<hostnet::building_blocks::conn::RpcSizeDist> = None;
         let mut admission: Option<String> = None;
         let mut accept_queue: Option<u32> = None;
         let mut mem_budget_kb: Option<u64> = None;
@@ -771,6 +931,10 @@ fault injection (all deterministic; scheduled faults share one window):
                 "--churn-conns" => {
                     churn_flags.push("--churn-conns");
                     churn_conns = parse_num(value("--churn-conns")?, "--churn-conns")?;
+                }
+                "--rpc-size-dist" => {
+                    churn_flags.push("--rpc-size-dist");
+                    rpc_size_dist = Some(parse_rpc_size_dist(value("--rpc-size-dist")?)?);
                 }
                 "--admission" => {
                     churn_flags.push("--admission");
@@ -939,6 +1103,11 @@ fault injection (all deterministic; scheduled faults share one window):
                 if out.trace {
                     churn.trace_sample = out.trace_sample_every;
                 }
+                if let Some(d) = rpc_size_dist {
+                    churn.rpc_size_dist = d;
+                    // Validate eagerly: the dist is rejected outside rpc mode.
+                    churn.validate().map_err(|e| format!("run churn: {e}"))?;
+                }
                 // Any overload flag switches the overload model on.
                 if admission.is_some()
                     || accept_queue.is_some()
@@ -991,6 +1160,146 @@ fault injection (all deterministic; scheduled faults share one window):
             }
         }
         Ok(out)
+    }
+
+    fn parse_monitor(args: &[String]) -> Result<MonitorArgs, String> {
+        use hostnet::building_blocks::conn::{AdmissionPolicy, RpcSizeDist};
+        use hostnet::building_blocks::workload;
+
+        let mut scenario = String::from("capacity");
+        let mut clients = 250u32;
+        let mut policy = String::from("queue");
+        let mut rate = 100_000.0f64;
+        let mut rpc_size = 4096u32;
+        let mut rpc_size_dist = RpcSizeDist::Fixed;
+        // Scenario-specific flags actually given, so the other scenario can
+        // reject them instead of silently ignoring them.
+        let mut capacity_flags: Vec<&'static str> = Vec::new();
+        let mut churn_flags: Vec<&'static str> = Vec::new();
+
+        let mut out = MonitorArgs {
+            // Placeholder; rebuilt from the parsed flags below.
+            churn: workload::churn_capacity(clients, AdmissionPolicy::Queue),
+            label: String::new(),
+            seed: 1,
+            warmup_ms: None,
+            duration_ms: None,
+            interval_ms: None,
+            trace_sample: 8,
+            metrics_out: None,
+            quick: false,
+            json: false,
+        };
+
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<&String, String> {
+                it.next().ok_or_else(|| format!("{name}: missing value"))
+            };
+            match flag.as_str() {
+                "--scenario" => scenario = value("--scenario")?.clone(),
+                "--clients" => {
+                    capacity_flags.push("--clients");
+                    clients = parse_num(value("--clients")?, "--clients")?;
+                }
+                "--policy" => {
+                    capacity_flags.push("--policy");
+                    policy = value("--policy")?.clone();
+                }
+                "--rate" => {
+                    churn_flags.push("--rate");
+                    rate = parse_num(value("--rate")?, "--rate")?;
+                    if !rate.is_finite() || rate <= 0.0 {
+                        return Err("--rate: must be a positive number".into());
+                    }
+                }
+                "--rpc-size" => rpc_size = parse_num(value("--rpc-size")?, "--rpc-size")?,
+                "--rpc-size-dist" => {
+                    rpc_size_dist = parse_rpc_size_dist(value("--rpc-size-dist")?)?
+                }
+                "--seed" => out.seed = parse_num(value("--seed")?, "--seed")?,
+                "--warmup-ms" => {
+                    out.warmup_ms = Some(parse_num(value("--warmup-ms")?, "--warmup-ms")?)
+                }
+                "--duration-ms" => {
+                    out.duration_ms = Some(parse_num(value("--duration-ms")?, "--duration-ms")?)
+                }
+                "--interval-ms" => {
+                    let v: u64 = parse_num(value("--interval-ms")?, "--interval-ms")?;
+                    if v == 0 {
+                        return Err("--interval-ms: must be at least 1".into());
+                    }
+                    out.interval_ms = Some(v);
+                }
+                "--trace-sample-every" => {
+                    out.trace_sample =
+                        parse_num(value("--trace-sample-every")?, "--trace-sample-every")?;
+                    if out.trace_sample == 0 {
+                        return Err("--trace-sample-every: must be at least 1".into());
+                    }
+                }
+                "--metrics-out" => out.metrics_out = Some(value("--metrics-out")?.clone()),
+                "--quick" => out.quick = true,
+                "--json" => out.json = true,
+                x => return Err(format!("monitor: unknown flag `{x}`")),
+            }
+        }
+
+        let mut churn = match scenario.as_str() {
+            "capacity" => {
+                if !churn_flags.is_empty() {
+                    return Err(format!(
+                        "{}: only valid with --scenario churn",
+                        churn_flags.join(", ")
+                    ));
+                }
+                let p = AdmissionPolicy::parse(&policy)
+                    .ok_or_else(|| format!("--policy: expected drop|queue|shed, got `{policy}`"))?;
+                let mut c = workload::churn_capacity(clients, p);
+                c.rpc_size = rpc_size;
+                out.label = format!("monitor/capacity/{clients}x{policy}");
+                c
+            }
+            "churn" => {
+                if !capacity_flags.is_empty() {
+                    return Err(format!(
+                        "{}: only valid with --scenario capacity",
+                        capacity_flags.join(", ")
+                    ));
+                }
+                out.label = format!("monitor/churn/{rate:.0}cps");
+                workload::churn_short_rpc(rate, rpc_size)
+            }
+            x => return Err(format!("--scenario: expected capacity|churn, got `{x}`")),
+        };
+        churn.rpc_size_dist = rpc_size_dist;
+        // Sample handshakes into the lifecycle tracer at the same rate as
+        // data skbs, so the sketches see the whole pipeline.
+        churn.trace_sample = out.trace_sample;
+        churn.validate().map_err(|e| format!("monitor: {e}"))?;
+        out.churn = churn;
+        Ok(out)
+    }
+
+    /// Parse `fixed` or `pareto:<min>:<shape>:<cap>` into an [`RpcSizeDist`].
+    fn parse_rpc_size_dist(s: &str) -> Result<hostnet::building_blocks::conn::RpcSizeDist, String> {
+        use hostnet::building_blocks::conn::RpcSizeDist;
+        if s == "fixed" {
+            return Ok(RpcSizeDist::Fixed);
+        }
+        if let Some(rest) = s.strip_prefix("pareto:") {
+            let parts: Vec<&str> = rest.split(':').collect();
+            if parts.len() == 3 {
+                return Ok(RpcSizeDist::Pareto {
+                    min: parse_num(parts[0], "--rpc-size-dist: pareto min")?,
+                    shape: parse_num(parts[1], "--rpc-size-dist: pareto shape")?,
+                    cap: parse_num(parts[2], "--rpc-size-dist: pareto cap")?,
+                });
+            }
+        }
+        Err(format!(
+            "--rpc-size-dist: expected fixed|pareto:<min>:<shape>:<cap>, got `{s}`"
+        ))
     }
 
     fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
@@ -1156,6 +1465,151 @@ fault injection (all deterministic; scheduled faults share one window):
             }
             // ...but the same flags are accepted by the churn scenario.
             assert!(parse(&argv("run churn --churn-rate 50000 --admission drop")).is_ok());
+        }
+
+        #[test]
+        fn parses_rpc_size_dist_on_churn_runs() {
+            use hostnet::building_blocks::conn::RpcSizeDist;
+            let cmd = parse(&argv(
+                "run churn --churn-mode rpc --rpc-size-dist pareto:512:1.2:65536",
+            ))
+            .unwrap();
+            match cmd {
+                Command::Run(r) => match r.scenario {
+                    ScenarioKind::Churn { churn } => {
+                        assert_eq!(
+                            churn.rpc_size_dist,
+                            RpcSizeDist::Pareto {
+                                min: 512,
+                                shape: 1.2,
+                                cap: 65536
+                            }
+                        );
+                    }
+                    _ => panic!("wrong scenario"),
+                },
+                _ => panic!("not a run"),
+            }
+            // Spelled-out `fixed` is the default and always accepted.
+            match parse(&argv("run churn --churn-mode rpc --rpc-size-dist fixed")).unwrap() {
+                Command::Run(r) => match r.scenario {
+                    ScenarioKind::Churn { churn } => {
+                        assert_eq!(churn.rpc_size_dist, RpcSizeDist::Fixed)
+                    }
+                    _ => panic!("wrong scenario"),
+                },
+                _ => panic!("not a run"),
+            }
+        }
+
+        #[test]
+        fn rejects_bad_rpc_size_dist() {
+            // Malformed spellings.
+            assert!(parse(&argv("run churn --churn-mode rpc --rpc-size-dist pareto")).is_err());
+            assert!(parse(&argv(
+                "run churn --churn-mode rpc --rpc-size-dist pareto:1:2"
+            ))
+            .is_err());
+            assert!(parse(&argv(
+                "run churn --churn-mode rpc --rpc-size-dist lognormal"
+            ))
+            .is_err());
+            // Valid spelling, invalid values (caught by ChurnConfig::validate).
+            assert!(parse(&argv(
+                "run churn --churn-mode rpc --rpc-size-dist pareto:0:1.2:65536"
+            ))
+            .is_err());
+            assert!(
+                parse(&argv(
+                    "run churn --churn-mode rpc --rpc-size-dist pareto:512:1.2:16"
+                ))
+                .is_err(),
+                "cap below min"
+            );
+            // Non-rpc churn modes reject a non-fixed dist.
+            assert!(parse(&argv(
+                "run churn --churn-mode handshake --rpc-size-dist pareto:512:1.2:65536"
+            ))
+            .is_err());
+            // Non-churn scenarios reject the flag outright.
+            assert!(parse(&argv("run single --rpc-size-dist fixed"))
+                .unwrap_err()
+                .contains("only valid with the churn scenario"));
+        }
+
+        #[test]
+        fn parses_monitor_command() {
+            use hostnet::building_blocks::conn::{AdmissionPolicy, ChurnMode, RpcSizeDist};
+            match parse(&argv("monitor")).unwrap() {
+                Command::Monitor(m) => {
+                    assert_eq!(m.churn.mode, ChurnMode::ShortRpc);
+                    assert!(m.churn.overload.enabled, "capacity probe by default");
+                    assert_eq!(m.churn.overload.policy, AdmissionPolicy::Queue);
+                    assert_eq!(m.churn.rpc_size_dist, RpcSizeDist::Fixed);
+                    assert_eq!(m.churn.trace_sample, 8, "sketches ride the sampler");
+                    assert_eq!(m.seed, 1);
+                    assert_eq!(m.warmup_ms, None);
+                    assert!(!m.quick && !m.json);
+                    assert_eq!(m.metrics_out, None);
+                }
+                _ => panic!("not monitor"),
+            }
+            match parse(&argv(
+                "monitor --scenario capacity --clients 64 --policy shed --rpc-size 1024 \
+                 --rpc-size-dist pareto:256:1.5:32768 --seed 7 --warmup-ms 4 \
+                 --duration-ms 40 --interval-ms 2 --trace-sample-every 4 \
+                 --metrics-out m.jsonl --quick --json",
+            ))
+            .unwrap()
+            {
+                Command::Monitor(m) => {
+                    assert_eq!(m.churn.overload.policy, AdmissionPolicy::Shed);
+                    assert_eq!(m.churn.rpc_size, 1024);
+                    assert_eq!(
+                        m.churn.rpc_size_dist,
+                        RpcSizeDist::Pareto {
+                            min: 256,
+                            shape: 1.5,
+                            cap: 32768
+                        }
+                    );
+                    assert_eq!(m.churn.trace_sample, 4);
+                    assert_eq!(m.seed, 7);
+                    assert_eq!(m.warmup_ms, Some(4));
+                    assert_eq!(m.duration_ms, Some(40));
+                    assert_eq!(m.interval_ms, Some(2));
+                    assert_eq!(m.metrics_out.as_deref(), Some("m.jsonl"));
+                    assert!(m.quick && m.json);
+                    assert!(m.label.contains("64xshed"), "label: {}", m.label);
+                }
+                _ => panic!("not monitor"),
+            }
+            // The plain-churn scenario takes a rate instead of clients.
+            match parse(&argv("monitor --scenario churn --rate 50000")).unwrap() {
+                Command::Monitor(m) => {
+                    assert!(!m.churn.overload.enabled);
+                    assert!((m.churn.rate_cps - 50_000.0).abs() < 1e-9);
+                }
+                _ => panic!("not monitor"),
+            }
+        }
+
+        #[test]
+        fn rejects_bad_monitor_flags() {
+            assert!(parse(&argv("monitor --scenario nope")).is_err());
+            assert!(parse(&argv("monitor --policy fifo")).is_err());
+            assert!(parse(&argv("monitor --rate 0")).is_err());
+            assert!(parse(&argv("monitor --interval-ms 0")).is_err());
+            assert!(parse(&argv("monitor --trace-sample-every 0")).is_err());
+            assert!(parse(&argv("monitor --bogus")).is_err());
+            assert!(parse(&argv("monitor --metrics-out")).is_err());
+            // Scenario-specific flags are rejected on the other scenario.
+            assert!(parse(&argv("monitor --scenario churn --clients 8"))
+                .unwrap_err()
+                .contains("only valid with --scenario capacity"));
+            assert!(parse(&argv("monitor --scenario capacity --rate 1000"))
+                .unwrap_err()
+                .contains("only valid with --scenario churn"));
         }
 
         #[test]

@@ -16,6 +16,7 @@ pub mod building_blocks {
     pub use hns_faults as faults;
     pub use hns_mem as mem;
     pub use hns_metrics as metrics;
+    pub use hns_monitor as monitor;
     pub use hns_nic as nic;
     pub use hns_par as par;
     pub use hns_proto as proto;

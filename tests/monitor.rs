@@ -1,0 +1,251 @@
+//! Streaming-telemetry (`hns-monitor`) integration contracts.
+//!
+//! Three promises pin the subsystem:
+//!
+//! 1. **Off means invisible.** With `SimConfig::monitor = None` (the
+//!    default) every report is byte-identical to one from a build that
+//!    never heard of the monitor — and turning it *on* must not perturb
+//!    the simulation either, only add the `monitor` key.
+//! 2. **Deterministic snapshots.** Two identically-seeded monitored runs
+//!    emit identical snapshot JSONL, end to end through the CLI.
+//! 3. **Honest sketches.** Per-stage quantiles from the DDSketches match
+//!    exact quantiles computed offline from the trace timelines on the
+//!    same seeded run, within the sketch's relative-error bound.
+
+use hostnet::building_blocks::conn::AdmissionPolicy;
+use hostnet::building_blocks::core_figures as figures;
+use hostnet::building_blocks::monitor::MonitorConfig;
+use hostnet::building_blocks::sim::Duration;
+use hostnet::building_blocks::stack::{SimConfig, World};
+use hostnet::building_blocks::trace::{StageId, TraceConfig};
+use hostnet::building_blocks::workload;
+use hostnet::{Experiment, ScenarioKind};
+
+/// A short traced capacity run; `monitored` only toggles the monitor.
+fn capacity_experiment(monitored: bool) -> Experiment {
+    let mut churn = workload::churn_capacity(60, AdmissionPolicy::Queue);
+    churn.trace_sample = 4;
+    Experiment::new(ScenarioKind::Churn { churn })
+        .quick()
+        .configure(move |c| {
+            c.trace = TraceConfig {
+                enabled: true,
+                sample_every: 4,
+                ..TraceConfig::DISABLED
+            };
+            if monitored {
+                c.monitor = Some(MonitorConfig {
+                    interval: Duration::from_millis(2),
+                    ..MonitorConfig::default()
+                });
+            }
+        })
+}
+
+#[test]
+fn default_config_and_golden_sweeps_are_unmonitored() {
+    assert!(
+        SimConfig::default().monitor.is_none(),
+        "monitoring must be opt-in"
+    );
+    // The golden-figure sweeps (whose outputs are byte-compared against
+    // checked-in files) must all run unmonitored.
+    for points in [
+        figures::fig03e_points(),
+        figures::fig03g_points(),
+        figures::fig13_points(),
+        figures::fig05_conn_rate_points(),
+        figures::fig_capacity_points(),
+    ] {
+        for p in points {
+            assert!(
+                p.build().cfg.monitor.is_none(),
+                "golden sweep point `{}` must run unmonitored",
+                p.label
+            );
+        }
+    }
+}
+
+#[test]
+fn monitor_only_adds_the_monitor_key() {
+    let plain = capacity_experiment(false).run();
+    let mut monitored = capacity_experiment(true).run();
+
+    let summary = monitored.monitor.clone().expect("monitored report");
+    assert!(
+        summary.snapshots >= 2,
+        "expected snapshots in an 8ms window"
+    );
+    assert!(monitored.to_json().contains("\"monitor\""));
+    assert!(!plain.to_json().contains("\"monitor\""));
+
+    // Strip the summary: everything else must be byte-identical, i.e. the
+    // monitor observed the run without perturbing it.
+    monitored.monitor = None;
+    assert_eq!(
+        plain.to_json(),
+        monitored.to_json(),
+        "monitoring must not change simulation outcomes"
+    );
+}
+
+#[test]
+fn monitored_snapshot_stream_is_deterministic() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let stream = || {
+        let mut churn = workload::churn_capacity(60, AdmissionPolicy::Drop);
+        churn.trace_sample = 4;
+        let cfg = SimConfig {
+            seed: 42,
+            churn: Some(churn),
+            monitor: Some(MonitorConfig {
+                interval: Duration::from_millis(2),
+                ..MonitorConfig::default()
+            }),
+            trace: TraceConfig {
+                enabled: true,
+                sample_every: 4,
+                ..TraceConfig::DISABLED
+            },
+            ..SimConfig::default()
+        };
+        let lines = Rc::new(RefCell::new(Vec::<String>::new()));
+        let sink = Rc::clone(&lines);
+        let mut world = World::new(cfg);
+        world.set_monitor_emit(Box::new(move |s| {
+            sink.borrow_mut().push(s.to_jsonl());
+        }));
+        world
+            .try_run(Duration::from_millis(5), Duration::from_millis(10))
+            .expect("monitored run quiesces");
+        drop(world); // releases the emit closure's clone of `lines`
+        Rc::try_unwrap(lines).unwrap().into_inner()
+    };
+
+    let a = stream();
+    let b = stream();
+    assert!(
+        a.len() >= 2,
+        "expected at least two snapshots, got {}",
+        a.len()
+    );
+    assert_eq!(a, b, "identically-seeded runs must emit identical JSONL");
+}
+
+#[test]
+fn sketch_quantiles_match_offline_trace_quantiles() {
+    use std::collections::HashMap;
+
+    // Zero warmup aligns the monitor's window with the trace rings: both
+    // see the same stamps from t = 0.
+    let mut churn = workload::churn_short_rpc(150_000.0, 4096);
+    churn.trace_sample = 2;
+    let mut exp = Experiment::new(ScenarioKind::Churn { churn }).configure(|c| {
+        c.trace = TraceConfig {
+            enabled: true,
+            sample_every: 2,
+            ..TraceConfig::DISABLED
+        };
+        c.monitor = Some(MonitorConfig {
+            interval: Duration::from_millis(2),
+            ..MonitorConfig::default()
+        });
+    });
+    exp.warmup = Duration::ZERO;
+    exp.measure = Duration::from_millis(10);
+    let (report, trace) = exp.try_run_traced().expect("run quiesces");
+    assert_eq!(
+        report.trace_overflow, 0,
+        "rings must not overflow for an exact comparison"
+    );
+    let summary = report.monitor.as_ref().expect("monitored report");
+    let alpha = summary.sketch_alpha;
+
+    // Offline ground truth: exact residencies from the trace timelines,
+    // restricted to the pairs the sketches folded — the second stamp must
+    // land by the final pre-EndRun autotune tick (EndRun wins the 10ms
+    // tie by FIFO order, so the last fold is at 9ms). The sink treats
+    // RecvCopy as terminal, so pairs starting there are skipped.
+    let fold_horizon_ns = 9_000_000u64;
+    let mut exact: HashMap<&'static str, Vec<u64>> = HashMap::new();
+    for (_skb, tl) in trace.timelines() {
+        for pair in tl.windows(2) {
+            let (_, _, a) = pair[0];
+            let (_, _, b) = pair[1];
+            if a.stage == StageId::RecvCopy || b.t.as_nanos() > fold_horizon_ns {
+                continue;
+            }
+            exact
+                .entry(a.stage.label())
+                .or_default()
+                .push(b.t.since(a.t).as_nanos());
+        }
+    }
+
+    assert!(
+        summary.stages.iter().any(|s| s.samples >= 100),
+        "need a well-populated stage for the tail quantiles to mean anything"
+    );
+    for s in &summary.stages {
+        let vals = exact
+            .get_mut(s.stage.as_str())
+            .unwrap_or_else(|| panic!("stage {} missing from offline trace", s.stage));
+        vals.sort_unstable();
+        assert_eq!(
+            s.samples,
+            vals.len() as u64,
+            "sketch and offline sample sets must agree for {}",
+            s.stage
+        );
+        let rank = |q: f64| vals[(q * (vals.len() - 1) as f64).floor() as usize];
+        for (q, got) in [(0.5, s.p50_ns), (0.99, s.p99_ns), (0.999, s.p999_ns)] {
+            let want = rank(q) as f64;
+            let err = (got as f64 - want).abs();
+            assert!(
+                err <= alpha * want + 1.0,
+                "{} q{q}: sketch {got} vs exact {want} exceeds the \
+                 relative-error bound (alpha = {alpha})",
+                s.stage
+            );
+        }
+    }
+}
+
+#[test]
+fn cli_monitor_streams_deterministic_jsonl() {
+    let bin = env!("CARGO_BIN_EXE_hostnet");
+    let dir = std::env::temp_dir();
+    let run = |tag: &str| {
+        let path = dir.join(format!(
+            "hostnet-monitor-{tag}-{}.jsonl",
+            std::process::id()
+        ));
+        let out = std::process::Command::new(bin)
+            .args([
+                "monitor",
+                "--quick",
+                "--seed",
+                "11",
+                "--metrics-out",
+                path.to_str().unwrap(),
+            ])
+            .output()
+            .expect("spawn hostnet monitor");
+        assert!(out.status.success(), "hostnet monitor failed: {out:?}");
+        let jsonl = std::fs::read_to_string(&path).expect("metrics file");
+        let _ = std::fs::remove_file(&path);
+        (out.stdout, jsonl)
+    };
+    let (stdout_a, jsonl_a) = run("a");
+    let (stdout_b, jsonl_b) = run("b");
+    assert!(
+        jsonl_a.lines().count() >= 2,
+        "expected at least two snapshot lines, got:\n{jsonl_a}"
+    );
+    assert!(jsonl_a.lines().all(|l| l.starts_with("{\"t\":")));
+    assert_eq!(jsonl_a, jsonl_b, "snapshot stream must be deterministic");
+    assert_eq!(stdout_a, stdout_b, "live output must be deterministic");
+}

@@ -80,6 +80,46 @@ fn fig_capacity_sweep_is_jobs_invariant() {
 }
 
 #[test]
+fn monitored_capacity_sweep_is_jobs_invariant() {
+    // Streaming telemetry folds sketches at autotune ticks inside each
+    // run; the per-stage quantiles and goodput envelope in the monitor
+    // summary must not leak the job count either.
+    use hostnet::building_blocks::monitor::MonitorConfig;
+    use hostnet::building_blocks::sim::Duration;
+    use hostnet::building_blocks::trace::TraceConfig;
+
+    let points = || -> Vec<figures::SweepPoint> {
+        figures::fig_capacity_points()
+            .into_iter()
+            .take(4)
+            .map(|p| {
+                p.configure(|c| {
+                    c.monitor = Some(MonitorConfig {
+                        interval: Duration::from_millis(2),
+                        ..MonitorConfig::default()
+                    });
+                    c.trace = TraceConfig {
+                        enabled: true,
+                        sample_every: 8,
+                        ..TraceConfig::DISABLED
+                    };
+                })
+            })
+            .collect()
+    };
+    let seq = sweep_json(1, &points());
+    let par = sweep_json(8, &points());
+    assert!(
+        seq.iter().all(|j| j.contains("\"monitor\"")),
+        "monitored reports should carry a monitor summary"
+    );
+    assert_eq!(
+        seq, par,
+        "monitored capacity reports differ between --jobs 1 and 8"
+    );
+}
+
+#[test]
 fn cli_figures_output_is_jobs_invariant() {
     let bin = env!("CARGO_BIN_EXE_hostnet");
     let run = |jobs: &str| {
