@@ -1,10 +1,18 @@
 //! Event queue.
 //!
 //! A discrete-event simulation advances by repeatedly popping the earliest
-//! pending event. [`EventQueue`] wraps a binary heap of [`ScheduledEvent`]s
-//! keyed by `(time, sequence)` — the monotonically increasing sequence number
-//! makes same-instant events pop in FIFO scheduling order, which is what
-//! keeps runs deterministic regardless of heap internals.
+//! pending event. [`EventQueue`] keys events by `(time, sequence)` — the
+//! monotonically increasing sequence number makes same-instant events pop
+//! in FIFO scheduling order, which is what keeps runs deterministic
+//! regardless of storage internals.
+//!
+//! Since PR 8 the storage is a hierarchical timer wheel
+//! (`crate::wheel`): pushes are O(1) bucket appends and pops are
+//! amortized-O(1) `pop_front`s from a sorted front run, replacing the
+//! binary heap's O(log n) sifts that dominated the engine at million-flow
+//! scale. The heap lives on as [`HeapEventQueue`] — same API, same
+//! semantics — serving as the differential-test oracle and the benchmark
+//! baseline.
 //!
 //! Events also support *cancellation by token*: callers keep the
 //! [`EventToken`] returned by [`EventQueue::schedule`] and may cancel it
@@ -13,24 +21,39 @@
 //! # Cancellation without the hot-path probe
 //!
 //! Cancellation is generation-stamped: every scheduled event carries a
-//! `(slot, generation)` pair into the heap, and a side table records each
+//! `(slot, generation)` pair into storage, and a side table records each
 //! slot's current generation. Cancelling (or firing) an event bumps its
-//! slot's generation, so liveness is a single indexed compare — no hash-set
-//! probe on the pop path, which the sweep executor multiplies across every
-//! parallel run. Slots are freelisted and reused, so the table stays sized
-//! to the maximum number of *outstanding* events, not the run length.
+//! slot's generation, so liveness is a single indexed compare — no
+//! hash-set probe on the pop path. Slots are freelisted and reused, so the
+//! table stays sized to the maximum number of *outstanding* events, not
+//! the run length.
 //!
-//! Cancelled events that sink below the heap head are popped lazily, but
-//! the head itself is pruned eagerly (on `cancel` and after each `pop`), so
-//! the queue upholds the invariant *the heap head is never cancelled*. That
-//! is what lets [`EventQueue::peek_time`] take `&self`, and it keeps
-//! [`EventQueue::len`] exact: a token cancelled after its event fired is a
-//! generation mismatch and a no-op, never a phantom entry.
+//! Cancelled events buried in the wheel are discarded lazily as they
+//! surface, but the head itself is pruned eagerly (on `cancel` and after
+//! each `pop`), so the queue upholds the invariant *the head is never
+//! cancelled*. That is what lets [`EventQueue::peek_time`] take `&self`,
+//! and it keeps [`EventQueue::len`] exact: a token cancelled after its
+//! event fired is a generation mismatch and a no-op, never a phantom
+//! entry.
+//!
+//! # Batched same-tick dispatch
+//!
+//! [`EventQueue::pop_batch`] drains every event sharing the head
+//! timestamp into a caller-owned scratch vector in one pass — all
+//! same-instant events are contiguous at the wheel's front, so the drain
+//! never re-probes the queue. Draining does **not** retire the events:
+//! each [`PendingFire`] must be passed to [`EventQueue::commit`] just
+//! before it is handled, which re-checks liveness (a handler earlier in
+//! the batch may have cancelled it), advances `now`, and counts the pop.
+//! This two-phase protocol makes the batch path byte-identical to a
+//! pop-per-event loop: `len()`, `popped()`, and cancellation semantics are
+//! exactly those of [`EventQueue::pop`].
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
+use crate::wheel::{TimerWheel, WheelEntry};
 
 /// Opaque handle identifying a scheduled event, for cancellation. Carries
 /// the event's slot index and the slot generation at scheduling time; the
@@ -50,7 +73,8 @@ impl EventToken {
     };
 }
 
-/// An event with its scheduled time and FIFO tie-break sequence.
+/// An event with its scheduled time and FIFO tie-break sequence, as stored
+/// by [`HeapEventQueue`].
 #[derive(Debug)]
 pub struct ScheduledEvent<E> {
     /// When the event fires.
@@ -86,8 +110,319 @@ impl<E> Ord for ScheduledEvent<E> {
     }
 }
 
-/// Deterministic priority queue of simulation events.
+/// An event drained by [`EventQueue::pop_batch`] but not yet retired.
+///
+/// The event is physically out of the queue but still *pending* for
+/// accounting purposes: `len()` counts it until [`EventQueue::commit`]
+/// retires it (or a cancel kills it first, in which case `commit` returns
+/// `false` and the caller must skip it).
+#[derive(Debug)]
+pub struct PendingFire<E> {
+    /// The shared batch timestamp.
+    pub time: SimTime,
+    slot: u32,
+    generation: u64,
+    /// The payload.
+    pub event: E,
+}
+
+/// Deterministic priority queue of simulation events, backed by a
+/// hierarchical timer wheel.
 pub struct EventQueue<E> {
+    wheel: TimerWheel<E>,
+    next_seq: u64,
+    now: SimTime,
+    /// Current generation of each slot. A stored event is live iff its
+    /// stamped generation equals its slot's entry here.
+    generations: Vec<u64>,
+    /// Slots whose event has fired or been cancelled, available for reuse.
+    free_slots: Vec<u32>,
+    /// Exact number of pending (live) events, counting batch-drained
+    /// events until they commit.
+    live_pending: usize,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue at t = 0.
+    pub fn new() -> Self {
+        EventQueue {
+            wheel: TimerWheel::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            generations: Vec::new(),
+            free_slots: Vec::new(),
+            live_pending: 0,
+            popped: 0,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the most recently popped
+    /// (or committed) event, monotonically non-decreasing.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events. Exact: cancelling an
+    /// already-fired token is a generation mismatch and changes nothing,
+    /// and batch-drained events stay counted until they commit.
+    pub fn len(&self) -> usize {
+        self.live_pending
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events popped so far (for engine benchmarking). Batched
+    /// events count when they commit.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Allocate a slot and stamp the current generation.
+    #[inline]
+    fn alloc_slot(&mut self) -> (u32, u64) {
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                self.generations.push(0);
+                (self.generations.len() - 1) as u32
+            }
+        };
+        (slot, self.generations[slot as usize])
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; debug builds assert, release
+    /// builds clamp to `now` so the simulation still makes progress.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventToken {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let (slot, generation) = self.alloc_slot();
+        self.wheel.push(WheelEntry {
+            time: at,
+            seq,
+            slot,
+            generation,
+            event,
+        });
+        self.live_pending += 1;
+        // Keep the head materialized so peek_time stays `&self`.
+        self.wheel.ensure_front();
+        EventToken { slot, generation }
+    }
+
+    /// Schedule `event` after a delay relative to `now`.
+    pub fn schedule_after(&mut self, delay: crate::Duration, event: E) -> EventToken {
+        self.schedule(self.now + delay, event)
+    }
+
+    /// Schedule a batch of events at one shared timestamp, in iterator
+    /// order (they will fire FIFO). The placement is computed once and the
+    /// whole run bulk-inserts into a single wheel bucket, so this is the
+    /// cheap way to arm N timers at the same instant. No tokens are
+    /// returned — use [`Self::schedule`] for events that may be cancelled.
+    pub fn schedule_all<I>(&mut self, at: SimTime, events: I)
+    where
+        I: IntoIterator<Item = E>,
+    {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let next_seq = &mut self.next_seq;
+        let generations = &mut self.generations;
+        let free_slots = &mut self.free_slots;
+        let live_pending = &mut self.live_pending;
+        let entries = events.into_iter().map(|event| {
+            let seq = *next_seq;
+            *next_seq += 1;
+            let slot = match free_slots.pop() {
+                Some(s) => s,
+                None => {
+                    generations.push(0);
+                    (generations.len() - 1) as u32
+                }
+            };
+            *live_pending += 1;
+            WheelEntry {
+                time: at,
+                seq,
+                slot,
+                generation: generations[slot as usize],
+                event,
+            }
+        });
+        self.wheel.push_same_time(at, entries);
+        self.wheel.ensure_front();
+    }
+
+    /// Cancel a previously scheduled event. Safe to call with a token that
+    /// has already fired or been cancelled (generation mismatch, no effect)
+    /// or with [`EventToken::NONE`].
+    pub fn cancel(&mut self, token: EventToken) {
+        let s = token.slot as usize;
+        if s >= self.generations.len() || self.generations[s] != token.generation {
+            return; // NONE, already fired, or already cancelled
+        }
+        // Bump the generation so the stored entry reads as dead, and free
+        // the slot immediately: a reusing event gets the bumped generation,
+        // so the stale entry can never be mistaken for it.
+        self.generations[s] = self.generations[s].wrapping_add(1);
+        self.free_slots.push(token.slot);
+        self.live_pending -= 1;
+        self.prune();
+    }
+
+    /// True iff the event stamped `(slot, generation)` has neither fired
+    /// nor been cancelled.
+    #[inline]
+    fn is_live(&self, slot: u32, generation: u64) -> bool {
+        self.generations[slot as usize] == generation
+    }
+
+    /// Restore the invariant that the queue head is live and materialized
+    /// in the wheel's front, discarding any cancelled entries that
+    /// surfaced. Amortized O(1): each dead entry is discarded exactly once.
+    fn prune(&mut self) {
+        loop {
+            self.wheel.ensure_front();
+            match self.wheel.peek() {
+                Some(e) if !self.is_live(e.slot, e.generation) => {
+                    self.wheel.pop_front();
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Retire a fired event's slot and advance the clock.
+    #[inline]
+    fn retire(&mut self, slot: u32, time: SimTime) {
+        self.generations[slot as usize] = self.generations[slot as usize].wrapping_add(1);
+        self.free_slots.push(slot);
+        self.live_pending -= 1;
+        self.now = time;
+        self.popped += 1;
+    }
+
+    /// Pop the earliest pending event, advancing `now` to its timestamp.
+    /// Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        // The head-liveness invariant means the first pop is the answer;
+        // the loop is defense in depth (and self-healing in release).
+        self.wheel.ensure_front();
+        while let Some(ev) = self.wheel.pop_front() {
+            if !self.is_live(ev.slot, ev.generation) {
+                debug_assert!(false, "cancelled event at queue head");
+                self.wheel.ensure_front();
+                continue;
+            }
+            debug_assert!(ev.time >= self.now, "time went backwards");
+            self.retire(ev.slot, ev.time);
+            self.prune();
+            return Some((ev.time, ev.event));
+        }
+        None
+    }
+
+    /// Drain every live event sharing the head timestamp into `out`
+    /// (appending), without retiring them. Returns the number appended;
+    /// zero means the queue is exhausted.
+    ///
+    /// Each drained [`PendingFire`] must go through [`Self::commit`]
+    /// before being handled: a handler running earlier in the batch may
+    /// cancel a later entry, and `commit` is what detects that. Events
+    /// scheduled *into* the batch timestamp by handlers are not part of
+    /// this drain — they surface on the next `pop_batch` call, in FIFO
+    /// order, exactly as a pop-per-event loop would see them.
+    pub fn pop_batch(&mut self, out: &mut Vec<PendingFire<E>>) -> usize {
+        self.wheel.ensure_front();
+        let head_time = match self.wheel.peek() {
+            Some(e) => e.time,
+            None => return 0,
+        };
+        // Every entry at the head timestamp is contiguous in the wheel's
+        // front (they all sit below the front limit), so the drain is a
+        // straight run of pop_fronts with no refill in between.
+        let mut drained = 0;
+        while let Some(e) = self.wheel.peek() {
+            if e.time != head_time {
+                break;
+            }
+            let e = self.wheel.pop_front().expect("peeked entry");
+            if self.is_live(e.slot, e.generation) {
+                out.push(PendingFire {
+                    time: e.time,
+                    slot: e.slot,
+                    generation: e.generation,
+                    event: e.event,
+                });
+                drained += 1;
+            }
+            // Dead entries were already uncounted at cancel time; discard
+            // them on the way past.
+        }
+        self.prune();
+        drained
+    }
+
+    /// Commit one batch-drained event just before handling it: re-checks
+    /// liveness, retires the slot, advances `now`, and counts the pop.
+    /// Returns `false` if the event was cancelled after the drain (by an
+    /// earlier handler in the same batch) — the caller must skip it.
+    pub fn commit(&mut self, fire: &PendingFire<E>) -> bool {
+        if !self.is_live(fire.slot, fire.generation) {
+            return false;
+        }
+        debug_assert!(fire.time >= self.now, "time went backwards");
+        self.retire(fire.slot, fire.time);
+        true
+    }
+
+    /// Timestamp of the next pending event without popping it. `&self`:
+    /// the head is never cancelled (pruned eagerly on `cancel`/`pop`), so
+    /// no draining is needed to answer accurately.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.wheel.peek().map(|head| {
+            debug_assert!(self.is_live(head.slot, head.generation));
+            head.time
+        })
+    }
+
+    /// Test support: pin a slot's generation stamp directly, to exercise
+    /// wrap-around without 2^64 organic reuses. Not for production use.
+    #[doc(hidden)]
+    pub fn force_generation(&mut self, slot: u32, generation: u64) {
+        self.generations[slot as usize] = generation;
+    }
+}
+
+/// The original `BinaryHeap`-backed queue, kept as the reference
+/// implementation: the differential property suite drives it in lockstep
+/// with [`EventQueue`], and the microbenchmark uses it as the wheel's
+/// baseline. Semantics are identical — `(time, seq)` total order,
+/// generation-stamped O(1) cancellation, eager head pruning, exact
+/// `len()`/`popped()`.
+pub struct HeapEventQueue<E> {
     heap: BinaryHeap<ScheduledEvent<E>>,
     next_seq: u64,
     now: SimTime,
@@ -102,16 +437,16 @@ pub struct EventQueue<E> {
     popped: u64,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapEventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapEventQueue<E> {
     /// Create an empty queue at t = 0.
     pub fn new() -> Self {
-        EventQueue {
+        HeapEventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
@@ -129,8 +464,7 @@ impl<E> EventQueue<E> {
         self.now
     }
 
-    /// Number of pending (non-cancelled) events. Exact: cancelling an
-    /// already-fired token is a generation mismatch and changes nothing.
+    /// Number of pending (non-cancelled) events. Exact.
     pub fn len(&self) -> usize {
         self.heap.len() - self.cancelled_in_heap
     }
@@ -140,15 +474,12 @@ impl<E> EventQueue<E> {
         self.len() == 0
     }
 
-    /// Total events popped so far (for engine benchmarking).
+    /// Total events popped so far.
     pub fn popped(&self) -> u64 {
         self.popped
     }
 
-    /// Schedule `event` at absolute time `at`.
-    ///
-    /// Scheduling in the past is a logic error; debug builds assert, release
-    /// builds clamp to `now` so the simulation still makes progress.
+    /// Schedule `event` at absolute time `at` (clamped to `now`).
     pub fn schedule(&mut self, at: SimTime, event: E) -> EventToken {
         debug_assert!(
             at >= self.now,
@@ -181,33 +512,24 @@ impl<E> EventQueue<E> {
         self.schedule(self.now + delay, event)
     }
 
-    /// Cancel a previously scheduled event. Safe to call with a token that
-    /// has already fired or been cancelled (generation mismatch, no effect)
-    /// or with [`EventToken::NONE`].
+    /// Cancel a previously scheduled event (generation-checked no-op for
+    /// fired/cancelled/[`EventToken::NONE`] tokens).
     pub fn cancel(&mut self, token: EventToken) {
         let s = token.slot as usize;
         if s >= self.generations.len() || self.generations[s] != token.generation {
-            return; // NONE, already fired, or already cancelled
+            return;
         }
-        // Bump the generation so the heap entry reads as dead, and free the
-        // slot immediately: a reusing event gets the bumped generation, so
-        // the stale heap entry can never be mistaken for it.
         self.generations[s] = self.generations[s].wrapping_add(1);
         self.free_slots.push(token.slot);
         self.cancelled_in_heap += 1;
         self.prune_cancelled_head();
     }
 
-    /// True iff the event stamped `(slot, generation)` has neither fired
-    /// nor been cancelled.
     #[inline]
     fn is_live(&self, slot: u32, generation: u64) -> bool {
         self.generations[slot as usize] == generation
     }
 
-    /// Restore the invariant that the heap head is live, dropping any
-    /// cancelled events that surfaced. Amortized O(1): each cancelled
-    /// event is popped exactly once.
     fn prune_cancelled_head(&mut self) {
         while let Some(head) = self.heap.peek() {
             if self.is_live(head.slot, head.generation) {
@@ -219,10 +541,7 @@ impl<E> EventQueue<E> {
     }
 
     /// Pop the earliest pending event, advancing `now` to its timestamp.
-    /// Returns `None` when the queue is exhausted.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        // The head-liveness invariant means the first pop is the answer;
-        // the loop is defense in depth (and self-healing in release).
         while let Some(ev) = self.heap.pop() {
             if !self.is_live(ev.slot, ev.generation) {
                 debug_assert!(false, "cancelled event at heap head");
@@ -230,8 +549,6 @@ impl<E> EventQueue<E> {
                 continue;
             }
             debug_assert!(ev.time >= self.now, "time went backwards");
-            // Retire the slot: kill the token (late cancels become
-            // mismatches) and recycle it.
             self.generations[ev.slot as usize] = self.generations[ev.slot as usize].wrapping_add(1);
             self.free_slots.push(ev.slot);
             self.now = ev.time;
@@ -242,14 +559,19 @@ impl<E> EventQueue<E> {
         None
     }
 
-    /// Timestamp of the next pending event without popping it. `&self`:
-    /// the head is never cancelled (pruned eagerly on `cancel`/`pop`), so
-    /// no draining is needed to answer accurately.
+    /// Timestamp of the next pending event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|head| {
             debug_assert!(self.is_live(head.slot, head.generation));
             head.time
         })
+    }
+
+    /// Test support: pin a slot's generation stamp directly (see
+    /// [`EventQueue::force_generation`]).
+    #[doc(hidden)]
+    pub fn force_generation(&mut self, slot: u32, generation: u64) {
+        self.generations[slot as usize] = generation;
     }
 }
 
@@ -370,7 +692,7 @@ mod tests {
         let a = q.schedule(SimTime::from_nanos(1), ());
         q.schedule(SimTime::from_nanos(2), ());
         q.cancel(a);
-        // peek_time is &self now: the cancelled head was pruned eagerly.
+        // peek_time is &self: the cancelled head was pruned eagerly.
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(2)));
     }
 
@@ -480,5 +802,160 @@ mod tests {
         }
         assert_eq!(live, 0);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_drains_exactly_the_head_timestamp() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(10);
+        for i in 0..5 {
+            q.schedule(t, i);
+        }
+        q.schedule(SimTime::from_nanos(11), 99);
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(&mut batch), 5);
+        assert_eq!(batch.len(), 5);
+        // Drained but uncommitted events are still pending for len().
+        assert_eq!(q.len(), 6);
+        assert_eq!(q.popped(), 0);
+        for (i, fire) in batch.drain(..).enumerate() {
+            assert!(q.commit(&fire));
+            assert_eq!(fire.time, t);
+            assert_eq!(fire.event, i as i32);
+            assert_eq!(q.now(), t);
+        }
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.popped(), 5);
+        assert_eq!(q.pop_batch(&mut batch), 1);
+        assert_eq!(batch[0].event, 99);
+    }
+
+    #[test]
+    fn pop_batch_commit_detects_mid_batch_cancellation() {
+        // A handler for the first event of a tick cancels the second: the
+        // second was already drained, so its commit must fail and all
+        // counters must match what a pop-per-event loop would report.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(7);
+        q.schedule(t, "first");
+        let victim = q.schedule(t, "second");
+        q.schedule(t, "third");
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(&mut batch), 3);
+        let mut fired = Vec::new();
+        for fire in batch.drain(..) {
+            if fire.event == "first" {
+                q.cancel(victim); // handler side effect
+            }
+            if q.commit(&fire) {
+                fired.push(fire.event);
+            }
+        }
+        assert_eq!(fired, vec!["first", "third"]);
+        assert_eq!(q.popped(), 2);
+        assert!(q.is_empty());
+        assert_eq!(q.now(), t);
+    }
+
+    #[test]
+    fn pop_batch_same_tick_reschedule_lands_in_next_batch() {
+        // Events scheduled at the batch timestamp by a handler fire in the
+        // same tick but after the drained run — FIFO by sequence, exactly
+        // like the serial loop.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(42);
+        q.schedule(t, 0);
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(&mut batch), 1);
+        let fire = batch.pop().unwrap();
+        assert!(q.commit(&fire));
+        q.schedule(t, 1); // same-tick follow-up from the handler
+        assert_eq!(q.pop_batch(&mut batch), 1);
+        let fire = batch.pop().unwrap();
+        assert_eq!(fire.time, t);
+        assert_eq!(fire.event, 1);
+        assert!(q.commit(&fire));
+        assert_eq!(q.pop_batch(&mut batch), 0);
+        assert_eq!(q.popped(), 2);
+    }
+
+    #[test]
+    fn schedule_all_bulk_insert_is_fifo_and_cancellable_around() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(5), 100);
+        q.schedule_all(SimTime::from_nanos(5), 0..4);
+        q.schedule_all(SimTime::from_nanos(3), 50..52);
+        assert_eq!(q.len(), 7);
+        q.cancel(a);
+        assert_eq!(q.len(), 6);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![50, 51, 0, 1, 2, 3]);
+        assert_eq!(q.popped(), 6);
+    }
+
+    #[test]
+    fn schedule_all_into_sorted_front_keeps_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(100), 0);
+        q.schedule(SimTime::from_nanos(300), 9);
+        assert!(q.pop().is_some()); // front now holds 300 with a far limit
+        q.schedule_all(SimTime::from_nanos(200), 1..3);
+        q.schedule_all(SimTime::from_nanos(200), 3..5);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![1, 2, 3, 4, 9]);
+    }
+
+    #[test]
+    fn wheel_and_heap_agree_on_a_mixed_workload() {
+        // Inline differential smoke (the full proptest lives in
+        // tests/prop_wheel.rs): identical op sequences must yield
+        // identical observable state at every step.
+        let mut w: EventQueue<u64> = EventQueue::new();
+        let mut h: HeapEventQueue<u64> = HeapEventQueue::new();
+        let mut rng = 0x243f6a8885a308d3u64;
+        let mut next = || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut tokens: Vec<(EventToken, EventToken)> = Vec::new();
+        for i in 0..5_000u64 {
+            match next() % 10 {
+                0..=4 => {
+                    let horizon = match next() % 8 {
+                        0 => 3_000_000_000, // spill
+                        1..=2 => 2_000_000, // mid wheel
+                        _ => 2_000,         // near
+                    };
+                    let at = SimTime::from_nanos(w.now().as_nanos() + next() % horizon);
+                    let tw = w.schedule(at, i);
+                    let th = h.schedule(at, i);
+                    tokens.push((tw, th));
+                }
+                5..=6 => {
+                    if !tokens.is_empty() {
+                        let k = (next() as usize) % tokens.len();
+                        let (tw, th) = tokens.swap_remove(k);
+                        w.cancel(tw);
+                        h.cancel(th);
+                    }
+                }
+                _ => {
+                    assert_eq!(w.pop(), h.pop());
+                }
+            }
+            assert_eq!(w.len(), h.len());
+            assert_eq!(w.popped(), h.popped());
+            assert_eq!(w.peek_time(), h.peek_time());
+            assert_eq!(w.now(), h.now());
+        }
+        loop {
+            let (a, b) = (w.pop(), h.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

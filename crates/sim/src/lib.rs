@@ -6,7 +6,10 @@
 //! * [`SimTime`] / [`Duration`] — nanosecond-resolution simulated time with
 //!   convenience constructors and Gbps/cycles arithmetic helpers,
 //! * [`EventQueue`] — a priority queue of timestamped events with
-//!   deterministic FIFO tie-breaking for events scheduled at the same instant,
+//!   deterministic FIFO tie-breaking for events scheduled at the same
+//!   instant, backed by a hierarchical timer wheel with batched same-tick
+//!   dispatch ([`HeapEventQueue`] keeps the old binary heap around as the
+//!   differential-testing oracle and benchmark baseline),
 //! * [`SimRng`] — a small, fast, seedable PRNG (SplitMix64 seeded
 //!   xoshiro256++) so simulations are bit-reproducible across platforms,
 //! * [`stats`] — streaming counters, mean/variance accumulators, and
@@ -23,8 +26,9 @@ pub mod event;
 pub mod rng;
 pub mod stats;
 pub mod time;
+mod wheel;
 
-pub use event::{EventQueue, ScheduledEvent};
+pub use event::{EventQueue, HeapEventQueue, PendingFire, ScheduledEvent};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, MeanVar, Percentiles};
 pub use time::{Duration, SimTime};

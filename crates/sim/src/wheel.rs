@@ -1,0 +1,649 @@
+//! Hierarchical timer wheel — the storage engine behind [`crate::EventQueue`].
+//!
+//! A binary heap pays an O(log n) sift on every push and pop; at
+//! million-flow scale those sifts dominate the engine's cycle budget the
+//! same way per-skb bookkeeping dominates the kernel's. The wheel replaces
+//! them with O(1) bucket pushes and amortized-O(1) pops:
+//!
+//! * **Front** — a `VecDeque` holding, in sorted `(time, seq)` order, every
+//!   pending entry with `time < front_limit`. The queue head is always
+//!   `front[0]`, so peeking is a field read and popping is `pop_front`.
+//! * **Four wheel levels** of 256 buckets each. Level 0 buckets are 8 ns
+//!   wide (`time >> 3`), and each higher level is 256× coarser
+//!   (`time >> 11`, `time >> 19`, `time >> 27`), giving windows of
+//!   ~2.05 µs, ~524 µs, ~134 ms and ~34.4 s ahead of the consumed edge. A
+//!   per-level 256-bit occupancy bitmap finds the next non-empty bucket in
+//!   a handful of word scans.
+//! * **Spill** — entries beyond the level-3 window (≳34 s ahead) land in a
+//!   lazily-sorted vector and migrate into the wheels once the consumed
+//!   edge draws near enough. Such far timers are vanishingly rare in a
+//!   seconds-scale simulation, so the spill stays small and its sort
+//!   amortizes away.
+//!
+//! # Cursors and the placement rule
+//!
+//! `cur[l]` is the *absolute* index of the next unconsumed bucket at level
+//! `l` (not masked). An entry at time `t` goes to the smallest level `l`
+//! with `(t >> shift(l)) < cur[l] + 256`, else to the spill. Because the
+//! windows are anchored at the consumed edge rather than at `now`, the rule
+//! is collision-proof: an entry can never land in a bucket that has already
+//! been consumed or cascaded (see the invariants below).
+//!
+//! # Refill and cascade
+//!
+//! When the front runs dry, `ensure_front` performs refill steps. Each step
+//! compares the earliest non-empty level-0 bucket `a0` against the
+//! *boundaries* of the earliest non-empty coarser buckets
+//! (`b_l << 8l`, in level-0 bucket units). The coarsest level whose
+//! boundary is ≤ `a0` and ≤ every finer boundary cascades first — its
+//! entries redistribute into lower levels — so nothing at a lower level is
+//! consumed while a coarser bucket still covers the same span. Only then is
+//! bucket `a0` sorted and appended to the front, advancing `cur[0]` (and
+//! hence `front_limit`) past it.
+//!
+//! # Invariants
+//!
+//! 1. Every entry outside the front has `time >= front_limit`
+//!    (`front_limit = cur[0] << SHIFT0`), hence `time >> SHIFT0 >= cur[0]`.
+//! 2. `cur[l+1] <= (cur[l] >> 8) + 1` for every adjacent level pair: an
+//!    entry that misses a level's window always fits the next one.
+//! 3. The front is sorted ascending by `(time, seq)` and, together with
+//!    invariant 1, holds *all* pending entries below `front_limit` — so all
+//!    same-timestamp entries are contiguous at the head, which is what
+//!    makes batched same-tick dispatch a simple run of `pop_front`s.
+//!
+//! The wheel knows nothing about cancellation; generation liveness lives in
+//! [`crate::EventQueue`], which discards dead entries as they surface.
+
+use std::collections::VecDeque;
+
+use crate::time::SimTime;
+
+/// Buckets per wheel level.
+pub(crate) const SLOTS: usize = 256;
+/// log2 of a level-0 bucket width in nanoseconds (8 ns). Kept small so a
+/// level-0 bucket holds few entries even under dense event storms: the
+/// per-bucket sort in `consume_l0` is the wheel's only comparison cost,
+/// and small buckets keep it in the sorter's cheap insertion-sort regime.
+pub(crate) const SHIFT0: u32 = 3;
+/// Bits added per level (each level is 256× coarser).
+const LEVEL_BITS: u32 = 8;
+/// Number of wheel levels before the spill list takes over.
+pub(crate) const LEVELS: usize = 4;
+
+#[inline]
+fn level_shift(level: usize) -> u32 {
+    SHIFT0 + LEVEL_BITS * level as u32
+}
+
+/// A stored event: timestamp, FIFO tie-break, generation stamp, payload.
+#[derive(Debug)]
+pub(crate) struct WheelEntry<E> {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) slot: u32,
+    pub(crate) generation: u64,
+    pub(crate) event: E,
+}
+
+impl<E> WheelEntry<E> {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
+
+/// One wheel level: 256 buckets, a 256-bit occupancy bitmap, and the
+/// absolute index of the next unconsumed bucket.
+struct Level<E> {
+    buckets: Vec<Vec<WheelEntry<E>>>,
+    occupied: [u64; 4],
+    cur: u64,
+}
+
+impl<E> Level<E> {
+    fn new() -> Self {
+        Level {
+            buckets: (0..SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; 4],
+            cur: 0,
+        }
+    }
+
+    #[inline]
+    fn mark(&mut self, abs: u64) {
+        let i = (abs as usize) & (SLOTS - 1);
+        self.occupied[i / 64] |= 1u64 << (i % 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, abs: u64) {
+        let i = (abs as usize) & (SLOTS - 1);
+        self.occupied[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Absolute index of the earliest non-empty bucket, or `None` if the
+    /// level is empty. All occupied buckets lie in `[cur, cur + 256)`, so
+    /// the circular distance from `cur`'s slot to a set bit *is* the
+    /// absolute distance from `cur`.
+    fn next_occupied(&self) -> Option<u64> {
+        let start = (self.cur as usize) & (SLOTS - 1);
+        let (sw, sb) = (start / 64, start % 64);
+        let w = self.occupied[sw] & (!0u64 << sb);
+        if w != 0 {
+            let idx = sw * 64 + w.trailing_zeros() as usize;
+            return Some(self.cur + (idx - start) as u64);
+        }
+        for k in 1..=4usize {
+            let wi = (sw + k) % 4;
+            let mut w = self.occupied[wi];
+            if k == 4 {
+                // Wrapped back to the start word: only bits before `sb`.
+                w &= (1u64 << sb) - 1;
+            }
+            if w != 0 {
+                let idx = wi * 64 + w.trailing_zeros() as usize;
+                let off = (idx + SLOTS - start) % SLOTS;
+                return Some(self.cur + off as u64);
+            }
+        }
+        None
+    }
+}
+
+/// Hierarchical timer wheel storing [`WheelEntry`]s in `(time, seq)` order.
+pub(crate) struct TimerWheel<E> {
+    front: VecDeque<WheelEntry<E>>,
+    levels: [Level<E>; LEVELS],
+    spill: Vec<WheelEntry<E>>,
+    /// True when `spill` is sorted descending by `(time, seq)` (so the
+    /// earliest entries pop off the back during migration).
+    spill_sorted: bool,
+    /// Minimum time (ns) present in `spill`; `u64::MAX` when empty.
+    spill_min: u64,
+    /// Conservative lower bound (in level-0 bucket units) on the earliest
+    /// occupied coarse-level bucket boundary. While the next level-0
+    /// bucket sits below it, no cascade can be due, so refill skips the
+    /// coarse bitmap scans entirely — the common case when events cluster
+    /// near `now`. Pushes lower it; cascades zero it to force a rescan.
+    coarse_min: u64,
+    /// Total stored entries (front + levels + spill), live or dead.
+    stored: usize,
+}
+
+impl<E> TimerWheel<E> {
+    pub(crate) fn new() -> Self {
+        TimerWheel {
+            front: VecDeque::new(),
+            levels: std::array::from_fn(|_| Level::new()),
+            spill: Vec::new(),
+            spill_sorted: true,
+            spill_min: u64::MAX,
+            coarse_min: u64::MAX,
+            stored: 0,
+        }
+    }
+
+    /// Total stored entries, including dead (cancelled) ones not yet
+    /// discarded.
+    #[cfg(test)]
+    pub(crate) fn stored(&self) -> usize {
+        self.stored
+    }
+
+    /// Everything below this time lives in the front.
+    #[inline]
+    fn front_limit(&self) -> u64 {
+        self.levels[0].cur << SHIFT0
+    }
+
+    /// The earliest stored entry, provided the front has been refilled
+    /// (see [`Self::ensure_front`]).
+    #[inline]
+    pub(crate) fn peek(&self) -> Option<&WheelEntry<E>> {
+        self.front.front()
+    }
+
+    /// Remove and return the earliest entry. The caller is responsible for
+    /// calling [`Self::ensure_front`] afterwards if it needs the next head.
+    #[inline]
+    pub(crate) fn pop_front(&mut self) -> Option<WheelEntry<E>> {
+        let e = self.front.pop_front()?;
+        self.stored -= 1;
+        Some(e)
+    }
+
+    /// Insert one entry.
+    pub(crate) fn push(&mut self, e: WheelEntry<E>) {
+        self.stored += 1;
+        self.sync_cursors();
+        if e.time.as_nanos() < self.front_limit() {
+            let key = e.key();
+            let pos = self.front.partition_point(|x| x.key() < key);
+            self.front.insert(pos, e);
+        } else {
+            self.place_in_levels(e);
+        }
+    }
+
+    /// Bulk-insert entries that all share one timestamp: the placement
+    /// (bucket, front position, or spill) is computed once and the whole
+    /// run lands together. Entries must arrive in ascending `seq` order.
+    pub(crate) fn push_same_time<I>(&mut self, time: SimTime, entries: I)
+    where
+        I: IntoIterator<Item = WheelEntry<E>>,
+    {
+        self.sync_cursors();
+        let t = time.as_nanos();
+        if t < self.front_limit() {
+            // All new seqs exceed every stored seq, so the run inserts as a
+            // contiguous block right after any same-time entries.
+            let start = self.front.partition_point(|x| x.time <= time);
+            for (pos, e) in (start..).zip(entries) {
+                debug_assert_eq!(e.time, time);
+                self.front.insert(pos, e);
+                self.stored += 1;
+            }
+            return;
+        }
+        let target = self.levels.iter().enumerate().find_map(|(l, level)| {
+            let abs = t >> level_shift(l);
+            (abs < level.cur + SLOTS as u64).then_some((l, abs))
+        });
+        match target {
+            Some((l, abs)) => {
+                debug_assert!(abs >= self.levels[l].cur);
+                let idx = (abs as usize) & (SLOTS - 1);
+                let before = self.levels[l].buckets[idx].len();
+                for e in entries {
+                    debug_assert_eq!(e.time, time);
+                    self.levels[l].buckets[idx].push(e);
+                    self.stored += 1;
+                }
+                if self.levels[l].buckets[idx].len() > before {
+                    self.levels[l].mark(abs);
+                    if l > 0 {
+                        let boundary = abs << (LEVEL_BITS * l as u32);
+                        self.coarse_min = self.coarse_min.min(boundary);
+                    }
+                }
+            }
+            None => {
+                for e in entries {
+                    debug_assert_eq!(e.time, time);
+                    self.push_spill(e);
+                    self.stored += 1;
+                }
+            }
+        }
+    }
+
+    /// Refill the front until it holds the queue head (or the wheel is
+    /// truly empty). Amortized O(1) per stored entry: each entry cascades
+    /// at most twice and is sorted into the front exactly once.
+    pub(crate) fn ensure_front(&mut self) {
+        while self.front.is_empty() && self.stored > 0 && self.refill_once() {}
+    }
+
+    /// Smallest level whose window covers `t`, per the placement rule.
+    fn place_in_levels(&mut self, e: WheelEntry<E>) {
+        let t = e.time.as_nanos();
+        for (l, level) in self.levels.iter_mut().enumerate() {
+            let abs = t >> level_shift(l);
+            if abs < level.cur + SLOTS as u64 {
+                debug_assert!(abs >= level.cur, "entry behind consumed edge");
+                let idx = (abs as usize) & (SLOTS - 1);
+                level.buckets[idx].push(e);
+                level.mark(abs);
+                if l > 0 {
+                    let boundary = abs << (LEVEL_BITS * l as u32);
+                    self.coarse_min = self.coarse_min.min(boundary);
+                }
+                return;
+            }
+        }
+        self.push_spill(e);
+    }
+
+    fn push_spill(&mut self, e: WheelEntry<E>) {
+        let t = e.time.as_nanos();
+        if let Some(last) = self.spill.last() {
+            if self.spill_sorted && last.key() < e.key() {
+                self.spill_sorted = false;
+            }
+        }
+        self.spill_min = self.spill_min.min(t);
+        self.spill.push(e);
+    }
+
+    /// Keep the coarser cursors abreast of the consumed edge so the
+    /// placement windows track it: no entry below `front_limit` is stored,
+    /// so no occupied coarse bucket can be skipped by this advance.
+    fn sync_cursors(&mut self) {
+        // Each coarse cursor advances from `cur[0]` directly (not from the
+        // next-finer cursor, which may sit one bucket *past* its own
+        // boundary and would over-advance the coarser level).
+        let c0 = self.levels[0].cur;
+        for (l, level) in self.levels.iter_mut().enumerate().skip(1) {
+            let target = c0 >> (LEVEL_BITS * l as u32);
+            if level.cur < target {
+                level.cur = target;
+            }
+        }
+    }
+
+    /// One unit of refill work: migrate eligible spill entries, cascade the
+    /// coarser level whose boundary is due, consume the next level-0
+    /// bucket, or re-anchor onto the spill. Returns false when nothing
+    /// remains outside the front.
+    fn refill_once(&mut self) -> bool {
+        self.sync_cursors();
+        self.migrate_spill();
+        let a0 = self.levels[0].next_occupied();
+        // Fast path: the next level-0 bucket lies strictly before every
+        // occupied coarse boundary, so no cascade can be due.
+        if let Some(a0v) = a0 {
+            if a0v < self.coarse_min {
+                self.consume_l0(a0v);
+                return true;
+            }
+        }
+        // Ties go to the coarser level: its entries may belong in the very
+        // bucket (or finer bucket) about to be processed. Scanning finer to
+        // coarser with `<=` leaves the coarsest tied level selected.
+        let mut best = None;
+        let mut best_boundary = a0.unwrap_or(u64::MAX);
+        let mut min_boundary = u64::MAX;
+        for l in 1..LEVELS {
+            if let Some(b) = self.levels[l].next_occupied() {
+                let boundary = b << (LEVEL_BITS * l as u32);
+                min_boundary = min_boundary.min(boundary);
+                if boundary <= best_boundary {
+                    best = Some((l, b));
+                    best_boundary = boundary;
+                }
+            }
+        }
+        if let Some((l, b)) = best {
+            self.cascade(l, b);
+            // Coarse occupancy changed; force a rescan next refill.
+            self.coarse_min = 0;
+            true
+        } else if let Some(a0) = a0 {
+            // The scan just proved every coarse boundary is beyond `a0`.
+            self.coarse_min = min_boundary;
+            self.consume_l0(a0);
+            true
+        } else if !self.spill.is_empty() {
+            self.reanchor_to_spill();
+            self.coarse_min = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Redistribute bucket `b` of level `l` into finer levels. The caller
+    /// guarantees no finer-level bucket before `b`'s boundary is occupied,
+    /// so advancing the finer cursor to the boundary skips only empties.
+    fn cascade(&mut self, l: usize, b: u64) {
+        let boundary = b << LEVEL_BITS;
+        if self.levels[l - 1].cur < boundary {
+            self.levels[l - 1].cur = boundary;
+        }
+        if l - 1 == 0 {
+            self.sync_cursors();
+        }
+        let idx = (b as usize) & (SLOTS - 1);
+        let mut v = std::mem::take(&mut self.levels[l].buckets[idx]);
+        self.levels[l].clear(b);
+        self.levels[l].cur = b + 1;
+        for e in v.drain(..) {
+            self.place_in_levels(e);
+        }
+        self.levels[l].buckets[idx] = v;
+    }
+
+    /// Sort level-0 bucket `a0` and append it to the front, advancing the
+    /// consumed edge past it.
+    fn consume_l0(&mut self, a0: u64) {
+        let idx = (a0 as usize) & (SLOTS - 1);
+        let mut v = std::mem::take(&mut self.levels[0].buckets[idx]);
+        self.levels[0].clear(a0);
+        self.levels[0].cur = a0 + 1;
+        v.sort_unstable_by_key(|e| e.key());
+        if let (Some(f), Some(n)) = (self.front.back(), v.first()) {
+            debug_assert!(
+                f.key() < n.key(),
+                "bucket entries must follow the existing front"
+            );
+        }
+        self.front.extend(v.drain(..));
+        self.levels[0].buckets[idx] = v;
+    }
+
+    /// Pull spill entries whose top-level bucket has come within the window.
+    fn migrate_spill(&mut self) {
+        if self.spill.is_empty() {
+            return;
+        }
+        let top = LEVELS - 1;
+        let horizon = self.levels[top].cur + SLOTS as u64;
+        if self.spill_min >> level_shift(top) >= horizon {
+            return;
+        }
+        if !self.spill_sorted {
+            self.spill
+                .sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+            self.spill_sorted = true;
+        }
+        while let Some(last) = self.spill.last() {
+            if last.time.as_nanos() >> level_shift(top) < horizon {
+                let e = self.spill.pop().unwrap();
+                self.place_in_levels(e);
+            } else {
+                break;
+            }
+        }
+        self.spill_min = self.spill.last().map_or(u64::MAX, |e| e.time.as_nanos());
+    }
+
+    /// Everything but the spill is empty and the spill is still beyond the
+    /// level-2 window: jump the consumed edge to the spill minimum so
+    /// migration can proceed. Safe because there is nothing to skip.
+    fn reanchor_to_spill(&mut self) {
+        let anchor = self.spill_min >> SHIFT0;
+        if self.levels[0].cur < anchor {
+            self.levels[0].cur = anchor;
+        }
+        self.sync_cursors();
+        self.migrate_spill();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(t: u64, seq: u64) -> WheelEntry<u64> {
+        WheelEntry {
+            time: SimTime::from_nanos(t),
+            seq,
+            slot: 0,
+            generation: 0,
+            event: seq,
+        }
+    }
+
+    /// Drain the wheel fully, returning (time, seq) pairs in pop order.
+    fn drain(w: &mut TimerWheel<u64>) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        loop {
+            w.ensure_front();
+            match w.pop_front() {
+                Some(e) => out.push((e.time.as_nanos(), e.seq)),
+                None => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn pops_sorted_across_levels_and_spill() {
+        let mut w = TimerWheel::new();
+        // One entry per region: front-of-L0, deep L0, L1, L2, L3, spill.
+        let times = [
+            5u64,
+            2_000,             // L0 window (2.05us)
+            500_000,           // L1 window (524us)
+            100_000_000,       // L2 window (134ms)
+            20_000_000_000,    // L3 window (34.4s)
+            2_000_000_000_000, // spill (2000s)
+        ];
+        for (i, &t) in times.iter().rev().enumerate() {
+            w.push(entry(t, i as u64));
+        }
+        let got: Vec<u64> = drain(&mut w).into_iter().map(|(t, _)| t).collect();
+        let mut want = times.to_vec();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn same_time_pops_in_seq_order_regardless_of_insert_order() {
+        let mut w = TimerWheel::new();
+        let t = 777u64;
+        // Insert with shuffled seqs; pop order must be by seq.
+        for &s in &[4u64, 1, 3, 0, 2] {
+            w.push(entry(t, s));
+        }
+        let got: Vec<u64> = drain(&mut w).into_iter().map(|(_, s)| s).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn interleaved_push_pop_is_totally_ordered() {
+        // Mixed near/far pushes interleaved with pops; the output stream
+        // must be non-decreasing in (time, seq) whenever the pushes never
+        // go behind the last popped time.
+        let mut w = TimerWheel::new();
+        let mut seq = 0u64;
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut last = (0u64, 0u64);
+        let mut pending = 0usize;
+        for round in 0..2_000u64 {
+            let base = last.0;
+            for _ in 0..(next() % 4) {
+                let spread = match next() % 10 {
+                    0 => 100_000_000_000, // spill-bound (≳34s)
+                    1 => 3_000_000_000,   // L3
+                    2 => 10_000_000,      // L2
+                    3..=5 => 200_000,     // L1
+                    _ => 400,             // L0
+                };
+                w.push(entry(base + next() % spread, seq));
+                seq += 1;
+                pending += 1;
+            }
+            if round % 3 != 0 {
+                w.ensure_front();
+                if let Some(e) = w.pop_front() {
+                    let k = (e.time.as_nanos(), e.seq);
+                    assert!(k >= last, "order violated: {k:?} after {last:?}");
+                    last = k;
+                    pending -= 1;
+                }
+            }
+        }
+        let rest = drain(&mut w);
+        assert_eq!(rest.len(), pending);
+        for k in rest {
+            assert!(k >= last);
+            last = k;
+        }
+    }
+
+    #[test]
+    fn push_same_time_lands_contiguously_in_fifo_order() {
+        let mut w = TimerWheel::new();
+        w.push(entry(100, 0));
+        w.push(entry(300, 1));
+        // Bulk insert between them, plus a bulk insert into the sorted
+        // front after a pop established a nonzero front_limit.
+        w.push_same_time(SimTime::from_nanos(200), (2..5).map(|s| entry(200, s)));
+        w.ensure_front();
+        assert_eq!(w.pop_front().map(|e| e.seq), Some(0));
+        w.push_same_time(SimTime::from_nanos(210), (5..7).map(|s| entry(210, s)));
+        let got = drain(&mut w);
+        assert_eq!(
+            got,
+            vec![(200, 2), (200, 3), (200, 4), (210, 5), (210, 6), (300, 1)]
+        );
+    }
+
+    #[test]
+    fn far_future_singleton_reanchors_without_scanning() {
+        let mut w = TimerWheel::new();
+        w.push(entry(10, 0));
+        w.ensure_front();
+        assert_eq!(w.pop_front().map(|e| e.time.as_nanos()), Some(10));
+        // An hour ahead: lands in spill, then the empty wheel re-anchors.
+        let hour = 3_600_000_000_000u64;
+        w.push(entry(hour, 1));
+        w.ensure_front();
+        assert_eq!(w.peek().map(|e| e.time.as_nanos()), Some(hour));
+        // A nearer entry scheduled after the re-anchor still pops first if
+        // it precedes the spill entry.
+        w.push(entry(hour - 32, 2));
+        let got: Vec<u64> = drain(&mut w).into_iter().map(|(_, s)| s).collect();
+        assert_eq!(got, vec![2, 1]);
+    }
+
+    #[test]
+    fn spill_migrates_as_the_edge_approaches() {
+        let mut w = TimerWheel::new();
+        let far = 100_000_000_000u64; // 100s: beyond the initial L3 window
+        w.push(entry(far, 0));
+        assert_eq!(w.spill.len(), 1);
+        // A steady stream of near events drags the consumed edge forward;
+        // the spill entry must fire at exactly its time, in order.
+        let mut seq = 1u64;
+        let mut t = 0u64;
+        let mut popped = Vec::new();
+        while t < far + 1_000 {
+            t += 100_000_000; // 100ms steps
+            w.push(entry(t, seq));
+            seq += 1;
+            w.ensure_front();
+            popped.push(w.pop_front().unwrap().time.as_nanos());
+        }
+        let mut sorted = popped.clone();
+        sorted.sort_unstable();
+        assert_eq!(popped, sorted);
+        assert!(popped.contains(&far), "spill entry never fired");
+        assert!(w.spill.is_empty());
+    }
+
+    #[test]
+    fn stored_tracks_every_region() {
+        let mut w = TimerWheel::new();
+        assert_eq!(w.stored(), 0);
+        w.push(entry(50, 0)); // L0
+        w.push(entry(400_000, 1)); // L1
+        w.push(entry(100_000_000, 2)); // L2
+        w.push(entry(9_000_000_000, 3)); // L3
+        w.push(entry(100_000_000_000, 4)); // spill
+        assert_eq!(w.stored(), 5);
+        w.ensure_front();
+        w.pop_front();
+        assert_eq!(w.stored(), 4);
+        assert_eq!(drain(&mut w).len(), 4);
+        assert_eq!(w.stored(), 0);
+    }
+}

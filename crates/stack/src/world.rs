@@ -25,7 +25,7 @@ use hns_nic::tso;
 use hns_nic::{Link, TxArbiter};
 use hns_proto::{FlowId, Segment, SegmentKind, HEADER_BYTES};
 use hns_sched::Task;
-use hns_sim::{cycles_to_time, Duration, EventQueue, SimTime};
+use hns_sim::{cycles_to_time, Duration, EventQueue, PendingFire, SimTime};
 use hns_trace::{StageId, TraceCollector};
 
 use crate::app::{AppInstance, AppSpec};
@@ -180,6 +180,11 @@ pub struct World {
     /// Reusable output buffer for GRO offer/flush in the softirq loop
     /// (avoids a `Vec` allocation per offered frame).
     gro_scratch: Vec<RxSkb>,
+    /// Reusable batch buffer for same-tick event dispatch: `try_run`
+    /// drains a whole timestamp's events here via `pop_batch` and commits
+    /// each one just before handling, so the queue is probed once per tick
+    /// rather than once per event.
+    fire_scratch: Vec<PendingFire<Event>>,
     /// Per-skb lifecycle tracer (`hns-trace`). Disabled by default; every
     /// hook below is a single branch on `trace.enabled()` and stamps never
     /// charge cycles, so behaviour is identical with tracing on or off.
@@ -234,6 +239,7 @@ impl World {
             label: String::new(),
             frag_pool: crate::skb::FragPool::new(),
             gro_scratch: Vec::new(),
+            fire_scratch: Vec::new(),
             trace: TraceCollector::new(cfg.trace, 2, cores),
             churn: cfg
                 .churn
@@ -356,52 +362,70 @@ impl World {
                 );
             }
         }
-        // Kick every application awake.
-        for i in 0..self.apps.len() {
-            let (host, tid) = (self.apps[i].host, self.apps[i].tid);
-            self.hosts[host].sched.wake_thread(tid);
-            let core = self.apps[i].core;
-            self.queue.schedule(
-                SimTime::ZERO,
-                Event::Dispatch {
-                    host: host as u8,
-                    core,
-                },
-            );
+        // Kick every application awake: batch-wake each host's threads
+        // (per-host order matches the old per-app loop), then bulk-insert
+        // the whole run of t=0 Dispatch events into a single wheel bucket.
+        for h in 0..self.hosts.len() {
+            let apps = &self.apps;
+            self.hosts[h]
+                .sched
+                .wake_all(apps.iter().filter(|a| a.host == h).map(|a| a.tid));
         }
+        self.queue.schedule_all(
+            SimTime::ZERO,
+            self.apps.iter().map(|a| Event::Dispatch {
+                host: a.host as u8,
+                core: a.core,
+            }),
+        );
 
-        while !self.finished {
-            match self.queue.pop() {
-                Some((t, ev)) => {
-                    self.audit_pop(t);
-                    if self.finished {
-                        break;
-                    }
-                    if t == self.storm_at {
-                        self.storm_count += 1;
-                    } else {
-                        self.storm_at = t;
-                        self.storm_count = 0;
-                    }
-                    if self.storm_count > STORM_LIMIT {
-                        self.trip(
-                            RunErrorKind::EventStorm,
-                            format!("{STORM_LIMIT}+ events at t={}ns", t.as_nanos()),
-                        );
-                        break;
-                    }
-                    if self.queue.len() > LEAK_LIMIT {
-                        self.trip(
-                            RunErrorKind::QueueLeak,
-                            format!("event queue grew past {LEAK_LIMIT}"),
-                        );
-                        break;
-                    }
-                    self.handle(ev)
+        // Batched same-tick dispatch: drain every event sharing the head
+        // timestamp in one queue probe, then commit each just before
+        // handling. `commit` re-checks liveness, so a handler cancelling a
+        // later event in the same tick (e.g. `sync_rto` rearming an RTO)
+        // skips it exactly as the old pop-per-event loop did.
+        let mut batch = std::mem::take(&mut self.fire_scratch);
+        'run: while !self.finished {
+            if self.queue.pop_batch(&mut batch) == 0 {
+                break; // deadlock-free exhaustion (tests)
+            }
+            for fire in batch.drain(..) {
+                if self.finished {
+                    break 'run;
                 }
-                None => break, // deadlock-free exhaustion (tests)
+                if !self.queue.commit(&fire) {
+                    continue; // cancelled earlier in this tick
+                }
+                let t = fire.time;
+                self.audit_pop(t);
+                if self.finished {
+                    break 'run;
+                }
+                if t == self.storm_at {
+                    self.storm_count += 1;
+                } else {
+                    self.storm_at = t;
+                    self.storm_count = 0;
+                }
+                if self.storm_count > STORM_LIMIT {
+                    self.trip(
+                        RunErrorKind::EventStorm,
+                        format!("{STORM_LIMIT}+ events at t={}ns", t.as_nanos()),
+                    );
+                    break 'run;
+                }
+                if self.queue.len() > LEAK_LIMIT {
+                    self.trip(
+                        RunErrorKind::QueueLeak,
+                        format!("event queue grew past {LEAK_LIMIT}"),
+                    );
+                    break 'run;
+                }
+                self.handle(fire.event)
             }
         }
+        batch.clear();
+        self.fire_scratch = batch;
         if self.run_error.is_none() {
             self.audit_teardown();
         }
@@ -1471,30 +1495,29 @@ impl World {
         }
         let h = self.flows[fid].spec.src_host;
         let queue = self.flows[fid].spec.src_core as usize;
+        let wrote = self.flows[fid].last_write_at;
+        // Bulk-enqueue the whole TSO burst: frames are built lazily while
+        // the arbiter hoists its queue/depth lookups out of the loop.
+        let trace = &mut self.trace;
         let mut off = 0u64;
-        for flen in tso::segment(len, mss) {
+        let frames = tso::segment(len, mss).map(|flen| {
             let mut frame_seg = Segment::data(fid as FlowId, seq0 + off, flen, rtx);
-            if self.trace.enabled() {
-                let tid = self.trace.alloc(fid as u64);
+            if trace.enabled() {
+                let tid = trace.alloc(fid as u64);
                 if tid != hns_trace::NO_SKB {
                     frame_seg.trace = tid;
-                    let wrote = self.flows[fid].last_write_at;
-                    self.trace
-                        .stamp(tid, fid as u64, StageId::AppWrite, h, queue, wrote);
-                    self.trace
-                        .stamp(tid, fid as u64, StageId::CopyIn, h, queue, wrote);
-                    self.trace
-                        .stamp(tid, fid as u64, StageId::TcpTx, h, queue, now);
-                    self.trace
-                        .stamp(tid, fid as u64, StageId::Gso, h, queue, now);
-                    self.trace
-                        .stamp(tid, fid as u64, StageId::Qdisc, h, queue, now);
+                    trace.stamp(tid, fid as u64, StageId::AppWrite, h, queue, wrote);
+                    trace.stamp(tid, fid as u64, StageId::CopyIn, h, queue, wrote);
+                    trace.stamp(tid, fid as u64, StageId::TcpTx, h, queue, now);
+                    trace.stamp(tid, fid as u64, StageId::Gso, h, queue, now);
+                    trace.stamp(tid, fid as u64, StageId::Qdisc, h, queue, now);
                 }
             }
-            let ok = self.arbiters[h].enqueue(queue, flen, frame_seg);
-            debug_assert!(ok, "tx queues are unbounded");
             off += flen as u64;
-        }
+            (flen, frame_seg)
+        });
+        let accepted = self.arbiters[h].enqueue_all(queue, frames);
+        debug_assert_eq!(accepted as u64, nframes, "tx queues are unbounded");
         self.arm_txdrain(h);
         true
     }

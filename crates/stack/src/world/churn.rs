@@ -179,12 +179,13 @@ impl World {
             SimTime::ZERO + Duration::from_nanos(first.max(1)),
             Event::ConnArrival,
         );
-        self.queue
-            .schedule(SimTime::ZERO + ccfg.reap_interval, Event::TimeWaitTick);
-        if ccfg.overload.enabled && !ccfg.overload.idle_timeout.is_zero() {
-            self.queue
-                .schedule(SimTime::ZERO + ccfg.reap_interval, Event::IdleReapTick);
-        }
+        // Both reaper cadences start at the same instant: bulk-insert them
+        // as one wheel-bucket run (FIFO order: TIME_WAIT, then idle reap).
+        let idle_reap = ccfg.overload.enabled && !ccfg.overload.idle_timeout.is_zero();
+        self.queue.schedule_all(
+            SimTime::ZERO + ccfg.reap_interval,
+            std::iter::once(Event::TimeWaitTick).chain(idle_reap.then_some(Event::IdleReapTick)),
+        );
         Ok(())
     }
 
