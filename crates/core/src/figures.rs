@@ -17,7 +17,7 @@ use hns_conn::AdmissionPolicy;
 use hns_metrics::Report;
 use hns_proto::cc::CcAlgo;
 use hns_stack::config::RcvBufPolicy;
-use hns_stack::{OptLevel, SimConfig};
+use hns_stack::{DatapathKind, OptLevel, SimConfig};
 
 use crate::experiment::{Experiment, ScenarioKind};
 use crate::Placement;
@@ -330,6 +330,47 @@ pub fn fig_capacity() -> Vec<(String, Report)> {
     labels.into_iter().zip(run_sweep(&points)).collect()
 }
 
+/// Scenario grid the cross-backend comparison runs every datapath
+/// against: the paper's single-flow microscope plus a multi-flow
+/// one-to-one so per-core effects (polling-core saturation, descriptor
+/// batching) show up under contention.
+pub const BACKEND_SCENARIOS: [(&str, ScenarioKind); 2] = [
+    ("single", ScenarioKind::Single),
+    ("o2o-8", ScenarioKind::OneToOne { flows: 8 }),
+];
+
+/// fig_backend points: the datapath × scenario grid, backends outermost
+/// so each backend's rows group together.
+pub fn fig_backend_points() -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for kind in DatapathKind::ALL {
+        for (name, scenario) in BACKEND_SCENARIOS {
+            out.push(
+                SweepPoint::new(scenario, format!("backend/{}/{}", kind.label(), name))
+                    .configure(move |c| c.datapath = kind),
+            );
+        }
+    }
+    out
+}
+
+/// Backend extension (§4): where do the cycles go under three datapath
+/// architectures?
+///
+/// Reruns the paper's "where do the cycles go" question with the host
+/// stack itself as the variable: the in-kernel baseline, a full TCP
+/// offload (host taxonomy collapses to copy + syscall + descriptor
+/// bookkeeping), and a kernel-bypass busy-poll stack (descriptor work on
+/// a dedicated polling core, nothing else). Application bytes and wire
+/// behaviour are identical across backends; only the host cycle ledger
+/// moves. Expected ordering: bypass ≥ TOE ≥ in-kernel
+/// goodput-per-host-core. Returns `(label, report)` rows.
+pub fn fig_backend() -> Vec<(String, Report)> {
+    let points = fig_backend_points();
+    let labels: Vec<String> = points.iter().map(|p| p.label.clone()).collect();
+    labels.into_iter().zip(run_sweep(&points)).collect()
+}
+
 /// Fig. 6: incast.
 pub fn fig06_incast() -> Vec<(u16, OptLevel, Report)> {
     sweep_levels(|flows| ScenarioKind::Incast { flows })
@@ -598,6 +639,23 @@ mod tests {
         assert_eq!(cap.len(), CAPACITY_POLICIES.len() * CAPACITY_CLIENTS.len());
         assert_eq!(cap[0].label, "capacity/drop/125c");
         assert_eq!(cap[11].label, "capacity/shed/1000c");
+        let back = fig_backend_points();
+        assert_eq!(
+            back.len(),
+            DatapathKind::ALL.len() * BACKEND_SCENARIOS.len()
+        );
+        assert_eq!(back[0].label, "backend/inkernel/single");
+        assert_eq!(back[5].label, "backend/bypass/o2o-8");
+    }
+
+    #[test]
+    fn backend_points_set_the_datapath() {
+        for (p, kind) in fig_backend_points()
+            .iter()
+            .zip(DatapathKind::ALL.iter().flat_map(|k| [k; 2]))
+        {
+            assert_eq!(p.build().cfg.datapath, *kind, "{}", p.label);
+        }
     }
 
     #[test]

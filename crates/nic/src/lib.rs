@@ -16,8 +16,12 @@
 //! * [`tso`] — hardware segmentation of up-to-64KB skbs into MTU frames,
 //! * [`steering`] — the paper's Table 2: RSS/RPS/RFS/aRFS receive steering,
 //! * [`InterruptCoalescer`] — NAPI-style IRQ masking: no new interrupt
-//!   while a poll cycle is pending/running.
+//!   while a poll cycle is pending/running,
+//! * [`DescRing`] — the post/complete/harvest descriptor ring shared by
+//!   the TOE-offload and kernel-bypass datapath backends (§4), where
+//!   descriptor bookkeeping is the dominant remaining host cost.
 
+pub mod descring;
 pub mod interrupts;
 pub mod link;
 pub mod rxring;
@@ -25,6 +29,7 @@ pub mod steering;
 pub mod tso;
 pub mod txqueue;
 
+pub use descring::DescRing;
 pub use interrupts::InterruptCoalescer;
 pub use link::{Link, LinkConfig, TransmitOutcome};
 pub use rxring::RxRing;

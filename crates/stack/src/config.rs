@@ -42,6 +42,59 @@ impl OptLevel {
     }
 }
 
+/// Which datapath architecture carries the flows (§4 "possible future
+/// directions" — the cross-backend comparison the `fig_backend` family
+/// sweeps). Selects *where host cycles are charged*, never what moves:
+/// protocol state machines, descriptor rings, page pools and the wire
+/// model behave identically under every backend, so the conservation
+/// ledgers hold without per-backend cases.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum DatapathKind {
+    /// The kernel stack modeled throughout the paper: syscalls, data
+    /// copies, skb management, softirq/NAPI processing, TCP/IP protocol
+    /// work all charged to host cores.
+    InKernel,
+    /// Full TCP offload (FlexTOE / PnO-TCP style): handshake,
+    /// segmentation, aggregation, ACK clocking and retransmit state live
+    /// on-NIC. The host still issues syscalls and copies payload between
+    /// application buffers and DMA memory, but sees only descriptor-ring
+    /// completions — no skb, no softirq protocol work.
+    ToeOffload,
+    /// Kernel-bypass busy-poll path (DPDK-class): a dedicated polling
+    /// core harvests descriptors directly from pre-registered zero-copy
+    /// buffers. No syscalls, no copies, no interrupts, no skb.
+    UserBypass,
+}
+
+impl DatapathKind {
+    /// All backends in the order `fig_backend` reports them.
+    pub const ALL: [DatapathKind; 3] = [
+        DatapathKind::InKernel,
+        DatapathKind::ToeOffload,
+        DatapathKind::UserBypass,
+    ];
+
+    /// Stable label used in figure rows and CLI parsing.
+    pub fn label(self) -> &'static str {
+        match self {
+            DatapathKind::InKernel => "inkernel",
+            DatapathKind::ToeOffload => "toe",
+            DatapathKind::UserBypass => "bypass",
+        }
+    }
+
+    /// Parse a CLI spelling. Accepts the canonical labels plus a few
+    /// forgiving aliases.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "inkernel" | "in-kernel" | "kernel" => Some(DatapathKind::InKernel),
+            "toe" | "offload" | "toe-offload" => Some(DatapathKind::ToeOffload),
+            "bypass" | "userbypass" | "user-bypass" | "dpdk" => Some(DatapathKind::UserBypass),
+            _ => None,
+        }
+    }
+}
+
 /// Receive-buffer sizing policy.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum RcvBufPolicy {
@@ -174,6 +227,9 @@ impl Default for StackConfig {
 pub struct SimConfig {
     /// Stack features (same on both hosts, like the paper's testbed).
     pub stack: StackConfig,
+    /// Datapath backend (same on both hosts). [`DatapathKind::InKernel`]
+    /// reproduces the legacy pipeline bit-for-bit.
+    pub datapath: DatapathKind,
     /// NUMA topology of each host.
     pub topology: Topology,
     /// The wire.
@@ -244,6 +300,7 @@ impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
             stack: StackConfig::default(),
+            datapath: DatapathKind::InKernel,
             topology: Topology::default(),
             link: LinkConfig::default(),
             dca_capacity: hns_mem::dca::DEFAULT_DCA_CAPACITY,
@@ -304,6 +361,20 @@ mod tests {
         assert_eq!(c.mss(), 1448);
         let j = StackConfig::at_level(OptLevel::Jumbo);
         assert_eq!(j.mss(), 8948);
+    }
+
+    #[test]
+    fn datapath_labels_round_trip() {
+        for k in DatapathKind::ALL {
+            assert_eq!(DatapathKind::parse(k.label()), Some(k));
+        }
+        assert_eq!(DatapathKind::parse("dpdk"), Some(DatapathKind::UserBypass));
+        assert_eq!(
+            DatapathKind::parse("in-kernel"),
+            Some(DatapathKind::InKernel)
+        );
+        assert!(DatapathKind::parse("quic").is_none());
+        assert_eq!(SimConfig::default().datapath, DatapathKind::InKernel);
     }
 
     #[test]

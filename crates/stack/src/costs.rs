@@ -133,6 +133,21 @@ pub struct CostModel {
     /// overhead (Fig. 13b).
     pub pacer_fire: u64,
 
+    // ---- offload datapaths (§4: TOE and kernel bypass) ---------------------
+    /// Post one Tx descriptor to an offload NIC: write the descriptor,
+    /// amortized doorbell (NetDevice). Shared by TOE and bypass.
+    pub desc_post: u64,
+    /// Harvest one Tx completion from the completion queue (NetDevice).
+    pub desc_complete: u64,
+    /// TOE Rx: process one delivered completion descriptor. The NIC did
+    /// segmentation/aggregation/ACK clocking, so this replaces the whole
+    /// driver + skb + GRO + TCP-rx pipeline (NetDevice).
+    pub toe_rx_desc: u64,
+    /// Bypass: busy-poll harvest of one Rx frame descriptor on the
+    /// dedicated polling core, incl. prefetch + ring bookkeeping
+    /// (NetDevice). Per *frame*: bypass gets no aggregation.
+    pub bypass_poll_frame: u64,
+
     // ---- zero-copy (§4 future directions) ----------------------------------
     /// MSG_ZEROCOPY: pin + later unpin one user page for DMA (Memory).
     pub zc_tx_pin_page: u64,
@@ -194,6 +209,11 @@ impl CostModel {
             syscall_recv: 1_600,
             steering_sw: 150,
             pacer_fire: 1_300,
+
+            desc_post: 120,
+            desc_complete: 90,
+            toe_rx_desc: 400,
+            bypass_poll_frame: 220,
 
             zc_tx_pin_page: 240,
             zc_tx_completion: 400,
@@ -272,6 +292,20 @@ mod tests {
         assert!(c.page_alloc_slow > 5 * c.page_alloc_fast);
         assert!(c.page_free_slow > 5 * c.page_free_fast);
         assert!(c.sock_lock_contended > 3 * c.sock_lock);
+    }
+
+    /// The point of offloading: per unit of data, descriptor bookkeeping
+    /// must cost far less than the skb pipeline it replaces, and the TOE
+    /// per-completion cost must undercut even the per-skb TCP-rx fixed
+    /// part.
+    #[test]
+    fn descriptor_paths_undercut_skb_pipeline() {
+        let c = CostModel::calibrated();
+        let skb_per_frame = c.driver_rx_frame + c.skb_alloc + c.skb_build + c.gro_per_frame;
+        assert!(c.bypass_poll_frame < skb_per_frame / 2);
+        assert!(c.toe_rx_desc < c.tcp_rx_base);
+        assert!(c.desc_post < c.skb_alloc_tx + c.skb_build_tx);
+        assert!(c.desc_complete < c.desc_post * 2);
     }
 
     /// Back-of-envelope sanity: the calibrated receiver cost per byte at

@@ -1,0 +1,234 @@
+//! The datapath seam: where do host cycles go for a given backend?
+//!
+//! The paper's taxonomy (Fig. 3d) shows the in-kernel stack spending its
+//! cores on copy, skb management, and softirq scheduling rather than
+//! protocol arithmetic — which is precisely the cost that TCP-offload NICs
+//! (FlexTOE-style) and kernel-bypass stacks (DPDK-class) claim back. The
+//! [`Datapath`] trait captures the *charging policy* of each architecture
+//! as a set of pure predicates the [`crate::World`] pipeline consults at
+//! every cost juncture.
+//!
+//! One invariant governs every implementation: **backends change where
+//! cycles are charged, never what moves.** Protocol state machines, frame
+//! arenas, page pools, IOMMU mappings and descriptor rings operate
+//! identically under all three backends; only `Charges::add` calls are
+//! gated. That keeps every `hns-audit` conservation ledger balanced with
+//! no per-backend ledger cases, and makes the cross-backend differential
+//! test (`tests/backend_differential.rs`) meaningful: application bytes
+//! are conserved regardless of who pays the cycles.
+
+use crate::config::{DatapathKind, StackConfig};
+
+/// Charging policy for one datapath architecture. Implementations are
+/// stateless unit structs — all state lives in the world; the trait only
+/// decides which costs the host observes.
+pub trait Datapath: Sync {
+    /// Which backend this is.
+    fn kind(&self) -> DatapathKind;
+
+    /// Stable label (`inkernel` / `toe` / `bypass`).
+    fn label(&self) -> &'static str {
+        self.kind().label()
+    }
+
+    /// Application I/O goes through syscalls (`write`/`recv` entry/exit
+    /// cycles). Bypass links the stack into the process: no syscalls.
+    fn charges_syscalls(&self) -> bool;
+
+    /// Payload is copied between application buffers and DMA memory,
+    /// charged through the DCA/NUMA copy model. Bypass is zero-copy by
+    /// construction (pre-registered buffers).
+    fn charges_copies(&self) -> bool;
+
+    /// The host runs — and pays for — the in-kernel protocol pipeline:
+    /// TCP/IP rx/tx, skb alloc/build/free, qdisc, software GSO/GRO, ACK
+    /// generation and processing, socket locking, retransmit overhead.
+    /// Off-host backends still *execute* the state machines (correctness)
+    /// but charge them zero host cycles.
+    fn charges_protocol(&self) -> bool;
+
+    /// The host pays page-pool and IOMMU map/unmap cycles per frame.
+    /// Offload backends use long-lived pre-registered buffer pools, so
+    /// per-frame memory management vanishes from the host taxonomy.
+    fn charges_memory(&self) -> bool;
+
+    /// Descriptor-ring bookkeeping (post / completion harvest) is a host
+    /// cost. This is the residual cost the offload architectures keep.
+    fn charges_descriptors(&self) -> bool;
+
+    /// Rx completions are harvested by a busy-polling core rather than
+    /// IRQ + softirq: interrupt latency is zero and each harvested frame
+    /// costs [`crate::CostModel::bypass_poll_frame`] on the polling core.
+    fn busy_polls(&self) -> bool;
+
+    /// Hard-IRQ handler cycles are charged on Rx delivery. Polling
+    /// backends never take the interrupt.
+    fn charges_irq(&self) -> bool {
+        !self.busy_polls()
+    }
+
+    /// Arriving frames are aggregated into large skbs before delivery
+    /// (software GRO, hardware LRO, or on-NIC TOE reassembly).
+    fn rx_aggregates(&self, stack: &StackConfig) -> bool;
+
+    /// Aggregation costs host cycles per merged frame (software GRO).
+    /// Hardware aggregation (LRO, TOE) is free; bypass never aggregates.
+    fn rx_aggregation_charged(&self, stack: &StackConfig) -> bool;
+}
+
+/// The legacy kernel stack: every cost the paper measures, unchanged.
+pub struct InKernel;
+
+impl Datapath for InKernel {
+    fn kind(&self) -> DatapathKind {
+        DatapathKind::InKernel
+    }
+    fn charges_syscalls(&self) -> bool {
+        true
+    }
+    fn charges_copies(&self) -> bool {
+        true
+    }
+    fn charges_protocol(&self) -> bool {
+        true
+    }
+    fn charges_memory(&self) -> bool {
+        true
+    }
+    fn charges_descriptors(&self) -> bool {
+        false
+    }
+    fn busy_polls(&self) -> bool {
+        false
+    }
+    fn rx_aggregates(&self, stack: &StackConfig) -> bool {
+        stack.gro || stack.lro
+    }
+    fn rx_aggregation_charged(&self, stack: &StackConfig) -> bool {
+        stack.gro && !stack.lro
+    }
+}
+
+/// Full TCP offload: protocol, segmentation, aggregation and retransmit
+/// state live on-NIC; the host's taxonomy collapses to copy + syscall +
+/// descriptor bookkeeping (plus the completion IRQ itself).
+pub struct ToeOffload;
+
+impl Datapath for ToeOffload {
+    fn kind(&self) -> DatapathKind {
+        DatapathKind::ToeOffload
+    }
+    fn charges_syscalls(&self) -> bool {
+        true
+    }
+    fn charges_copies(&self) -> bool {
+        true
+    }
+    fn charges_protocol(&self) -> bool {
+        false
+    }
+    fn charges_memory(&self) -> bool {
+        false
+    }
+    fn charges_descriptors(&self) -> bool {
+        true
+    }
+    fn busy_polls(&self) -> bool {
+        false
+    }
+    fn rx_aggregates(&self, _stack: &StackConfig) -> bool {
+        // The TOE reassembles in hardware regardless of the GRO knob.
+        true
+    }
+    fn rx_aggregation_charged(&self, _stack: &StackConfig) -> bool {
+        false
+    }
+}
+
+/// Kernel-bypass busy-poll: zero-copy, no syscalls, no interrupts, no
+/// aggregation — a dedicated polling core pays per-frame harvest cycles
+/// and descriptor bookkeeping, and nothing else.
+pub struct UserBypass;
+
+impl Datapath for UserBypass {
+    fn kind(&self) -> DatapathKind {
+        DatapathKind::UserBypass
+    }
+    fn charges_syscalls(&self) -> bool {
+        false
+    }
+    fn charges_copies(&self) -> bool {
+        false
+    }
+    fn charges_protocol(&self) -> bool {
+        false
+    }
+    fn charges_memory(&self) -> bool {
+        false
+    }
+    fn charges_descriptors(&self) -> bool {
+        true
+    }
+    fn busy_polls(&self) -> bool {
+        true
+    }
+    fn rx_aggregates(&self, _stack: &StackConfig) -> bool {
+        false
+    }
+    fn rx_aggregation_charged(&self, _stack: &StackConfig) -> bool {
+        false
+    }
+}
+
+/// The shared policy instance for a backend kind.
+pub fn datapath_for(kind: DatapathKind) -> &'static dyn Datapath {
+    match kind {
+        DatapathKind::InKernel => &InKernel,
+        DatapathKind::ToeOffload => &ToeOffload,
+        DatapathKind::UserBypass => &UserBypass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_match_their_kind() {
+        for kind in DatapathKind::ALL {
+            let dp = datapath_for(kind);
+            assert_eq!(dp.kind(), kind);
+            assert_eq!(dp.label(), kind.label());
+        }
+    }
+
+    #[test]
+    fn cost_surface_shrinks_monotonically() {
+        // Each architecture strictly removes host costs relative to the
+        // previous one; nothing reappears.
+        let stack = StackConfig::all_opts();
+        let ik = datapath_for(DatapathKind::InKernel);
+        let toe = datapath_for(DatapathKind::ToeOffload);
+        let byp = datapath_for(DatapathKind::UserBypass);
+        assert!(ik.charges_protocol() && !toe.charges_protocol() && !byp.charges_protocol());
+        assert!(ik.charges_memory() && !toe.charges_memory() && !byp.charges_memory());
+        assert!(toe.charges_copies() && !byp.charges_copies());
+        assert!(toe.charges_syscalls() && !byp.charges_syscalls());
+        assert!(!ik.charges_descriptors() && toe.charges_descriptors());
+        assert!(byp.busy_polls() && !toe.busy_polls() && !ik.busy_polls());
+        assert!(ik.charges_irq() && toe.charges_irq() && !byp.charges_irq());
+        assert!(toe.rx_aggregates(&stack) && !byp.rx_aggregates(&stack));
+    }
+
+    #[test]
+    fn inkernel_aggregation_follows_the_knobs() {
+        let ik = datapath_for(DatapathKind::InKernel);
+        let mut s = StackConfig::all_opts();
+        assert!(ik.rx_aggregates(&s) && ik.rx_aggregation_charged(&s));
+        s.lro = true;
+        assert!(ik.rx_aggregates(&s) && !ik.rx_aggregation_charged(&s));
+        s.gro = false;
+        s.lro = false;
+        assert!(!ik.rx_aggregates(&s));
+    }
+}

@@ -25,6 +25,7 @@
 pub mod app;
 pub mod config;
 pub mod costs;
+pub mod datapath;
 pub mod flow;
 pub mod gro;
 pub mod host;
@@ -34,8 +35,9 @@ pub mod watchdog;
 pub mod world;
 
 pub use app::AppSpec;
-pub use config::{OptLevel, SimConfig, StackConfig};
+pub use config::{DatapathKind, OptLevel, SimConfig, StackConfig};
 pub use costs::CostModel;
+pub use datapath::{datapath_for, Datapath};
 pub use flow::FlowSpec;
 pub use watchdog::{RunError, RunErrorKind};
 pub use world::World;

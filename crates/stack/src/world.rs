@@ -31,6 +31,7 @@ use hns_trace::{StageId, TraceCollector};
 use crate::app::{AppInstance, AppSpec};
 use crate::config::SimConfig;
 use crate::costs::CostModel;
+use crate::datapath::{datapath_for, Datapath};
 use crate::flow::{Flow, FlowSpec};
 use crate::host::{Host, PendingFrame};
 use crate::skb::RxSkb;
@@ -139,6 +140,17 @@ pub struct World {
     pub cfg: SimConfig,
     /// Cycle-cost model.
     pub cost: CostModel,
+    /// Charging policy of the configured datapath backend
+    /// ([`SimConfig::datapath`]). Consulted at every cost juncture; the
+    /// [`crate::datapath::InKernel`] policy reproduces the legacy charges
+    /// bit-for-bit.
+    dp: &'static dyn Datapath,
+    /// Per-host Tx descriptor rings for the offload backends: posted at
+    /// segment emission, completed when the NIC serializes the frame onto
+    /// the wire, harvested (and charged) at the next emission. Sized so
+    /// they never backpressure the window-bounded sender; they meter
+    /// descriptor-bookkeeping cycles rather than gate transmission.
+    descrings: Vec<hns_nic::DescRing>,
     queue: EventQueue<Event>,
     hosts: Vec<Host>,
     link: Link,
@@ -210,6 +222,11 @@ impl World {
         let cores = cfg.topology.total_cores() as usize;
         let mut world = World {
             cost: CostModel::calibrated(),
+            dp: datapath_for(cfg.datapath),
+            descrings: vec![
+                hns_nic::DescRing::new(1 << 16),
+                hns_nic::DescRing::new(1 << 16),
+            ],
             queue: EventQueue::new(),
             hosts: vec![Host::new(0, &cfg), Host::new(1, &cfg)],
             link: Link::new(cfg.link, cfg.seed),
@@ -615,13 +632,17 @@ impl World {
             let mut ch = Charges::default();
             let pages = pages_for(self.cfg.stack.mtu as u64) * added as u64;
             let out = self.hosts[h].pages.alloc(core as u16, pages);
-            ch.add(
-                Category::Memory,
-                out.fast_pages * self.cost.page_alloc_fast
-                    + out.slow_pages * self.cost.page_alloc_slow,
-            );
+            if self.dp.charges_memory() {
+                ch.add(
+                    Category::Memory,
+                    out.fast_pages * self.cost.page_alloc_fast
+                        + out.slow_pages * self.cost.page_alloc_slow,
+                );
+            }
             let mapped = self.hosts[h].iommu.map(pages);
-            ch.add(Category::Memory, mapped * self.cost.iommu_map);
+            if self.dp.charges_memory() {
+                ch.add(Category::Memory, mapped * self.cost.iommu_map);
+            }
             let cd = &mut self.hosts[h].cores[core];
             cd.breakdown += ch.0;
             cd.usage.add_busy(cycles_to_time(ch.total()));
@@ -691,16 +712,20 @@ impl World {
 
     fn exec_softirq(&mut self, h: usize, core: usize, ch: &mut Charges) -> bool {
         let now = self.queue.now();
+        let dp = self.dp;
 
-        // Hard-IRQ handler work accumulated since the last step.
+        // Hard-IRQ handler work accumulated since the last step. A
+        // busy-polling backend never takes the interrupt.
         let irqs = std::mem::take(&mut self.hosts[h].cores[core].irqs_pending);
-        if irqs > 0 {
+        if irqs > 0 && dp.charges_irq() {
             ch.add(Category::Etc, self.cost.irq_handler * irqs as u64);
         }
 
         // BBR pacer releases queued on this core.
         while let Some(fid) = self.hosts[h].cores[core].pacer_ready.pop_front() {
-            ch.add(Category::Sched, self.cost.pacer_fire);
+            if dp.charges_protocol() {
+                ch.add(Category::Sched, self.cost.pacer_fire);
+            }
             self.paced_release(fid as usize, ch);
         }
 
@@ -709,7 +734,7 @@ impl World {
             .cfg
             .napi_batch
             .min(self.hosts[h].cores[core].backlog.len() as u32);
-        if batch > 0 {
+        if batch > 0 && dp.charges_protocol() {
             ch.add(Category::NetDevice, self.cost.napi_poll);
         }
         let mut replenish = 0u32;
@@ -726,8 +751,16 @@ impl World {
                     ecn_echo,
                     sack,
                 } => {
-                    ch.add(Category::NetDevice, self.cost.driver_rx_ack);
-                    ch.add(Category::TcpIp, self.cost.ack_rx);
+                    if dp.charges_protocol() {
+                        ch.add(Category::NetDevice, self.cost.driver_rx_ack);
+                        ch.add(Category::TcpIp, self.cost.ack_rx);
+                    } else if dp.busy_polls() {
+                        // The userspace stack sees the raw ACK frame on the
+                        // polling core.
+                        ch.add(Category::NetDevice, self.cost.bypass_poll_frame);
+                    }
+                    // TOE: ACK clocking lives on-NIC; the host never sees
+                    // the frame, but the sender state machine still runs.
                     self.process_ack(pf.seg.flow as usize, ack, window, ecn_echo, sack, ch);
                 }
                 SegmentKind::Data {
@@ -735,12 +768,20 @@ impl World {
                     len,
                     retransmit,
                 } => {
-                    ch.add(Category::NetDevice, self.cost.driver_rx_frame);
-                    ch.add(Category::Memory, self.cost.skb_alloc);
-                    ch.add(Category::SkbMgmt, self.cost.skb_build);
-                    if self.cfg.stack.steering.software_cost() {
-                        ch.add(Category::NetDevice, self.cost.steering_sw);
+                    if dp.charges_protocol() {
+                        ch.add(Category::NetDevice, self.cost.driver_rx_frame);
+                        ch.add(Category::Memory, self.cost.skb_alloc);
+                        ch.add(Category::SkbMgmt, self.cost.skb_build);
+                        if self.cfg.stack.steering.software_cost() {
+                            ch.add(Category::NetDevice, self.cost.steering_sw);
+                        }
+                    } else if dp.busy_polls() {
+                        // Bypass: per-frame harvest on the polling core is
+                        // the whole Rx pipeline.
+                        ch.add(Category::NetDevice, self.cost.bypass_poll_frame);
                     }
+                    // TOE: per-frame work happened on-NIC; the host is
+                    // charged per completion in `deliver_skb`.
                     let frame = pf.frame.expect("data frames carry buffers");
                     let mut skb = RxSkb::from_frame_pooled(
                         &mut self.frag_pool,
@@ -756,9 +797,19 @@ impl World {
                         skb.trace = pf.seg.trace;
                         self.trace
                             .stamp(pf.seg.trace, pf.seg.flow, StageId::Napi, h, core, now);
+                        if dp.busy_polls() {
+                            self.trace.stamp(
+                                pf.seg.trace,
+                                pf.seg.flow,
+                                StageId::BypassPoll,
+                                h,
+                                core,
+                                now,
+                            );
+                        }
                     }
-                    if self.cfg.stack.gro || self.cfg.stack.lro {
-                        if !self.cfg.stack.lro {
+                    if dp.rx_aggregates(&self.cfg.stack) {
+                        if dp.rx_aggregation_charged(&self.cfg.stack) {
                             ch.add(Category::NetDevice, self.cost.gro_per_frame);
                         }
                         if self.trace.enabled() {
@@ -803,13 +854,20 @@ impl World {
                 let pages = pages_for(self.cfg.stack.mtu as u64) * added as u64;
                 match self.hosts[h].pages.try_alloc(core as u16, pages) {
                     Some(out) => {
-                        ch.add(
-                            Category::Memory,
-                            out.fast_pages * self.cost.page_alloc_fast
-                                + out.slow_pages * self.cost.page_alloc_slow,
-                        );
+                        // Offload backends recycle long-lived pre-registered
+                        // buffers: the pool and IOMMU still operate (the
+                        // ledgers must balance) but cost no host cycles.
+                        if dp.charges_memory() {
+                            ch.add(
+                                Category::Memory,
+                                out.fast_pages * self.cost.page_alloc_fast
+                                    + out.slow_pages * self.cost.page_alloc_slow,
+                            );
+                        }
                         let mapped = self.hosts[h].iommu.map(pages);
-                        ch.add(Category::Memory, mapped * self.cost.iommu_map);
+                        if dp.charges_memory() {
+                            ch.add(Category::Memory, mapped * self.cost.iommu_map);
+                        }
                     }
                     None => {
                         // Injected pool pressure: the descriptors cannot be
@@ -848,28 +906,39 @@ impl World {
         if self.measuring {
             self.hosts[h].skb_sizes.record(skb.len as u64);
         }
+        let dp = self.dp;
         if self.trace.enabled() {
             self.trace
                 .stamp(skb.trace, skb.flow, StageId::TcpRx, h, core, now);
+            if dp.charges_descriptors() && !dp.busy_polls() {
+                self.trace
+                    .stamp(skb.trace, skb.flow, StageId::ToeComplete, h, core, now);
+            }
         }
-        ch.add(
-            Category::TcpIp,
-            self.cost.tcp_rx_cycles(skb.len) + self.cost.rx_queue_ops,
-        );
         let fid = skb.flow as usize;
-        let contended = {
-            let f = &self.flows[fid];
-            f.irq_core != f.spec.dst_core
-        };
-        ch.add(
-            Category::Lock,
-            self.cost.sock_lock
-                + if contended {
-                    self.cost.sock_lock_contended
-                } else {
-                    0
-                },
-        );
+        if dp.charges_protocol() {
+            ch.add(
+                Category::TcpIp,
+                self.cost.tcp_rx_cycles(skb.len) + self.cost.rx_queue_ops,
+            );
+            let contended = {
+                let f = &self.flows[fid];
+                f.irq_core != f.spec.dst_core
+            };
+            ch.add(
+                Category::Lock,
+                self.cost.sock_lock
+                    + if contended {
+                        self.cost.sock_lock_contended
+                    } else {
+                        0
+                    },
+            );
+        } else if dp.charges_descriptors() && !dp.busy_polls() {
+            // TOE: one completion descriptor per (NIC-aggregated) delivery
+            // replaces the entire driver + skb + GRO + TCP-rx pipeline.
+            ch.add(Category::NetDevice, self.cost.toe_rx_desc);
+        }
 
         let (delivered, duplicate, ooo, ack) = {
             let f = &mut self.flows[fid];
@@ -881,9 +950,11 @@ impl World {
                 action.ack,
             )
         };
-        ch.add(Category::TcpIp, self.cost.ack_gen);
-        if ooo {
-            ch.add(Category::TcpIp, self.cost.tcp_ofo_per_skb);
+        if dp.charges_protocol() {
+            ch.add(Category::TcpIp, self.cost.ack_gen);
+            if ooo {
+                ch.add(Category::TcpIp, self.cost.tcp_ofo_per_skb);
+            }
         }
 
         if delivered == 0 && duplicate {
@@ -966,7 +1037,7 @@ impl World {
                 }
             }
         }
-        if action.fast_retransmit {
+        if action.fast_retransmit && self.dp.charges_protocol() {
             ch.add(Category::TcpIp, self.cost.retransmit_extra);
         }
         if action.try_transmit {
@@ -1028,7 +1099,9 @@ impl World {
             ch.add(Category::Sched, self.cost.block);
             return false;
         }
-        ch.add(Category::Etc, self.cost.syscall_write);
+        if self.dp.charges_syscalls() {
+            ch.add(Category::Etc, self.cost.syscall_write);
+        }
         self.charge_sender_copy(fid, write, ch);
         self.flows[fid].sender.app_write(write);
         let node = self.cfg.topology.node_of(self.flows[fid].spec.src_core);
@@ -1058,6 +1131,10 @@ impl World {
             // can stamp AppWrite/CopyIn retroactively.
             self.flows[fid].last_write_at = self.queue.now();
         }
+        if !self.dp.charges_copies() {
+            // Bypass transmits straight from pre-registered user buffers.
+            return;
+        }
         if self.cfg.stack.zerocopy_tx {
             let pages = pages_for(bytes);
             ch.add(Category::Memory, pages * self.cost.zc_tx_pin_page);
@@ -1086,8 +1163,12 @@ impl World {
             ch.add(Category::Sched, self.cost.block);
             return false;
         }
-        ch.add(Category::Etc, self.cost.syscall_recv);
-        ch.add(Category::Lock, self.cost.sock_lock);
+        if self.dp.charges_syscalls() {
+            ch.add(Category::Etc, self.cost.syscall_recv);
+        }
+        if self.dp.charges_protocol() {
+            ch.add(Category::Lock, self.cost.sock_lock);
+        }
         let copied = self.copy_from_socket(h, core, fid, self.cfg.recv_size as u64, ch);
         self.after_app_copy(h, core, fid, copied, ch);
         let again = self.readable(fid);
@@ -1158,13 +1239,18 @@ impl World {
         effective: u64,
         ch: &mut Charges,
     ) {
-        ch.add(Category::SkbMgmt, self.cost.skb_free);
-        if effective > 0 && self.cfg.stack.zerocopy_rx {
+        let dp = self.dp;
+        if dp.charges_protocol() {
+            ch.add(Category::SkbMgmt, self.cost.skb_free);
+        }
+        // A backend that never copies (bypass: the app reads the DMA
+        // buffers in place) skips both the remap and the copy charge.
+        if effective > 0 && dp.charges_copies() && self.cfg.stack.zerocopy_rx {
             // TCP mmap receive (§4): remap the pages instead of
             // copying the payload. Cache residency becomes moot.
             let pages = pages_for(effective);
             ch.add(Category::Memory, pages * self.cost.zc_rx_remap_page);
-        } else if effective > 0 {
+        } else if effective > 0 && dp.charges_copies() {
             // Copy cost per fragment, by where the bytes are.
             let app_node = self.cfg.topology.node_of(core as u16);
             for &fr in &skb.frags {
@@ -1215,9 +1301,12 @@ impl World {
         }
     }
 
-    /// Release DMA buffers: DCA reclaim, page free, IOMMU unmap.
+    /// Release DMA buffers: DCA reclaim, page free, IOMMU unmap. The
+    /// operations run under every backend (buffer and mapping ledgers must
+    /// balance); only the in-kernel datapath pays cycles for them.
     fn free_frags(&mut self, h: usize, core: usize, frags: &[hns_mem::FrameId], ch: &mut Charges) {
         let core_node = self.cfg.topology.node_of(core as u16);
+        let charged = self.dp.charges_memory();
         for &fr in frags {
             let node = self.hosts[h].arena.node(fr);
             let bytes = self.hosts[h].arena.release(fr);
@@ -1225,13 +1314,17 @@ impl World {
             let out = self.hosts[h]
                 .pages
                 .free(core as u16, pages, node == core_node);
-            ch.add(
-                Category::Memory,
-                out.fast_pages * self.cost.page_free_fast
-                    + out.slow_pages * self.cost.page_free_slow,
-            );
+            if charged {
+                ch.add(
+                    Category::Memory,
+                    out.fast_pages * self.cost.page_free_fast
+                        + out.slow_pages * self.cost.page_free_slow,
+                );
+            }
             let unmapped = self.hosts[h].iommu.unmap(pages);
-            ch.add(Category::Memory, unmapped * self.cost.iommu_unmap);
+            if charged {
+                ch.add(Category::Memory, unmapped * self.cost.iommu_unmap);
+            }
         }
     }
 
@@ -1248,8 +1341,12 @@ impl World {
                 ch.add(Category::Sched, self.cost.block);
                 return false;
             }
-            ch.add(Category::Etc, self.cost.syscall_recv);
-            ch.add(Category::Lock, self.cost.sock_lock);
+            if self.dp.charges_syscalls() {
+                ch.add(Category::Etc, self.cost.syscall_recv);
+            }
+            if self.dp.charges_protocol() {
+                ch.add(Category::Lock, self.cost.sock_lock);
+            }
             let copied = self.copy_from_socket(h, core, rx, u64::MAX, ch);
             self.after_app_copy(h, core, rx, copied, ch);
             self.apps[app_idx].rpc[0].received += copied;
@@ -1269,7 +1366,9 @@ impl World {
         }
         // Send the next request.
         self.apps[app_idx].sent_at = self.queue.now();
-        ch.add(Category::Etc, self.cost.syscall_write);
+        if self.dp.charges_syscalls() {
+            ch.add(Category::Etc, self.cost.syscall_write);
+        }
         self.charge_sender_copy(tx, size as u64, ch);
         self.flows[tx].sender.app_write(size as u64);
         let node = self.cfg.topology.node_of(self.flows[tx].spec.src_core);
@@ -1306,15 +1405,21 @@ impl World {
             if !self.readable(rx) {
                 continue;
             }
-            ch.add(Category::Etc, self.cost.syscall_recv);
-            ch.add(Category::Lock, self.cost.sock_lock);
+            if self.dp.charges_syscalls() {
+                ch.add(Category::Etc, self.cost.syscall_recv);
+            }
+            if self.dp.charges_protocol() {
+                ch.add(Category::Lock, self.cost.sock_lock);
+            }
             let copied = self.copy_from_socket(h, core, rx, u64::MAX, ch);
             self.after_app_copy(h, core, rx, copied, ch);
             self.apps[app_idx].rpc[ci].received += copied;
             while self.apps[app_idx].rpc[ci].received >= size as u64 {
                 self.apps[app_idx].rpc[ci].received -= size as u64;
                 // Write the response.
-                ch.add(Category::Etc, self.cost.syscall_write);
+                if self.dp.charges_syscalls() {
+                    ch.add(Category::Etc, self.cost.syscall_write);
+                }
                 self.charge_sender_copy(tx, size as u64, ch);
                 self.flows[tx].sender.app_write(size as u64);
                 let node = self.cfg.topology.node_of(self.flows[tx].spec.src_core);
@@ -1388,8 +1493,12 @@ impl World {
         let mut progressed = false;
         // Drain any response bytes first.
         if self.readable(rx) {
-            ch.add(Category::Etc, self.cost.syscall_recv);
-            ch.add(Category::Lock, self.cost.sock_lock);
+            if self.dp.charges_syscalls() {
+                ch.add(Category::Etc, self.cost.syscall_recv);
+            }
+            if self.dp.charges_protocol() {
+                ch.add(Category::Lock, self.cost.sock_lock);
+            }
             let copied = self.copy_from_socket(h, core, rx, u64::MAX, ch);
             self.after_app_copy(h, core, rx, copied, ch);
             self.apps[app_idx].rpc[0].received += copied;
@@ -1410,7 +1519,9 @@ impl World {
         if self.apps[app_idx].pending_arrivals > 0 {
             self.apps[app_idx].pending_arrivals -= 1;
             self.apps[app_idx].outstanding.push_back(self.queue.now());
-            ch.add(Category::Etc, self.cost.syscall_write);
+            if self.dp.charges_syscalls() {
+                ch.add(Category::Etc, self.cost.syscall_write);
+            }
             self.charge_sender_copy(tx, size as u64, ch);
             self.flows[tx].sender.app_write(size as u64);
             let node = self.cfg.topology.node_of(self.flows[tx].spec.src_core);
@@ -1479,21 +1590,42 @@ impl World {
                 return true;
             }
         };
-        ch.add(
-            Category::TcpIp,
-            self.cost.tcp_tx_cycles(len) + if rtx { self.cost.retransmit_extra } else { 0 },
-        );
-        ch.add(Category::Memory, self.cost.skb_alloc_tx);
-        ch.add(Category::SkbMgmt, self.cost.skb_build_tx);
-
+        let dp = self.dp;
         let mss = self.cfg.stack.mss();
-        let software_gso = !self.cfg.stack.tso && self.cfg.stack.gso;
         let nframes = tso::frame_count(len, mss) as u64;
-        ch.add(Category::NetDevice, self.cost.qdisc_tx_cycles(nframes));
-        if software_gso {
-            ch.add(Category::NetDevice, self.cost.gso_per_frame * nframes);
+        if dp.charges_protocol() {
+            ch.add(
+                Category::TcpIp,
+                self.cost.tcp_tx_cycles(len) + if rtx { self.cost.retransmit_extra } else { 0 },
+            );
+            ch.add(Category::Memory, self.cost.skb_alloc_tx);
+            ch.add(Category::SkbMgmt, self.cost.skb_build_tx);
+            ch.add(Category::NetDevice, self.cost.qdisc_tx_cycles(nframes));
+            let software_gso = !self.cfg.stack.tso && self.cfg.stack.gso;
+            if software_gso {
+                ch.add(Category::NetDevice, self.cost.gso_per_frame * nframes);
+            }
         }
         let h = self.flows[fid].spec.src_host;
+        if dp.charges_descriptors() {
+            // Reap completions of frames the NIC already put on the wire,
+            // then post one descriptor per outgoing frame. The ring meters
+            // bookkeeping cycles; it is sized never to gate transmission
+            // (in-flight descriptors are window-bounded).
+            let ring = &mut self.descrings[h];
+            let reaped = ring.harvest(u64::MAX);
+            let mut posted = 0u64;
+            for _ in 0..nframes {
+                if ring.try_post().is_none() {
+                    break;
+                }
+                posted += 1;
+            }
+            ch.add(
+                Category::NetDevice,
+                reaped * self.cost.desc_complete + posted * self.cost.desc_post,
+            );
+        }
         let queue = self.flows[fid].spec.src_core as usize;
         let wrote = self.flows[fid].last_write_at;
         // Bulk-enqueue the whole TSO burst: frames are built lazily while
@@ -1550,6 +1682,12 @@ impl World {
                 // a flow-table index; their lifecycle stamps happen at the
                 // handshake stages instead.
                 let is_conn = matches!(seg.kind, SegmentKind::Conn { .. });
+                if self.dp.charges_descriptors() && matches!(seg.kind, SegmentKind::Data { .. }) {
+                    // The NIC consumed the posted descriptor; the host
+                    // harvests (and pays for) the completion at its next
+                    // transmit call.
+                    self.descrings[h].complete(1);
+                }
                 if self.trace.enabled() && !is_conn {
                     let core = self.flows[seg.flow as usize].spec.src_core as usize;
                     self.trace
@@ -1676,7 +1814,15 @@ impl World {
         });
         if host.coalescer.frame_arrived(core as usize) {
             host.cores[core as usize].irqs_pending += 1;
-            let fires = now + self.cfg.irq_latency + self.cfg.irq_coalesce;
+            // A busy-polling backend notices the frame on its next spin:
+            // no interrupt dispatch latency, no moderation delay. The
+            // `Irq` event survives as the poll-wakeup edge; its handler
+            // charge is already gated off in `exec_softirq`.
+            let fires = if self.dp.busy_polls() {
+                now
+            } else {
+                now + self.cfg.irq_latency + self.cfg.irq_coalesce
+            };
             self.queue.schedule(
                 fires,
                 Event::Irq {
@@ -1740,7 +1886,9 @@ impl World {
         let h = self.flows[fid].spec.src_host;
         let core = self.flows[fid].spec.src_core as usize;
         let mut ch = Charges::default();
-        ch.add(Category::TcpIp, self.cost.retransmit_extra);
+        if self.dp.charges_protocol() {
+            ch.add(Category::TcpIp, self.cost.retransmit_extra);
+        }
         self.pump(fid, &mut ch);
         self.sync_rto(fid);
         let cd = &mut self.hosts[h].cores[core];

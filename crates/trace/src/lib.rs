@@ -87,10 +87,16 @@ pub enum StageId {
     /// Connection lifecycle: TIME_WAIT expired and the record was reaped
     /// (true end of the connection's kernel footprint).
     TimeWaitReap = 19,
+    /// Offload datapaths: the TOE delivered a completion descriptor for a
+    /// NIC-reassembled aggregate (replaces driver/skb/GRO/TCP-rx stamps).
+    ToeComplete = 20,
+    /// Offload datapaths: the bypass poller harvested the frame from the
+    /// descriptor ring on the dedicated polling core.
+    BypassPoll = 21,
 }
 
 /// Number of distinct stages.
-pub const N_STAGES: usize = 20;
+pub const N_STAGES: usize = 22;
 
 impl StageId {
     /// All stages in pipeline order.
@@ -115,6 +121,8 @@ impl StageId {
         StageId::ConnAccept,
         StageId::FinTx,
         StageId::TimeWaitReap,
+        StageId::ToeComplete,
+        StageId::BypassPoll,
     ];
 
     /// Stable machine-readable label (JSONL / CSV column names).
@@ -140,6 +148,8 @@ impl StageId {
             StageId::ConnAccept => "conn_accept",
             StageId::FinTx => "fin_tx",
             StageId::TimeWaitReap => "timewait_reap",
+            StageId::ToeComplete => "toe_complete",
+            StageId::BypassPoll => "bypass_poll",
         }
     }
 

@@ -19,6 +19,7 @@
 use hostnet::building_blocks::proto::cc::CcAlgo;
 use hostnet::building_blocks::sim::Duration;
 use hostnet::building_blocks::stack::config::RcvBufPolicy;
+use hostnet::building_blocks::stack::DatapathKind;
 use hostnet::{Experiment, OptLevel, Placement, ScenarioKind};
 
 use std::process::ExitCode;
@@ -83,36 +84,14 @@ fn execute(cmd: cli::Command) -> ExitCode {
             ExitCode::SUCCESS
         }
         cli::Command::Capacity(cap) => {
-            use hostnet::building_blocks::core_figures as figures;
-            figures::set_jobs(
-                cap.jobs
-                    .unwrap_or_else(hostnet::building_blocks::par::available_jobs),
-            );
-            let points = figures::fig_capacity_points();
-            let results = hostnet::building_blocks::par::map_ordered(
-                figures::jobs(),
-                &points,
-                |p: &figures::SweepPoint| {
-                    let mut e = p.build();
-                    if cap.quick {
-                        e = e.quick();
-                    }
-                    if cap.audited {
-                        e = e.audited();
-                    }
-                    e.try_run().map_err(|err| format!("{}: {err}", p.label))
-                },
-            );
-            let mut reports = Vec::new();
-            for r in results {
-                match r {
-                    Ok(r) => reports.push(r),
-                    Err(e) => {
-                        eprintln!("capacity: {e}");
-                        return ExitCode::FAILURE;
-                    }
+            let points = hostnet::building_blocks::core_figures::fig_capacity_points();
+            let reports = match run_points(&points, cap.jobs, cap.quick, cap.audited) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("capacity: {e}");
+                    return ExitCode::FAILURE;
                 }
-            }
+            };
             if cap.csv {
                 print!(
                     "{}",
@@ -130,6 +109,39 @@ fn execute(cmd: cli::Command) -> ExitCode {
                         hostnet::building_blocks::metrics::format_capacity_table(r)
                     );
                 }
+            }
+            ExitCode::SUCCESS
+        }
+        cli::Command::Backend(b) => {
+            use hostnet::building_blocks::metrics;
+            let points = hostnet::building_blocks::core_figures::fig_backend_points();
+            let reports = match run_points(&points, b.jobs, b.quick, b.audited) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("backend: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if b.csv {
+                print!("{}", metrics::reports_to_csv(&reports));
+            } else {
+                print!("{}", metrics::format_series_table(&reports));
+                let side = |pick: fn(&hostnet::Report) -> &metrics::CycleBreakdown| {
+                    reports
+                        .iter()
+                        .map(|r| (r.label.clone(), *pick(r)))
+                        .collect::<Vec<_>>()
+                };
+                println!("\nsender cycle taxonomy (fraction of host cycles):");
+                print!(
+                    "{}",
+                    metrics::format_breakdown_table(&side(|r| &r.sender.breakdown))
+                );
+                println!("\nreceiver cycle taxonomy (fraction of host cycles):");
+                print!(
+                    "{}",
+                    metrics::format_breakdown_table(&side(|r| &r.receiver.breakdown))
+                );
             }
             ExitCode::SUCCESS
         }
@@ -196,6 +208,9 @@ fn execute(cmd: cli::Command) -> ExitCode {
                 c.stack.iommu = run.iommu;
                 c.stack.zerocopy_tx = run.zerocopy_tx;
                 c.stack.zerocopy_rx = run.zerocopy_rx;
+                if let Some(dp) = run.datapath {
+                    c.datapath = dp;
+                }
                 if run.trace {
                     c.trace = hostnet::building_blocks::trace::TraceConfig {
                         enabled: true,
@@ -459,6 +474,35 @@ fn apply_faults(c: &mut hostnet::building_blocks::stack::SimConfig, run: &cli::R
     c.max_backlog = run.max_backlog;
 }
 
+/// Build, optionally quicken/audit, and run a set of sweep points on the
+/// shared pool, failing on the first run that does not quiesce. Reports
+/// come back in declared point order for any job count.
+fn run_points(
+    points: &[hostnet::building_blocks::core_figures::SweepPoint],
+    jobs: Option<usize>,
+    quick: bool,
+    audited: bool,
+) -> Result<Vec<hostnet::Report>, String> {
+    use hostnet::building_blocks::core_figures as figures;
+    figures::set_jobs(jobs.unwrap_or_else(hostnet::building_blocks::par::available_jobs));
+    hostnet::building_blocks::par::map_ordered(
+        figures::jobs(),
+        points,
+        |p: &figures::SweepPoint| {
+            let mut e = p.build();
+            if quick {
+                e = e.quick();
+            }
+            if audited {
+                e = e.audited();
+            }
+            e.try_run().map_err(|err| format!("{}: {err}", p.label))
+        },
+    )
+    .into_iter()
+    .collect()
+}
+
 /// Run the named paper figures (all when empty) and collect their
 /// reports.
 fn run_figures(names: &[String]) -> Vec<hostnet::Report> {
@@ -525,6 +569,9 @@ fn run_figures(names: &[String]) -> Vec<hostnet::Report> {
     if want("figcap") {
         out.extend(figures::fig_capacity().into_iter().map(|(_, r)| r));
     }
+    if want("figback") {
+        out.extend(figures::fig_backend().into_iter().map(|(_, r)| r));
+    }
     out
 }
 
@@ -537,9 +584,11 @@ pub mod cli {
 usage:
   hostnet run <scenario> [options]
   hostnet figures [fig03|fig03e|fig03f|fig03g|fig04|fig05|fig05c|fig06|
-                   fig07|fig08|fig09|fig09b|fig10|fig11|fig12|fig13|figcap]...
+                   fig07|fig08|fig09|fig09b|fig10|fig11|fig12|fig13|figcap|
+                   figback]...
                   [--csv] [--jobs N|auto]
   hostnet capacity [--csv] [--jobs N|auto] [--quick] [--audited]
+  hostnet backend [--csv] [--jobs N|auto] [--quick] [--audited]
   hostnet monitor [options]
   hostnet audit [--runs N] [--seed S] [--out DIR] [--quiet]
   hostnet list
@@ -550,6 +599,10 @@ capacity (fig_capacity: admission policy x concurrent clients at fixed cores):
   --jobs N|auto      sweep thread-pool size (output identical for any value)
   --quick            short windows (5ms + 8ms) for smoke runs
   --audited          run every point under the invariant auditor
+
+backend (fig_backend: in-kernel vs TCP offload vs kernel-bypass datapaths,
+         series table plus per-side cycle-taxonomy tables; same flags as
+         `capacity`)
 
 monitor (streaming telemetry: live interval lines + JSONL snapshots,
          quantile sketches fed by the sampled lifecycle tracer):
@@ -596,6 +649,8 @@ options:
   --iommu            enable the IOMMU
   --zerocopy-tx      MSG_ZEROCOPY sender path (§4)
   --zerocopy-rx      TCP mmap receive path (§4)
+  --datapath B       inkernel | toe | bypass datapath backend (§4, default
+                     inkernel; toe = on-NIC protocol, bypass = busy-poll)
   --churn-rate CPS   connection arrivals per second       (default 100000)
   --churn-mode M     handshake | rpc | pool               (default handshake)
   --churn-conns N    pool population for --churn-mode pool (default 100000)
@@ -654,6 +709,10 @@ fault injection (all deterministic; scheduled faults share one window):
         },
         /// `hostnet capacity [--csv] [--jobs N] [--quick] [--audited]`.
         Capacity(CapacityArgs),
+        /// `hostnet backend [--csv] [--jobs N] [--quick] [--audited]` —
+        /// the fig_backend datapath comparison; shares the capacity
+        /// sweep's flag grammar.
+        Backend(CapacityArgs),
         /// `hostnet monitor [options]` (boxed: MonitorArgs carries a full
         /// churn config).
         Monitor(Box<MonitorArgs>),
@@ -725,6 +784,8 @@ fault injection (all deterministic; scheduled faults share one window):
         pub zerocopy_tx: bool,
         /// TCP mmap receive.
         pub zerocopy_rx: bool,
+        /// Datapath backend override (in-kernel / TOE / bypass).
+        pub datapath: Option<DatapathKind>,
         /// Seed.
         pub seed: u64,
         /// Warmup window (ms).
@@ -797,34 +858,8 @@ fault injection (all deterministic; scheduled faults share one window):
                 }
                 Ok(Command::Figures { names, csv, jobs })
             }
-            Some("capacity") => {
-                let mut cap = CapacityArgs {
-                    csv: false,
-                    jobs: None,
-                    quick: false,
-                    audited: false,
-                };
-                let mut it = args[1..].iter();
-                while let Some(a) = it.next() {
-                    match a.as_str() {
-                        "--csv" => cap.csv = true,
-                        "--quick" => cap.quick = true,
-                        "--audited" => cap.audited = true,
-                        "--jobs" => {
-                            let v = it
-                                .next()
-                                .ok_or_else(|| "--jobs: missing value".to_string())?;
-                            cap.jobs = if v == "auto" {
-                                None
-                            } else {
-                                Some(parse_num(v, "--jobs")?)
-                            };
-                        }
-                        x => return Err(format!("capacity: unknown flag `{x}`")),
-                    }
-                }
-                Ok(Command::Capacity(cap))
-            }
+            Some("capacity") => parse_sweep_flags("capacity", &args[1..]).map(Command::Capacity),
+            Some("backend") => parse_sweep_flags("backend", &args[1..]).map(Command::Backend),
             Some("monitor") => parse_monitor(&args[1..]).map(|m| Command::Monitor(Box::new(m))),
             Some("audit") => {
                 let mut opts = hostnet::AuditOptions::new(200, 1);
@@ -846,6 +881,37 @@ fault injection (all deterministic; scheduled faults share one window):
             }
             Some(other) => Err(format!("unknown command `{other}`")),
         }
+    }
+
+    /// Parse the flag set shared by `capacity` and `backend` (both are
+    /// point sweeps with identical knobs).
+    fn parse_sweep_flags(cmd: &str, args: &[String]) -> Result<CapacityArgs, String> {
+        let mut cap = CapacityArgs {
+            csv: false,
+            jobs: None,
+            quick: false,
+            audited: false,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--csv" => cap.csv = true,
+                "--quick" => cap.quick = true,
+                "--audited" => cap.audited = true,
+                "--jobs" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| "--jobs: missing value".to_string())?;
+                    cap.jobs = if v == "auto" {
+                        None
+                    } else {
+                        Some(parse_num(v, "--jobs")?)
+                    };
+                }
+                x => return Err(format!("{cmd}: unknown flag `{x}`")),
+            }
+        }
+        Ok(cap)
     }
 
     fn parse_run(args: &[String]) -> Result<RunArgs, String> {
@@ -885,6 +951,7 @@ fault injection (all deterministic; scheduled faults share one window):
             iommu: false,
             zerocopy_tx: false,
             zerocopy_rx: false,
+            datapath: None,
             seed: 1,
             warmup_ms: 20,
             measure_ms: 30,
@@ -999,6 +1066,12 @@ fault injection (all deterministic; scheduled faults share one window):
                 "--iommu" => out.iommu = true,
                 "--zerocopy-tx" => out.zerocopy_tx = true,
                 "--zerocopy-rx" => out.zerocopy_rx = true,
+                "--datapath" => {
+                    let v = value("--datapath")?;
+                    out.datapath = Some(DatapathKind::parse(v).ok_or_else(|| {
+                        format!("--datapath: unknown backend `{v}` (inkernel | toe | bypass)")
+                    })?);
+                }
                 "--fault-at-ms" => {
                     out.fault_at_ms = parse_num(value("--fault-at-ms")?, "--fault-at-ms")?
                 }
@@ -1634,6 +1707,39 @@ fault injection (all deterministic; scheduled faults share one window):
             }
             assert!(parse(&argv("capacity --bogus")).is_err());
             assert!(parse(&argv("capacity --jobs")).is_err());
+        }
+
+        #[test]
+        fn parses_backend_command() {
+            match parse(&argv("backend --quick --audited --jobs 2")).unwrap() {
+                Command::Backend(b) => {
+                    assert!(b.quick && b.audited && !b.csv);
+                    assert_eq!(b.jobs, Some(2));
+                }
+                _ => panic!("not backend"),
+            }
+            assert!(parse(&argv("backend --bogus"))
+                .unwrap_err()
+                .contains("backend"));
+        }
+
+        #[test]
+        fn parses_datapath_flag() {
+            for (arg, kind) in [
+                ("inkernel", DatapathKind::InKernel),
+                ("toe", DatapathKind::ToeOffload),
+                ("dpdk", DatapathKind::UserBypass),
+            ] {
+                match parse(&argv(&format!("run single --datapath {arg}"))).unwrap() {
+                    Command::Run(r) => assert_eq!(r.datapath, Some(kind)),
+                    _ => panic!("not a run"),
+                }
+            }
+            match parse(&argv("run single")).unwrap() {
+                Command::Run(r) => assert_eq!(r.datapath, None),
+                _ => panic!("not a run"),
+            }
+            assert!(parse(&argv("run single --datapath quic")).is_err());
         }
 
         #[test]

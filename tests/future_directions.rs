@@ -1,7 +1,9 @@
 //! Integration tests for the paper's §4 "future directions", implemented
-//! as simulator features: zero-copy datapaths, application-aware
-//! scheduling, and open-loop latency behaviour.
+//! as simulator features: zero-copy datapaths, offload/bypass datapath
+//! backends, application-aware scheduling, and open-loop latency
+//! behaviour.
 
+use hostnet::building_blocks::stack::DatapathKind;
 use hostnet::{Category, Experiment, ScenarioKind};
 
 /// §4: receiver-side zero copy removes the dominant overhead — the paper
@@ -55,6 +57,67 @@ fn zerocopy_both_sides() {
     assert_eq!(r.receiver.breakdown[Category::DataCopy], 0);
     assert_eq!(r.sender.breakdown[Category::DataCopy], 0);
     assert!(r.total_gbps > 40.0, "got {:.1}", r.total_gbps);
+}
+
+/// §4: a TCP-offload NIC moves protocol, skb and memory management
+/// on-NIC; what remains on the host is exactly the copy + syscall +
+/// descriptor residue the paper predicts — and with the protocol gone,
+/// the data copy towers over everything else.
+#[test]
+fn toe_offload_leaves_copy_as_the_residue() {
+    let base = Experiment::new(ScenarioKind::Single).quick().run();
+    let toe = Experiment::new(ScenarioKind::Single)
+        .configure(|c| c.datapath = DatapathKind::ToeOffload)
+        .quick()
+        .run();
+    for cat in [Category::TcpIp, Category::SkbMgmt, Category::Memory] {
+        assert_eq!(
+            toe.receiver.breakdown[cat] + toe.sender.breakdown[cat],
+            0,
+            "{} must move on-NIC under TOE",
+            cat.label()
+        );
+    }
+    assert_eq!(toe.receiver.breakdown.dominant(), Some(Category::DataCopy));
+    assert!(
+        toe.thpt_per_core_gbps > 1.5 * base.thpt_per_core_gbps,
+        "toe {:.1} vs in-kernel {:.1}",
+        toe.thpt_per_core_gbps,
+        base.thpt_per_core_gbps
+    );
+}
+
+/// §4: kernel bypass beats every in-kernel variant — including both-sides
+/// zero copy — because it also sheds syscalls, interrupts and the rest of
+/// the stack, leaving only descriptor polling on a dedicated core.
+#[test]
+fn kernel_bypass_exceeds_every_in_kernel_variant() {
+    let zc_both = Experiment::new(ScenarioKind::Single)
+        .configure(|c| {
+            c.stack.zerocopy_tx = true;
+            c.stack.zerocopy_rx = true;
+        })
+        .quick()
+        .run();
+    let byp = Experiment::new(ScenarioKind::Single)
+        .configure(|c| c.datapath = DatapathKind::UserBypass)
+        .quick()
+        .run();
+    for side in [&byp.sender, &byp.receiver] {
+        assert_eq!(side.breakdown[Category::DataCopy], 0, "bypass is zero-copy");
+        assert_eq!(side.breakdown[Category::Etc], 0, "no syscalls, no IRQs");
+        assert_eq!(
+            side.breakdown[Category::TcpIp],
+            0,
+            "protocol in userspace lib"
+        );
+    }
+    assert!(
+        byp.thpt_per_core_gbps > zc_both.thpt_per_core_gbps,
+        "bypass {:.1} should beat zero-copy in-kernel {:.1}",
+        byp.thpt_per_core_gbps,
+        zc_both.thpt_per_core_gbps
+    );
 }
 
 /// Open-loop RPC: latency rises with offered load (the hockey-stick), and

@@ -1,10 +1,11 @@
 //! Golden-figure regression suite.
 //!
 //! The simulator is deterministic end to end, so every figure's reports
-//! can be pinned byte-for-byte. These tests render three representative
-//! sweeps (fig. 3e's ring × buffer grid, the fig. 9b resilience
-//! extension, fig. 13's congestion-control matrix) to canonical JSONL
-//! and compare against the checked-in files under `tests/golden/`.
+//! can be pinned byte-for-byte. These tests render representative sweeps
+//! (fig. 3e's ring × buffer grid, the fig. 9b resilience extension,
+//! fig. 13's congestion-control matrix, the fig_capacity overload sweep,
+//! the fig_backend datapath comparison) to canonical JSONL and compare
+//! against the checked-in files under `tests/golden/`.
 //!
 //! Any intentional change to the engine, cost model, or report schema
 //! shows up here first. To accept new goldens (the `--bless` path):
@@ -98,6 +99,38 @@ fn golden_fig13_congestion_control() {
         .map(|(_, r)| r)
         .collect();
     check("fig13.jsonl", render(&reports));
+}
+
+#[test]
+fn inkernel_backend_is_the_legacy_pipeline() {
+    // Explicit form of what every other golden test asserts implicitly:
+    // the default datapath is the in-kernel backend, and selecting it
+    // explicitly changes nothing — the `Datapath` seam is
+    // charge-transparent, so every pre-seam golden stays byte-identical.
+    use hostnet::building_blocks::stack::DatapathKind;
+    use hostnet::{Experiment, ScenarioKind};
+    assert_eq!(
+        hostnet::building_blocks::stack::SimConfig::default().datapath,
+        DatapathKind::InKernel
+    );
+    let implicit = Experiment::new(ScenarioKind::Single).quick().run();
+    let explicit = Experiment::new(ScenarioKind::Single)
+        .configure(|c| c.datapath = DatapathKind::InKernel)
+        .quick()
+        .run();
+    assert_eq!(implicit.to_json(), explicit.to_json());
+}
+
+#[test]
+fn golden_fig_backend() {
+    // The datapath comparison: in-kernel vs TOE vs kernel-bypass over the
+    // same scenarios. The in-kernel rows double as a pin that the
+    // `Datapath` seam is charge-transparent: they must match what the
+    // legacy pipeline produced before the trait existed (the other golden
+    // suites enforce that too — all pre-seam goldens stay byte-identical).
+    let reports: Vec<Report> = figures::fig_backend().into_iter().map(|(_, r)| r).collect();
+    assert_eq!(reports.len(), 6);
+    check("fig_backend.jsonl", render(&reports));
 }
 
 #[test]

@@ -356,6 +356,55 @@ fn iommu_inflates_memory_management() {
     assert!(mem > 1.5 * default.receiver.breakdown.fraction(Category::Memory));
 }
 
+/// §4: the datapath architectures order by how much host work each one
+/// sheds — in-kernel pays the full taxonomy, TOE keeps copy + syscall +
+/// descriptors, bypass keeps descriptors alone — so goodput-per-host-core
+/// orders the other way around.
+#[test]
+fn offload_datapaths_order_by_remaining_host_work() {
+    use hostnet::building_blocks::stack::DatapathKind;
+    let per_core = |kind: DatapathKind| {
+        quick(ScenarioKind::Single)
+            .configure(|c| c.datapath = kind)
+            .run()
+            .thpt_per_core_gbps
+    };
+    let ik = per_core(DatapathKind::InKernel);
+    let toe = per_core(DatapathKind::ToeOffload);
+    let byp = per_core(DatapathKind::UserBypass);
+    assert!(
+        byp > toe && toe > ik,
+        "bypass {byp:.1} / toe {toe:.1} / inkernel {ik:.1}"
+    );
+}
+
+/// §4: TOE reassembles in hardware regardless of the host GRO knob — at
+/// the paper's no-opt level the in-kernel stack delivers MTU-sized skbs
+/// while the TOE still hands the host large aggregates.
+#[test]
+fn toe_aggregates_even_at_no_opt() {
+    use hostnet::building_blocks::stack::DatapathKind;
+    let ik = quick(ScenarioKind::Single).at_level(OptLevel::NoOpt).run();
+    let toe = quick(ScenarioKind::Single)
+        .at_level(OptLevel::NoOpt)
+        .configure(|c| c.datapath = DatapathKind::ToeOffload)
+        .run();
+    // Without TSO the sender emits MTU frames, so reassembly is bounded
+    // by NAPI batch occupancy — still roughly 2× the in-kernel skbs.
+    assert!(
+        toe.avg_skb_bytes > 1.5 * ik.avg_skb_bytes,
+        "toe skb {:.0}B vs no-opt in-kernel {:.0}B",
+        toe.avg_skb_bytes,
+        ik.avg_skb_bytes
+    );
+    assert!(
+        toe.thpt_per_core_gbps > 2.0 * ik.thpt_per_core_gbps,
+        "offload should dwarf the unoptimized stack: toe {:.1} vs {:.1}",
+        toe.thpt_per_core_gbps,
+        ik.thpt_per_core_gbps
+    );
+}
+
 /// §3.10: congestion control choice barely moves throughput-per-core, but
 /// BBR pays extra sender-side scheduling for pacing.
 #[test]
