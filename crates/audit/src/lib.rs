@@ -289,20 +289,39 @@ impl ArenaLedger {
 
 /// Teardown reconciliation of the global drop taxonomy against the
 /// layer-local counters that fed it.
+///
+/// Beyond the per-layer pairings, the ledger carries the taxonomy's own
+/// `total()` and demands that the attributed groups cover it exactly: a
+/// drop class added to the taxonomy but never wired into a ledger field
+/// (say, a future fabric class) trips `drop-taxonomy-unknown-class`
+/// loudly instead of leaking out of the books unseen.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DropLedger {
     /// Taxonomy wire bucket.
     pub taxo_wire: u64,
     /// Link-local drop counters, both directions.
     pub link_drops: u64,
+    /// Taxonomy switch_buffer bucket (ToR shared-buffer overflow).
+    pub taxo_switch: u64,
+    /// Fabric-local per-port drop counters (zero without a fabric).
+    pub switch_drops: u64,
     /// Taxonomy rx_ring + pool buckets.
     pub taxo_ring_pool: u64,
-    /// Ring-local drop counters across both hosts.
+    /// Ring-local drop counters across all hosts.
     pub ring_drops: u64,
     /// Taxonomy gro_overflow bucket.
     pub taxo_backlog: u64,
     /// Backlog-capacity drops observed at the arrival hook.
     pub backlog_drops: u64,
+    /// Taxonomy socket_queue bucket (no independent layer counter; it
+    /// participates only in the coverage check).
+    pub taxo_socket: u64,
+    /// Taxonomy connection-level buckets (handshake_abort + accept_queue +
+    /// conn_memory), reconciled in detail by the churn/accept/memory
+    /// ledgers; here they participate only in the coverage check.
+    pub taxo_conn: u64,
+    /// The taxonomy's own `total()` across every class it knows about.
+    pub taxo_total: u64,
 }
 
 impl DropLedger {
@@ -314,6 +333,15 @@ impl DropLedger {
                 detail: format!(
                     "taxonomy wire {} != link drops {}",
                     self.taxo_wire, self.link_drops
+                ),
+            });
+        }
+        if self.taxo_switch != self.switch_drops {
+            out.push(Violation {
+                invariant: "drop-taxonomy-switch",
+                detail: format!(
+                    "taxonomy switch_buffer {} != fabric port drops {}",
+                    self.taxo_switch, self.switch_drops
                 ),
             });
         }
@@ -332,6 +360,22 @@ impl DropLedger {
                 detail: format!(
                     "taxonomy gro_overflow {} != backlog-cap drops {}",
                     self.taxo_backlog, self.backlog_drops
+                ),
+            });
+        }
+        let attributed = self.taxo_wire
+            + self.taxo_switch
+            + self.taxo_ring_pool
+            + self.taxo_backlog
+            + self.taxo_socket
+            + self.taxo_conn;
+        if attributed != self.taxo_total {
+            out.push(Violation {
+                invariant: "drop-taxonomy-unknown-class",
+                detail: format!(
+                    "taxonomy total {} != {} attributed across known classes \
+                     (a drop class is missing from the ledger)",
+                    self.taxo_total, attributed
                 ),
             });
         }
@@ -661,14 +705,41 @@ mod tests {
         let l = DropLedger {
             taxo_wire: 4,
             link_drops: 4,
+            taxo_switch: 3,
+            switch_drops: 3,
             taxo_ring_pool: 7,
             ring_drops: 7,
             taxo_backlog: 2,
             backlog_drops: 2,
+            taxo_socket: 1,
+            taxo_conn: 5,
+            taxo_total: 4 + 3 + 7 + 2 + 1 + 5,
         };
         assert!(checked(|o| l.check(o)).is_empty());
         let bad = DropLedger { link_drops: 5, ..l };
         assert_eq!(checked(|o| bad.check(o)).len(), 1);
+        let bad_switch = DropLedger {
+            switch_drops: 2,
+            ..l
+        };
+        let v = checked(|o| bad_switch.check(o));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "drop-taxonomy-switch");
+    }
+
+    #[test]
+    fn drop_ledger_fails_loudly_on_unknown_class() {
+        // A drop class counted in the taxonomy's total but absent from
+        // every attributed group must not slip through silently.
+        let l = DropLedger {
+            taxo_wire: 4,
+            link_drops: 4,
+            taxo_total: 4 + 9, // 9 drops of a class the ledger never saw
+            ..DropLedger::default()
+        };
+        let v = checked(|o| l.check(o));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "drop-taxonomy-unknown-class");
     }
 
     #[test]

@@ -330,6 +330,60 @@ pub fn fig_capacity() -> Vec<(String, Report)> {
     labels.into_iter().zip(run_sweep(&points)).collect()
 }
 
+/// Fan-in degrees fig_incast sweeps (sender hosts per receiver).
+pub const INCAST_SENDERS: [u16; 5] = [1, 2, 4, 8, 16];
+
+/// Shared switch buffer fig_incast configures (bytes). Shallow enough
+/// that ~8 senders' initial windows overrun it.
+pub const INCAST_BUFFER_BYTES: u64 = 256 * 1024;
+
+/// Per-port ECN marking threshold for the ecn-on rows (bytes): about one
+/// BDP at 100Gbps / ~5us RTT, a quarter of the shared buffer.
+pub const INCAST_ECN_THRESHOLD: u64 = 64 * 1024;
+
+/// fig_incast points: ECN off/on × fan-in degree, ECN outermost so each
+/// marking mode's collapse curve reads as five consecutive rows. Every
+/// point sizes the fabric to `senders + 1` hosts over 4 ECMP uplinks
+/// with the shared [`INCAST_BUFFER_BYTES`] switch buffer.
+pub fn fig_incast_points() -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for (mode, ecn) in [("ecn-off", None), ("ecn-on", Some(INCAST_ECN_THRESHOLD))] {
+        for senders in INCAST_SENDERS {
+            out.push(
+                SweepPoint::new(
+                    ScenarioKind::FabricIncast { senders },
+                    format!("incast/{mode}/{senders}s"),
+                )
+                .configure(move |c| {
+                    let mut f = hns_stack::FabricConfig::neutral((senders + 1).max(2));
+                    f.uplinks = 4;
+                    f.buffer_bytes = INCAST_BUFFER_BYTES;
+                    f.ecn_threshold_bytes = ecn;
+                    c.fabric = Some(f);
+                }),
+            );
+        }
+    }
+    out
+}
+
+/// Fabric extension: incast collapse and ECN recovery at the ToR switch.
+///
+/// The paper's two-host testbed can't see the switch: every drop it
+/// reports is host-side (rings, backlogs, sockets). This sweep puts `n`
+/// sender hosts behind a shared-buffer ToR model and drives them into one
+/// receiver. With ECN off, aggregate goodput collapses past the fan-in
+/// knee — concurrent windows overrun the shallow shared buffer, the new
+/// `switch_buffer` drop class fills, and p99 RPC-equivalent latency blows
+/// up with retransmission timeouts. With ECN marking at one BDP of port
+/// depth, senders back off on echoed marks before the buffer overflows
+/// and goodput stays near the line rate. Returns `(label, report)` rows.
+pub fn fig_incast() -> Vec<(String, Report)> {
+    let points = fig_incast_points();
+    let labels: Vec<String> = points.iter().map(|p| p.label.clone()).collect();
+    labels.into_iter().zip(run_sweep(&points)).collect()
+}
+
 /// Scenario grid the cross-backend comparison runs every datapath
 /// against: the paper's single-flow microscope plus a multi-flow
 /// one-to-one so per-core effects (polling-core saturation, descriptor
@@ -639,6 +693,10 @@ mod tests {
         assert_eq!(cap.len(), CAPACITY_POLICIES.len() * CAPACITY_CLIENTS.len());
         assert_eq!(cap[0].label, "capacity/drop/125c");
         assert_eq!(cap[11].label, "capacity/shed/1000c");
+        let inc = fig_incast_points();
+        assert_eq!(inc.len(), 2 * INCAST_SENDERS.len());
+        assert_eq!(inc[0].label, "incast/ecn-off/1s");
+        assert_eq!(inc[9].label, "incast/ecn-on/16s");
         let back = fig_backend_points();
         assert_eq!(
             back.len(),
@@ -656,6 +714,27 @@ mod tests {
         {
             assert_eq!(p.build().cfg.datapath, *kind, "{}", p.label);
         }
+    }
+
+    #[test]
+    fn incast_points_size_the_fabric_to_the_fan_in() {
+        for (p, senders) in fig_incast_points()
+            .iter()
+            .zip(INCAST_SENDERS.iter().cycle())
+        {
+            let f = p.build().cfg.fabric.expect("incast points set a fabric");
+            assert_eq!(f.hosts, senders + 1, "{}", p.label);
+            assert_eq!(f.buffer_bytes, INCAST_BUFFER_BYTES);
+            assert_eq!(f.uplinks, 4);
+        }
+        let ecn: Vec<_> = fig_incast_points()
+            .iter()
+            .map(|p| p.build().cfg.fabric.unwrap().ecn_threshold_bytes)
+            .collect();
+        assert!(ecn[..INCAST_SENDERS.len()].iter().all(|e| e.is_none()));
+        assert!(ecn[INCAST_SENDERS.len()..]
+            .iter()
+            .all(|e| *e == Some(INCAST_ECN_THRESHOLD)));
     }
 
     #[test]

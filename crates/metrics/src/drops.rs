@@ -22,6 +22,8 @@ use crate::json::{obj, JsonError, Value};
 pub struct LayerDrops {
     /// Drops the link itself observed.
     pub wire: u64,
+    /// Drops the ToR switch observed (shared-buffer overflow).
+    pub switch: u64,
     /// Drops the NIC observed (descriptor or page-pool exhaustion).
     pub nic: u64,
     /// Drops the softirq backlog cap observed.
@@ -38,6 +40,9 @@ pub struct LayerDrops {
 pub struct DropStats {
     /// Lost in the network (random loss, burst loss, link flap).
     pub wire: u64,
+    /// Dropped at the ToR switch because the shared egress buffer was full
+    /// (fabric incast overflow; only possible when a fabric is configured).
+    pub switch_buffer: u64,
     /// Arrived at the NIC but no free Rx descriptor (organic exhaustion
     /// under incast, or injected ring-exhaustion faults).
     pub rx_ring: u64,
@@ -66,6 +71,7 @@ impl DropStats {
     pub const fn new() -> Self {
         DropStats {
             wire: 0,
+            switch_buffer: 0,
             rx_ring: 0,
             gro_overflow: 0,
             socket_queue: 0,
@@ -80,6 +86,7 @@ impl DropStats {
     /// connection-level classes alike).
     pub fn total(&self) -> u64 {
         self.wire
+            + self.switch_buffer
             + self.rx_ring
             + self.gro_overflow
             + self.socket_queue
@@ -92,6 +99,7 @@ impl DropStats {
     /// Merge another sample set into this one.
     pub fn merge(&mut self, other: DropStats) {
         self.wire += other.wire;
+        self.switch_buffer += other.switch_buffer;
         self.rx_ring += other.rx_ring;
         self.gro_overflow += other.gro_overflow;
         self.socket_queue += other.socket_queue;
@@ -106,6 +114,7 @@ impl DropStats {
     pub fn since(&self, baseline: DropStats) -> DropStats {
         DropStats {
             wire: self.wire.saturating_sub(baseline.wire),
+            switch_buffer: self.switch_buffer.saturating_sub(baseline.switch_buffer),
             rx_ring: self.rx_ring.saturating_sub(baseline.rx_ring),
             gro_overflow: self.gro_overflow.saturating_sub(baseline.gro_overflow),
             socket_queue: self.socket_queue.saturating_sub(baseline.socket_queue),
@@ -127,6 +136,7 @@ impl DropStats {
     pub fn by_layer(&self) -> LayerDrops {
         LayerDrops {
             wire: self.wire,
+            switch: self.switch_buffer,
             nic: self.rx_ring + self.pool,
             backlog: self.gro_overflow,
             socket: self.socket_queue,
@@ -135,9 +145,10 @@ impl DropStats {
     }
 
     /// Labelled `(bucket, count)` view in stable order.
-    pub fn buckets(&self) -> [(&'static str, u64); 8] {
+    pub fn buckets(&self) -> [(&'static str, u64); 9] {
         [
             ("wire", self.wire),
+            ("switch_buffer", self.switch_buffer),
             ("rx_ring", self.rx_ring),
             ("gro_overflow", self.gro_overflow),
             ("socket_queue", self.socket_queue),
@@ -156,8 +167,12 @@ impl DropStats {
             ("socket_queue", Value::UInt(self.socket_queue)),
             ("pool", Value::UInt(self.pool)),
         ];
-        // Connection-level classes only appear when something was lost
-        // there, keeping pre-overload reports byte-identical.
+        // Connection-level and fabric classes only appear when something
+        // was lost there, keeping pre-overload/pre-fabric reports
+        // byte-identical.
+        if self.switch_buffer > 0 {
+            fields.push(("switch_buffer", Value::UInt(self.switch_buffer)));
+        }
         if self.handshake_abort > 0 {
             fields.push(("handshake_abort", Value::UInt(self.handshake_abort)));
         }
@@ -179,6 +194,7 @@ impl DropStats {
         };
         Ok(DropStats {
             wire: v.get("wire")?.as_u64()?,
+            switch_buffer: opt("switch_buffer")?,
             rx_ring: v.get("rx_ring")?.as_u64()?,
             gro_overflow: v.get("gro_overflow")?.as_u64()?,
             socket_queue: v.get("socket_queue")?.as_u64()?,
@@ -198,6 +214,7 @@ mod tests {
     fn total_sums_every_bucket() {
         let d = DropStats {
             wire: 1,
+            switch_buffer: 9,
             rx_ring: 2,
             gro_overflow: 3,
             socket_queue: 4,
@@ -206,8 +223,8 @@ mod tests {
             accept_queue: 7,
             conn_memory: 8,
         };
-        assert_eq!(d.total(), 36);
-        assert_eq!(d.buckets().iter().map(|&(_, n)| n).sum::<u64>(), 36);
+        assert_eq!(d.total(), 45);
+        assert_eq!(d.buckets().iter().map(|&(_, n)| n).sum::<u64>(), 45);
     }
 
     #[test]
@@ -235,6 +252,7 @@ mod tests {
     fn by_layer_partitions_every_bucket() {
         let d = DropStats {
             wire: 1,
+            switch_buffer: 9,
             rx_ring: 2,
             gro_overflow: 3,
             socket_queue: 4,
@@ -245,11 +263,15 @@ mod tests {
         };
         let l = d.by_layer();
         assert_eq!(l.wire, 1);
+        assert_eq!(l.switch, 9);
         assert_eq!(l.nic, 7);
         assert_eq!(l.backlog, 3);
         assert_eq!(l.socket, 4);
         assert_eq!(l.conn, 21);
-        assert_eq!(l.wire + l.nic + l.backlog + l.socket + l.conn, d.total());
+        assert_eq!(
+            l.wire + l.switch + l.nic + l.backlog + l.socket + l.conn,
+            d.total()
+        );
     }
 
     #[test]
@@ -263,6 +285,7 @@ mod tests {
         let v = d.to_value();
         assert_eq!(DropStats::from_value(&v).unwrap(), d);
         let o = DropStats {
+            switch_buffer: 2,
             handshake_abort: 3,
             accept_queue: 4,
             conn_memory: 5,
@@ -271,14 +294,15 @@ mod tests {
         assert_eq!(DropStats::from_value(&o.to_value()).unwrap(), o);
     }
 
-    /// Pre-overload reports must not grow keys: connection-level classes
-    /// serialize only when nonzero.
+    /// Pre-overload/pre-fabric reports must not grow keys: connection-level
+    /// and fabric classes serialize only when nonzero.
     #[test]
     fn zero_conn_classes_stay_invisible() {
         let json = DropStats::new().to_value().compact();
         assert!(!json.contains("handshake_abort"));
         assert!(!json.contains("accept_queue"));
         assert!(!json.contains("conn_memory"));
+        assert!(!json.contains("switch_buffer"));
         assert!(json.contains("socket_queue"), "legacy keys always present");
     }
 }

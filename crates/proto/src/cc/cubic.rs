@@ -157,6 +157,24 @@ impl CongestionControl for Cubic {
         self.cwnd = min_cwnd(self.mss);
     }
 
+    fn on_ecn_sample(&mut self, ce_fraction: f64) {
+        // ECN echo: halve once per marked window, like a loss epoch but
+        // without retransmission. The sample fires every window (usually
+        // with 0.0), so an unmarked window must be a strict no-op.
+        if ce_fraction > 0.0 {
+            self.w_max = self.cwnd as f64;
+            self.cwnd = ((self.cwnd as f64 * BETA) as u64).max(min_cwnd(self.mss));
+            self.ssthresh = self.cwnd;
+            // No `now` here; clearing the epoch re-anchors the cubic clock
+            // at the next ACK.
+            self.epoch_start = None;
+            let w_max_mss = self.w_max / self.mss_f();
+            self.k = (w_max_mss * (1.0 - BETA) / C).cbrt();
+            self.w_est = self.cwnd as f64;
+            self.est_acc = 0.0;
+        }
+    }
+
     fn name(&self) -> &'static str {
         "cubic"
     }
@@ -241,6 +259,30 @@ mod tests {
             }
         }
         assert!(passed, "never probed beyond w_max {w_max}, ended at {last}");
+    }
+
+    #[test]
+    fn ecn_sample_halves_only_when_marked() {
+        let mut cc = Cubic::new(1448);
+        for _ in 0..20 {
+            cc.on_ack(
+                SimTime::ZERO,
+                cc.cwnd(),
+                Duration::from_micros(50),
+                cc.cwnd(),
+            );
+        }
+        let before = cc.cwnd();
+        // Unmarked windows (the common case) must not move the window.
+        cc.on_ecn_sample(0.0);
+        assert_eq!(cc.cwnd(), before);
+        cc.on_ecn_sample(0.25);
+        let ratio = cc.cwnd() as f64 / before as f64;
+        assert!((ratio - BETA).abs() < 0.01, "ratio = {ratio}");
+        // Recovery resumes from the reduced window on the next ACKs.
+        let w = cc.cwnd();
+        cc.on_ack(SimTime::from_nanos(1_000), w, Duration::from_micros(50), w);
+        assert!(cc.cwnd() >= w);
     }
 
     #[test]

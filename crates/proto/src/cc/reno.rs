@@ -97,6 +97,17 @@ impl CongestionControl for Reno {
         self.avoid_acc = 0;
     }
 
+    fn on_ecn_sample(&mut self, ce_fraction: f64) {
+        // ECN echo: treat a marked window like a fast-retransmit loss
+        // (RFC 3168 §6.1.2). The sample fires every window, usually with
+        // 0.0 — an unmarked window must be a strict no-op.
+        if ce_fraction > 0.0 {
+            self.ssthresh = (self.cwnd / 2).max(min_cwnd(self.mss));
+            self.cwnd = self.ssthresh;
+            self.avoid_acc = 0;
+        }
+    }
+
     fn name(&self) -> &'static str {
         "reno"
     }
@@ -148,6 +159,20 @@ mod tests {
         let before = cc.cwnd();
         cc.on_loss(SimTime::ZERO);
         assert_eq!(cc.cwnd(), before / 2);
+    }
+
+    #[test]
+    fn ecn_sample_halves_only_when_marked() {
+        let mut cc = Reno::new(1000);
+        for _ in 0..10 {
+            cc.on_ack(SimTime::ZERO, cc.cwnd(), rtt(), cc.cwnd());
+        }
+        let before = cc.cwnd();
+        cc.on_ecn_sample(0.0);
+        assert_eq!(cc.cwnd(), before);
+        cc.on_ecn_sample(0.5);
+        assert_eq!(cc.cwnd(), before / 2);
+        assert_eq!(cc.ssthresh(), before / 2);
     }
 
     #[test]

@@ -103,11 +103,17 @@ impl TcpReceiver {
     pub fn on_data(&mut self, seq: u64, len: u32, ce: bool, socket_backlog: u64) -> AckAction {
         let outcome = self.reasm.insert(seq, len);
         // Immediate ACK on: out-of-order / duplicate data (dup-ACK), ECN
-        // marks, or a hole fill that released previously-buffered ranges
+        // marks, a hole fill that released previously-buffered ranges
         // (delivered > this segment's own bytes) — recovery must learn
-        // about the repaired hole at once.
-        let immediate =
-            outcome.out_of_order || outcome.duplicate || ce || outcome.delivered > len as u64;
+        // about the repaired hole at once — or any arrival while holes
+        // remain (Linux quickack during recovery; RFC 5681 §4.2 asks for
+        // an immediate ACK when a segment fills part of a gap). Delaying
+        // ACKs mid-recovery starves a min-cwnd sender of its ACK clock.
+        let immediate = outcome.out_of_order
+            || outcome.duplicate
+            || ce
+            || outcome.delivered > len as u64
+            || self.reasm.ooo_bytes() > 0;
         let ack = if immediate {
             true
         } else {
@@ -153,6 +159,22 @@ impl TcpReceiver {
             false,
             self.reasm.sack_blocks(),
         )
+    }
+
+    /// True when in-order bytes were delivered but their ACK is still
+    /// being held back by the delayed-ACK policy. The stack arms the
+    /// delack timer off this: without a flush, a one-MSS-per-RTT sender
+    /// (cwnd collapsed after an RTO) gets no ACK clock at all and crawls
+    /// at one RTO per segment.
+    pub fn pending_delack(&self) -> bool {
+        self.unacked_bytes > 0
+    }
+
+    /// Delayed-ACK timer fired: flush the held ACK at the current
+    /// cumulative edge and window.
+    pub fn delack_flush(&mut self, socket_backlog: u64) -> Segment {
+        self.unacked_bytes = 0;
+        self.window_update(socket_backlog)
     }
 }
 
@@ -279,5 +301,34 @@ mod tests {
         let a2 = r.on_data(10_000, 1_448, false, 1_448);
         assert!(a2.ack.is_some());
         assert_eq!(r.dup_acks_sent, 1);
+    }
+
+    #[test]
+    fn quickack_while_holes_remain() {
+        let mut r = rx();
+        // Open a hole: [10_000, 11_448) parked out of order.
+        assert!(r.on_data(10_000, 1_448, false, 0).ack.is_some());
+        // In-order single MSS with the hole still open: must ACK at once
+        // (Linux quickack in recovery) — a delayed ACK here would starve a
+        // min-cwnd sender mid-recovery of its ACK clock.
+        let a = r.on_data(0, 1_448, false, 0);
+        assert!(a.ack.is_some(), "in-order data acks immediately mid-hole");
+        // Once the hole closes, the delayed-ACK policy resumes.
+        assert!(r.on_data(1_448, 8_552, false, 0).ack.is_some()); // fills to 10_000, releases hole
+        assert!(r.on_data(11_448, 1_448, false, 0).ack.is_none());
+    }
+
+    #[test]
+    fn delack_flush_releases_held_ack() {
+        let mut r = rx();
+        assert!(r.on_data(0, 1_448, false, 0).ack.is_none());
+        assert!(r.pending_delack(), "one MSS held by the delack policy");
+        let seg = r.delack_flush(1_448);
+        let v = seg.ack_view().expect("flush emits an ack");
+        assert_eq!(v.ack, 1_448);
+        assert!(!r.pending_delack());
+        // Next odd MSS starts a fresh delack cycle, not an immediate ACK.
+        assert!(r.on_data(1_448, 1_448, false, 1_448).ack.is_none());
+        assert!(r.pending_delack());
     }
 }

@@ -234,6 +234,12 @@ pub struct SimConfig {
     pub topology: Topology,
     /// The wire.
     pub link: LinkConfig,
+    /// ToR switch fabric for N-host topologies ([`crate::fabric::Fabric`]).
+    /// `None` (the default) wires exactly two hosts back-to-back over
+    /// [`SimConfig::link`], reproducing the legacy pipeline bit-for-bit;
+    /// `Some` replaces the wire with per-port egress queues over a shared
+    /// buffer and sizes the world to `fabric.hosts` hosts.
+    pub fabric: Option<crate::fabric::FabricConfig>,
     /// DCA-usable cache capacity in bytes (≈18% of L3).
     pub dca_capacity: u64,
     /// Master seed; all randomness derives from it.
@@ -296,6 +302,14 @@ pub struct SimConfig {
     pub inject_rx_leak: bool,
 }
 
+impl SimConfig {
+    /// Number of hosts in the world: two on the legacy point-to-point
+    /// wire, `fabric.hosts` behind a ToR switch.
+    pub fn hosts(&self) -> usize {
+        self.fabric.map_or(2, |f| f.hosts as usize)
+    }
+}
+
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
@@ -303,6 +317,7 @@ impl Default for SimConfig {
             datapath: DatapathKind::InKernel,
             topology: Topology::default(),
             link: LinkConfig::default(),
+            fabric: None,
             dca_capacity: hns_mem::dca::DEFAULT_DCA_CAPACITY,
             seed: 1,
             napi_budget: 300,

@@ -1,4 +1,4 @@
-//! Flow state: one unidirectional TCP connection between the two hosts.
+//! Flow state: one unidirectional TCP connection between two hosts.
 //!
 //! A flow bundles the protocol endpoints (`TcpSender` at the source host,
 //! `TcpReceiver` + socket receive queue at the destination host) with the
@@ -19,7 +19,7 @@ use crate::trace::FlowTracer;
 /// Placement and policy for one flow. Built by the workload layer.
 #[derive(Clone, Copy, Debug)]
 pub struct FlowSpec {
-    /// Host transmitting the data (0 or 1).
+    /// Host transmitting the data.
     pub src_host: usize,
     /// Core of the sending application.
     pub src_core: CoreId,
@@ -53,6 +53,18 @@ impl FlowSpec {
             src_host: 1,
             src_core,
             dst_host: 0,
+            dst_core,
+            cc: None,
+            rcvbuf: None,
+        }
+    }
+
+    /// A flow between arbitrary hosts of an N-host fabric topology.
+    pub fn between(src_host: usize, src_core: CoreId, dst_host: usize, dst_core: CoreId) -> Self {
+        FlowSpec {
+            src_host,
+            src_core,
+            dst_host,
             dst_core,
             cc: None,
             rcvbuf: None,
@@ -104,6 +116,8 @@ pub struct Flow {
     pub rto_scheduled_for: Option<SimTime>,
     /// BBR pacer: release timer armed.
     pub pacer_armed: bool,
+    /// Delayed-ACK flush timer armed (one pending event at most).
+    pub delack_armed: bool,
     /// Retransmission count at warmup end (measurement subtracts it).
     pub rtx_baseline: u64,
     /// Optional protocol event trace.
@@ -143,6 +157,7 @@ impl Flow {
             rto_token: EventToken::NONE,
             rto_scheduled_for: None,
             pacer_armed: false,
+            delack_armed: false,
             rtx_baseline: 0,
             trace: FlowTracer::new(cfg.trace_flows),
             last_write_at: SimTime::ZERO,

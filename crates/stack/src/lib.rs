@@ -26,6 +26,7 @@ pub mod app;
 pub mod config;
 pub mod costs;
 pub mod datapath;
+pub mod fabric;
 pub mod flow;
 pub mod gro;
 pub mod host;
@@ -38,6 +39,7 @@ pub use app::AppSpec;
 pub use config::{DatapathKind, OptLevel, SimConfig, StackConfig};
 pub use costs::CostModel;
 pub use datapath::{datapath_for, Datapath};
+pub use fabric::{Fabric, FabricConfig};
 pub use flow::FlowSpec;
 pub use watchdog::{RunError, RunErrorKind};
 pub use world::World;

@@ -20,6 +20,10 @@ pub enum RunErrorKind {
     /// The churn plan is inconsistent (zero arrival rate, zero shards,
     /// empty pool); nothing was simulated.
     BadChurnPlan,
+    /// The scenario references a host or core outside the configured
+    /// topology (flow/app host index past the fabric's host count, core
+    /// index past the per-host core count); nothing was simulated.
+    BadTopology,
     /// No forward progress — no frame offered to the wire and no byte
     /// delivered to an application — for a full watchdog horizon while
     /// flows still had outstanding data.
@@ -41,6 +45,7 @@ impl RunErrorKind {
         match self {
             RunErrorKind::BadFaultPlan => "bad-fault-plan",
             RunErrorKind::BadChurnPlan => "bad-churn-plan",
+            RunErrorKind::BadTopology => "bad-topology",
             RunErrorKind::Stalled => "stalled",
             RunErrorKind::EventStorm => "event-storm",
             RunErrorKind::QueueLeak => "queue-leak",
@@ -148,6 +153,7 @@ mod tests {
     #[test]
     fn kind_names_are_stable() {
         assert_eq!(RunErrorKind::BadFaultPlan.name(), "bad-fault-plan");
+        assert_eq!(RunErrorKind::BadTopology.name(), "bad-topology");
         assert_eq!(RunErrorKind::EventStorm.name(), "event-storm");
         assert_eq!(RunErrorKind::QueueLeak.name(), "queue-leak");
         assert_eq!(

@@ -1,5 +1,8 @@
-//! The simulation world: two hosts, one wire, and the event loop that
-//! drives every pipeline stage of the paper's Fig. 1.
+//! The simulation world: the hosts, the wire between them, and the event
+//! loop that drives every pipeline stage of the paper's Fig. 1. By default
+//! two hosts sit back-to-back on a point-to-point [`Link`] (the paper's
+//! testbed); configuring [`SimConfig::fabric`] instead puts N hosts behind
+//! a ToR switch model ([`crate::fabric::Fabric`]) for incast experiments.
 //!
 //! # Execution model
 //!
@@ -32,6 +35,7 @@ use crate::app::{AppInstance, AppSpec};
 use crate::config::SimConfig;
 use crate::costs::CostModel;
 use crate::datapath::{datapath_for, Datapath};
+use crate::fabric::Fabric;
 use crate::flow::{Flow, FlowSpec};
 use crate::host::{Host, PendingFrame};
 use crate::skb::RxSkb;
@@ -52,6 +56,8 @@ enum Event {
     Irq { host: u8, core: u16 },
     /// Retransmission timer check for a flow.
     Rto { flow: u32, deadline: SimTime },
+    /// Delayed-ACK flush timer for a flow's receiver.
+    DelAck { flow: u32 },
     /// BBR pacing timer fired for a flow.
     PacerFire { flow: u32 },
     /// An open-loop client's next Poisson request arrival.
@@ -91,6 +97,15 @@ enum FaultKind {
 
 /// Interval of the auto-tuning / housekeeping tick.
 const AUTOTUNE_INTERVAL: Duration = Duration::from_millis(1);
+
+/// Delayed-ACK flush timeout. Linux holds a delayed ACK up to 40–200ms
+/// against a 200ms RTO floor; with this simulation's microsecond RTTs and
+/// millisecond RTOs the same ratio lands at half a millisecond. Without
+/// the timer, an in-order segment below the every-second-MSS ACK threshold
+/// is never acknowledged once the sender goes quiet — a min-cwnd sender
+/// (post-RTO) then crawls at one segment per RTO, each RTO re-collapsing
+/// cwnd: a permanent livelock at ~0 goodput.
+const DELACK_TIMEOUT: Duration = Duration::from_micros(500);
 
 /// Watchdog: events fired at one sim-time instant before declaring a
 /// zero-delay rescheduling storm. Healthy runs see at most a few thousand
@@ -134,6 +149,85 @@ struct RpcIo {
 /// Live-snapshot subscriber callback (see [`World::set_monitor_emit`]).
 pub type MonitorEmit = Box<dyn FnMut(&hns_monitor::MonitorSnapshot)>;
 
+/// The network between the hosts: the paper's point-to-point cable, or the
+/// ToR switch fabric when [`SimConfig::fabric`] is set. Every method takes
+/// host indices; with two hosts the link's direction index equals the
+/// source host, so the legacy path is a straight passthrough.
+enum Wire {
+    /// Two hosts back-to-back (loss/flap/ECN knobs live in `LinkConfig`).
+    /// Boxed: the link's fault-injection state dwarfs the fabric variant.
+    Link(Box<Link>),
+    /// N hosts behind a shared-buffer switch.
+    Fabric(Fabric),
+}
+
+impl Wire {
+    /// Offer a frame from `src` to `dst`; `flow` is the fabric's ECMP key.
+    fn transmit(
+        &mut self,
+        src: usize,
+        dst: usize,
+        flow: u64,
+        now: SimTime,
+        wire_bytes: u64,
+    ) -> TransmitOutcome {
+        match self {
+            Wire::Link(l) => l.transmit(src, now, wire_bytes),
+            Wire::Fabric(f) => f.transmit(src, dst, flow, now, wire_bytes),
+        }
+    }
+
+    /// Earliest time `src` can begin serializing a new frame.
+    fn next_free(&self, src: usize) -> SimTime {
+        match self {
+            Wire::Link(l) => l.next_free(src),
+            Wire::Fabric(f) => f.next_free(src),
+        }
+    }
+
+    /// Frames offered toward host `dst` (delivered and dropped alike).
+    fn frames_to(&self, dst: usize) -> u64 {
+        match self {
+            Wire::Link(l) => l.frames(1 - dst),
+            Wire::Fabric(f) => f.frames_to(dst),
+        }
+    }
+
+    /// Frames lost on the way to host `dst` (in-network loss on the link,
+    /// shared-buffer overflow on the fabric).
+    fn drops_to(&self, dst: usize) -> u64 {
+        match self {
+            Wire::Link(l) => l.drops(1 - dst),
+            Wire::Fabric(f) => f.drops_to(dst),
+        }
+    }
+
+    /// Total frames ever offered (watchdog snapshots).
+    fn total_frames(&self) -> u64 {
+        match self {
+            Wire::Link(l) => l.frames(0) + l.frames(1),
+            Wire::Fabric(f) => (0..f.hosts()).map(|h| f.frames_to(h)).sum(),
+        }
+    }
+
+    /// Drops charged to the `wire` taxonomy class (in-network loss). The
+    /// fabric never loses frames in-network — its drops are `switch_buffer`.
+    fn loss_drops(&self) -> u64 {
+        match self {
+            Wire::Link(l) => l.drops(0) + l.drops(1),
+            Wire::Fabric(_) => 0,
+        }
+    }
+
+    /// Drops charged to the `switch_buffer` taxonomy class.
+    fn switch_drops(&self) -> u64 {
+        match self {
+            Wire::Link(_) => 0,
+            Wire::Fabric(f) => f.total_drops(),
+        }
+    }
+}
+
 /// The assembled simulation.
 pub struct World {
     /// Experiment configuration.
@@ -153,7 +247,7 @@ pub struct World {
     descrings: Vec<hns_nic::DescRing>,
     queue: EventQueue<Event>,
     hosts: Vec<Host>,
-    link: Link,
+    wire: Wire,
     arbiters: Vec<TxArbiter<Segment>>,
     /// All flows, indexed by [`FlowId`].
     pub flows: Vec<Flow>,
@@ -185,6 +279,11 @@ pub struct World {
     storm_at: SimTime,
     storm_count: u64,
     run_error: Option<RunError>,
+    /// First out-of-range host/core reference seen while installing the
+    /// scenario; `try_run` reports it as [`RunErrorKind::BadTopology`]
+    /// before simulating anything (the offending spec is clamped so world
+    /// structures stay consistent, but never runs).
+    topo_error: Option<String>,
     label: String,
     /// Skb allocation cache: recycled frag vectors ([`FragPool`]). One per
     /// world, so recycling is deterministic and unsynchronized.
@@ -220,20 +319,22 @@ impl World {
     /// Build an empty world from a configuration.
     pub fn new(cfg: SimConfig) -> Self {
         let cores = cfg.topology.total_cores() as usize;
+        let nhosts = cfg.hosts();
         let mut world = World {
             cost: CostModel::calibrated(),
             dp: datapath_for(cfg.datapath),
-            descrings: vec![
-                hns_nic::DescRing::new(1 << 16),
-                hns_nic::DescRing::new(1 << 16),
-            ],
+            descrings: (0..nhosts)
+                .map(|_| hns_nic::DescRing::new(1 << 16))
+                .collect(),
             queue: EventQueue::new(),
-            hosts: vec![Host::new(0, &cfg), Host::new(1, &cfg)],
-            link: Link::new(cfg.link, cfg.seed),
-            arbiters: vec![
-                TxArbiter::new(cores, u64::MAX),
-                TxArbiter::new(cores, u64::MAX),
-            ],
+            hosts: (0..nhosts).map(|h| Host::new(h, &cfg)).collect(),
+            wire: match cfg.fabric {
+                Some(f) => Wire::Fabric(Fabric::new(f)),
+                None => Wire::Link(Box::new(Link::new(cfg.link, cfg.seed))),
+            },
+            arbiters: (0..nhosts)
+                .map(|_| TxArbiter::new(cores, u64::MAX))
+                .collect(),
             flows: Vec::new(),
             apps: Vec::new(),
             measuring: false,
@@ -253,15 +354,16 @@ impl World {
             storm_at: SimTime::ZERO,
             storm_count: 0,
             run_error: None,
+            topo_error: None,
             label: String::new(),
             frag_pool: crate::skb::FragPool::new(),
             gro_scratch: Vec::new(),
             fire_scratch: Vec::new(),
-            trace: TraceCollector::new(cfg.trace, 2, cores),
+            trace: TraceCollector::new(cfg.trace, nhosts, cores),
             churn: cfg
                 .churn
                 .map(|c| churn::ChurnEngine::new(c, cores, cfg.seed)),
-            audit: cfg.audit.then(Box::default),
+            audit: cfg.audit.then(|| Box::new(audit::AuditState::new(nhosts))),
             monitor: cfg
                 .monitor
                 .map(|m| Box::new(hns_monitor::MonitorState::new(m))),
@@ -299,9 +401,46 @@ impl World {
         self.label = label.into();
     }
 
-    /// Register a flow. Returns its id.
+    /// Record the first topology violation; `try_run` turns it into a
+    /// [`RunErrorKind::BadTopology`] error before anything is simulated.
+    fn topology_error(&mut self, detail: String) {
+        if self.topo_error.is_none() {
+            self.topo_error = Some(detail);
+        }
+    }
+
+    /// Validate a flow spec's host and core indices against the configured
+    /// topology, clamping out-of-range fields to valid ones (the run is
+    /// already doomed to `BadTopology`; clamping just keeps the world's
+    /// structures indexable until `try_run` reports it).
+    fn validated_flow_spec(&mut self, id: FlowId, mut spec: FlowSpec) -> FlowSpec {
+        let hosts = self.hosts.len();
+        let cores = self.cfg.topology.total_cores();
+        if spec.src_host >= hosts || spec.dst_host >= hosts {
+            self.topology_error(format!(
+                "flow {id}: src_host {} / dst_host {} out of range (world has {hosts} hosts)",
+                spec.src_host, spec.dst_host
+            ));
+            spec.src_host = spec.src_host.min(hosts - 1);
+            spec.dst_host = spec.dst_host.min(hosts - 1);
+        }
+        if spec.src_core >= cores || spec.dst_core >= cores {
+            self.topology_error(format!(
+                "flow {id}: src_core {} / dst_core {} out of range (hosts have {cores} cores)",
+                spec.src_core, spec.dst_core
+            ));
+            spec.src_core = spec.src_core.min(cores - 1);
+            spec.dst_core = spec.dst_core.min(cores - 1);
+        }
+        spec
+    }
+
+    /// Register a flow. Returns its id. Host/core indices outside the
+    /// configured topology are reported by [`World::try_run`] as
+    /// [`RunErrorKind::BadTopology`] instead of panicking here.
     pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
         let id = self.flows.len() as FlowId;
+        let spec = self.validated_flow_spec(id, spec);
         let flow = Flow::new(id, spec, &self.cfg, id as u16);
         let node = self.cfg.topology.node_of(spec.src_core);
         self.hosts[spec.src_host].node_sender_flows[node as usize] += 1;
@@ -309,8 +448,27 @@ impl World {
         id
     }
 
-    /// Register an application on (host, core). Returns its index.
+    /// Register an application on (host, core). Returns its index. Like
+    /// [`World::add_flow`], out-of-range placement surfaces as a
+    /// [`RunErrorKind::BadTopology`] run error rather than a panic.
     pub fn add_app(&mut self, host: usize, core: u16, spec: AppSpec) -> usize {
+        let (mut host, mut core) = (host, core);
+        if host >= self.hosts.len() {
+            let n = self.hosts.len();
+            self.topology_error(format!(
+                "app {}: host {host} out of range (world has {n} hosts)",
+                self.apps.len()
+            ));
+            host = n - 1;
+        }
+        if core >= self.cfg.topology.total_cores() {
+            let n = self.cfg.topology.total_cores();
+            self.topology_error(format!(
+                "app {}: core {core} out of range (hosts have {n} cores)",
+                self.apps.len()
+            ));
+            core = n - 1;
+        }
         let tid = self.hosts[host].sched.add_thread(core);
         let app = AppInstance::new(spec, host, core, tid);
         for f in app.read_flows() {
@@ -356,6 +514,14 @@ impl World {
     /// returns a [`RunError`] with a diagnostic snapshot instead of
     /// hanging or panicking.
     pub fn try_run(&mut self, warmup: Duration, measure: Duration) -> Result<Report, RunError> {
+        if let Some(detail) = self.topo_error.clone() {
+            return Err(RunError {
+                kind: RunErrorKind::BadTopology,
+                at: SimTime::ZERO,
+                detail,
+                snapshot: Snapshot::default(),
+            });
+        }
         self.arm_faults()?;
         self.arm_churn()?;
         self.queue
@@ -512,7 +678,7 @@ impl World {
             queue_len: self.queue.len(),
             backlog_frames,
             stuck_flows,
-            wire_frames: self.link.frames(0) + self.link.frames(1),
+            wire_frames: self.wire.total_frames(),
             retransmissions: self.flows.iter().map(|f| f.sender.retransmissions).sum(),
         }
     }
@@ -534,6 +700,7 @@ impl World {
                 }
             }
             Event::Rto { flow, deadline } => self.handle_rto(flow as usize, deadline),
+            Event::DelAck { flow } => self.handle_delack(flow as usize),
             Event::PacerFire { flow } => self.pacer_fire(flow as usize),
             Event::OpenLoopArrival { app } => self.open_loop_arrival(app as usize),
             Event::AutotuneTick => self.autotune_tick(),
@@ -994,8 +1161,12 @@ impl World {
             }
         }
 
-        if let Some(ack_seg) = ack {
-            self.enqueue_frames(h, core, ack_seg, ch);
+        match ack {
+            Some(ack_seg) => self.enqueue_frames(h, core, ack_seg, ch),
+            // Delay-ACK'd in-order delivery: make sure the held ACK
+            // eventually flushes even if no further data arrives.
+            None if self.flows[fid].receiver.pending_delack() => self.arm_delack(fid),
+            None => {}
         }
     }
 
@@ -1657,7 +1828,7 @@ impl World {
     fn arm_txdrain(&mut self, h: usize) {
         if !self.hosts[h].txdrain_armed && !self.arbiters[h].is_empty() {
             self.hosts[h].txdrain_armed = true;
-            let at = self.link.next_free(h).max(self.queue.now());
+            let at = self.wire.next_free(h).max(self.queue.now());
             self.queue.schedule(at, Event::TxDrain { host: h as u8 });
         }
     }
@@ -1694,7 +1865,15 @@ impl World {
                         .stamp(seg.trace, seg.flow, StageId::NicTx, h, core, now);
                 }
                 let wire = payload as u64 + HEADER_BYTES as u64;
-                match self.link.transmit(h, now, wire) {
+                // Route the frame: data toward the flow's receiver, ACKs
+                // back toward its sender, lifecycle frames to the churn
+                // peer. On the 2-host link every case is `1 - h`.
+                let dst = match seg.kind {
+                    SegmentKind::Data { .. } => self.flows[seg.flow as usize].spec.dst_host,
+                    SegmentKind::Ack { .. } => self.flows[seg.flow as usize].spec.src_host,
+                    SegmentKind::Conn { .. } => 1 - h,
+                };
+                match self.wire.transmit(h, dst, seg.flow, now, wire) {
                     TransmitOutcome::Delivered { arrives, ce } => {
                         let mut seg = seg;
                         seg.ecn_ce |= ce;
@@ -1706,22 +1885,23 @@ impl World {
                         self.queue.schedule(
                             arrives,
                             Event::FrameArrive {
-                                dst: (1 - h) as u8,
+                                dst: dst as u8,
                                 seg,
                             },
                         );
                         if let Some(a) = self.audit_mut() {
-                            a.wire_in_flight[1 - h] += 1;
+                            a.wire_in_flight[dst] += 1;
                         }
                     }
-                    TransmitOutcome::Dropped => {
-                        self.drop_stats.wire += 1;
-                    }
+                    TransmitOutcome::Dropped => match &self.wire {
+                        Wire::Link(_) => self.drop_stats.wire += 1,
+                        Wire::Fabric(_) => self.drop_stats.switch_buffer += 1,
+                    },
                 }
                 if self.arbiters[h].is_empty() {
                     self.hosts[h].txdrain_armed = false;
                 } else {
-                    let at = self.link.next_free(h).max(now);
+                    let at = self.wire.next_free(h).max(now);
                     self.queue.schedule(at, Event::TxDrain { host: h as u8 });
                 }
             }
@@ -1899,6 +2079,44 @@ impl World {
         }
     }
 
+    /// Arm the delayed-ACK flush timer after in-order data was delivered
+    /// without an immediate ACK. One pending event per flow; a no-op when
+    /// a later segment already pushed the cumulative ACK out.
+    fn arm_delack(&mut self, fid: usize) {
+        if self.flows[fid].delack_armed {
+            return;
+        }
+        self.flows[fid].delack_armed = true;
+        self.queue.schedule(
+            self.queue.now() + DELACK_TIMEOUT,
+            Event::DelAck { flow: fid as u32 },
+        );
+    }
+
+    fn handle_delack(&mut self, fid: usize) {
+        self.flows[fid].delack_armed = false;
+        if !self.flows[fid].receiver.pending_delack() {
+            return; // a data-driven ACK already flushed it
+        }
+        // Timer softirq work on the receiver: flush the held cumulative
+        // ACK, charged to the flow's rx-steering core like any ACK.
+        let h = self.flows[fid].spec.dst_host;
+        let core = self.flows[fid].irq_core as usize;
+        let mut ch = Charges::default();
+        if self.dp.charges_protocol() {
+            ch.add(Category::TcpIp, self.cost.ack_gen);
+        }
+        let backlog = self.flows[fid].rx_backlog;
+        let ack = self.flows[fid].receiver.delack_flush(backlog);
+        self.enqueue_frames(h, core, ack, &mut ch);
+        let cd = &mut self.hosts[h].cores[core];
+        cd.breakdown += ch.0;
+        cd.usage.add_busy(cycles_to_time(ch.total()));
+        if let Some(a) = self.audit_mut() {
+            a.charge_calls[h] += 1;
+        }
+    }
+
     /// BBR pacing: arm the release timer if not armed.
     fn arm_pacer(&mut self, fid: usize) {
         if self.flows[fid].pacer_armed {
@@ -1962,7 +2180,10 @@ impl World {
         } else if self.monitor.is_some() {
             self.monitor_tick(0);
         }
-        let prop = self.cfg.link.propagation;
+        let prop = self
+            .cfg
+            .fabric
+            .map_or(self.cfg.link.propagation, |f| f.propagation);
         for f in &mut self.flows {
             let copied = std::mem::take(&mut f.copied_since_tick);
             let hint = f.rtt_hint(prop);
@@ -2058,8 +2279,8 @@ impl World {
         if let Some(eng) = self.churn.as_mut() {
             eng.start_window();
         }
-        self.wire_drop_baseline = self.link.drops(0) + self.link.drops(1);
-        self.ring_drop_baseline = self.hosts[0].ring_drops() + self.hosts[1].ring_drops();
+        self.wire_drop_baseline = self.wire.loss_drops();
+        self.ring_drop_baseline = self.hosts.iter().map(|h| h.ring_drops()).sum();
         self.drop_baseline = self.drop_stats;
         if self.monitor.is_some() {
             // Discard warmup residencies still queued in the sink, then
@@ -2077,7 +2298,7 @@ impl World {
             // The cycle ledger's two sides (usage clocks, breakdowns) just
             // reset with the measurement window; its rounding-slack bound
             // restarts with them.
-            a.charge_calls = [0, 0];
+            a.charge_calls.iter_mut().for_each(|c| *c = 0);
         }
         if self.cfg.inject_rx_leak {
             // Audit self-test hook: consume a descriptor whose frame never
@@ -2107,7 +2328,16 @@ impl World {
                 c
             },
         };
-        let sender = side(&self.hosts[0]);
+        // Host 1 is the receiver by convention; every other host (host 0
+        // on the legacy link, hosts {0, 2, 3, ..} behind a fabric) is a
+        // sender and folds into the sender side of the report.
+        let mut sender = side(&self.hosts[0]);
+        for h in self.hosts.iter().skip(2) {
+            let s = side(h);
+            sender.breakdown += s.breakdown;
+            sender.cores_used += s.cores_used;
+            sender.cache.merge(s.cache);
+        }
         let receiver = side(&self.hosts[1]);
         let bottleneck_cores = sender.cores_used.max(receiver.cores_used).max(1e-9);
 
@@ -2160,9 +2390,9 @@ impl World {
             (Vec::new(), 0)
         };
 
-        let wire_drops = self.link.drops(0) + self.link.drops(1) - self.wire_drop_baseline;
+        let wire_drops = self.wire.loss_drops() - self.wire_drop_baseline;
         let ring_drops =
-            self.hosts[0].ring_drops() + self.hosts[1].ring_drops() - self.ring_drop_baseline;
+            self.hosts.iter().map(|h| h.ring_drops()).sum::<u64>() - self.ring_drop_baseline;
         // Attribution invariants: the world counts every drop exactly once,
         // so `drops.wire == wire_drops` and
         // `drops.rx_ring + drops.pool == ring_drops`.

@@ -39,25 +39,43 @@ use crate::watchdog::RunErrorKind;
 /// Counters the audited event loop maintains beyond what reports need.
 /// Everything is cumulative from t = 0 except `charge_calls`, which resets
 /// with the measurement window (its ledger's two sides reset there too).
+/// All per-host vectors are sized to the world's host count (two on the
+/// legacy link, `fabric.hosts` behind a ToR switch).
 #[derive(Default)]
 pub(super) struct AuditState {
     /// Frames whose `FrameArrive` event has fired, per destination host.
-    pub(super) arrived: [u64; 2],
+    pub(super) arrived: Vec<u64>,
     /// Frames softirq popped from the per-core backlogs, per host.
-    pub(super) polled: [u64; 2],
+    pub(super) polled: Vec<u64>,
     /// Frames shed at the softirq backlog cap, per host.
-    pub(super) backlog_drops: [u64; 2],
+    pub(super) backlog_drops: Vec<u64>,
     /// Connection frames that arrived after teardown, per host.
-    pub(super) stale_frames: [u64; 2],
+    pub(super) stale_frames: Vec<u64>,
     /// `FrameArrive` events scheduled but not yet fired, per destination.
-    pub(super) wire_in_flight: [u64; 2],
+    pub(super) wire_in_flight: Vec<u64>,
     /// Busy-time charge calls since the window started, per host (bounds
     /// the cycles→ns flooring slack in the cycle ledger).
-    pub(super) charge_calls: [u64; 2],
+    pub(super) charge_calls: Vec<u64>,
     /// Pop time of the previous event (monotonicity tripwire).
     pub(super) last_event_at: SimTime,
     /// Per-flow `rcv_nxt` high-water marks (delivery continuity).
     prev_rcv_nxt: Vec<u64>,
+}
+
+impl AuditState {
+    /// Zeroed counters for a world of `hosts` hosts.
+    pub(super) fn new(hosts: usize) -> Self {
+        AuditState {
+            arrived: vec![0; hosts],
+            polled: vec![0; hosts],
+            backlog_drops: vec![0; hosts],
+            stale_frames: vec![0; hosts],
+            wire_in_flight: vec![0; hosts],
+            charge_calls: vec![0; hosts],
+            last_event_at: SimTime::ZERO,
+            prev_rcv_nxt: Vec::new(),
+        }
+    }
 }
 
 impl World {
@@ -130,12 +148,10 @@ impl World {
                 .check(&mut out);
             }
 
-            // The link indexes directions by *source* host.
-            let src = 1 - h;
             HostFrameLedger {
                 host: h,
-                link_frames: self.link.frames(src),
-                link_drops: self.link.drops(src),
+                link_frames: self.wire.frames_to(h),
+                link_drops: self.wire.drops_to(h),
                 arrived: a.arrived[h],
                 wire_in_flight: a.wire_in_flight[h],
                 ring_received: host.rings.iter().map(|r| r.received).sum(),
@@ -215,11 +231,16 @@ impl World {
             let layers = self.drop_stats.by_layer();
             DropLedger {
                 taxo_wire: layers.wire,
-                link_drops: self.link.drops(0) + self.link.drops(1),
+                link_drops: self.wire.loss_drops(),
+                taxo_switch: layers.switch,
+                switch_drops: self.wire.switch_drops(),
                 taxo_ring_pool: layers.nic,
-                ring_drops: self.hosts[0].ring_drops() + self.hosts[1].ring_drops(),
+                ring_drops: self.hosts.iter().map(|h| h.ring_drops()).sum(),
                 taxo_backlog: layers.backlog,
-                backlog_drops: a.backlog_drops[0] + a.backlog_drops[1],
+                backlog_drops: a.backlog_drops.iter().sum(),
+                taxo_socket: layers.socket,
+                taxo_conn: layers.conn,
+                taxo_total: self.drop_stats.total(),
             }
             .check(&mut out);
 

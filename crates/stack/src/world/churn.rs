@@ -157,6 +157,24 @@ impl World {
             detail,
             snapshot: Snapshot::default(),
         })?;
+        // Churn handshakes are priced by the in-kernel cost model only;
+        // under an offload/bypass backend their frames would silently be
+        // charged as in-kernel residue. Refuse loudly until per-backend
+        // handshake modeling exists (the CLI rejects this earlier with the
+        // same reasoning; this guards programmatic configs).
+        if self.cfg.datapath != crate::config::DatapathKind::InKernel {
+            return Err(RunError {
+                kind: RunErrorKind::BadChurnPlan,
+                at: SimTime::ZERO,
+                detail: format!(
+                    "churn/overload scenarios require the in-kernel datapath \
+                     (got `{}`): per-backend handshake modeling is not \
+                     implemented, so lifecycle frames would be mischarged",
+                    self.cfg.datapath.label()
+                ),
+                snapshot: Snapshot::default(),
+            });
+        }
         let ncores = self.cfg.topology.total_cores() as u64;
         if let ChurnMode::Pool { conns } = ccfg.mode {
             // Seed the pool fully established — the historical handshakes

@@ -229,6 +229,88 @@ pub fn mixed_long_short(topo: &Topology, shorts: u16, rpc_size: u32) -> Scenario
 pub const MIXED_LONG_FLOW: u64 = 0;
 
 // ----------------------------------------------------------------------
+// Fabric workloads (N hosts behind a ToR switch; `SimConfig::fabric`)
+// ----------------------------------------------------------------------
+
+/// Host id of the `i`-th sender in a fabric scenario. The receiver is
+/// pinned at host 1 (the churn engine's server host), so senders occupy
+/// 0, 2, 3, … — `n` senders need a fabric of `n + 1` hosts.
+pub fn fabric_sender_host(i: u16) -> usize {
+    if i == 0 {
+        0
+    } else {
+        i as usize + 1
+    }
+}
+
+/// Switch-level incast (fig_incast): `n` sender hosts each run one long
+/// flow from their local core 0 into the single receiver host 1, whose
+/// ToR egress port is the shared bottleneck. Receive processing spreads
+/// across the receiver's application cores, so the collapse that shows
+/// up is the *switch buffer* filling — not a pinned receiver core.
+/// Requires `SimConfig::fabric` with at least `n + 1` hosts.
+pub fn fabric_incast(topo: &Topology, n: u16) -> Scenario {
+    let mut sc = Scenario::default();
+    let s = topo.app_core(0);
+    for i in 0..n {
+        let host = fabric_sender_host(i);
+        let d = topo.app_core(i);
+        let id = sc.flows.len() as u64;
+        sc.flows.push(FlowSpec::between(host, s, 1, d));
+        sc.apps.push((host, s, AppSpec::LongSender { flow: id }));
+        sc.apps.push((1, d, AppSpec::LongReceiver { flow: id }));
+    }
+    sc
+}
+
+/// Mixed-tenant fabric workload: `longs` long flows from distinct sender
+/// hosts plus `shorts` 4KB-class RPC pairs from host 0, every byte landing
+/// on the receiver's core 0 — the long flows and the latency-sensitive
+/// RPCs share one DCA slice, one softirq core, and one switch egress port.
+/// Layer connection churn on top with [`churn_short_rpc`] (the churn
+/// engine's client/server pair is hosts 0/1, which this placement keeps
+/// busy) for the full long + short + lifecycle contention mix.
+pub fn fabric_mixed_tenant(topo: &Topology, longs: u16, shorts: u16, rpc_size: u32) -> Scenario {
+    let core = topo.app_core(0);
+    let mut sc = Scenario::default();
+    for i in 0..longs {
+        let host = fabric_sender_host(i);
+        let id = sc.flows.len() as u64;
+        sc.flows.push(FlowSpec::between(host, core, 1, core));
+        sc.apps.push((host, core, AppSpec::LongSender { flow: id }));
+        sc.apps.push((1, core, AppSpec::LongReceiver { flow: id }));
+    }
+    let mut conns = Vec::new();
+    for _ in 0..shorts {
+        let req = sc.flows.len() as u64;
+        sc.flows.push(FlowSpec::between(0, core, 1, core));
+        let resp = sc.flows.len() as u64;
+        sc.flows.push(FlowSpec::between(1, core, 0, core));
+        sc.apps.push((
+            0,
+            core,
+            AppSpec::RpcClient {
+                tx: req,
+                rx: resp,
+                size: rpc_size,
+            },
+        ));
+        conns.push((req, resp));
+    }
+    if !conns.is_empty() {
+        sc.apps.push((
+            1,
+            core,
+            AppSpec::RpcServer {
+                conns,
+                size: rpc_size,
+            },
+        ));
+    }
+    sc
+}
+
+// ----------------------------------------------------------------------
 // Churn workloads (connection lifecycle; `hns-conn`)
 // ----------------------------------------------------------------------
 
@@ -432,6 +514,44 @@ mod tests {
             _ => None,
         });
         assert_eq!(mean, Some(100_000), "10k rps = 100us mean gap");
+    }
+
+    #[test]
+    fn fabric_incast_places_one_sender_per_host() {
+        let sc = fabric_incast(&topo(), 8);
+        assert_eq!(sc.flows.len(), 8);
+        let hosts: std::collections::BTreeSet<_> = sc.flows.iter().map(|f| f.src_host).collect();
+        assert_eq!(hosts.len(), 8, "each long flow on its own sender host");
+        assert!(!hosts.contains(&1), "host 1 is the receiver");
+        assert!(sc.flows.iter().all(|f| f.dst_host == 1));
+        // Receive processing fans out across receiver cores.
+        let dsts: std::collections::BTreeSet<_> = sc.flows.iter().map(|f| f.dst_core).collect();
+        assert_eq!(dsts.len(), 8);
+    }
+
+    #[test]
+    fn fabric_mixed_tenant_shares_receiver_core_zero() {
+        let sc = fabric_mixed_tenant(&topo(), 3, 4, 4096);
+        assert_eq!(sc.flows.len(), 3 + 8);
+        // Every data byte lands on the receiver's core 0.
+        assert!(sc
+            .flows
+            .iter()
+            .filter(|f| f.dst_host == 1)
+            .all(|f| f.dst_core == 0));
+        let long_hosts: std::collections::BTreeSet<_> =
+            sc.flows[..3].iter().map(|f| f.src_host).collect();
+        assert_eq!(
+            long_hosts,
+            [0usize, 2, 3].into_iter().collect(),
+            "long flows come from distinct tenant hosts"
+        );
+    }
+
+    #[test]
+    fn fabric_sender_hosts_skip_the_receiver() {
+        let hosts: Vec<_> = (0..5).map(fabric_sender_host).collect();
+        assert_eq!(hosts, vec![0, 2, 3, 4, 5]);
     }
 
     #[test]

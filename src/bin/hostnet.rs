@@ -112,6 +112,28 @@ fn execute(cmd: cli::Command) -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        cli::Command::Incast(inc) => {
+            let points = hostnet::building_blocks::core_figures::fig_incast_points();
+            let reports = match run_points(&points, inc.jobs, inc.quick, inc.audited) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("incast: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if inc.csv {
+                print!(
+                    "{}",
+                    hostnet::building_blocks::metrics::reports_to_csv(&reports)
+                );
+            } else {
+                print!(
+                    "{}",
+                    hostnet::building_blocks::metrics::format_series_table(&reports)
+                );
+            }
+            ExitCode::SUCCESS
+        }
         cli::Command::Backend(b) => {
             use hostnet::building_blocks::metrics;
             let points = hostnet::building_blocks::core_figures::fig_backend_points();
@@ -569,6 +591,9 @@ fn run_figures(names: &[String]) -> Vec<hostnet::Report> {
     if want("figcap") {
         out.extend(figures::fig_capacity().into_iter().map(|(_, r)| r));
     }
+    if want("figincast") {
+        out.extend(figures::fig_incast().into_iter().map(|(_, r)| r));
+    }
     if want("figback") {
         out.extend(figures::fig_backend().into_iter().map(|(_, r)| r));
     }
@@ -585,9 +610,10 @@ usage:
   hostnet run <scenario> [options]
   hostnet figures [fig03|fig03e|fig03f|fig03g|fig04|fig05|fig05c|fig06|
                    fig07|fig08|fig09|fig09b|fig10|fig11|fig12|fig13|figcap|
-                   figback]...
+                   figincast|figback]...
                   [--csv] [--jobs N|auto]
   hostnet capacity [--csv] [--jobs N|auto] [--quick] [--audited]
+  hostnet incast [--csv] [--jobs N|auto] [--quick] [--audited]
   hostnet backend [--csv] [--jobs N|auto] [--quick] [--audited]
   hostnet monitor [options]
   hostnet audit [--runs N] [--seed S] [--out DIR] [--quiet]
@@ -599,6 +625,10 @@ capacity (fig_capacity: admission policy x concurrent clients at fixed cores):
   --jobs N|auto      sweep thread-pool size (output identical for any value)
   --quick            short windows (5ms + 8ms) for smoke runs
   --audited          run every point under the invariant auditor
+
+incast (fig_incast: switch-level fan-in through the shared-buffer ToR
+        fabric, ECN off vs on at every fan-in degree; same flags as
+        `capacity`)
 
 backend (fig_backend: in-kernel vs TCP offload vs kernel-bypass datapaths,
          series table plus per-side cycle-taxonomy tables; same flags as
@@ -709,6 +739,10 @@ fault injection (all deterministic; scheduled faults share one window):
         },
         /// `hostnet capacity [--csv] [--jobs N] [--quick] [--audited]`.
         Capacity(CapacityArgs),
+        /// `hostnet incast [--csv] [--jobs N] [--quick] [--audited]` —
+        /// the fig_incast fabric fan-in sweep; shares the capacity
+        /// sweep's flag grammar.
+        Incast(CapacityArgs),
         /// `hostnet backend [--csv] [--jobs N] [--quick] [--audited]` —
         /// the fig_backend datapath comparison; shares the capacity
         /// sweep's flag grammar.
@@ -859,6 +893,7 @@ fault injection (all deterministic; scheduled faults share one window):
                 Ok(Command::Figures { names, csv, jobs })
             }
             Some("capacity") => parse_sweep_flags("capacity", &args[1..]).map(Command::Capacity),
+            Some("incast") => parse_sweep_flags("incast", &args[1..]).map(Command::Incast),
             Some("backend") => parse_sweep_flags("backend", &args[1..]).map(Command::Backend),
             Some("monitor") => parse_monitor(&args[1..]).map(|m| Command::Monitor(Box::new(m))),
             Some("audit") => {
@@ -1218,6 +1253,18 @@ fault injection (all deterministic; scheduled faults share one window):
                 "{}: only valid with the churn scenario (got `{scenario_name}`)",
                 churn_flags.join(", ")
             ));
+        }
+        if matches!(out.scenario, ScenarioKind::Churn { .. }) {
+            if let Some(dp) = out.datapath {
+                if dp != DatapathKind::InKernel {
+                    return Err(format!(
+                        "--datapath {}: only valid with long-flow scenarios (got `{scenario_name}`): \
+                         the TOE and bypass backends do not model connection handshakes, so \
+                         churn/overload lifecycle frames would be silently mischarged",
+                        dp.label()
+                    ));
+                }
+            }
         }
         for (v, flag) in [
             (out.fault_at_ms, "--fault-at-ms"),
@@ -1707,6 +1754,35 @@ fault injection (all deterministic; scheduled faults share one window):
             }
             assert!(parse(&argv("capacity --bogus")).is_err());
             assert!(parse(&argv("capacity --jobs")).is_err());
+        }
+
+        #[test]
+        fn parses_incast_command() {
+            match parse(&argv("incast --quick --audited --jobs 2")).unwrap() {
+                Command::Incast(c) => {
+                    assert!(c.quick && c.audited && !c.csv);
+                    assert_eq!(c.jobs, Some(2));
+                }
+                _ => panic!("not incast"),
+            }
+            assert!(parse(&argv("incast --bogus"))
+                .unwrap_err()
+                .contains("incast"));
+        }
+
+        #[test]
+        fn rejects_offload_datapaths_with_churn() {
+            for dp in ["toe", "dpdk"] {
+                let err = parse(&argv(&format!("run churn --datapath {dp}"))).unwrap_err();
+                assert!(
+                    err.contains("only valid with long-flow scenarios"),
+                    "got: {err}"
+                );
+            }
+            // The in-kernel backend is the one churn models; it stays legal,
+            // as do offload backends on long-flow scenarios.
+            assert!(parse(&argv("run churn --datapath inkernel")).is_ok());
+            assert!(parse(&argv("run single --datapath toe")).is_ok());
         }
 
         #[test]

@@ -145,3 +145,13 @@ fn golden_fig_capacity() {
     assert_eq!(reports.len(), 12);
     check("fig_capacity.jsonl", render(&reports));
 }
+
+#[test]
+fn golden_fig_incast() {
+    // The fabric fan-in sweep: ECN off/on × sender count through the
+    // shared-buffer ToR model. Pins the switch drop counts, per-flow
+    // fairness, and the ECN recovery byte-for-byte.
+    let reports: Vec<Report> = figures::fig_incast().into_iter().map(|(_, r)| r).collect();
+    assert_eq!(reports.len(), 10);
+    check("fig_incast.jsonl", render(&reports));
+}

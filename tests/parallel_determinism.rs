@@ -158,3 +158,19 @@ fn cli_capacity_output_is_jobs_invariant() {
         "capacity CLI output differs between --jobs 1 and --jobs 8"
     );
 }
+
+#[test]
+fn fig_incast_sweep_is_jobs_invariant() {
+    // The fabric sweep adds ECMP uplink hashing and shared-buffer drop
+    // ordering to the mix: the flow-keyed Fibonacci hash and the
+    // event-ordered switch clocks must make every fan-in point
+    // byte-identical whatever the job count.
+    let seq = sweep_json(1, &figures::fig_incast_points());
+    let par = sweep_json(4, &figures::fig_incast_points());
+    assert_eq!(seq.len(), 10);
+    assert!(
+        seq.iter().any(|j| j.contains("switch_buffer")),
+        "incast reports should carry switch-buffer drops"
+    );
+    assert_eq!(seq, par, "fig_incast reports differ between --jobs 1 and 4");
+}
